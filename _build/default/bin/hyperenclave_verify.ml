@@ -1,0 +1,220 @@
+(* hyperenclave-verify: run the full verification pass.
+
+   Phases, mirroring the paper's structure:
+     1. mirlightgen  — compile the memory module to MIRlight
+     2. layering     — assemble the 15-layer stack, check stratification
+     3. code-proofs  — per-function conformance (Sec. 4.3)
+     4. refinement   — flat/tree page-table simulation (Sec. 4.1)
+     5. invariants   — Sec. 5.2 invariants on reachable states
+     6. noninterference — Lemmas 5.2-5.4 (Sec. 5.3)
+     7. attacks      — Fig. 5 scenarios must be rejected *)
+
+open Cmdliner
+module Report = Mirverif.Report
+
+let geom_of = function
+  | "x86_64" -> Hyperenclave.Geometry.x86_64
+  | _ -> Hyperenclave.Geometry.tiny
+
+let phase_header name = Format.printf "@.=== %s ===@." name
+
+let check_reports ~failures reports =
+  List.iter
+    (fun r ->
+      Format.printf "  %s@." (Report.to_string r);
+      if not (Report.ok r) then incr failures)
+    reports
+
+let run_refinement_sim layout seed =
+  (* random op sequences applied to both views, R checked throughout *)
+  let open Hyperenclave in
+  let rng = ref (Check.Rng.make seed) in
+  let page i = Int64.mul (Int64.of_int (Geometry.page_size layout.Layout.geom)) (Int64.of_int i) in
+  let report = ref (Report.empty "flat/tree simulation (R)") in
+  for trial = 1 to 50 do
+    let d = Absdata.create layout in
+    match Pt_flat.create_table d with
+    | Error msg -> report := Report.add_failure !report ~case:"create" ~reason:msg
+    | Ok (d, root) -> (
+        match Pt_refine.abstract d ~root with
+        | Error msg -> report := Report.add_failure !report ~case:"abstract" ~reason:msg
+        | Ok tree ->
+            let d = ref d and tree = ref tree in
+            let okay = ref true in
+            for _ = 1 to 20 do
+              if !okay then begin
+                let kind, r1 = Check.Rng.int_below !rng 3 in
+                let v, r2 = Check.Rng.int_below r1 16 in
+                let p, r3 = Check.Rng.int_below r2 8 in
+                rng := r3;
+                let va = page v and pa = page p in
+                let fr =
+                  match kind with
+                  | 0 -> (
+                      ( Pt_flat.map_page !d ~root ~va ~pa Flags.user_rw,
+                        Pt_tree.map_page !tree ~va ~pa Flags.user_rw ))
+                  | 1 -> (Pt_flat.unmap_page !d ~root ~va, Pt_tree.unmap_page !tree ~va)
+                  | _ ->
+                      ( Pt_flat.map_huge !d ~root ~va:(Int64.logand va (Int64.lognot (Int64.sub (page 4) 1L)))
+                          ~pa:(Int64.logand pa (Int64.lognot (Int64.sub (page 4) 1L)))
+                          ~level:2 Flags.user_r,
+                        Pt_tree.map_huge !tree
+                          ~va:(Int64.logand va (Int64.lognot (Int64.sub (page 4) 1L)))
+                          ~pa:(Int64.logand pa (Int64.lognot (Int64.sub (page 4) 1L)))
+                          ~level:2 Flags.user_r )
+                in
+                match fr with
+                | Ok d', Ok tree' ->
+                    d := d';
+                    tree := tree';
+                    if Pt_refine.relate !d ~root !tree then
+                      report := Report.add_pass !report
+                    else begin
+                      okay := false;
+                      report :=
+                        Report.add_failure !report
+                          ~case:(Printf.sprintf "trial %d" trial)
+                          ~reason:"R broken after lock-step operation"
+                    end
+                | Error _, Error _ -> report := Report.add_skip !report
+                | Ok _, Error e | Error e, Ok _ ->
+                    okay := false;
+                    report :=
+                      Report.add_failure !report
+                        ~case:(Printf.sprintf "trial %d" trial)
+                        ~reason:("one view rejected what the other accepted: " ^ e)
+              end
+            done)
+  done;
+  !report
+
+let run geometry seed quick =
+  let geom = geom_of geometry in
+  let layout = Hyperenclave.Layout.default geom in
+  let failures = ref 0 in
+
+  phase_header "1. mirlightgen (Rustlite -> MIRlight)";
+  let out = Hyperenclave.Layers.compiled layout in
+  Format.printf "  functions: %d, source lines: %d, mirlight lines: %d@."
+    (List.length out.Rustlite.Pipeline.function_names)
+    out.Rustlite.Pipeline.source_lines out.Rustlite.Pipeline.mir_lines;
+
+  phase_header "2. layer stack";
+  let issues = Hyperenclave.Layers.stratification_ok layout in
+  Format.printf "  %d layers, stratification issues: %d@."
+    Hyperenclave.Layers.layer_count (List.length issues);
+  List.iter (fun i -> Format.printf "  %a@." Mirverif.Layer.pp_stratification_issue i) issues;
+  if issues <> [] then incr failures;
+
+  phase_header "3. code proofs (code conforms to low specs)";
+  let results = Check.Code_proof.run_all ~seed layout in
+  let t, p, s, f = Check.Code_proof.total_cases results in
+  Format.printf "  %d functions, %d cases: %d passed, %d skipped, %d failed@."
+    (List.length results) t p s f;
+  List.iter
+    (fun (layer, r) ->
+      if not (Report.ok r) then begin
+        incr failures;
+        Format.printf "  FAIL [%s] %s@." layer (Report.to_string r)
+      end)
+    results;
+
+  phase_header "4. page-table refinement (flat <-> tree, Sec. 4.1)";
+  let sim = run_refinement_sim layout seed in
+  check_reports ~failures [ sim ];
+
+  if geometry <> "x86_64" then begin
+    (* the security phases enumerate page contents; tiny geometry only *)
+    phase_header "5. invariants (Sec. 5.2) on reachable states";
+    let states = Check.Gen.states ~n:(if quick then 8 else 25) ~seed ~steps:35 layout in
+    let inv_report =
+      List.fold_left
+        (fun rep (label, st) ->
+          match Security.Invariants.check st.Security.State.mon with
+          | Ok () -> Report.add_pass rep
+          | Error reason -> Report.add_failure rep ~case:label ~reason)
+        (Report.empty "invariants on reachable states")
+        states
+    in
+    let actions = Check.Gen.action_battery layout in
+    let preservation =
+      List.fold_left
+        (fun rep (label, st) ->
+          List.fold_left
+            (fun rep a ->
+              match Security.Transition.step st a with
+              | Error _ -> Report.add_skip rep
+              | Ok st' -> (
+                  match Security.Invariants.check st'.Security.State.mon with
+                  | Ok () -> Report.add_pass rep
+                  | Error reason ->
+                      Report.add_failure rep
+                        ~case:(label ^ " / " ^ Security.Transition.action_to_string a)
+                        ~reason))
+            rep actions)
+        (Report.empty "invariant preservation")
+        states
+    in
+    check_reports ~failures [ inv_report; preservation ];
+
+    phase_header "6. noninterference (Lemmas 5.2-5.4, Sec. 5.3)";
+    let observers =
+      [ Security.Principal.Os; Security.Principal.Enclave 1; Security.Principal.Enclave 2 ]
+    in
+    let n = if quick then 6 else 15 in
+    List.iter
+      (fun observer ->
+        let pairs = Check.Gen.secret_pairs ~n ~seed ~steps:35 ~observer layout in
+        check_reports ~failures
+          [
+            Security.Noninterference.check_integrity ~observer ~states ~actions;
+            Security.Noninterference.check_local_consistency ~observer ~pairs ~actions;
+            Security.Noninterference.check_inactive_consistency ~observer ~pairs ~actions;
+          ])
+      observers;
+
+    phase_header "7. trace noninterference (Theorem 5.1)";
+    let schedules = Check.Gen.schedules ~n:(if quick then 5 else 12) ~len:15 ~seed layout in
+    List.iter
+      (fun observer ->
+        let pairs =
+          Check.Gen.secret_pairs ~n:(if quick then 5 else 12) ~seed:(seed + 1)
+            ~steps:35 ~observer layout
+        in
+        check_reports ~failures
+          [ Security.Noninterference.check_trace ~observer ~pairs ~schedules ])
+      observers;
+
+    phase_header "8. attack scenarios (Fig. 5 + Sec. 4.1 shallow copy)";
+    List.iter
+      (fun scenario ->
+        match Security.Attacks.run scenario with
+        | Ok () ->
+            Format.printf "  %-22s %s@." scenario.Security.Attacks.name
+              (match scenario.Security.Attacks.expected_violation with
+              | None -> "passes all invariants (as expected)"
+              | Some inv -> "REJECTED by " ^ inv ^ " (as expected)")
+        | Error msg ->
+            incr failures;
+            Format.printf "  %-22s UNEXPECTED: %s@." scenario.Security.Attacks.name msg)
+      Security.Attacks.all
+  end;
+
+  Format.printf "@.%s@."
+    (if !failures = 0 then "VERIFICATION PASS: all checks succeeded"
+     else Printf.sprintf "VERIFICATION FAILED: %d phase(s) reported failures" !failures);
+  if !failures = 0 then 0 else 1
+
+let geometry =
+  Arg.(value & opt string "tiny" & info [ "geometry" ] ~docv:"GEOM" ~doc:"tiny or x86_64.")
+
+let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller state budgets.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "hyperenclave-verify"
+       ~doc:"Run the full HyperEnclave memory-subsystem verification pass")
+    Term.(const run $ geometry $ seed $ quick)
+
+let () = exit (Cmd.eval' cmd)

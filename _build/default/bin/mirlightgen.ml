@@ -1,0 +1,64 @@
+(* mirlightgen: print the MIRlight form of a Rustlite program (the
+   counterpart of the paper's modified rustc, Sec. 3.3).
+
+   With a file argument: compile and print that program.
+   With --memory-module: print the built-in HyperEnclave memory module
+   for the chosen geometry. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run file memory_module geometry stats_only =
+  let source =
+    match (file, memory_module) with
+    | Some path, false -> Ok (read_file path)
+    | None, true ->
+        let geom =
+          match geometry with
+          | "tiny" -> Hyperenclave.Geometry.tiny
+          | _ -> Hyperenclave.Geometry.x86_64
+        in
+        Ok (Hyperenclave.Mem_source.source (Hyperenclave.Layout.default geom))
+    | Some _, true -> Error "pass either a file or --memory-module, not both"
+    | None, false -> Error "pass a Rustlite file or --memory-module"
+  in
+  match source with
+  | Error msg ->
+      prerr_endline ("mirlightgen: " ^ msg);
+      1
+  | Ok src -> (
+      match Rustlite.Pipeline.compile src with
+      | Error msg ->
+          prerr_endline ("mirlightgen: " ^ msg);
+          1
+      | Ok out ->
+          if stats_only then
+            Printf.printf "functions: %d\nsource lines: %d\nmirlight lines: %d\nexterns: %s\n"
+              (List.length out.Rustlite.Pipeline.function_names)
+              out.Rustlite.Pipeline.source_lines out.Rustlite.Pipeline.mir_lines
+              (String.concat ", " out.Rustlite.Pipeline.externs)
+          else print_string (Rustlite.Pipeline.emit out);
+          0)
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Rustlite source file.")
+
+let memory_module =
+  Arg.(value & flag & info [ "memory-module" ] ~doc:"Compile the built-in HyperEnclave memory module.")
+
+let geometry =
+  Arg.(value & opt string "tiny" & info [ "geometry" ] ~docv:"GEOM" ~doc:"tiny or x86_64.")
+
+let stats_only = Arg.(value & flag & info [ "stats" ] ~doc:"Print statistics instead of MIR.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mirlightgen" ~doc:"Rustlite to MIRlight translator")
+    Term.(const run $ file $ memory_module $ geometry $ stats_only)
+
+let () = exit (Cmd.eval' cmd)

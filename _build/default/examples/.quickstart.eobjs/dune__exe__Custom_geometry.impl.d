@@ -1,0 +1,1 @@
+examples/custom_geometry.ml: Boot Check Format Geometry Hypercall Hyperenclave Int64 Layers Layout List Mirverif Rustlite Security

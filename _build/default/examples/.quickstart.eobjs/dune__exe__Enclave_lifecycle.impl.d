@@ -1,0 +1,1 @@
+examples/enclave_lifecycle.ml: Absdata Flags Format Geometry Hyperenclave Int64 Invariants Layout List Mir Nested Observation Oracle Principal Printf Result Security State Transition

@@ -1,0 +1,1 @@
+examples/mapping_attack.ml: Absdata Attacks Enclave Format Geometry Hypercall Hyperenclave Int64 Invariants Layout List Observation Principal Pt_refine Result Security State Transition

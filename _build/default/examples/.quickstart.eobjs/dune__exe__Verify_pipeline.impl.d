@@ -1,0 +1,1 @@
+examples/verify_pipeline.ml: Check Format Geometry Hyperenclave Layers Layout List Mem_source Mem_spec Mir Mirverif Rustlite String

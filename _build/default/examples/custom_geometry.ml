@@ -1,0 +1,74 @@
+(* Verifying the same code on a custom page-table geometry.
+
+   Everything in this artifact — the Rustlite memory module, its
+   specifications, the layer stack — is parameterized by the
+   page-table geometry.  This example defines a 3-level shape that is
+   neither the tiny one nor x86-64, regenerates the memory module for
+   it, and re-runs a slice of the verification: the same code, checked
+   against the same specifications, on different hardware constants.
+
+   Run with: dune exec examples/custom_geometry.exe *)
+
+open Hyperenclave
+
+let () =
+  (* 3 levels x 8 entries x 64-byte pages: a 15-bit virtual space *)
+  let geom =
+    match
+      Geometry.make ~levels:3 ~index_bits:3 ~fb_present:0 ~fb_write:1 ~fb_user:2
+        ~fb_huge:4
+    with
+    | Ok g -> g
+    | Error msg -> failwith msg
+  in
+  let layout =
+    match
+      Layout.make ~geom ~normal_pages:16 ~mbuf_page_index:12 ~mbuf_pages:2
+        ~monitor_pages:2 ~frame_count:40 ~epc_pages:12
+    with
+    | Ok l -> l
+    | Error msg -> failwith msg
+  in
+  Format.printf "=== Custom geometry ===@.%a@.@." Layout.pp layout;
+
+  (* the memory module is regenerated with this layout's constants *)
+  let out = Layers.compiled layout in
+  Format.printf "memory module recompiled: %d functions, %d MIR lines@.@."
+    (List.length out.Rustlite.Pipeline.function_names)
+    out.Rustlite.Pipeline.mir_lines;
+
+  (* boot and drive an enclave on the new shape *)
+  let d = Boot.booted layout in
+  let page i = Int64.mul (Int64.of_int (Geometry.page_size geom)) (Int64.of_int i) in
+  let o = Hypercall.create d ~elrange_base:0L ~elrange_pages:3 ~mbuf_va:(page 20) in
+  assert (Hypercall.status_equal o.Hypercall.status Hypercall.Success);
+  let d = o.Hypercall.d and eid = o.Hypercall.value in
+  let d =
+    List.fold_left
+      (fun d i ->
+        let a = Hypercall.add_page d ~eid ~va:(page i) in
+        assert (Hypercall.status_equal a.Hypercall.status Hypercall.Success);
+        a.Hypercall.d)
+      d [ 0; 1; 2 ]
+  in
+  Format.printf "enclave %d holds 3 EPC pages behind a 3-level GPT/EPT pair@." eid;
+
+  (* the Sec. 5.2 invariants hold here too *)
+  (match Security.Invariants.check d with
+  | Ok () -> Format.printf "all Sec. 5.2 invariants hold on the custom shape@."
+  | Error msg -> Format.printf "INVARIANT VIOLATION: %s@." msg);
+
+  (* and the per-function code proofs run unchanged *)
+  Format.printf "@.=== Code proofs on the custom geometry ===@.";
+  let results = Check.Code_proof.run_all layout in
+  let total, passed, skipped, failed = Check.Code_proof.total_cases results in
+  Format.printf "%d functions, %d cases: %d passed, %d skipped, %d failed@."
+    (List.length results) total passed skipped failed;
+  List.iter
+    (fun (layer, r) ->
+      if not (Mirverif.Report.ok r) then
+        Format.printf "FAIL [%s] %s@." layer (Mirverif.Report.to_string r))
+    results;
+  if failed = 0 then
+    Format.printf "the same verified code base covers a geometry it has never seen@."
+  else exit 1

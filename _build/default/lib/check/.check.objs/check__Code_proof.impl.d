@@ -1,0 +1,1 @@
+lib/check/code_proof.ml: Absdata Boot Enclave Flags Gen Geometry Hypercall Hyperenclave Int64 Layers Layout List Marshal_v Mem_spec Mir Mirverif Printf Pt_flat Pte String

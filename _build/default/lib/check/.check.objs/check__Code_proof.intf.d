@@ -1,0 +1,1 @@
+lib/check/code_proof.mli: Hyperenclave Mirverif

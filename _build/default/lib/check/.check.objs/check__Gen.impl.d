@@ -1,0 +1,1 @@
+lib/check/gen.ml: Absdata Array Epcm Geometry Hyperenclave Int64 Layout List Mir Phys_mem Principal Printf Rng Security State Transition

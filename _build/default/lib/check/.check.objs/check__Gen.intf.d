@@ -1,0 +1,1 @@
+lib/check/gen.mli: Hyperenclave Rng Security

@@ -1,0 +1,1 @@
+lib/check/rng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/check/rng.mli: Mir

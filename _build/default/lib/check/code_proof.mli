@@ -1,0 +1,23 @@
+(** Code-conformance checks for the 49 verified functions.
+
+    For every function of the compiled memory module, builds
+    {!Mirverif.Refine} cases — reachable abstract states crossed with
+    argument batteries covering valid, boundary, and invalid inputs —
+    and checks the MIR execution (lower layers replaced by their
+    specifications) against the function's own specification.  This is
+    the executable counterpart of the paper's per-function code proofs
+    (Sec. 4.3). *)
+
+val checks :
+  ?seed:int -> Hyperenclave.Layout.t ->
+  (string * Hyperenclave.Absdata.t Mirverif.Refine.check) list
+(** [(layer, check)] pairs, one per function, bottom-up. *)
+
+val run_layer : ?seed:int -> Hyperenclave.Layout.t -> string -> Mirverif.Report.t list
+(** Run the checks of one layer. *)
+
+val run_all : ?seed:int -> Hyperenclave.Layout.t -> (string * Mirverif.Report.t) list
+(** Run everything, bottom-up; [(layer, per-function report)]. *)
+
+val total_cases : (string * Mirverif.Report.t) list -> int * int * int * int
+(** (total, passed, skipped, failed) over a result set. *)

@@ -1,0 +1,35 @@
+type t = int64
+
+let golden = 0x9E3779B97F4A7C15L
+
+let make seed = Int64.mul (Int64.of_int (seed + 1)) golden
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next t =
+  let t' = Int64.add t golden in
+  (mix t', t')
+
+let int_below t bound =
+  if bound < 1 then invalid_arg "Rng.int_below: bound must be >= 1";
+  let w, t = next t in
+  (Int64.to_int (Int64.unsigned_rem w (Int64.of_int bound)), t)
+
+let bool t =
+  let w, t = next t in
+  (Int64.equal (Int64.logand w 1L) 1L, t)
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ ->
+      let i, t = int_below t (List.length xs) in
+      (List.nth xs i, t)
+
+let split t =
+  let a, t = next t in
+  (mix a, t)

@@ -1,0 +1,18 @@
+(** Deterministic pseudo-random values (splitmix64).
+
+    All generated check inputs derive from explicit seeds so every
+    run — tests, the verification CLI, the benchmarks — sees the same
+    state space and failures reproduce exactly. *)
+
+type t
+
+val make : int -> t
+val next : t -> Mir.Word.t * t
+val int_below : t -> int -> int * t
+(** Uniform in [\[0, bound)]; [bound >= 1]. *)
+
+val bool : t -> bool * t
+val pick : t -> 'a list -> 'a * t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val split : t -> t * t

@@ -1,0 +1,1 @@
+lib/core/invariant.ml: List Printf Report

@@ -1,0 +1,1 @@
+lib/core/layer.ml: Array Format List Map Mir Printf Spec String

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Format List Mir Option Printf Report Spec

@@ -1,0 +1,50 @@
+type 'abs t = { name : string; holds : 'abs -> (unit, string) result }
+
+let make name holds = { name; holds }
+
+let of_pred name pred =
+  { name; holds = (fun abs -> if pred abs then Ok () else Error name) }
+
+let check_all invs abs =
+  let rec go = function
+    | [] -> Ok ()
+    | inv :: rest -> (
+        match inv.holds abs with
+        | Ok () -> go rest
+        | Error detail -> Error (Printf.sprintf "%s: %s" inv.name detail))
+  in
+  go invs
+
+type 'abs step = { step_name : string; apply : 'abs -> ('abs, string) result }
+
+let step step_name apply = { step_name; apply }
+
+let preserved ~invariants ~steps ~states =
+  List.fold_left
+    (fun report (state_label, abs) ->
+      match check_all invariants abs with
+      | Error _ -> Report.add_skip report
+      | Ok () ->
+          List.fold_left
+            (fun report st ->
+              let case = Printf.sprintf "%s / %s" state_label st.step_name in
+              match st.apply abs with
+              | Error _ -> Report.add_skip report
+              | Ok abs' -> (
+                  match check_all invariants abs' with
+                  | Ok () -> Report.add_pass report
+                  | Error reason ->
+                      Report.add_failure report ~case
+                        ~reason:(Printf.sprintf "invariant broken after step: %s" reason)))
+            report steps)
+    (Report.empty "invariant preservation")
+    states
+
+let establishes ~invariants ~init =
+  List.fold_left
+    (fun report (label, abs) ->
+      match check_all invariants abs with
+      | Ok () -> Report.add_pass report
+      | Error reason -> Report.add_failure report ~case:label ~reason)
+    (Report.empty "invariant establishment")
+    init

@@ -1,0 +1,38 @@
+(** State invariants and their preservation.
+
+    The paper states the page-table invariants of Sec. 5.2 in Coq and
+    proves every hypercall preserves them.  Here an invariant is an
+    executable predicate with an explanation on failure, and
+    {!preserved} checks the same statement over generated states and
+    transition steps. *)
+
+type 'abs t = { name : string; holds : 'abs -> (unit, string) result }
+
+val make : string -> ('abs -> (unit, string) result) -> 'abs t
+
+val of_pred : string -> ('abs -> bool) -> 'abs t
+(** Failure message is just the invariant name. *)
+
+val check_all : 'abs t list -> 'abs -> (unit, string) result
+(** First violated invariant, rendered as ["name: detail"]. *)
+
+(** A labelled state transition; [Error] means the step's precondition
+    does not hold in that state (the step is not enabled). *)
+type 'abs step = { step_name : string; apply : 'abs -> ('abs, string) result }
+
+val step : string -> ('abs -> ('abs, string) result) -> 'abs step
+
+val preserved :
+  invariants:'abs t list ->
+  steps:'abs step list ->
+  states:(string * 'abs) list ->
+  Report.t
+(** For every state that satisfies all invariants and every enabled
+    step from it, the post-state must satisfy all invariants.  States
+    violating the invariants up front are skipped (they are outside the
+    reachable set the theorem quantifies over); disabled steps are
+    skipped. *)
+
+val establishes :
+  invariants:'abs t list -> init:(string * 'abs) list -> Report.t
+(** Initial states must satisfy all invariants (the induction base). *)

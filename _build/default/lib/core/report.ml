@@ -1,0 +1,47 @@
+type failure = { case : string; reason : string }
+
+type t = {
+  name : string;
+  total : int;
+  passed : int;
+  skipped : int;
+  failures : failure list;
+}
+
+let empty name = { name; total = 0; passed = 0; skipped = 0; failures = [] }
+let ok r = r.failures = []
+let add_pass r = { r with total = r.total + 1; passed = r.passed + 1 }
+let add_skip r = { r with total = r.total + 1; skipped = r.skipped + 1 }
+
+let add_failure r ~case ~reason =
+  { r with total = r.total + 1; failures = r.failures @ [ { case; reason } ] }
+
+let merge name rs =
+  List.fold_left
+    (fun acc r ->
+      {
+        acc with
+        total = acc.total + r.total;
+        passed = acc.passed + r.passed;
+        skipped = acc.skipped + r.skipped;
+        failures = acc.failures @ r.failures;
+      })
+    (empty name) rs
+
+let pp fmt r =
+  Format.fprintf fmt "%-40s %5d cases, %5d passed, %4d skipped, %3d failed"
+    r.name r.total r.passed r.skipped (List.length r.failures);
+  List.iteri
+    (fun i f ->
+      if i < 5 then Format.fprintf fmt "@,    FAIL [%s]: %s" f.case f.reason)
+    r.failures;
+  if List.length r.failures > 5 then
+    Format.fprintf fmt "@,    ... and %d more failures" (List.length r.failures - 5)
+
+let pp_summary fmt rs =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun r -> Format.fprintf fmt "%a@," pp r) rs;
+  let all = merge "TOTAL" rs in
+  Format.fprintf fmt "%a@]" pp all
+
+let to_string r = Format.asprintf "@[<v>%a@]" pp r

@@ -1,0 +1,27 @@
+(** Check reports.
+
+    Every proof obligation of the paper becomes an executable check
+    here; a report records how a batch of check instances fared.
+    [skipped] counts generated cases outside the specification's
+    precondition (the spec was undefined there, so nothing is claimed
+    about the code). *)
+
+type failure = { case : string; reason : string }
+
+type t = {
+  name : string;
+  total : int;
+  passed : int;
+  skipped : int;
+  failures : failure list;
+}
+
+val empty : string -> t
+val ok : t -> bool
+val add_pass : t -> t
+val add_skip : t -> t
+val add_failure : t -> case:string -> reason:string -> t
+val merge : string -> t list -> t
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t list -> unit
+val to_string : t -> string

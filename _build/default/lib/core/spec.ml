@@ -1,0 +1,12 @@
+type 'abs t = {
+  name : string;
+  exec : 'abs -> 'abs Mir.Value.t list -> ('abs * 'abs Mir.Value.t, string) result;
+}
+
+let make name exec = { name; exec }
+
+let pure name f =
+  { name; exec = (fun abs args -> Result.map (fun v -> (abs, v)) (f args)) }
+
+let to_prim spec = { Mir.Interp.prim_name = spec.name; prim_exec = spec.exec }
+let apply spec abs args = spec.exec abs args

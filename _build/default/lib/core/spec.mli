@@ -1,0 +1,34 @@
+(** Functional specifications.
+
+    A specification describes a function's behaviour as a pure function
+    on the abstract system state: [Args * AbsState -> Ret * AbsState]
+    (paper Sec. 3.4).  Specifications play three roles:
+
+    - the {e proof obligation} for the layer's own code (the code must
+      refine its spec, checked by {!Refine});
+    - the {e primitive} a higher layer's code runs against ({!to_prim}
+      plugs the spec into the MIR interpreter, shadowing the body);
+    - for the bottom (trusted) layer, the {e axiomatization} of
+      hardware and library behaviour (paper Sec. 4.2).
+
+    [Error msg] means the specification is undefined on that input —
+    its precondition does not hold.  Functions that can fail for a
+    caller-visible reason return an encoded error {e value} instead. *)
+
+type 'abs t = {
+  name : string;
+  exec : 'abs -> 'abs Mir.Value.t list -> ('abs * 'abs Mir.Value.t, string) result;
+}
+
+val make :
+  string ->
+  ('abs -> 'abs Mir.Value.t list -> ('abs * 'abs Mir.Value.t, string) result) ->
+  'abs t
+
+val pure : string -> ('abs Mir.Value.t list -> ('abs Mir.Value.t, string) result) -> 'abs t
+(** A specification that never changes the abstract state. *)
+
+val to_prim : 'abs t -> 'abs Mir.Interp.prim
+
+val apply :
+  'abs t -> 'abs -> 'abs Mir.Value.t list -> ('abs * 'abs Mir.Value.t, string) result

@@ -1,0 +1,1 @@
+lib/hyperenclave/absdata.ml: Enclave Epcm Format Frame_alloc Int Layout List Map Option Phys_mem Printf

@@ -1,0 +1,1 @@
+lib/hyperenclave/absdata.mli: Enclave Epcm Format Frame_alloc Geometry Layout Map Phys_mem

@@ -1,0 +1,1 @@
+lib/hyperenclave/boot.ml: Absdata Flags Geometry Hashtbl Int64 Layout Mir Printf Pt_flat Result

@@ -1,0 +1,1 @@
+lib/hyperenclave/boot.mli: Absdata Layout

@@ -1,0 +1,1 @@
+lib/hyperenclave/enclave.ml: Format Geometry Int64 Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/enclave.mli: Format Geometry Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/epcm.ml: Format Int List Map Mir Option Printf

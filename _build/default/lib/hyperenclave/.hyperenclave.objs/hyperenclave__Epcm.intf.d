@@ -1,0 +1,1 @@
+lib/hyperenclave/epcm.mli: Format Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/flags.ml: Bool Format Geometry List Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/flags.mli: Format Geometry Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/frame_alloc.ml: Int Int64 Printf Set

@@ -1,0 +1,1 @@
+lib/hyperenclave/frame_alloc.mli: Mir

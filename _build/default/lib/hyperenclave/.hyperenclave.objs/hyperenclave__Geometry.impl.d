@@ -1,0 +1,1 @@
+lib/hyperenclave/geometry.ml: Format Int Int64 List Mir Printf

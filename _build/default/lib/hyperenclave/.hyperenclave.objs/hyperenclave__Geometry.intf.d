@@ -1,0 +1,1 @@
+lib/hyperenclave/geometry.mli: Format Mir

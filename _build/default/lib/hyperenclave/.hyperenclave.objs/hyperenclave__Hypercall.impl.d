@@ -1,0 +1,1 @@
+lib/hyperenclave/hypercall.ml: Absdata Enclave Epcm Flags Format Geometry Int64 Layout Mir Phys_mem Pt_flat Result String

@@ -1,0 +1,1 @@
+lib/hyperenclave/hypercall.mli: Absdata Format Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/layers.ml: Absdata Hashtbl Layout List Mem_source Mem_spec Mir Mirverif Option Printf Rustlite String Trusted

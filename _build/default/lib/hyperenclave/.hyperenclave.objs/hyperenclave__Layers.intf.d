@@ -1,0 +1,1 @@
+lib/hyperenclave/layers.mli: Absdata Layout Mir Mirverif Rustlite

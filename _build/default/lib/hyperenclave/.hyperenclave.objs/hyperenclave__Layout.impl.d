@@ -1,0 +1,1 @@
+lib/hyperenclave/layout.ml: Format Geometry Int64 Mir Printf

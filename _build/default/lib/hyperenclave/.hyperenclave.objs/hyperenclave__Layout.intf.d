@@ -1,0 +1,1 @@
+lib/hyperenclave/layout.mli: Format Geometry Mir

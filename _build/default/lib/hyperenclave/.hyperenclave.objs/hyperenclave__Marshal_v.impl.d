@@ -1,0 +1,1 @@
+lib/hyperenclave/marshal_v.ml: Int64 List Mir Printf Result

@@ -1,0 +1,1 @@
+lib/hyperenclave/marshal_v.mli: Mir

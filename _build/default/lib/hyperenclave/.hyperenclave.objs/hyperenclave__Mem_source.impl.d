@@ -1,0 +1,1 @@
+lib/hyperenclave/mem_source.ml: Geometry Int64 Layout Printf Trusted

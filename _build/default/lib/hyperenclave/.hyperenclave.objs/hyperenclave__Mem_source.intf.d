@@ -1,0 +1,1 @@
+lib/hyperenclave/mem_source.mli: Layout

@@ -1,0 +1,1 @@
+lib/hyperenclave/mem_spec.ml: Absdata Enclave Epcm Frame_alloc Geometry Int64 Layout List Marshal_v Mem_source Mir Mirverif Option Phys_mem Printf Result String

@@ -1,0 +1,1 @@
+lib/hyperenclave/mem_spec.mli: Absdata Enclave Layout Mir Mirverif

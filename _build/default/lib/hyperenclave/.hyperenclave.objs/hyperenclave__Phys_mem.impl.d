@@ -1,0 +1,1 @@
+lib/hyperenclave/phys_mem.ml: Int Int64 List Map Mir Option Printf Result

@@ -1,0 +1,1 @@
+lib/hyperenclave/phys_mem.mli: Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/pt_flat.ml: Absdata Flags Frame_alloc Geometry Hashtbl Int64 Layout List Mir Phys_mem Printf Pte Result

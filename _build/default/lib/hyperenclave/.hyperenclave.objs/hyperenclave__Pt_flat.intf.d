@@ -1,0 +1,1 @@
+lib/hyperenclave/pt_flat.mli: Absdata Flags Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/pt_refine.ml: Absdata Array Flags Frame_alloc Geometry Hashtbl Layout Mir Option Printf Pt_flat Pt_tree Pte Result

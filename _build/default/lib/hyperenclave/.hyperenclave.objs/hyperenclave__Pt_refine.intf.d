@@ -1,0 +1,1 @@
+lib/hyperenclave/pt_refine.mli: Absdata Mir Pt_tree

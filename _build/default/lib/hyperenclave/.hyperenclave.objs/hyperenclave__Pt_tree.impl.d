@@ -1,0 +1,1 @@
+lib/hyperenclave/pt_tree.ml: Array Bool Flags Format Frame_alloc Geometry Hashtbl Int64 Layout List Mir Option Printf Result

@@ -1,0 +1,1 @@
+lib/hyperenclave/pt_tree.mli: Flags Format Frame_alloc Geometry Layout Mir

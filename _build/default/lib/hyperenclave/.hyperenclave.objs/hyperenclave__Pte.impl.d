@@ -1,0 +1,1 @@
+lib/hyperenclave/pte.ml: Flags Format Geometry Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/pte.mli: Flags Format Geometry Mir

@@ -1,0 +1,1 @@
+lib/hyperenclave/trusted.ml: Absdata Epcm Frame_alloc Marshal_v Mirverif Phys_mem Result

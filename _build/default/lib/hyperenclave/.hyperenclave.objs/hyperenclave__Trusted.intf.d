@@ -1,0 +1,1 @@
+lib/hyperenclave/trusted.mli: Absdata Mirverif

@@ -1,0 +1,47 @@
+module IntMap = Map.Make (Int)
+
+type t = {
+  layout : Layout.t;
+  phys : Phys_mem.t;
+  falloc : Frame_alloc.t;
+  epcm : Epcm.t;
+  enclaves : Enclave.t IntMap.t;
+  next_eid : int;
+  os_ept_root : int option;
+}
+
+let create layout =
+  {
+    layout;
+    phys = Phys_mem.create ~limit:(Layout.phys_limit layout);
+    falloc = Frame_alloc.create ~nframes:layout.Layout.frame_count;
+    epcm = Epcm.create ~npages:layout.Layout.epc_pages;
+    enclaves = IntMap.empty;
+    next_eid = 1;
+    os_ept_root = None;
+  }
+
+let geom d = d.layout.Layout.geom
+
+let find_enclave d eid =
+  match IntMap.find_opt eid d.enclaves with
+  | Some e -> Ok e
+  | None -> Error (Printf.sprintf "no enclave with id %d" eid)
+
+let update_enclave d e = { d with enclaves = IntMap.add e.Enclave.eid e d.enclaves }
+let enclave_ids d = List.map fst (IntMap.bindings d.enclaves)
+let enclave_count d = IntMap.cardinal d.enclaves
+
+let equal a b =
+  Phys_mem.equal a.phys b.phys
+  && Frame_alloc.equal a.falloc b.falloc
+  && Epcm.equal a.epcm b.epcm
+  && IntMap.equal Enclave.equal a.enclaves b.enclaves
+  && a.next_eid = b.next_eid
+  && Option.equal Int.equal a.os_ept_root b.os_ept_root
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>%a@,allocated frames: %d, EPC valid: %d, enclaves: %d@]"
+    Layout.pp d.layout
+    (Frame_alloc.allocated_count d.falloc)
+    (Epcm.valid_count d.epcm) (enclave_count d)

@@ -1,0 +1,60 @@
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+(* Map [pages] pages identity starting at [base] using the largest
+   aligned spans available. *)
+let map_identity d ~root ~base ~pages ~flags =
+  let g = Absdata.geom d in
+  let page = Int64.of_int (Geometry.page_size g) in
+  let limit = Int64.add base (Int64.mul page (Int64.of_int pages)) in
+  let rec best_level va remaining level =
+    if level <= 1 then 1
+    else
+      let span = Geometry.level_span_shift g ~level in
+      let span_pages = 1 lsl (span - g.Geometry.page_shift) in
+      if
+        Word.equal (Word.extract va ~lo:0 ~len:span) Word.zero
+        && remaining >= span_pages
+      then level
+      else best_level va remaining (level - 1)
+  in
+  let rec go d va =
+    if not (Word.lt_u va limit) then Ok d
+    else
+      let remaining = Int64.to_int (Int64.div (Int64.sub limit va) page) in
+      let level = best_level va remaining g.Geometry.levels in
+      let* d =
+        if level = 1 then Pt_flat.map_page d ~root ~va ~pa:va flags
+        else Pt_flat.map_huge d ~root ~va ~pa:va ~level flags
+      in
+      let span_pages = 1 lsl (Geometry.level_span_shift g ~level - g.Geometry.page_shift) in
+      go d (Int64.add va (Int64.mul page (Int64.of_int span_pages)))
+  in
+  go d base
+
+let boot layout =
+  let d = Absdata.create layout in
+  let* d, root = Pt_flat.create_table d in
+  let* d =
+    map_identity d ~root ~base:layout.Layout.normal_base
+      ~pages:layout.Layout.normal_pages ~flags:Flags.user_rw
+  in
+  Ok { d with Absdata.os_ept_root = Some root }
+
+let cache : (Layout.t, Absdata.t) Hashtbl.t = Hashtbl.create 4
+
+let booted layout =
+  match Hashtbl.find_opt cache layout with
+  | Some d -> d
+  | None -> (
+      match boot layout with
+      | Ok d ->
+          Hashtbl.add cache layout d;
+          d
+      | Error msg -> invalid_arg (Printf.sprintf "Boot.booted: %s" msg))
+
+let os_ept_root (d : Absdata.t) =
+  match d.Absdata.os_ept_root with
+  | Some r -> Ok r
+  | None -> Error "system not booted: no OS EPT"

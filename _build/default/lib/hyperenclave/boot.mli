@@ -1,0 +1,17 @@
+(** System boot.
+
+    At boot RustMonitor reserves secure memory and builds the normal
+    VM's EPT: an identity mapping of all normal memory (including the
+    marshalling-buffer window) with user permissions, using huge pages
+    where alignment allows.  Nothing in secure memory is ever mapped,
+    which is what confines the untrusted OS — no matter how it edits
+    its own guest page tables (paper Sec. 2.1). *)
+
+val boot : Layout.t -> (Absdata.t, string) result
+
+val booted : Layout.t -> Absdata.t
+(** Memoized {!boot}; raises on failure.  State values are persistent,
+    so sharing the booted state across generated test cases is safe. *)
+
+val os_ept_root : Absdata.t -> (int, string) result
+(** The normal VM's EPT root, failing before boot. *)

@@ -1,0 +1,52 @@
+module Word = Mir.Word
+
+type lifecycle = Created | Initialized
+
+let lifecycle_equal (a : lifecycle) (b : lifecycle) = a = b
+
+let pp_lifecycle fmt = function
+  | Created -> Format.pp_print_string fmt "created"
+  | Initialized -> Format.pp_print_string fmt "initialized"
+
+type t = {
+  eid : int;
+  state : lifecycle;
+  elrange_base : Word.t;
+  elrange_pages : int;
+  mbuf_va : Word.t;
+  mbuf_pages : int;
+  gpt_root : int;
+  ept_root : int;
+}
+
+let range_limit base pages geom =
+  Int64.add base (Int64.mul (Int64.of_int (Geometry.page_size geom)) (Int64.of_int pages))
+
+let elrange_limit e geom = range_limit e.elrange_base e.elrange_pages geom
+let mbuf_va_limit e geom = range_limit e.mbuf_va e.mbuf_pages geom
+
+let in_elrange e geom va =
+  Word.le_u e.elrange_base va && Word.lt_u va (elrange_limit e geom)
+
+let in_mbuf_va e geom va =
+  Word.le_u e.mbuf_va va && Word.lt_u va (mbuf_va_limit e geom)
+
+let ranges_disjoint e geom =
+  Word.le_u (elrange_limit e geom) e.mbuf_va
+  || Word.le_u (mbuf_va_limit e geom) e.elrange_base
+
+let equal a b =
+  a.eid = b.eid
+  && lifecycle_equal a.state b.state
+  && Word.equal a.elrange_base b.elrange_base
+  && a.elrange_pages = b.elrange_pages
+  && Word.equal a.mbuf_va b.mbuf_va
+  && a.mbuf_pages = b.mbuf_pages
+  && a.gpt_root = b.gpt_root
+  && a.ept_root = b.ept_root
+
+let pp fmt e =
+  Format.fprintf fmt
+    "enclave %d (%a): elrange [%a, +%d pages), mbuf va %a (+%d), gpt@%d, ept@%d"
+    e.eid pp_lifecycle e.state Word.pp e.elrange_base e.elrange_pages Word.pp
+    e.mbuf_va e.mbuf_pages e.gpt_root e.ept_root

@@ -1,0 +1,38 @@
+(** Per-enclave metadata held by RustMonitor.
+
+    Both the guest page table (GPT) and the extended page table (EPT)
+    of an enclave are monitor-managed (paper Sec. 2.1), so their root
+    frames are part of the monitor's state.  The ELRANGE is the
+    enclave's linear address window for EPC pages; the marshalling
+    buffer window is the only address range it shares with its host
+    application, and its mapping is fixed at creation time. *)
+
+type lifecycle =
+  | Created  (** after [hc_create]; pages may still be added *)
+  | Initialized  (** after [hc_init_done] (EINIT); layout is frozen *)
+
+val lifecycle_equal : lifecycle -> lifecycle -> bool
+val pp_lifecycle : Format.formatter -> lifecycle -> unit
+
+type t = {
+  eid : int;
+  state : lifecycle;
+  elrange_base : Mir.Word.t;  (** page-aligned virtual base *)
+  elrange_pages : int;
+  mbuf_va : Mir.Word.t;  (** virtual base of the marshalling window *)
+  mbuf_pages : int;
+  gpt_root : int;  (** frame-area index of the GPT root table *)
+  ept_root : int;  (** frame-area index of the EPT root table *)
+}
+
+val in_elrange : t -> Geometry.t -> Mir.Word.t -> bool
+val in_mbuf_va : t -> Geometry.t -> Mir.Word.t -> bool
+val elrange_limit : t -> Geometry.t -> Mir.Word.t
+val mbuf_va_limit : t -> Geometry.t -> Mir.Word.t
+
+val ranges_disjoint : t -> Geometry.t -> bool
+(** ELRANGE and marshalling window do not overlap (one of the enclave
+    invariants of Sec. 5.2). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

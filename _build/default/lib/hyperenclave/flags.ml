@@ -1,0 +1,50 @@
+module Word = Mir.Word
+
+type t = { present : bool; write : bool; user : bool; huge : bool }
+
+let none = { present = false; write = false; user = false; huge = false }
+let present_r = { none with present = true }
+let present_rw = { present_r with write = true }
+let user_rw = { present_rw with user = true }
+let user_r = { present_r with user = true }
+let with_huge f = { f with huge = true }
+
+let encode (g : Geometry.t) f =
+  let w = Word.zero in
+  let w = Word.set_bit w g.fb_present f.present in
+  let w = Word.set_bit w g.fb_write f.write in
+  let w = Word.set_bit w g.fb_user f.user in
+  Word.set_bit w g.fb_huge f.huge
+
+let decode (g : Geometry.t) w =
+  {
+    present = Word.bit w g.fb_present;
+    write = Word.bit w g.fb_write;
+    user = Word.bit w g.fb_user;
+    huge = Word.bit w g.fb_huge;
+  }
+
+let equal a b =
+  Bool.equal a.present b.present && Bool.equal a.write b.write
+  && Bool.equal a.user b.user && Bool.equal a.huge b.huge
+
+let pp fmt f =
+  Format.fprintf fmt "%c%c%c%c"
+    (if f.present then 'P' else '-')
+    (if f.write then 'W' else '-')
+    (if f.user then 'U' else '-')
+    (if f.huge then 'H' else '-')
+
+let to_string f = Format.asprintf "%a" pp f
+
+let all =
+  let bools = [ false; true ] in
+  List.concat_map
+    (fun present ->
+      List.concat_map
+        (fun write ->
+          List.concat_map
+            (fun user -> List.map (fun huge -> { present; write; user; huge }) bools)
+            bools)
+        bools)
+    bools

@@ -1,0 +1,33 @@
+(** Page-table entry permission flags, abstracted from bit positions.
+
+    The flat view stores flags inside the 64-bit entry at the
+    geometry's bit positions; the tree view (paper Sec. 4.1) stores
+    this record.  The two agree through {!encode}/{!decode}. *)
+
+type t = { present : bool; write : bool; user : bool; huge : bool }
+
+val none : t
+
+val present_r : t
+(** Present, read-only, supervisor. *)
+
+val present_rw : t
+(** Present, writable, supervisor. *)
+
+val user_rw : t
+(** Present, writable, user. *)
+
+val user_r : t
+(** Present, read-only, user. *)
+
+val with_huge : t -> t
+
+val encode : Geometry.t -> t -> Mir.Word.t
+val decode : Geometry.t -> Mir.Word.t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val all : t list
+(** All 16 flag combinations, for exhaustive case generation. *)

@@ -1,0 +1,70 @@
+module IntSet = Set.Make (Int)
+
+type t = { nframes : int; allocated : IntSet.t }
+
+let create ~nframes =
+  if nframes <= 0 then invalid_arg "Frame_alloc.create: need at least one frame";
+  { nframes; allocated = IntSet.empty }
+
+let nframes a = a.nframes
+
+let alloc a =
+  let rec find i =
+    if i >= a.nframes then Error "frame pool exhausted"
+    else if IntSet.mem i a.allocated then find (i + 1)
+    else Ok ({ a with allocated = IntSet.add i a.allocated }, i)
+  in
+  find 0
+
+let free a i =
+  if i < 0 || i >= a.nframes then
+    Error (Printf.sprintf "free of out-of-range frame %d" i)
+  else if not (IntSet.mem i a.allocated) then
+    Error (Printf.sprintf "double free of frame %d" i)
+  else Ok { a with allocated = IntSet.remove i a.allocated }
+
+let is_allocated a i = IntSet.mem i a.allocated
+
+let bitmap_words a = (a.nframes + 63) / 64
+
+let bitmap_word a w =
+  if w < 0 || w >= bitmap_words a then
+    Error (Printf.sprintf "bitmap word %d out of range" w)
+  else
+    Ok
+      (IntSet.fold
+         (fun i acc ->
+           if i / 64 = w then Int64.logor acc (Int64.shift_left 1L (i mod 64))
+           else acc)
+         a.allocated 0L)
+
+let set_bitmap_word a w v =
+  if w < 0 || w >= bitmap_words a then
+    Error (Printf.sprintf "bitmap word %d out of range" w)
+  else
+    let lo = w * 64 in
+    let hi = min a.nframes (lo + 64) in
+    (* bits beyond nframes must stay clear *)
+    let excess =
+      if hi - lo >= 64 then 0L
+      else Int64.shift_right_logical v (hi - lo)
+    in
+    if not (Int64.equal excess 0L) then
+      Error "bitmap write sets bits beyond the frame pool"
+    else
+      let cleared =
+        IntSet.filter (fun i -> i / 64 <> w) a.allocated
+      in
+      let rec add i acc =
+        if i >= hi then acc
+        else
+          add (i + 1)
+            (if Int64.equal (Int64.logand (Int64.shift_right_logical v (i - lo)) 1L) 1L
+             then IntSet.add i acc
+             else acc)
+      in
+      Ok { a with allocated = add lo cleared }
+let allocated_count a = IntSet.cardinal a.allocated
+let free_count a = a.nframes - IntSet.cardinal a.allocated
+let allocated_list a = IntSet.elements a.allocated
+let equal a b = a.nframes = b.nframes && IntSet.equal a.allocated b.allocated

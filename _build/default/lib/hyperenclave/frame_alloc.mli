@@ -1,0 +1,35 @@
+(** Frame allocator for the monitor's frame area.
+
+    HyperEnclave allocates every page-table frame from a private pool
+    in secure memory; the allocator is a bitmap returning the
+    lowest-indexed free frame.  This module is the {e specification};
+    the Rustlite implementation in {!Mem_module} is checked against
+    it. *)
+
+type t
+
+val create : nframes:int -> t
+val nframes : t -> int
+
+val alloc : t -> (t * int, string) result
+(** Lowest free frame; fails when the pool is exhausted. *)
+
+val free : t -> int -> (t, string) result
+(** Fails on out-of-range or double free. *)
+
+val is_allocated : t -> int -> bool
+
+val bitmap_words : t -> int
+(** Number of 64-bit words in the bitmap view, [ceil (nframes / 64)]. *)
+
+val bitmap_word : t -> int -> (Mir.Word.t, string) result
+(** The bitmap as raw words (bit [i mod 64] of word [i / 64] set iff
+    frame [i] is allocated) — the representation the trusted layer
+    exposes to the Rustlite allocator code. *)
+
+val set_bitmap_word : t -> int -> Mir.Word.t -> (t, string) result
+(* fails if bits beyond [nframes] are set *)
+val allocated_count : t -> int
+val free_count : t -> int
+val allocated_list : t -> int list
+val equal : t -> t -> bool

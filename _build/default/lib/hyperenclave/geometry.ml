@@ -1,0 +1,64 @@
+module Word = Mir.Word
+
+type t = {
+  levels : int;
+  index_bits : int;
+  page_shift : int;
+  fb_present : int;
+  fb_write : int;
+  fb_user : int;
+  fb_huge : int;
+}
+
+let make ~levels ~index_bits ~fb_present ~fb_write ~fb_user ~fb_huge =
+  let page_shift = index_bits + 3 in
+  let va_bits = (levels * index_bits) + page_shift in
+  let flag_bits = [ fb_present; fb_write; fb_user; fb_huge ] in
+  if levels < 1 then Error "geometry: need at least one level"
+  else if index_bits < 1 then Error "geometry: need at least one index bit"
+  else if va_bits > 57 then
+    (* leave room above the address field for future software bits *)
+    Error "geometry: virtual address space too large"
+  else if List.exists (fun b -> b < 0 || b >= page_shift) flag_bits then
+    Error "geometry: flag bits must lie within the page-offset bits"
+  else if
+    List.sort_uniq Int.compare flag_bits |> List.length <> List.length flag_bits
+  then Error "geometry: flag bits must be distinct"
+  else
+    Ok { levels; index_bits; page_shift; fb_present; fb_write; fb_user; fb_huge }
+
+let force = function Ok g -> g | Error msg -> invalid_arg msg
+
+let x86_64 =
+  force (make ~levels:4 ~index_bits:9 ~fb_present:0 ~fb_write:1 ~fb_user:2 ~fb_huge:7)
+
+let tiny =
+  force (make ~levels:2 ~index_bits:2 ~fb_present:0 ~fb_write:1 ~fb_user:2 ~fb_huge:3)
+
+let entries_per_table g = 1 lsl g.index_bits
+let page_size g = 1 lsl g.page_shift
+let va_bits g = (g.levels * g.index_bits) + g.page_shift
+let va_limit g = Int64.shift_left 1L (va_bits g)
+
+let va_index g ~level va =
+  if level < 1 || level > g.levels then
+    invalid_arg (Printf.sprintf "va_index: level %d out of 1..%d" level g.levels)
+  else
+    let lo = g.page_shift + ((level - 1) * g.index_bits) in
+    Word.to_int (Word.extract va ~lo ~len:g.index_bits)
+
+let page_offset g va = Word.extract va ~lo:0 ~len:g.page_shift
+
+let page_base g va =
+  Int64.logand va (Int64.lognot (Int64.of_int (page_size g - 1)))
+
+let page_aligned g va = Word.equal (page_offset g va) Word.zero
+
+let level_span_shift g ~level =
+  if level < 1 || level > g.levels then
+    invalid_arg (Printf.sprintf "level_span_shift: level %d out of 1..%d" level g.levels)
+  else g.page_shift + ((level - 1) * g.index_bits)
+
+let pp fmt g =
+  Format.fprintf fmt "%d levels x %d entries, %d-byte pages" g.levels
+    (entries_per_table g) (page_size g)

@@ -1,0 +1,60 @@
+(** Page-table geometry.
+
+    All page-table code is parameterized by a geometry so that the same
+    verified functions run on the real x86-64 shape (4 levels, 512
+    entries, 4 KiB pages) and on a tiny shape whose state space is
+    small enough for bounded-exhaustive checking.
+
+    Entries are always 64-bit words, so a table of [2^index_bits]
+    entries occupies [2^(index_bits+3)] bytes; the construction
+    invariant [page_shift = index_bits + 3] keeps one table exactly one
+    page, as on x86-64 (9 + 3 = 12). *)
+
+type t = private {
+  levels : int;  (** number of translation levels; x86-64 has 4 *)
+  index_bits : int;  (** index width per level; x86-64 has 9 *)
+  page_shift : int;  (** log2 of the page size; x86-64 has 12 *)
+  fb_present : int;  (** flag-bit positions within an entry … *)
+  fb_write : int;
+  fb_user : int;
+  fb_huge : int;
+}
+
+val x86_64 : t
+(** 4 levels, 512 entries, 4 KiB pages, flags at x86 positions
+    (P=0, RW=1, US=2, PS=7). *)
+
+val tiny : t
+(** 2 levels, 4 entries, 32-byte pages — a 9-bit virtual address space
+    whose page tables can be enumerated exhaustively. *)
+
+val make :
+  levels:int -> index_bits:int -> fb_present:int -> fb_write:int ->
+  fb_user:int -> fb_huge:int -> (t, string) result
+(** Checks [page_shift = index_bits + 3], that all flag bits lie below
+    [page_shift], and that the virtual address space fits in 64 bits. *)
+
+val entries_per_table : t -> int
+val page_size : t -> int
+val va_bits : t -> int
+(** Total translatable bits: [levels * index_bits + page_shift]. *)
+
+val va_limit : t -> Mir.Word.t
+(** First virtual address outside the translatable range. *)
+
+val va_index : t -> level:int -> Mir.Word.t -> int
+(** Index into the table at [level] for a virtual address.  Levels
+    count down: the root is [levels], the last table is level 1. *)
+
+val page_offset : t -> Mir.Word.t -> Mir.Word.t
+val page_base : t -> Mir.Word.t -> Mir.Word.t
+(** Align an address down to its page base. *)
+
+val page_aligned : t -> Mir.Word.t -> bool
+
+val level_span_shift : t -> level:int -> int
+(** log2 of the region one entry at [level] covers: a level-1 entry
+    covers one page, a level-2 entry covers [index_bits] more bits
+    (a huge page), etc. *)
+
+val pp : Format.formatter -> t -> unit

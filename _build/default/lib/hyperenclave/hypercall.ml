@@ -1,0 +1,212 @@
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+type status = Success | Invalid_param | No_memory | Bad_state
+
+let status_code = function
+  | Success -> 0L
+  | Invalid_param -> 1L
+  | No_memory -> 2L
+  | Bad_state -> 3L
+
+let status_of_code = function
+  | 0L -> Some Success
+  | 1L -> Some Invalid_param
+  | 2L -> Some No_memory
+  | 3L -> Some Bad_state
+  | _ -> None
+
+let status_equal (a : status) (b : status) = a = b
+
+let pp_status fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Success -> "success"
+    | Invalid_param -> "invalid-param"
+    | No_memory -> "no-memory"
+    | Bad_state -> "bad-state")
+
+type 'a outcome = { d : Absdata.t; status : status; value : 'a }
+
+let fail d status value = { d; status; value }
+
+let gpa_of_va va = va
+
+(* Distinguish resource exhaustion from argument errors so the right
+   status code comes back. *)
+let run_alloc d0 computation ~value_on_error ~ok =
+  match computation with
+  | Ok result -> ok result
+  | Error _ -> fail d0 No_memory value_on_error
+
+let range_ok geom base pages =
+  let page = Int64.of_int (Geometry.page_size geom) in
+  pages > 0
+  && Geometry.page_aligned geom base
+  && (* no wraparound, end within the translatable space *)
+  Word.le_u
+    (Int64.add base (Int64.mul page (Int64.of_int pages)))
+    (Geometry.va_limit geom)
+  && Word.lt_u base (Geometry.va_limit geom)
+
+let ranges_disjoint geom base1 pages1 base2 pages2 =
+  let page = Int64.of_int (Geometry.page_size geom) in
+  let limit1 = Int64.add base1 (Int64.mul page (Int64.of_int pages1)) in
+  let limit2 = Int64.add base2 (Int64.mul page (Int64.of_int pages2)) in
+  Word.le_u limit1 base2 || Word.le_u limit2 base1
+
+let create (d0 : Absdata.t) ~elrange_base ~elrange_pages ~mbuf_va =
+  let geom = Absdata.geom d0 in
+  let layout = d0.Absdata.layout in
+  let mbuf_pages = layout.Layout.mbuf_pages in
+  if
+    (not (range_ok geom elrange_base elrange_pages))
+    || not (range_ok geom mbuf_va mbuf_pages)
+  then fail d0 Invalid_param 0
+  else if not (ranges_disjoint geom elrange_base elrange_pages mbuf_va mbuf_pages)
+  then fail d0 Invalid_param 0
+  else
+    let build =
+      let* d, gpt_root = Pt_flat.create_table d0 in
+      let* d, ept_root = Pt_flat.create_table d in
+      (* Fixed marshalling-buffer mapping: identity in the GPT, window
+         onto the physical mbuf region in the EPT. *)
+      let page = Int64.of_int (Geometry.page_size geom) in
+      let rec map_mbuf d i =
+        if i >= mbuf_pages then Ok d
+        else
+          let va = Int64.add mbuf_va (Int64.mul page (Int64.of_int i)) in
+          let hpa = Int64.add layout.Layout.mbuf_base (Int64.mul page (Int64.of_int i)) in
+          let* d = Pt_flat.map_page d ~root:gpt_root ~va ~pa:(gpa_of_va va) Flags.user_rw in
+          let* d = Pt_flat.map_page d ~root:ept_root ~va:(gpa_of_va va) ~pa:hpa Flags.user_rw in
+          map_mbuf d (i + 1)
+      in
+      let* d = map_mbuf d 0 in
+      Ok (d, gpt_root, ept_root)
+    in
+    run_alloc d0 build ~value_on_error:0 ~ok:(fun (d, gpt_root, ept_root) ->
+        let eid = d.Absdata.next_eid in
+        let enclave =
+          {
+            Enclave.eid;
+            state = Enclave.Created;
+            elrange_base;
+            elrange_pages;
+            mbuf_va;
+            mbuf_pages;
+            gpt_root;
+            ept_root;
+          }
+        in
+        let d = Absdata.update_enclave { d with Absdata.next_eid = eid + 1 } enclave in
+        { d; status = Success; value = eid })
+
+let add_page (d0 : Absdata.t) ~eid ~va =
+  let geom = Absdata.geom d0 in
+  let layout = d0.Absdata.layout in
+  match Absdata.find_enclave d0 eid with
+  | Error _ -> fail d0 Invalid_param ()
+  | Ok enclave ->
+      if not (Enclave.lifecycle_equal enclave.Enclave.state Enclave.Created) then
+        fail d0 Bad_state ()
+      else if
+        (not (Geometry.page_aligned geom va))
+        || not (Enclave.in_elrange enclave geom va)
+      then fail d0 Invalid_param ()
+      else (
+        match Epcm.find_free d0.Absdata.epcm with
+        | None -> fail d0 No_memory ()
+        | Some page_index ->
+            let hpa = Layout.epc_page_addr layout page_index in
+            let build =
+              let* d =
+                Pt_flat.map_page d0 ~root:enclave.Enclave.gpt_root ~va
+                  ~pa:(gpa_of_va va) Flags.user_rw
+              in
+              let* d =
+                Pt_flat.map_page d ~root:enclave.Enclave.ept_root
+                  ~va:(gpa_of_va va) ~pa:hpa Flags.user_rw
+              in
+              (* EADD delivers a scrubbed page. *)
+              let* phys =
+                Phys_mem.zero_range d.Absdata.phys hpa
+                  ~bytes_len:(Geometry.page_size geom)
+              in
+              let* epcm =
+                Epcm.set d.Absdata.epcm page_index (Epcm.Valid { eid; va })
+              in
+              Ok { d with Absdata.phys; epcm }
+            in
+            (match build with
+            | Ok d -> { d; status = Success; value = () }
+            | Error msg ->
+                (* distinguish "already mapped" (caller error) from pool
+                   exhaustion while allocating intermediate tables *)
+                if
+                  String.length msg >= 10
+                  && String.sub msg 0 2 = "va"
+                then fail d0 Invalid_param ()
+                else if String.equal msg "frame pool exhausted" then
+                  fail d0 No_memory ()
+                else fail d0 Invalid_param ()))
+
+let remove_page (d0 : Absdata.t) ~eid ~va =
+  let geom = Absdata.geom d0 in
+  let layout = d0.Absdata.layout in
+  match Absdata.find_enclave d0 eid with
+  | Error _ -> fail d0 Invalid_param ()
+  | Ok enclave ->
+      if not (Enclave.lifecycle_equal enclave.Enclave.state Enclave.Created) then
+        fail d0 Bad_state ()
+      else if
+        (not (Geometry.page_aligned geom va))
+        || not (Enclave.in_elrange enclave geom va)
+      then fail d0 Invalid_param ()
+      else
+        let build =
+          let* backing =
+            Pt_flat.query d0 ~root:enclave.Enclave.ept_root ~va:(gpa_of_va va)
+          in
+          let* hpa =
+            match backing with
+            | Some (hpa, _) -> Ok hpa
+            | None -> Error "va not mapped"
+          in
+          let* page =
+            match Layout.epc_page_index layout hpa with
+            | Some p -> Ok p
+            | None -> Error "backing page not in the EPC"
+          in
+          let* st = Epcm.get d0.Absdata.epcm page in
+          let* () =
+            match st with
+            | Epcm.Valid { eid = owner; va = rec_va }
+              when owner = eid && Word.equal rec_va va ->
+                Ok ()
+            | Epcm.Valid _ | Epcm.Free -> Error "EPCM entry does not match"
+          in
+          let* d = Pt_flat.unmap_page d0 ~root:enclave.Enclave.gpt_root ~va in
+          let* d = Pt_flat.unmap_page d ~root:enclave.Enclave.ept_root ~va:(gpa_of_va va) in
+          (* scrub before the page can be re-issued *)
+          let* phys =
+            Phys_mem.zero_range d.Absdata.phys hpa ~bytes_len:(Geometry.page_size geom)
+          in
+          let* epcm = Epcm.set d.Absdata.epcm page Epcm.Free in
+          Ok { d with Absdata.phys; epcm }
+        in
+        (match build with
+        | Ok d -> { d; status = Success; value = () }
+        | Error _ -> fail d0 Invalid_param ())
+
+let init_done (d0 : Absdata.t) ~eid =
+  match Absdata.find_enclave d0 eid with
+  | Error _ -> fail d0 Invalid_param ()
+  | Ok enclave ->
+      if not (Enclave.lifecycle_equal enclave.Enclave.state Enclave.Created) then
+        fail d0 Bad_state ()
+      else
+        let d =
+          Absdata.update_enclave d0 { enclave with Enclave.state = Enclave.Initialized }
+        in
+        { d; status = Success; value = () }

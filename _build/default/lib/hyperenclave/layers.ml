@@ -1,0 +1,71 @@
+module Layer = Mirverif.Layer
+
+let compile_cache : (Layout.t, Rustlite.Pipeline.output) Hashtbl.t = Hashtbl.create 4
+
+let compiled layout =
+  match Hashtbl.find_opt compile_cache layout with
+  | Some o -> o
+  | None -> (
+      match Rustlite.Pipeline.compile (Mem_source.source layout) with
+      | Ok o ->
+          Hashtbl.add compile_cache layout o;
+          o
+      | Error msg ->
+          invalid_arg (Printf.sprintf "memory module failed to compile: %s" msg))
+
+let stack_cache : (Layout.t, Absdata.t Layer.stack) Hashtbl.t = Hashtbl.create 4
+
+let build_stack layout =
+  let out = compiled layout in
+  let tagged = Mem_spec.all layout in
+  List.map
+    (fun lname ->
+      if String.equal lname "Trusted" then
+        Layer.make ~name:lname ~exports:Trusted.all ~code:[]
+      else
+        let specs =
+          List.filter_map
+            (fun (t : Mem_spec.t) ->
+              if String.equal t.Mem_spec.layer lname then Some t.Mem_spec.spec
+              else None)
+            tagged
+        in
+        let code =
+          List.filter_map
+            (fun (s : Absdata.t Mirverif.Spec.t) ->
+              Mir.Syntax.find_body out.Rustlite.Pipeline.program s.Mirverif.Spec.name)
+            specs
+        in
+        Layer.make ~name:lname ~exports:specs ~code)
+    Mem_spec.layer_names
+
+let stack layout =
+  match Hashtbl.find_opt stack_cache layout with
+  | Some s -> s
+  | None ->
+      let s = build_stack layout in
+      Hashtbl.add stack_cache layout s;
+      s
+
+let env_for layout ~layer = Layer.env_for (stack layout) ~layer
+
+let layer_of_function layout name =
+  List.find_opt
+    (fun (t : Mem_spec.t) -> String.equal t.Mem_spec.spec.Mirverif.Spec.name name)
+    (Mem_spec.all layout)
+  |> Option.map (fun (t : Mem_spec.t) -> t.Mem_spec.layer)
+
+let functions_of_layer layout layer =
+  List.filter_map
+    (fun (t : Mem_spec.t) ->
+      if String.equal t.Mem_spec.layer layer then
+        Some t.Mem_spec.spec.Mirverif.Spec.name
+      else None)
+    (Mem_spec.all layout)
+
+let verified_function_count layout =
+  List.length (compiled layout).Rustlite.Pipeline.function_names
+
+let layer_count = List.length Mem_spec.layer_names
+
+let stratification_ok layout = Layer.check_stratified (stack layout)

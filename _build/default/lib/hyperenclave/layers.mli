@@ -1,0 +1,27 @@
+(** The 15-layer stack (paper Sec. 4).
+
+    Bottom-first: Trusted, PteOps, FrameAlloc, PhysEntry, TableOps,
+    WalkRead, WalkAlloc, PtMap, PtQuery, AddrSpace, Epcm, MarshBuf,
+    EnclaveMem, Hypercalls, IsolationModel.  The trusted layer exports
+    the axiomatized primitives and has no code; IsolationModel is the
+    pure abstract model the security proofs live in (no code either);
+    the 49 functions of the compiled memory module are distributed over
+    the 13 layers in between. *)
+
+val compiled : Layout.t -> Rustlite.Pipeline.output
+(** The memory module compiled for this layout (memoized). *)
+
+val stack : Layout.t -> Absdata.t Mirverif.Layer.stack
+(** The full stack; raises on compile failure (the source is ours). *)
+
+val env_for : Layout.t -> layer:string -> Absdata.t Mir.Interp.env
+(** Interpreter environment for checking one layer's code. *)
+
+val layer_of_function : Layout.t -> string -> string option
+val functions_of_layer : Layout.t -> string -> string list
+
+val verified_function_count : Layout.t -> int
+val layer_count : int
+
+val stratification_ok : Layout.t -> Mirverif.Layer.stratification_issue list
+(** Syntactic no-upcall check over the stack (empty = ok). *)

@@ -1,0 +1,67 @@
+(** Physical memory layout.
+
+    During boot HyperEnclave reserves a range of physical memory for
+    itself (paper Sec. 2.1): the RustMonitor image, the {e frame area}
+    where all monitor-managed page tables are allocated, and the EPC
+    (enclave page cache) holding enclave data pages.  The rest is
+    normal memory managed by the untrusted primary OS; the marshalling
+    buffer is a fixed window inside normal memory.
+
+    The paper hardcodes these constants rather than using
+    [lazy_static] (Sec. 2.3 retrofit #4); we do the same, scaled to
+    the page-table geometry. *)
+
+type region =
+  | Normal  (** untrusted memory, OS-managed (outside the mbuf window) *)
+  | Mbuf  (** marshalling-buffer window within normal memory *)
+  | Monitor  (** RustMonitor image and private data *)
+  | Frame_area  (** monitor-managed page-table frames *)
+  | Epc  (** enclave page cache *)
+  | Outside  (** beyond physical memory *)
+
+val region_equal : region -> region -> bool
+val pp_region : Format.formatter -> region -> unit
+
+type t = private {
+  geom : Geometry.t;
+  normal_base : Mir.Word.t;
+  normal_pages : int;
+  mbuf_base : Mir.Word.t;
+  mbuf_pages : int;
+  monitor_base : Mir.Word.t;
+  monitor_pages : int;
+  frame_base : Mir.Word.t;
+  frame_count : int;
+  epc_base : Mir.Word.t;
+  epc_pages : int;
+}
+
+val default : Geometry.t -> t
+(** Normal memory at 0, then monitor, frame area and EPC contiguously;
+    sizes scale with the geometry ([tiny] gives a space small enough
+    to enumerate). *)
+
+val make :
+  geom:Geometry.t -> normal_pages:int -> mbuf_page_index:int -> mbuf_pages:int ->
+  monitor_pages:int -> frame_count:int -> epc_pages:int -> (t, string) result
+
+val region_of : t -> Mir.Word.t -> region
+
+val phys_limit : t -> Mir.Word.t
+(** First address past the highest region. *)
+
+val frame_addr : t -> int -> Mir.Word.t
+(** Byte address of frame [i] of the frame area. *)
+
+val frame_index : t -> Mir.Word.t -> int option
+(** Inverse of {!frame_addr} for page-aligned addresses in the frame
+    area. *)
+
+val epc_page_addr : t -> int -> Mir.Word.t
+val epc_page_index : t -> Mir.Word.t -> int option
+
+val in_secure : t -> Mir.Word.t -> bool
+(** Monitor, frame area or EPC. *)
+
+val mbuf_limit : t -> Mir.Word.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+module Word = Mir.Word
+module Value = Mir.Value
+
+let u64 w = Value.word Mir.Ty.U64 w
+let of_int i = Value.int Mir.Ty.U64 i
+let of_bool b = Value.Bool b
+let unit_v = Value.Unit
+let strukt fields = Value.Struct (0, fields)
+
+let ( let* ) = Result.bind
+
+let as_word v = Result.map fst (Value.as_word v)
+
+let arg1 = function
+  | [ a ] -> as_word a
+  | args -> Error (Printf.sprintf "expected 1 argument, got %d" (List.length args))
+
+let arg2 = function
+  | [ a; b ] ->
+      let* wa = as_word a in
+      let* wb = as_word b in
+      Ok (wa, wb)
+  | args -> Error (Printf.sprintf "expected 2 arguments, got %d" (List.length args))
+
+let arg3 = function
+  | [ a; b; c ] ->
+      let* wa = as_word a in
+      let* wb = as_word b in
+      let* wc = as_word c in
+      Ok (wa, wb, wc)
+  | args -> Error (Printf.sprintf "expected 3 arguments, got %d" (List.length args))
+
+let arg4 = function
+  | [ a; b; c; d ] ->
+      let* wa = as_word a in
+      let* wb = as_word b in
+      let* wc = as_word c in
+      let* wd = as_word d in
+      Ok (wa, wb, wc, wd)
+  | args -> Error (Printf.sprintf "expected 4 arguments, got %d" (List.length args))
+
+let to_int w =
+  if Int64.compare w 0L >= 0 && Int64.compare w (Int64.of_int max_int) <= 0 then
+    Ok (Int64.to_int w)
+  else Error (Printf.sprintf "word %Ld out of int range" w)

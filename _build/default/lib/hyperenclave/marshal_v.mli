@@ -1,0 +1,22 @@
+(** Encoding between OCaml data and MIR values at layer interfaces.
+
+    Specifications receive and return {!Mir.Value.t}; these helpers
+    decode argument lists and build the return shapes the Rustlite
+    code produces (plain [u64]s, [bool]s, and field-ordered structs). *)
+
+val u64 : Mir.Word.t -> 'abs Mir.Value.t
+val of_int : int -> 'abs Mir.Value.t
+val of_bool : bool -> 'abs Mir.Value.t
+val unit_v : 'abs Mir.Value.t
+val strukt : 'abs Mir.Value.t list -> 'abs Mir.Value.t
+
+val arg1 : 'abs Mir.Value.t list -> (Mir.Word.t, string) result
+val arg2 : 'abs Mir.Value.t list -> (Mir.Word.t * Mir.Word.t, string) result
+val arg3 :
+  'abs Mir.Value.t list -> (Mir.Word.t * Mir.Word.t * Mir.Word.t, string) result
+val arg4 :
+  'abs Mir.Value.t list ->
+  (Mir.Word.t * Mir.Word.t * Mir.Word.t * Mir.Word.t, string) result
+
+val to_int : Mir.Word.t -> (int, string) result
+(** Word to non-negative OCaml int. *)

@@ -1,0 +1,504 @@
+let status_ok = 0L
+let status_invalid = 1L
+let status_no_memory = 2L
+let status_bad_state = 3L
+
+let walk_found = 0L
+let walk_missing = 1L
+let walk_malformed = 2L
+
+let lifecycle_created = 0L
+let lifecycle_initialized = 1L
+
+let source (layout : Layout.t) =
+  let g = layout.Layout.geom in
+  let bit i = Int64.shift_left 1L i in
+  let page_size = Int64.of_int (Geometry.page_size g) in
+  let flags_mask =
+    Int64.logor
+      (Int64.logor (bit g.Geometry.fb_present) (bit g.Geometry.fb_write))
+      (Int64.logor (bit g.Geometry.fb_user) (bit g.Geometry.fb_huge))
+  in
+  let addr_mask =
+    Int64.logand
+      (Int64.sub (bit 57) 1L)
+      (Int64.lognot (Int64.sub page_size 1L))
+  in
+  let consts =
+    Printf.sprintf
+      {|
+const LEVELS: u64 = %d;
+const INDEX_BITS: u64 = %d;
+const PAGE_SHIFT: u64 = %d;
+const PAGE_SIZE: u64 = 0x%Lx;
+const ENTRIES: u64 = %d;
+const VA_LIMIT: u64 = 0x%Lx;
+
+const PRESENT_MASK: u64 = 0x%Lx;
+const WRITE_MASK: u64 = 0x%Lx;
+const USER_MASK: u64 = 0x%Lx;
+const HUGE_MASK: u64 = 0x%Lx;
+const FLAGS_MASK: u64 = 0x%Lx;
+const ADDR_MASK: u64 = 0x%Lx;
+const USER_RW: u64 = 0x%Lx;
+
+const FRAME_BASE: u64 = 0x%Lx;
+const NFRAMES: u64 = %d;
+const EPC_BASE: u64 = 0x%Lx;
+const EPC_PAGES: u64 = %d;
+const MBUF_PHYS: u64 = 0x%Lx;
+const MBUF_PAGES: u64 = %d;
+const PHYS_LIMIT: u64 = 0x%Lx;
+
+const OK: u64 = 0;
+const ERR_INVALID: u64 = 1;
+const ERR_NOMEM: u64 = 2;
+const ERR_BADSTATE: u64 = 3;
+
+const FOUND: u64 = 0;
+const MISSING: u64 = 1;
+const MALFORMED: u64 = 2;
+
+const EPCM_FREE: u64 = 0;
+const EPCM_VALID: u64 = 1;
+
+const CREATED: u64 = 0;
+const INITIALIZED: u64 = 1;
+|}
+      g.Geometry.levels g.Geometry.index_bits g.Geometry.page_shift page_size
+      (Geometry.entries_per_table g)
+      (Geometry.va_limit g) (bit g.Geometry.fb_present) (bit g.Geometry.fb_write)
+      (bit g.Geometry.fb_user) (bit g.Geometry.fb_huge) flags_mask addr_mask
+      (Int64.logor (bit g.Geometry.fb_present)
+         (Int64.logor (bit g.Geometry.fb_write) (bit g.Geometry.fb_user)))
+      layout.Layout.frame_base layout.Layout.frame_count layout.Layout.epc_base
+      layout.Layout.epc_pages layout.Layout.mbuf_base layout.Layout.mbuf_pages
+      (Layout.phys_limit layout)
+  in
+  consts ^ Trusted.extern_decls
+  ^ {|
+// ===================================================================
+// Layer 2: page-table entry manipulation (pure functions)
+// ===================================================================
+
+fn pte_empty() -> u64 { 0 }
+fn pte_is_present(e: u64) -> bool { e & PRESENT_MASK != 0 }
+fn pte_is_huge(e: u64) -> bool { e & HUGE_MASK != 0 }
+fn pte_is_writable(e: u64) -> bool { e & WRITE_MASK != 0 }
+fn pte_is_user(e: u64) -> bool { e & USER_MASK != 0 }
+fn pte_addr(e: u64) -> u64 { e & ADDR_MASK }
+fn pte_flag_bits(e: u64) -> u64 { e & FLAGS_MASK }
+fn pte_make(pa: u64, flags: u64) -> u64 { (pa & ADDR_MASK) | (flags & FLAGS_MASK) }
+fn pte_set_flags(e: u64, flags: u64) -> u64 { (e & ADDR_MASK) | (flags & FLAGS_MASK) }
+
+fn page_offset(va: u64) -> u64 { va & (PAGE_SIZE - 1) }
+fn page_base(va: u64) -> u64 { va & !(PAGE_SIZE - 1) }
+fn is_page_aligned(a: u64) -> bool { a & (PAGE_SIZE - 1) == 0 }
+fn va_ok(va: u64) -> bool { va < VA_LIMIT }
+fn span_shift(level: u64) -> u64 { PAGE_SHIFT + (level - 1) * INDEX_BITS }
+fn va_index(level: u64, va: u64) -> u64 {
+    (va >> span_shift(level)) & (ENTRIES - 1)
+}
+
+// ===================================================================
+// Layer 3: frame allocator (bitmap over the frame area)
+// ===================================================================
+
+fn frame_bit_is_set(i: u64) -> bool {
+    let word = falloc_bitmap_read(i >> 6);
+    (word >> (i & 63)) & 1 == 1
+}
+
+fn frame_mark(i: u64) {
+    let word = falloc_bitmap_read(i >> 6);
+    falloc_bitmap_write(i >> 6, word | (1 << (i & 63)));
+}
+
+fn frame_clear(i: u64) {
+    let word = falloc_bitmap_read(i >> 6);
+    falloc_bitmap_write(i >> 6, word & !(1 << (i & 63)));
+}
+
+/* Lowest free frame, or NFRAMES when the pool is exhausted. */
+fn frame_alloc() -> u64 {
+    let mut i = 0;
+    while i < NFRAMES {
+        if !frame_bit_is_set(i) {
+            frame_mark(i);
+            return i;
+        }
+        i = i + 1;
+    }
+    NFRAMES
+}
+
+fn frame_free(i: u64) -> u64 {
+    if i >= NFRAMES { return ERR_INVALID; }
+    if !frame_bit_is_set(i) { return ERR_INVALID; }
+    frame_clear(i);
+    OK
+}
+
+fn frame_is_allocated(i: u64) -> bool {
+    if i >= NFRAMES { return false; }
+    frame_bit_is_set(i)
+}
+
+// ===================================================================
+// Layer 4: typed entry access over physical memory
+// ===================================================================
+
+fn frame_addr(frame: u64) -> u64 { FRAME_BASE + frame * PAGE_SIZE }
+
+fn entry_pa(frame: u64, index: u64) -> u64 { frame_addr(frame) + index * 8 }
+
+fn read_entry(frame: u64, index: u64) -> u64 { phys_read(entry_pa(frame, index)) }
+
+fn write_entry(frame: u64, index: u64, e: u64) {
+    phys_write(entry_pa(frame, index), e);
+}
+
+// ===================================================================
+// Layer 5: whole-table operations
+// ===================================================================
+
+fn table_zero(frame: u64) {
+    let mut i = 0;
+    while i < ENTRIES {
+        write_entry(frame, i, pte_empty());
+        i = i + 1;
+    }
+}
+
+/* Allocate and scrub a fresh table; NFRAMES on exhaustion. */
+fn create_table() -> u64 {
+    let f = frame_alloc();
+    if f == NFRAMES { return NFRAMES; }
+    table_zero(f);
+    f
+}
+
+// ===================================================================
+// Layer 6: read-only table walk
+// ===================================================================
+
+struct WalkRes { status: u64, level: u64, frame: u64, index: u64, entry: u64 }
+
+/* Frame-area index a non-terminal entry points at; NFRAMES when the
+   entry escapes the frame area (the malformed-table case that made
+   the Sec. 4.1 shallow-copy bug unprovable). */
+fn entry_target_frame(e: u64) -> u64 {
+    let pa = pte_addr(e);
+    if pa < FRAME_BASE { return NFRAMES; }
+    let idx = (pa - FRAME_BASE) >> PAGE_SHIFT;
+    if idx >= NFRAMES { return NFRAMES; }
+    if !frame_is_allocated(idx) { return NFRAMES; }
+    idx
+}
+
+fn walk(root: u64, va: u64) -> WalkRes {
+    let mut frame = root;
+    let mut level = LEVELS;
+    loop {
+        let index = va_index(level, va);
+        let e = read_entry(frame, index);
+        if !pte_is_present(e) {
+            return WalkRes { status: MISSING, level: level, frame: frame, index: index, entry: e };
+        }
+        if level == 1 {
+            return WalkRes { status: FOUND, level: level, frame: frame, index: index, entry: e };
+        }
+        if pte_is_huge(e) {
+            return WalkRes { status: FOUND, level: level, frame: frame, index: index, entry: e };
+        }
+        let next = entry_target_frame(e);
+        if next == NFRAMES {
+            return WalkRes { status: MALFORMED, level: level, frame: frame, index: index, entry: e };
+        }
+        frame = next;
+        level = level - 1;
+    }
+}
+
+// ===================================================================
+// Layer 7: allocating walk
+// ===================================================================
+
+struct AllocWalkRes { status: u64, frame: u64 }
+
+/* Descend to the level-1 table for va, allocating missing tables. */
+fn walk_alloc(root: u64, va: u64) -> AllocWalkRes {
+    let mut frame = root;
+    let mut level = LEVELS;
+    while level > 1 {
+        let index = va_index(level, va);
+        let e = read_entry(frame, index);
+        if pte_is_present(e) {
+            if pte_is_huge(e) {
+                return AllocWalkRes { status: ERR_INVALID, frame: frame };
+            }
+            let next = entry_target_frame(e);
+            if next == NFRAMES {
+                return AllocWalkRes { status: ERR_INVALID, frame: frame };
+            }
+            frame = next;
+        } else {
+            let fresh = create_table();
+            if fresh == NFRAMES {
+                return AllocWalkRes { status: ERR_NOMEM, frame: frame };
+            }
+            write_entry(frame, index, pte_make(frame_addr(fresh), USER_RW));
+            frame = fresh;
+        }
+        level = level - 1;
+    }
+    AllocWalkRes { status: OK, frame: frame }
+}
+
+// ===================================================================
+// Layer 8: installing and removing mappings
+// ===================================================================
+
+fn map_page(root: u64, va: u64, pa: u64, flags: u64) -> u64 {
+    if !va_ok(va) { return ERR_INVALID; }
+    if !is_page_aligned(va) { return ERR_INVALID; }
+    if !is_page_aligned(pa) { return ERR_INVALID; }
+    if flags & PRESENT_MASK == 0 { return ERR_INVALID; }
+    if flags & HUGE_MASK != 0 { return ERR_INVALID; }
+    let w = walk_alloc(root, va);
+    if w.status != OK { return w.status; }
+    let index = va_index(1, va);
+    let old = read_entry(w.frame, index);
+    if pte_is_present(old) { return ERR_INVALID; }
+    write_entry(w.frame, index, pte_make(pa, flags));
+    OK
+}
+
+fn unmap_page(root: u64, va: u64) -> u64 {
+    if !va_ok(va) { return ERR_INVALID; }
+    let w = walk(root, va);
+    if w.status == MISSING { return ERR_INVALID; }
+    if w.status == MALFORMED { return ERR_INVALID; }
+    write_entry(w.frame, w.index, pte_empty());
+    OK
+}
+
+// ===================================================================
+// Layer 9: queries (the page walk the CPU model reuses)
+// ===================================================================
+
+struct QueryRes { present: u64, pa: u64, flags: u64 }
+
+fn query(root: u64, va: u64) -> QueryRes {
+    if !va_ok(va) { return QueryRes { present: 0, pa: 0, flags: 0 }; }
+    let w = walk(root, va);
+    if w.status != FOUND {
+        return QueryRes { present: 0, pa: 0, flags: 0 };
+    }
+    let span = span_shift(w.level);
+    let base = pte_addr(w.entry);
+    let within = va & ((1 << span) - 1) & !(PAGE_SIZE - 1);
+    QueryRes { present: 1, pa: base | within, flags: pte_flag_bits(w.entry) }
+}
+
+fn translate(root: u64, va: u64) -> QueryRes {
+    let q = query(root, va);
+    if q.present == 0 { return q; }
+    QueryRes { present: 1, pa: q.pa | page_offset(va), flags: q.flags }
+}
+
+// ===================================================================
+// Layer 10: address-space construction
+// ===================================================================
+
+struct CreateRes { status: u64, root: u64 }
+
+fn as_create() -> CreateRes {
+    let root = create_table();
+    if root == NFRAMES { return CreateRes { status: ERR_NOMEM, root: 0 }; }
+    CreateRes { status: OK, root: root }
+}
+
+/* Loop body hoisted into a helper (retrofit #1, Sec. 2.3). */
+fn map_range_one(root: u64, va: u64, pa: u64, flags: u64) -> u64 {
+    map_page(root, va, pa, flags)
+}
+
+fn map_range(root: u64, va: u64, pa: u64, pages: u64, flags: u64) -> u64 {
+    let mut i = 0;
+    while i < pages {
+        let status = map_range_one(root, va + i * PAGE_SIZE, pa + i * PAGE_SIZE, flags);
+        if status != OK { return status; }
+        i = i + 1;
+    }
+    OK
+}
+
+// ===================================================================
+// Layer 11: EPCM bookkeeping
+// ===================================================================
+
+fn epcm_find_free() -> u64 {
+    let mut i = 0;
+    while i < EPC_PAGES {
+        if epcm_state(i) == EPCM_FREE { return i; }
+        i = i + 1;
+    }
+    EPC_PAGES
+}
+
+fn epcm_set_valid(page: u64, eid: u64, va: u64) -> u64 {
+    if page >= EPC_PAGES { return ERR_INVALID; }
+    if epcm_state(page) != EPCM_FREE { return ERR_INVALID; }
+    epcm_write(page, EPCM_VALID, eid, va);
+    OK
+}
+
+fn epcm_clear(page: u64) -> u64 {
+    if page >= EPC_PAGES { return ERR_INVALID; }
+    if epcm_state(page) != EPCM_VALID { return ERR_INVALID; }
+    epcm_write(page, EPCM_FREE, 0, 0);
+    OK
+}
+
+fn epc_page_addr(page: u64) -> u64 { EPC_BASE + page * PAGE_SIZE }
+
+fn epc_page_zero(page: u64) {
+    let base = epc_page_addr(page);
+    let mut off = 0;
+    while off < PAGE_SIZE {
+        phys_write(base + off, 0);
+        off = off + 8;
+    }
+}
+
+// ===================================================================
+// Layer 12: marshalling-buffer setup
+// ===================================================================
+
+/* One page of the fixed window: identity in the GPT, physical-window
+   in the EPT (retrofit #1 helper again). */
+fn mbuf_map_one(gpt_root: u64, ept_root: u64, va: u64, hpa: u64) -> u64 {
+    let s1 = map_page(gpt_root, va, va, USER_RW);
+    if s1 != OK { return s1; }
+    map_page(ept_root, va, hpa, USER_RW)
+}
+
+fn mbuf_map(gpt_root: u64, ept_root: u64, mbuf_va: u64) -> u64 {
+    let mut i = 0;
+    while i < MBUF_PAGES {
+        let status = mbuf_map_one(gpt_root, ept_root,
+                                  mbuf_va + i * PAGE_SIZE,
+                                  MBUF_PHYS + i * PAGE_SIZE);
+        if status != OK { return status; }
+        i = i + 1;
+    }
+    OK
+}
+
+// ===================================================================
+// Layer 13: enclave memory operations
+// ===================================================================
+
+struct Enclave {
+    eid: u64,
+    state: u64,
+    elrange_base: u64,
+    elrange_pages: u64,
+    mbuf_va: u64,
+    gpt_root: u64,
+    ept_root: u64,
+}
+
+impl Enclave {
+    fn in_elrange(&self, va: u64) -> bool {
+        self.elrange_base <= va && va < self.elrange_base + self.elrange_pages * PAGE_SIZE
+    }
+
+    /* EADD: pick a free EPC page, install both mappings, scrub the
+       page, record ownership. */
+    fn add_page(&self, va: u64) -> u64 {
+        if self.state != CREATED { return ERR_BADSTATE; }
+        if !is_page_aligned(va) { return ERR_INVALID; }
+        if !self.in_elrange(va) { return ERR_INVALID; }
+        let page = epcm_find_free();
+        if page == EPC_PAGES { return ERR_NOMEM; }
+        let s1 = map_page(self.gpt_root, va, va, USER_RW);
+        if s1 != OK { return s1; }
+        let s2 = map_page(self.ept_root, va, epc_page_addr(page), USER_RW);
+        if s2 != OK { return s2; }
+        epc_page_zero(page);
+        epcm_set_valid(page, self.eid, va);
+        OK
+    }
+
+    /* EREMOVE (extension beyond the paper's verified scope): give an
+       EPC page back.  Ownership is checked against the EPCM, both
+       mappings are torn down, and the page is scrubbed before it can
+       be handed to anyone else. */
+    fn remove_page(&self, va: u64) -> u64 {
+        if self.state != CREATED { return ERR_BADSTATE; }
+        if !is_page_aligned(va) { return ERR_INVALID; }
+        if !self.in_elrange(va) { return ERR_INVALID; }
+        let q = query(self.ept_root, va);
+        if q.present == 0 { return ERR_INVALID; }
+        if q.pa < EPC_BASE { return ERR_INVALID; }
+        let page = (q.pa - EPC_BASE) >> PAGE_SHIFT;
+        if page >= EPC_PAGES { return ERR_INVALID; }
+        if epcm_state(page) != EPCM_VALID { return ERR_INVALID; }
+        if epcm_eid(page) != self.eid { return ERR_INVALID; }
+        if epcm_va(page) != va { return ERR_INVALID; }
+        let s1 = unmap_page(self.gpt_root, va);
+        if s1 != OK { return s1; }
+        let s2 = unmap_page(self.ept_root, va);
+        if s2 != OK { return s2; }
+        epc_page_zero(page);
+        epcm_clear(page);
+        OK
+    }
+}
+
+// ===================================================================
+// Layer 14: hypercall entry points (page-table parts)
+// ===================================================================
+
+fn ranges_disjoint(base1: u64, pages1: u64, base2: u64, pages2: u64) -> bool {
+    base1 + pages1 * PAGE_SIZE <= base2 || base2 + pages2 * PAGE_SIZE <= base1
+}
+
+fn range_ok(base: u64, pages: u64) -> bool {
+    if pages == 0 { return false; }
+    if !is_page_aligned(base) { return false; }
+    if !va_ok(base) { return false; }
+    base + pages * PAGE_SIZE <= VA_LIMIT
+}
+
+struct HcCreateRes { status: u64, gpt_root: u64, ept_root: u64 }
+
+/* ECREATE: validate the layout, build both tables, install the fixed
+   marshalling window. */
+fn hc_create(elrange_base: u64, elrange_pages: u64, mbuf_va: u64) -> HcCreateRes {
+    if !range_ok(elrange_base, elrange_pages) {
+        return HcCreateRes { status: ERR_INVALID, gpt_root: 0, ept_root: 0 };
+    }
+    if !range_ok(mbuf_va, MBUF_PAGES) {
+        return HcCreateRes { status: ERR_INVALID, gpt_root: 0, ept_root: 0 };
+    }
+    if !ranges_disjoint(elrange_base, elrange_pages, mbuf_va, MBUF_PAGES) {
+        return HcCreateRes { status: ERR_INVALID, gpt_root: 0, ept_root: 0 };
+    }
+    let gpt = as_create();
+    if gpt.status != OK {
+        return HcCreateRes { status: gpt.status, gpt_root: 0, ept_root: 0 };
+    }
+    let ept = as_create();
+    if ept.status != OK {
+        return HcCreateRes { status: ept.status, gpt_root: 0, ept_root: 0 };
+    }
+    let s = mbuf_map(gpt.root, ept.root, mbuf_va);
+    if s != OK {
+        return HcCreateRes { status: s, gpt_root: 0, ept_root: 0 };
+    }
+    HcCreateRes { status: OK, gpt_root: gpt.root, ept_root: ept.root }
+}
+|}

@@ -1,0 +1,31 @@
+(** The HyperEnclave memory module, in Rustlite.
+
+    This is the code under verification: the re-implementation of the
+    monitor's memory subsystem (frame allocation, page-table entry
+    manipulation, table walks, mapping, the EPCM, marshalling-buffer
+    setup, and the page-table parts of the ECREATE/EADD hypercalls) in
+    the retrofitted Rust style of paper Sec. 2.3 — helper functions
+    instead of large loop bodies, integer constants instead of
+    value-carrying enums, hardcoded memory-layout constants.
+
+    The layout constants are interpolated per geometry so the same
+    code runs on the tiny (exhaustively checkable) and the x86-64
+    shapes. *)
+
+val source : Layout.t -> string
+(** Full Rustlite source, including the trusted [extern] block. *)
+
+val status_ok : int64
+val status_invalid : int64
+val status_no_memory : int64
+val status_bad_state : int64
+
+val walk_found : int64
+val walk_missing : int64
+val walk_malformed : int64
+(** [status] field values of the [WalkRes] struct. *)
+
+val lifecycle_created : int64
+val lifecycle_initialized : int64
+(** Encoding of {!Enclave.lifecycle} in the [Enclave] struct's [state]
+    field. *)

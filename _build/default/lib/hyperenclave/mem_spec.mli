@@ -1,0 +1,34 @@
+(** Low specifications of the memory module.
+
+    One functional specification per Rustlite function of
+    {!Mem_source}, stated over the abstract state — the 'low specs' of
+    paper Sec. 4.3, close enough to the code for per-function
+    conformance checking while already hiding the MIR execution.  The
+    flat-to-tree refinement (Sec. 4.1) then relates a subset of these
+    to the {!Pt_tree} high view; {!Pt_flat} plays the intermediate
+    role.
+
+    Specs are keyed by the exact MIR symbol names, [Enclave::add_page]
+    included.  A spec returning [Error] is undefined on that input
+    (precondition violation): the corresponding code execution faults
+    there too, and conformance checks skip the case. *)
+
+type t = { layer : string; spec : Absdata.t Mirverif.Spec.t }
+
+val all : Layout.t -> t list
+(** Every function's spec, tagged with the layer that owns it. *)
+
+val layer_names : string list
+(** Bottom-first order of the 15 layers, ["Trusted"] to
+    ["IsolationModel"]. *)
+
+val find : Layout.t -> string -> Absdata.t Mirverif.Spec.t option
+
+val enclave_to_value : Enclave.t -> 'abs Mir.Value.t
+(** Encode an {!Enclave.t} as the [Enclave] struct the Rustlite code
+    declares (field order matters). *)
+
+val walk_res :
+  status:int64 -> level:int -> frame:int -> index:int -> entry:Mir.Word.t ->
+  'abs Mir.Value.t
+(** Build a [WalkRes] struct value. *)

@@ -1,0 +1,278 @@
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+type walk_result =
+  | Missing of int
+  | Terminal of { level : int; frame : int; index : int; entry : Word.t }
+
+let check_frame (d : Absdata.t) frame =
+  if frame < 0 || frame >= d.layout.Layout.frame_count then
+    Error (Printf.sprintf "table frame %d outside the frame area" frame)
+  else if not (Frame_alloc.is_allocated d.falloc frame) then
+    Error (Printf.sprintf "table frame %d is not allocated" frame)
+  else Ok ()
+
+let entry_pa (d : Absdata.t) ~frame ~index =
+  let g = Absdata.geom d in
+  let* () = check_frame d frame in
+  if index < 0 || index >= Geometry.entries_per_table g then
+    Error (Printf.sprintf "entry index %d out of range" index)
+  else Ok (Int64.add (Layout.frame_addr d.layout frame) (Int64.of_int (8 * index)))
+
+let read_entry d ~frame ~index =
+  let* pa = entry_pa d ~frame ~index in
+  Phys_mem.read64 d.phys pa
+
+let write_entry (d : Absdata.t) ~frame ~index e =
+  let* pa = entry_pa d ~frame ~index in
+  let* phys = Phys_mem.write64 d.phys pa e in
+  Ok { d with Absdata.phys }
+
+let create_table (d : Absdata.t) =
+  let g = Absdata.geom d in
+  let* falloc, frame = Frame_alloc.alloc d.falloc in
+  let d = { d with Absdata.falloc } in
+  let* phys =
+    Phys_mem.zero_range d.phys (Layout.frame_addr d.layout frame)
+      ~bytes_len:(Geometry.page_size g)
+  in
+  Ok ({ d with Absdata.phys }, frame)
+
+let check_va (d : Absdata.t) va =
+  let g = Absdata.geom d in
+  if Word.lt_u va (Geometry.va_limit g) then Ok ()
+  else Error (Printf.sprintf "virtual address %s not translatable" (Word.to_hex va))
+
+(* Follow the entry of [frame] at [level] for [va]; caller guarantees
+   level >= 1.  Returns the entry's coordinates and value. *)
+let entry_at (d : Absdata.t) ~frame ~level va =
+  let g = Absdata.geom d in
+  let index = Geometry.va_index g ~level va in
+  let* entry = read_entry d ~frame ~index in
+  Ok (index, entry)
+
+let next_frame (d : Absdata.t) entry =
+  let g = Absdata.geom d in
+  let pa = Pte.addr g entry in
+  match Layout.frame_index d.layout pa with
+  | Some f -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf
+           "non-terminal entry points at %s, outside the frame area: malformed \
+            page table" (Word.to_hex pa))
+
+let walk (d : Absdata.t) ~root va =
+  let g = Absdata.geom d in
+  let* () = check_va d va in
+  let* () = check_frame d root in
+  let rec go frame level =
+    let* index, entry = entry_at d ~frame ~level va in
+    if not (Pte.is_present g entry) then Ok (Missing level)
+    else if level = 1 || Pte.is_huge g entry then
+      Ok (Terminal { level; frame; index; entry })
+    else
+      let* next = next_frame d entry in
+      let* () = check_frame d next in
+      go next (level - 1)
+  in
+  go root g.Geometry.levels
+
+let intermediate_flags = Flags.user_rw
+
+let walk_alloc (d : Absdata.t) ~root va =
+  let g = Absdata.geom d in
+  let* () = check_va d va in
+  let* () = check_frame d root in
+  let rec go d frame level =
+    if level = 1 then Ok (d, frame)
+    else
+      let* index, entry = entry_at d ~frame ~level va in
+      if Pte.is_present g entry then
+        if Pte.is_huge g entry then
+          Error (Printf.sprintf "huge mapping at level %d blocks the walk" level)
+        else
+          let* next = next_frame d entry in
+          let* () = check_frame d next in
+          go d next (level - 1)
+      else
+        let* d, next = create_table d in
+        let next_pa = Layout.frame_addr d.layout next in
+        let* d =
+          write_entry d ~frame ~index (Pte.make g ~pa:next_pa intermediate_flags)
+        in
+        go d next (level - 1)
+  in
+  go d root g.Geometry.levels
+
+let check_terminal_flags (f : Flags.t) =
+  if not f.Flags.present then Error "terminal mapping must be present"
+  else Ok ()
+
+let map_page (d : Absdata.t) ~root ~va ~pa flags =
+  let g = Absdata.geom d in
+  let* () = check_va d va in
+  if not (Geometry.page_aligned g va) then Error "map_page: va not page-aligned"
+  else if not (Geometry.page_aligned g pa) then Error "map_page: pa not page-aligned"
+  else if not (Word.lt_u pa (Word.shift_left Word.W64 1L 57)) then
+    (* the entry's address field holds 57 bits; what the target means
+       (host- vs guest-physical) is the caller's business, like on real
+       hardware *)
+    Error "map_page: pa exceeds the address-field capacity"
+  else
+    let* () = check_terminal_flags flags in
+    if flags.Flags.huge then Error "map_page: level-1 mapping cannot be huge"
+    else
+      let* d, l1 = walk_alloc d ~root va in
+      let index = Geometry.va_index g ~level:1 va in
+      let* old_entry = read_entry d ~frame:l1 ~index in
+      if Pte.is_present g old_entry then
+        Error (Printf.sprintf "va %s already mapped" (Word.to_hex va))
+      else write_entry d ~frame:l1 ~index (Pte.make g ~pa flags)
+
+let map_huge (d : Absdata.t) ~root ~va ~pa ~level flags =
+  let g = Absdata.geom d in
+  let* () = check_va d va in
+  if level <= 1 || level > g.Geometry.levels then
+    Error (Printf.sprintf "map_huge: invalid level %d" level)
+  else
+    let span = Geometry.level_span_shift g ~level in
+    if not (Word.equal (Word.extract va ~lo:0 ~len:span) Word.zero) then
+      Error "map_huge: va not span-aligned"
+    else if not (Word.equal (Word.extract pa ~lo:0 ~len:span) Word.zero) then
+      Error "map_huge: pa not span-aligned"
+    else
+      let* () = check_terminal_flags flags in
+      (* Walk (allocating) down to [level]. *)
+      let rec go d frame l =
+        if l = level then Ok (d, frame)
+        else
+          let* index, entry = entry_at d ~frame ~level:l va in
+          if Pte.is_present g entry then
+            if Pte.is_huge g entry then
+              Error (Printf.sprintf "huge mapping at level %d blocks the walk" l)
+            else
+              let* next = next_frame d entry in
+              go d next (l - 1)
+          else
+            let* d, next = create_table d in
+            let next_pa = Layout.frame_addr d.layout next in
+            let* d =
+              write_entry d ~frame ~index (Pte.make g ~pa:next_pa intermediate_flags)
+            in
+            go d next (l - 1)
+      in
+      let* () = check_frame d root in
+      let* d, frame = go d root g.Geometry.levels in
+      let index = Geometry.va_index g ~level va in
+      let* old_entry = read_entry d ~frame ~index in
+      if Pte.is_present g old_entry then
+        Error (Printf.sprintf "va %s already mapped at level %d" (Word.to_hex va) level)
+      else
+        write_entry d ~frame ~index
+          (Pte.make g ~pa (Flags.with_huge flags))
+
+let unmap_page (d : Absdata.t) ~root ~va =
+  let* result = walk d ~root va in
+  match result with
+  | Missing _ -> Error (Printf.sprintf "va %s not mapped" (Word.to_hex va))
+  | Terminal { frame; index; _ } -> write_entry d ~frame ~index Pte.empty
+
+let query (d : Absdata.t) ~root ~va =
+  let g = Absdata.geom d in
+  let* result = walk d ~root va in
+  match result with
+  | Missing _ -> Ok None
+  | Terminal { level; entry; _ } ->
+      let span = Geometry.level_span_shift g ~level in
+      let base = Pte.addr g entry in
+      (* page of [va] within the (possibly huge) span *)
+      let page_bits =
+        Word.shift_left Word.W64
+          (Word.extract va ~lo:g.Geometry.page_shift ~len:(span - g.Geometry.page_shift))
+          g.Geometry.page_shift
+      in
+      Ok (Some (Word.logor base page_bits, Pte.flags g entry))
+
+let translate (d : Absdata.t) ~root ~va =
+  let g = Absdata.geom d in
+  let* q = query d ~root ~va in
+  match q with
+  | None -> Ok None
+  | Some (page, flags) ->
+      Ok (Some (Word.logor page (Geometry.page_offset g va), flags))
+
+let mappings (d : Absdata.t) ~root =
+  let g = Absdata.geom d in
+  let* () = check_frame d root in
+  let page = Int64.of_int (Geometry.page_size g) in
+  let rec table frame level va_base acc =
+    let rec entries index acc =
+      if index >= Geometry.entries_per_table g then Ok acc
+      else
+        let* entry = read_entry d ~frame ~index in
+        let va =
+          Int64.add va_base
+            (Int64.shift_left (Int64.of_int index) (Geometry.level_span_shift g ~level))
+        in
+        let* acc =
+          if not (Pte.is_present g entry) then Ok acc
+          else if level = 1 || Pte.is_huge g entry then (
+            (* expand a huge mapping into pages *)
+            let span = Geometry.level_span_shift g ~level in
+            let npages = 1 lsl (span - g.Geometry.page_shift) in
+            let base = Pte.addr g entry in
+            let flags = Pte.flags g entry in
+            let acc = ref acc in
+            for i = npages - 1 downto 0 do
+              let off = Int64.mul page (Int64.of_int i) in
+              acc := (Int64.add va off, Int64.add base off, flags) :: !acc
+            done;
+            Ok !acc)
+          else
+            let* next = next_frame d entry in
+            let* () = check_frame d next in
+            table next (level - 1) va acc
+        in
+        entries (index + 1) acc
+    in
+    entries 0 acc
+  in
+  let* acc = table root g.Geometry.levels 0L [] in
+  Ok (List.rev acc)
+
+let table_frames (d : Absdata.t) ~root =
+  let g = Absdata.geom d in
+  let* () = check_frame d root in
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let visit frame =
+    if Hashtbl.mem seen frame then
+      Error (Printf.sprintf "table frame %d reachable twice: tables must form a tree" frame)
+    else (
+      Hashtbl.add seen frame ();
+      order := frame :: !order;
+      Ok ())
+  in
+  let rec table frame level =
+    let* () = visit frame in
+    if level = 1 then Ok ()
+    else
+      let rec entries index =
+        if index >= Geometry.entries_per_table g then Ok ()
+        else
+          let* entry = read_entry d ~frame ~index in
+          let* () =
+            if Pte.is_present g entry && not (Pte.is_huge g entry) then
+              let* next = next_frame d entry in
+              let* () = check_frame d next in
+              table next (level - 1)
+            else Ok ()
+          in
+          entries (index + 1)
+      in
+      entries 0
+  in
+  let* () = table root g.Geometry.levels in
+  Ok (List.rev !order)

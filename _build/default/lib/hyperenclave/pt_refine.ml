@@ -1,0 +1,112 @@
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+(* Relate one flat entry word, stored in a table at [level], to a tree
+   entry.  The tree side's Term nodes span [level]'s range. *)
+let rec r_pte (d : Absdata.t) ~level entry (node : Pt_tree.node option) =
+  let g = Absdata.geom d in
+  match node with
+  | None ->
+      if Pte.is_present g entry then
+        Error
+          (Printf.sprintf "flat entry %s present where tree has none" (Word.to_hex entry))
+      else Ok ()
+  | Some (Pt_tree.Term { pa; flags }) ->
+      if not (Pte.is_present g entry) then
+        Error "tree terminal where flat entry is absent"
+      else if level > 1 && not (Pte.is_huge g entry) then
+        Error "tree terminal above level 1 but flat entry not huge"
+      else if level = 1 && Pte.is_huge g entry then
+        Error "flat level-1 entry marked huge"
+      else if not (Word.equal (Pte.addr g entry) pa) then
+        Error
+          (Printf.sprintf "terminal addresses differ: flat %s, tree %s"
+             (Word.to_hex (Pte.addr g entry))
+             (Word.to_hex pa))
+      else if not (Flags.equal (Pte.flags g entry) flags) then
+        Error
+          (Printf.sprintf "terminal flags differ: flat %s, tree %s"
+             (Flags.to_string (Pte.flags g entry))
+             (Flags.to_string flags))
+      else Ok ()
+  | Some (Pt_tree.Table { frame; entries }) ->
+      if level <= 1 then Error "tree table below level 1"
+      else if not (Pte.is_present g entry) then
+        Error "tree table where flat entry is absent"
+      else if Pte.is_huge g entry then Error "tree table where flat entry is huge"
+      else if not (Word.equal (Pte.addr g entry) (Layout.frame_addr d.layout frame)) then
+        Error
+          (Printf.sprintf "next-table frames differ: flat %s, tree frame %d"
+             (Word.to_hex (Pte.addr g entry))
+             frame)
+      else r_table d ~level:(level - 1) ~frame entries
+
+and r_table (d : Absdata.t) ~level ~frame entries =
+  let g = Absdata.geom d in
+  if Array.length entries <> Geometry.entries_per_table g then
+    Error "tree table arity mismatch"
+  else
+    let rec go index =
+      if index >= Array.length entries then Ok ()
+      else
+        let* entry = Pt_flat.read_entry d ~frame ~index in
+        let* () =
+          Result.map_error
+            (fun msg -> Printf.sprintf "frame %d index %d: %s" frame index msg)
+            (r_pte d ~level entry entries.(index))
+        in
+        go (index + 1)
+    in
+    go 0
+
+let relate_explain (d : Absdata.t) ~root (st : Pt_tree.state) =
+  match st.Pt_tree.root with
+  | Pt_tree.Term _ -> Error "tree root is not a table"
+  | Pt_tree.Table { frame; entries } ->
+      if frame <> root then
+        Error (Printf.sprintf "root frames differ: flat %d, tree %d" root frame)
+      else if not (Frame_alloc.equal st.Pt_tree.falloc d.Absdata.falloc) then
+        Error "ghost allocator out of sync"
+      else r_table d ~level:(Absdata.geom d).Geometry.levels ~frame entries
+
+let relate d ~root st = Result.is_ok (relate_explain d ~root st)
+
+let abstract (d : Absdata.t) ~root =
+  let g = Absdata.geom d in
+  let seen = Hashtbl.create 16 in
+  let rec table frame level =
+    if Hashtbl.mem seen frame then
+      Error (Printf.sprintf "table frame %d reachable twice" frame)
+    else (
+      Hashtbl.add seen frame ();
+      let n = Geometry.entries_per_table g in
+      let entries = Array.make n None in
+      let rec go index =
+        if index >= n then Ok (Pt_tree.Table { frame; entries })
+        else
+          let* entry = Pt_flat.read_entry d ~frame ~index in
+          let* node =
+            if not (Pte.is_present g entry) then Ok None
+            else if level = 1 || Pte.is_huge g entry then
+              Ok (Some (Pt_tree.Term { pa = Pte.addr g entry; flags = Pte.flags g entry }))
+            else
+              let pa = Pte.addr g entry in
+              match Layout.frame_index d.layout pa with
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "entry at frame %d index %d points outside the frame area (%s)"
+                       frame index (Word.to_hex pa))
+              | Some next ->
+                  if not (Frame_alloc.is_allocated d.falloc next) then
+                    Error (Printf.sprintf "next table frame %d not allocated" next)
+                  else Result.map Option.some (table next (level - 1))
+          in
+          entries.(index) <- node;
+          go (index + 1)
+      in
+      go 0)
+  in
+  let* root_node = table root g.Geometry.levels in
+  Ok { Pt_tree.geom = g; layout = d.layout; falloc = d.falloc; root = root_node }

@@ -1,0 +1,28 @@
+(** The refinement relation between flat and tree page tables.
+
+    [R d st] holds when the page tables rooted at [st]'s ghost root
+    frame, viewed as trees, agree entry-by-entry with the words stored
+    in [d]'s flat physical memory (paper Sec. 4.1).  [R] is defined via
+    [R_pte], which relates one tree entry to one 64-bit word and
+    recurses through next-level tables.
+
+    {!abstract} is the abstraction function: it rebuilds the tree view
+    from the flat memory and is the witness that every well-formed flat
+    table has a unique related tree.  A flat table whose intermediate
+    entries escape the frame area (the Sec. 4.1 shallow-copy bug) has
+    {e no} related tree: {!abstract} fails on it. *)
+
+val r_pte :
+  Absdata.t -> level:int -> Mir.Word.t -> Pt_tree.node option ->
+  (unit, string) result
+(** Relate the flat entry word (found in a table at [level]) to the
+    tree entry. *)
+
+val relate : Absdata.t -> root:int -> Pt_tree.state -> bool
+(** The full relation R: ghost allocator agreement, root agreement and
+    recursive [r_pte] agreement. *)
+
+val relate_explain : Absdata.t -> root:int -> Pt_tree.state -> (unit, string) result
+
+val abstract : Absdata.t -> root:int -> (Pt_tree.state, string) result
+(** Rebuild the tree view from flat memory; fails on malformed tables. *)

@@ -1,0 +1,88 @@
+module Spec = Mirverif.Spec
+module M = Marshal_v
+
+let ( let* ) = Result.bind
+
+let phys_read =
+  Spec.make "phys_read" (fun (d : Absdata.t) args ->
+      let* pa = M.arg1 args in
+      let* v = Phys_mem.read64 d.Absdata.phys pa in
+      Ok (d, M.u64 v))
+
+let phys_write =
+  Spec.make "phys_write" (fun (d : Absdata.t) args ->
+      let* pa, v = M.arg2 args in
+      let* phys = Phys_mem.write64 d.Absdata.phys pa v in
+      Ok ({ d with Absdata.phys }, M.unit_v))
+
+let falloc_bitmap_read =
+  Spec.make "falloc_bitmap_read" (fun (d : Absdata.t) args ->
+      let* w = M.arg1 args in
+      let* w = M.to_int w in
+      let* bits = Frame_alloc.bitmap_word d.Absdata.falloc w in
+      Ok (d, M.u64 bits))
+
+let falloc_bitmap_write =
+  Spec.make "falloc_bitmap_write" (fun (d : Absdata.t) args ->
+      let* w, bits = M.arg2 args in
+      let* w = M.to_int w in
+      let* falloc = Frame_alloc.set_bitmap_word d.Absdata.falloc w bits in
+      Ok ({ d with Absdata.falloc }, M.unit_v))
+
+let epcm_state =
+  Spec.make "epcm_state" (fun (d : Absdata.t) args ->
+      let* page = M.arg1 args in
+      let* page = M.to_int page in
+      let* st = Epcm.get d.Absdata.epcm page in
+      Ok (d, M.of_int (match st with Epcm.Free -> 0 | Epcm.Valid _ -> 1)))
+
+let epcm_eid =
+  Spec.make "epcm_eid" (fun (d : Absdata.t) args ->
+      let* page = M.arg1 args in
+      let* page = M.to_int page in
+      let* st = Epcm.get d.Absdata.epcm page in
+      match st with
+      | Epcm.Valid { eid; _ } -> Ok (d, M.of_int eid)
+      | Epcm.Free -> Ok (d, M.of_int 0))
+
+let epcm_va =
+  Spec.make "epcm_va" (fun (d : Absdata.t) args ->
+      let* page = M.arg1 args in
+      let* page = M.to_int page in
+      let* st = Epcm.get d.Absdata.epcm page in
+      match st with
+      | Epcm.Valid { va; _ } -> Ok (d, M.u64 va)
+      | Epcm.Free -> Ok (d, M.u64 0L))
+
+let epcm_write =
+  Spec.make "epcm_write" (fun (d : Absdata.t) args ->
+      let* page, state, eid, va = M.arg4 args in
+      let* page = M.to_int page in
+      let* st =
+        match state with
+        | 0L -> Ok Epcm.Free
+        | 1L ->
+            let* eid = M.to_int eid in
+            Ok (Epcm.Valid { eid; va })
+        | _ -> Error "epcm_write: state must be 0 or 1"
+      in
+      let* epcm = Epcm.set d.Absdata.epcm page st in
+      Ok ({ d with Absdata.epcm }, M.unit_v))
+
+let all =
+  [
+    phys_read; phys_write; falloc_bitmap_read; falloc_bitmap_write; epcm_state;
+    epcm_eid; epcm_va; epcm_write;
+  ]
+
+let extern_decls =
+  {|
+extern fn phys_read(pa: u64) -> u64;
+extern fn phys_write(pa: u64, value: u64);
+extern fn falloc_bitmap_read(word: u64) -> u64;
+extern fn falloc_bitmap_write(word: u64, bits: u64);
+extern fn epcm_state(page: u64) -> u64;
+extern fn epcm_eid(page: u64) -> u64;
+extern fn epcm_va(page: u64) -> u64;
+extern fn epcm_write(page: u64, state: u64, eid: u64, va: u64);
+|}

@@ -1,0 +1,36 @@
+(** The trusted (bottom) layer: axiomatized primitives (paper Sec. 4.2).
+
+    These specifications stand in for code that goes beyond the MIR
+    semantics — raw physical memory access behind the unsafe
+    pointer-casting functions, and the monitor's global allocator and
+    EPCM state (Rust statics reached through [lazy_static]-free
+    accessors after the Sec. 2.3 retrofit).  They are expressed
+    directly as operations on the abstract state and are what the
+    Rustlite memory module's [extern fn]s resolve to. *)
+
+val phys_read : Absdata.t Mirverif.Spec.t
+(** [phys_read(pa) -> u64]: 8-aligned, in-range read. *)
+
+val phys_write : Absdata.t Mirverif.Spec.t
+(** [phys_write(pa, value)] *)
+
+val falloc_bitmap_read : Absdata.t Mirverif.Spec.t
+(** [falloc_bitmap_read(word_index) -> u64] *)
+
+val falloc_bitmap_write : Absdata.t Mirverif.Spec.t
+(** [falloc_bitmap_write(word_index, bits)] *)
+
+val epcm_state : Absdata.t Mirverif.Spec.t
+(** [epcm_state(page) -> u64]: 0 free, 1 valid. *)
+
+val epcm_eid : Absdata.t Mirverif.Spec.t
+val epcm_va : Absdata.t Mirverif.Spec.t
+
+val epcm_write : Absdata.t Mirverif.Spec.t
+(** [epcm_write(page, state, eid, va)] *)
+
+val all : Absdata.t Mirverif.Spec.t list
+
+val extern_decls : string
+(** The matching Rustlite [extern fn] declarations, prepended to the
+    memory module's source. *)

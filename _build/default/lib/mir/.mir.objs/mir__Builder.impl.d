@@ -1,0 +1,1 @@
+lib/mir/builder.ml: Array List Printf String Syntax Ty Word

@@ -1,0 +1,1 @@
+lib/mir/eval.ml: Bool Format Int64 Printf Result Syntax Ty Value Word

@@ -1,0 +1,1 @@
+lib/mir/interp.ml: Array Bool Eval Format List Map Mem Option Path Printf Result String Syntax Ty Value Word

@@ -1,0 +1,1 @@
+lib/mir/interp.mli: Format Mem Syntax Value

@@ -1,0 +1,1 @@
+lib/mir/mem.ml: Format List Map Path Printf Value

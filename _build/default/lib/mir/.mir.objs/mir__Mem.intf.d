@@ -1,0 +1,1 @@
+lib/mir/mem.mli: Format Path Value

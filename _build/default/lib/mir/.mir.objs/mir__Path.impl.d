@@ -1,0 +1,1 @@
+lib/mir/path.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/mir/path.mli: Format

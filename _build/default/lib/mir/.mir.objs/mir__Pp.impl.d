@@ -1,0 +1,1 @@
+lib/mir/pp.ml: Array Format List Syntax Ty Word

@@ -1,0 +1,1 @@
+lib/mir/pp.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/mir/syntax.ml: Array List Map Option String Ty Word

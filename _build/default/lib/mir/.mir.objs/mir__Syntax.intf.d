@@ -1,0 +1,1 @@
+lib/mir/syntax.mli: Ty Word

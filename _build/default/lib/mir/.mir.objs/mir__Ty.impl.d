@@ -1,0 +1,1 @@
+lib/mir/ty.ml: Format List String Word

@@ -1,0 +1,1 @@
+lib/mir/validate.ml: Array Format Hashtbl List Option Printf Set String Syntax

@@ -1,0 +1,1 @@
+lib/mir/validate.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/mir/value.ml: Array Bool Format Int List Path Printf String Ty Word

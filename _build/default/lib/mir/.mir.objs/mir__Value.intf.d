@@ -1,0 +1,1 @@
+lib/mir/value.mli: Format Path Ty Word

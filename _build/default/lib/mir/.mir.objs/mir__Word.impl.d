@@ -1,0 +1,1 @@
+lib/mir/word.ml: Format Int64 Printf

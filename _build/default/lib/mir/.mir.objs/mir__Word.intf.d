@@ -1,0 +1,1 @@
+lib/mir/word.mli: Format

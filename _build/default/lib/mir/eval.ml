@@ -1,0 +1,159 @@
+let constant : Syntax.constant -> 'abs Value.t = function
+  | Syntax.Cint (w, ity) -> Value.word ity w
+  | Syntax.Cbool b -> Value.Bool b
+  | Syntax.Cunit -> Value.Unit
+  | Syntax.Cfn _ -> Value.Unit
+
+let ( let* ) = Result.bind
+
+let arith_width a b =
+  let* wa, ta = Value.as_word a in
+  let* wb, tb = Value.as_word b in
+  if Ty.int_ty_equal ta tb then Ok (wa, wb, ta)
+  else
+    Error
+      (Format.asprintf "binary op on mismatched integer types %a and %a"
+         Ty.pp_int_ty ta Ty.pp_int_ty tb)
+
+(* Signed interpretation of a normalized word, as an int64. *)
+let to_signed ity (w : Word.t) =
+  let bits = Word.bits (Ty.width ity) in
+  if bits = 64 then w
+  else
+    let sign = Word.bit w (bits - 1) in
+    if sign then Int64.logor w (Int64.lognot (Word.mask (Ty.width ity))) else w
+
+let compare_ints ity a b =
+  if Ty.signed ity then Int64.compare (to_signed ity a) (to_signed ity b)
+  else Word.compare_u a b
+
+let binary op a b =
+  match op with
+  | Syntax.Eq -> (
+      match (a, b) with
+      | Value.Bool x, Value.Bool y -> Ok (Value.Bool (Bool.equal x y))
+      | _ ->
+          let* x, y, _ = arith_width a b in
+          Ok (Value.Bool (Word.equal x y)))
+  | Syntax.Ne -> (
+      match (a, b) with
+      | Value.Bool x, Value.Bool y -> Ok (Value.Bool (not (Bool.equal x y)))
+      | _ ->
+          let* x, y, _ = arith_width a b in
+          Ok (Value.Bool (not (Word.equal x y))))
+  | Syntax.Lt | Syntax.Le | Syntax.Gt | Syntax.Ge ->
+      let* x, y, ity = arith_width a b in
+      let c = compare_ints ity x y in
+      let r =
+        match op with
+        | Syntax.Lt -> c < 0
+        | Syntax.Le -> c <= 0
+        | Syntax.Gt -> c > 0
+        | Syntax.Ge -> c >= 0
+        | _ -> assert false
+      in
+      Ok (Value.Bool r)
+  | Syntax.Bit_and | Syntax.Bit_or | Syntax.Bit_xor -> (
+      match (a, b) with
+      | Value.Bool x, Value.Bool y ->
+          let r =
+            match op with
+            | Syntax.Bit_and -> x && y
+            | Syntax.Bit_or -> x || y
+            | Syntax.Bit_xor -> not (Bool.equal x y)
+            | _ -> assert false
+          in
+          Ok (Value.Bool r)
+      | _ ->
+          let* x, y, ity = arith_width a b in
+          let r =
+            match op with
+            | Syntax.Bit_and -> Word.logand x y
+            | Syntax.Bit_or -> Word.logor x y
+            | Syntax.Bit_xor -> Word.logxor x y
+            | _ -> assert false
+          in
+          Ok (Value.word ity r))
+  | Syntax.Add | Syntax.Sub | Syntax.Mul ->
+      let* x, y, ity = arith_width a b in
+      let w = Ty.width ity in
+      let r =
+        match op with
+        | Syntax.Add -> Word.add w x y
+        | Syntax.Sub -> Word.sub w x y
+        | Syntax.Mul -> Word.mul w x y
+        | _ -> assert false
+      in
+      Ok (Value.word ity r)
+  | Syntax.Div | Syntax.Rem ->
+      let* x, y, ity = arith_width a b in
+      let w = Ty.width ity in
+      let r = match op with Syntax.Div -> Word.div w x y | _ -> Word.rem w x y in
+      (match r with
+      | Some r -> Ok (Value.word ity r)
+      | None -> Error "division by zero")
+  | Syntax.Shl | Syntax.Shr ->
+      (* MIR allows the shift amount to have a different integer type. *)
+      let* x, ity = Value.as_word a in
+      let* y, _ = Value.as_word b in
+      let w = Ty.width ity in
+      let n = Int64.to_int y in
+      if n < 0 || n >= Word.bits w then
+        Error (Printf.sprintf "shift amount %d out of range for %d-bit value" n (Word.bits w))
+      else
+        let r =
+          match op with
+          | Syntax.Shl -> Word.shift_left w x n
+          | _ -> Word.shift_right w x n
+        in
+        Ok (Value.word ity r)
+
+let checked_binary op a b =
+  match op with
+  | Syntax.Add | Syntax.Sub | Syntax.Mul ->
+      let* x, y, ity = arith_width a b in
+      let wide_ok =
+        (* compute in full 64-bit and compare against the normalized
+           result; for 64-bit operands detect wrap via Int64 bounds *)
+        match (Ty.width ity, op) with
+        | Word.W64, Syntax.Add ->
+            Word.compare_u (Int64.add x y) x >= 0
+        | Word.W64, Syntax.Sub -> Word.compare_u x y >= 0
+        | Word.W64, Syntax.Mul ->
+            Word.equal x 0L || Word.equal (Int64.unsigned_div (Int64.mul x y) x) y
+        | (Word.W8 | Word.W16 | Word.W32), _ ->
+            let full =
+              match op with
+              | Syntax.Add -> Int64.add x y
+              | Syntax.Sub -> Int64.sub x y
+              | Syntax.Mul -> Int64.mul x y
+              | _ -> assert false
+            in
+            Word.equal (Word.norm (Ty.width ity) full) full
+        | Word.W64, _ -> assert false
+      in
+      let* r = binary op a b in
+      Ok (Value.tuple [ r; Value.Bool (not wide_ok) ])
+  | _ ->
+      let* r = binary op a b in
+      Ok (Value.tuple [ r; Value.Bool false ])
+
+let unary op v =
+  match (op, v) with
+  | Syntax.Not, Value.Bool b -> Ok (Value.Bool (not b))
+  | Syntax.Not, Value.Int (w, ity) -> Ok (Value.word ity (Word.lognot (Ty.width ity) w))
+  | Syntax.Neg, Value.Int (w, ity) ->
+      Ok (Value.word ity (Word.sub (Ty.width ity) Word.zero w))
+  | (Syntax.Not | Syntax.Neg), _ -> Error "unary op on non-scalar value"
+
+let cast v ity =
+  match v with
+  | Value.Int (w, _) -> Ok (Value.word ity w)
+  | Value.Bool b -> Ok (Value.int ity (if b then 1 else 0))
+  | Value.Unit | Value.Struct _ | Value.Arr _ | Value.Ptr _ ->
+      Error "cast of non-scalar value"
+
+let switch_key = function
+  | Value.Int (w, _) -> Ok w
+  | Value.Bool b -> Ok (if b then 1L else 0L)
+  | v -> Error (Printf.sprintf "SwitchInt on non-integer value %s" (Value.to_string v))

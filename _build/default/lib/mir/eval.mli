@@ -1,0 +1,25 @@
+(** Pure evaluation of MIRlight operators.
+
+    These rules reuse CompCert-style machine arithmetic (paper
+    Sec. 3.2): binary operations normalize to the width of their
+    (shared) integer type, division by zero and shift-out-of-range are
+    runtime faults, and checked operations additionally report
+    overflow. *)
+
+val constant : Syntax.constant -> 'abs Value.t
+
+val binary :
+  Syntax.bin_op -> 'abs Value.t -> 'abs Value.t -> ('abs Value.t, string) result
+
+val checked_binary :
+  Syntax.bin_op -> 'abs Value.t -> 'abs Value.t -> ('abs Value.t, string) result
+(** Returns the 2-tuple [(result, overflowed)]. *)
+
+val unary : Syntax.un_op -> 'abs Value.t -> ('abs Value.t, string) result
+
+val cast : 'abs Value.t -> Ty.int_ty -> ('abs Value.t, string) result
+(** Integer-to-integer cast (truncating); also accepts [bool] sources
+    like MIR's [as] on [bool]. *)
+
+val switch_key : 'abs Value.t -> (Word.t, string) result
+(** The integer a [SwitchInt] discriminates on; [bool] maps to 0/1. *)

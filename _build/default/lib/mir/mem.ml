@@ -1,0 +1,45 @@
+module BaseMap = Map.Make (Path.Base)
+
+type 'abs t = 'abs Value.t BaseMap.t
+
+let empty = BaseMap.empty
+let define base v m = BaseMap.add base v m
+let defined base m = BaseMap.mem base m
+
+let read m (path : Path.t) =
+  match BaseMap.find_opt path.base m with
+  | None ->
+      Error (Printf.sprintf "read from undefined object %s" (Format.asprintf "%a" Path.Base.pp path.base))
+  | Some root -> Value.project_many root path.projs
+
+let write m (path : Path.t) v =
+  match BaseMap.find_opt path.base m with
+  | None ->
+      if path.projs = [] then Ok (BaseMap.add path.base v m)
+      else
+        Error
+          (Printf.sprintf "write through projection into undefined object %s"
+             (Format.asprintf "%a" Path.Base.pp path.base))
+  | Some root -> (
+      match Value.update root path.projs v with
+      | Error _ as e -> e
+      | Ok root' -> Ok (BaseMap.add path.base root' m))
+
+let bases m = List.map fst (BaseMap.bindings m)
+let cardinal = BaseMap.cardinal
+
+let equal_on bs m1 m2 =
+  List.for_all
+    (fun b ->
+      match (BaseMap.find_opt b m1, BaseMap.find_opt b m2) with
+      | Some v1, Some v2 -> Value.equal v1 v2
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+    bs
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  BaseMap.iter
+    (fun b v -> Format.fprintf fmt "%a = %a@," Path.Base.pp b Value.pp v)
+    m;
+  Format.fprintf fmt "@]"

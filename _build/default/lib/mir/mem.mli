@@ -1,0 +1,37 @@
+(** Object-view memory.
+
+    Memory is a finite map from path bases (globals and frame-local
+    variables whose address is taken) to whole values.  There is no
+    byte layout, no aliasing, and no deallocation: the paper models
+    drops as no-ops, relying on Rust's guarantee that no pointer
+    outlives its object (Sec. 3.2, "Memory Safety Implies Pointer
+    Validity").
+
+    Assignment is axiomatized as changing only the assigned location;
+    here that is a theorem of the implementation, checked by the
+    [frame-condition] property tests. *)
+
+type 'abs t
+
+val empty : 'abs t
+
+val define : Path.base -> 'abs Value.t -> 'abs t -> 'abs t
+(** [define base v m] allocates (or re-binds) the root object [base]. *)
+
+val defined : Path.base -> 'abs t -> bool
+
+val read : 'abs t -> Path.t -> ('abs Value.t, string) result
+(** Follow the base then each projection. *)
+
+val write : 'abs t -> Path.t -> 'abs Value.t -> ('abs t, string) result
+(** Functional update at a path; the base must already be defined
+    unless the path has no projections (a whole-object store allocates). *)
+
+val bases : 'abs t -> Path.base list
+val cardinal : 'abs t -> int
+
+val equal_on : Path.base list -> 'abs t -> 'abs t -> bool
+(** [equal_on bs m1 m2]: the two memories agree (by {!Value.equal}) on
+    every base in [bs]. *)
+
+val pp : Format.formatter -> 'abs t -> unit

@@ -1,0 +1,129 @@
+open Format
+
+let pp_place fmt (p : Syntax.place) =
+  (* Derefs print as prefix stars, other projections as suffixes. *)
+  let derefs = List.length (List.filter (fun e -> e = Syntax.Deref) p.elems) in
+  for _ = 1 to derefs do
+    pp_print_string fmt "*"
+  done;
+  pp_print_string fmt p.var;
+  List.iter
+    (fun elem ->
+      match elem with
+      | Syntax.Deref -> ()
+      | Syntax.Pfield i -> fprintf fmt ".%d" i
+      | Syntax.Pindex v -> fprintf fmt "[%s]" v
+      | Syntax.Pconst_index i -> fprintf fmt "[%d]" i
+      | Syntax.Downcast d -> fprintf fmt " as variant#%d" d)
+    p.elems
+
+let pp_constant fmt = function
+  | Syntax.Cint (w, ity) -> fprintf fmt "const %a_%a" Word.pp_dec w Ty.pp_int_ty ity
+  | Syntax.Cbool b -> fprintf fmt "const %b" b
+  | Syntax.Cunit -> pp_print_string fmt "const ()"
+  | Syntax.Cfn f -> fprintf fmt "const fn %s" f
+
+let pp_operand fmt = function
+  | Syntax.Copy p -> pp_place fmt p
+  | Syntax.Move p -> fprintf fmt "move %a" pp_place p
+  | Syntax.Const c -> pp_constant fmt c
+
+let bin_op_symbol = function
+  | Syntax.Add -> "Add"
+  | Syntax.Sub -> "Sub"
+  | Syntax.Mul -> "Mul"
+  | Syntax.Div -> "Div"
+  | Syntax.Rem -> "Rem"
+  | Syntax.Bit_and -> "BitAnd"
+  | Syntax.Bit_or -> "BitOr"
+  | Syntax.Bit_xor -> "BitXor"
+  | Syntax.Shl -> "Shl"
+  | Syntax.Shr -> "Shr"
+  | Syntax.Eq -> "Eq"
+  | Syntax.Ne -> "Ne"
+  | Syntax.Lt -> "Lt"
+  | Syntax.Le -> "Le"
+  | Syntax.Gt -> "Gt"
+  | Syntax.Ge -> "Ge"
+
+let pp_rvalue fmt = function
+  | Syntax.Use op -> pp_operand fmt op
+  | Syntax.Repeat (op, n) -> fprintf fmt "[%a; %d]" pp_operand op n
+  | Syntax.Ref p -> fprintf fmt "&mut %a" pp_place p
+  | Syntax.Address_of p -> fprintf fmt "&raw mut %a" pp_place p
+  | Syntax.Len p -> fprintf fmt "Len(%a)" pp_place p
+  | Syntax.Cast (op, ity) -> fprintf fmt "%a as %a" pp_operand op Ty.pp_int_ty ity
+  | Syntax.Binary (op, a, b) ->
+      fprintf fmt "%s(%a, %a)" (bin_op_symbol op) pp_operand a pp_operand b
+  | Syntax.Checked_binary (op, a, b) ->
+      fprintf fmt "Checked%s(%a, %a)" (bin_op_symbol op) pp_operand a pp_operand b
+  | Syntax.Unary (Syntax.Not, a) -> fprintf fmt "Not(%a)" pp_operand a
+  | Syntax.Unary (Syntax.Neg, a) -> fprintf fmt "Neg(%a)" pp_operand a
+  | Syntax.Discriminant p -> fprintf fmt "discriminant(%a)" pp_place p
+  | Syntax.Aggregate (kind, ops) ->
+      let pp_ops fmt' =
+        pp_print_list ~pp_sep:(fun f () -> fprintf f ", ") pp_operand fmt'
+      in
+      (match kind with
+      | Syntax.Agg_tuple -> fprintf fmt "(%a)" pp_ops ops
+      | Syntax.Agg_struct name -> fprintf fmt "%s { %a }" name pp_ops ops
+      | Syntax.Agg_variant (name, d) -> fprintf fmt "%s::variant#%d(%a)" name d pp_ops ops
+      | Syntax.Agg_array -> fprintf fmt "[%a]" pp_ops ops)
+
+let pp_statement fmt = function
+  | Syntax.Assign (p, rv) -> fprintf fmt "%a = %a;" pp_place p pp_rvalue rv
+  | Syntax.Set_discriminant (p, d) ->
+      fprintf fmt "discriminant(%a) = %d;" pp_place p d
+  | Syntax.Storage_live v -> fprintf fmt "StorageLive(%s);" v
+  | Syntax.Storage_dead v -> fprintf fmt "StorageDead(%s);" v
+  | Syntax.Nop -> pp_print_string fmt "nop;"
+
+let pp_terminator fmt = function
+  | Syntax.Goto l -> fprintf fmt "goto -> bb%d;" l
+  | Syntax.Switch_int (op, cases, otherwise) ->
+      fprintf fmt "switchInt(%a) -> [%a, otherwise: bb%d];" pp_operand op
+        (pp_print_list
+           ~pp_sep:(fun f () -> fprintf f ", ")
+           (fun f (w, l) -> fprintf f "%a: bb%d" Word.pp_dec w l))
+        cases otherwise
+  | Syntax.Return -> pp_print_string fmt "return;"
+  | Syntax.Unreachable -> pp_print_string fmt "unreachable;"
+  | Syntax.Drop (p, l) -> fprintf fmt "drop(%a) -> bb%d;" pp_place p l
+  | Syntax.Call { dest; func; args; target } ->
+      fprintf fmt "%a = %s(%a)" pp_place dest func
+        (pp_print_list ~pp_sep:(fun f () -> fprintf f ", ") pp_operand)
+        args;
+      (match target with
+      | Some l -> fprintf fmt " -> bb%d;" l
+      | None -> fprintf fmt " -> diverge;")
+  | Syntax.Assert { cond; expected; msg; target } ->
+      fprintf fmt "assert(%a == %b, %S) -> bb%d;" pp_operand cond expected msg target
+
+let pp_local_decl fmt (d : Syntax.local_decl) =
+  let kind = match d.lkind with Syntax.Klocal -> "local" | Syntax.Ktemp -> "temp" in
+  fprintf fmt "let %s %s: %a;" kind d.lname Ty.pp d.lty
+
+let pp_body fmt (b : Syntax.body) =
+  fprintf fmt "@[<v>fn %s(%a) {@;<0 2>@[<v>" b.fname
+    (pp_print_list ~pp_sep:(fun f () -> fprintf f ", ") pp_print_string)
+    b.params;
+  List.iter (fun d -> fprintf fmt "%a@," pp_local_decl d) b.locals;
+  Array.iteri
+    (fun i (blk : Syntax.block) ->
+      fprintf fmt "@,bb%d: {@;<0 2>@[<v>" i;
+      List.iter (fun s -> fprintf fmt "%a@," pp_statement s) blk.stmts;
+      fprintf fmt "%a@]@,}" pp_terminator blk.term)
+    b.blocks;
+  fprintf fmt "@]@,}@]"
+
+let pp_program fmt prog =
+  let first = ref true in
+  Syntax.fold_bodies
+    (fun _ body () ->
+      if !first then first := false else pp_print_newline fmt ();
+      pp_body fmt body;
+      pp_print_newline fmt ())
+    prog ()
+
+let body_to_string b = asprintf "%a" pp_body b
+let program_to_string p = asprintf "%a" pp_program p

@@ -1,0 +1,15 @@
+(** Pretty-printing of MIRlight programs in a rustc-like rendering.
+
+    This is the output format of the [mirlightgen] CLI (paper Sec. 3.3):
+    the same AST the interpreter executes, printed one statement per
+    line so it can be diffed against rustc's [--emit mir] output. *)
+
+val pp_place : Format.formatter -> Syntax.place -> unit
+val pp_operand : Format.formatter -> Syntax.operand -> unit
+val pp_rvalue : Format.formatter -> Syntax.rvalue -> unit
+val pp_statement : Format.formatter -> Syntax.statement -> unit
+val pp_terminator : Format.formatter -> Syntax.terminator -> unit
+val pp_body : Format.formatter -> Syntax.body -> unit
+val pp_program : Format.formatter -> Syntax.program -> unit
+val body_to_string : Syntax.body -> string
+val program_to_string : Syntax.program -> string

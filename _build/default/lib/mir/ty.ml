@@ -1,0 +1,62 @@
+type int_ty = U8 | U16 | U32 | U64 | Usize | I32 | I64
+
+let width = function
+  | U8 -> Word.W8
+  | U16 -> Word.W16
+  | U32 | I32 -> Word.W32
+  | U64 | Usize | I64 -> Word.W64
+
+let signed = function I32 | I64 -> true | U8 | U16 | U32 | U64 | Usize -> false
+
+let int_ty_equal (a : int_ty) (b : int_ty) = a = b
+
+let pp_int_ty fmt ty =
+  Format.pp_print_string fmt
+    (match ty with
+    | U8 -> "u8"
+    | U16 -> "u16"
+    | U32 -> "u32"
+    | U64 -> "u64"
+    | Usize -> "usize"
+    | I32 -> "i32"
+    | I64 -> "i64")
+
+type t =
+  | Int of int_ty
+  | Bool
+  | Unit
+  | Tuple of t list
+  | Adt of string
+  | Ref of t
+  | Array of t * int
+  | Raw of t
+  | Opaque of string
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> int_ty_equal x y
+  | Bool, Bool | Unit, Unit -> true
+  | Tuple xs, Tuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Adt x, Adt y | Opaque x, Opaque y -> String.equal x y
+  | Ref x, Ref y | Raw x, Raw y -> equal x y
+  | Array (x, n), Array (y, m) -> n = m && equal x y
+  | (Int _ | Bool | Unit | Tuple _ | Adt _ | Ref _ | Array _ | Raw _ | Opaque _), _
+    ->
+      false
+
+let rec pp fmt = function
+  | Int ity -> pp_int_ty fmt ity
+  | Bool -> Format.pp_print_string fmt "bool"
+  | Unit -> Format.pp_print_string fmt "()"
+  | Tuple ts ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp)
+        ts
+  | Adt name -> Format.pp_print_string fmt name
+  | Ref t -> Format.fprintf fmt "&%a" pp t
+  | Array (t, n) -> Format.fprintf fmt "[%a; %d]" pp t n
+  | Raw t -> Format.fprintf fmt "*mut %a" pp t
+  | Opaque name -> Format.fprintf fmt "opaque<%s>" name
+
+let to_string t = Format.asprintf "%a" pp t

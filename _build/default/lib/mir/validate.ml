@@ -1,0 +1,147 @@
+type issue = { in_function : string; detail : string }
+
+let pp_issue fmt i = Format.fprintf fmt "%s: %s" i.in_function i.detail
+
+module StrSet = Set.Make (String)
+
+type ctx = {
+  body : Syntax.body;
+  declared : StrSet.t;
+  temps : StrSet.t;
+  mutable issues_rev : issue list;
+}
+
+let report ctx detail =
+  ctx.issues_rev <- { in_function = ctx.body.Syntax.fname; detail } :: ctx.issues_rev
+
+let check_var ctx what var =
+  if not (StrSet.mem var ctx.declared) then
+    report ctx (Printf.sprintf "%s uses undeclared variable %s" what var)
+
+let check_place ctx what (p : Syntax.place) =
+  check_var ctx what p.var;
+  List.iter
+    (fun elem ->
+      match elem with
+      | Syntax.Pindex v -> check_var ctx what v
+      | Syntax.Deref | Syntax.Pfield _ | Syntax.Pconst_index _ | Syntax.Downcast _ -> ())
+    p.elems
+
+(* A Ref of a place is address-taking on the base variable only when no
+   Deref occurs before any projection: [&x.f] takes x's address, while
+   a ref through a leading deref, "& *p .f", only reuses an existing
+   pointer. *)
+let check_ref_target ctx (p : Syntax.place) =
+  let derefs_first =
+    match p.elems with Syntax.Deref :: _ -> true | _ -> false
+  in
+  if (not derefs_first) && StrSet.mem p.var ctx.temps then
+    report ctx
+      (Printf.sprintf
+         "address of temporary %s taken; the translator must classify it as local"
+         p.var)
+
+let check_operand ctx what = function
+  | Syntax.Copy p | Syntax.Move p -> check_place ctx what p
+  | Syntax.Const _ -> ()
+
+let check_rvalue ctx what = function
+  | Syntax.Use op | Syntax.Repeat (op, _) | Syntax.Cast (op, _) | Syntax.Unary (_, op)
+    ->
+      check_operand ctx what op
+  | Syntax.Ref p | Syntax.Address_of p ->
+      check_place ctx what p;
+      check_ref_target ctx p
+  | Syntax.Len p | Syntax.Discriminant p -> check_place ctx what p
+  | Syntax.Binary (_, a, b) | Syntax.Checked_binary (_, a, b) ->
+      check_operand ctx what a;
+      check_operand ctx what b
+  | Syntax.Aggregate (_, ops) -> List.iter (check_operand ctx what) ops
+
+let check_label ctx what label =
+  if label < 0 || label >= Array.length ctx.body.Syntax.blocks then
+    report ctx (Printf.sprintf "%s targets undefined block bb%d" what label)
+
+let check_statement ctx i j stmt =
+  let what = Printf.sprintf "bb%d[%d]" i j in
+  match stmt with
+  | Syntax.Assign (p, rv) ->
+      check_place ctx what p;
+      check_rvalue ctx what rv
+  | Syntax.Set_discriminant (p, _) -> check_place ctx what p
+  | Syntax.Storage_live v | Syntax.Storage_dead v -> check_var ctx what v
+  | Syntax.Nop -> ()
+
+let check_terminator ctx callf i term =
+  let what = Printf.sprintf "bb%d terminator" i in
+  match term with
+  | Syntax.Goto l -> check_label ctx what l
+  | Syntax.Switch_int (op, cases, otherwise) ->
+      check_operand ctx what op;
+      List.iter (fun (_, l) -> check_label ctx what l) cases;
+      check_label ctx what otherwise
+  | Syntax.Return | Syntax.Unreachable -> ()
+  | Syntax.Drop (p, l) ->
+      check_place ctx what p;
+      check_label ctx what l
+  | Syntax.Call { dest; func; args; target } ->
+      check_place ctx what dest;
+      List.iter (check_operand ctx what) args;
+      Option.iter (check_label ctx what) target;
+      callf ctx what func
+  | Syntax.Assert { cond; target; _ } ->
+      check_operand ctx what cond;
+      check_label ctx what target
+
+let build_ctx (body : Syntax.body) =
+  let declared =
+    List.fold_left (fun s d -> StrSet.add d.Syntax.lname s) StrSet.empty body.locals
+  in
+  let temps =
+    List.fold_left
+      (fun s d ->
+        match d.Syntax.lkind with
+        | Syntax.Ktemp -> StrSet.add d.Syntax.lname s
+        | Syntax.Klocal -> s)
+      StrSet.empty body.locals
+  in
+  { body; declared; temps; issues_rev = [] }
+
+let check_body_with callf (body : Syntax.body) =
+  let ctx = build_ctx body in
+  (* duplicate declarations *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let n = d.Syntax.lname in
+      if Hashtbl.mem seen n then report ctx (Printf.sprintf "duplicate declaration of %s" n)
+      else Hashtbl.add seen n ())
+    body.locals;
+  List.iter
+    (fun p ->
+      if not (StrSet.mem p ctx.declared) then
+        report ctx (Printf.sprintf "parameter %s not declared" p))
+    body.params;
+  if not (StrSet.mem Syntax.return_var ctx.declared) then
+    report ctx "return slot _0 not declared";
+  if Array.length body.blocks = 0 then report ctx "body has no blocks";
+  Array.iteri
+    (fun i (blk : Syntax.block) ->
+      List.iteri (fun j s -> check_statement ctx i j s) blk.stmts;
+      check_terminator ctx callf i blk.term)
+    body.blocks;
+  List.rev ctx.issues_rev
+
+let check_body body = check_body_with (fun _ _ _ -> ()) body
+
+let check_program ?(primitives = []) prog =
+  let prims = StrSet.of_list primitives in
+  let callf ctx what func =
+    if (not (StrSet.mem func prims)) && Option.is_none (Syntax.find_body prog func)
+    then
+      report ctx
+        (Printf.sprintf "%s calls %s, which is neither a body nor a primitive" what func)
+  in
+  Syntax.fold_bodies
+    (fun _ body acc -> acc @ check_body_with callf body)
+    prog []

@@ -1,0 +1,26 @@
+(** Static well-formedness of MIRlight bodies.
+
+    rustc guarantees these properties for generated MIR; we re-check
+    them because bodies here also come from the Rustlite lowering and
+    from hand-written builders.  Violations found:
+
+    - jumps to labels outside the block array;
+    - uses of undeclared variables (including [Pindex] index vars);
+    - duplicate local declarations;
+    - parameters or the return slot missing from the declarations;
+    - [Ref]/[Address_of] of a variable classified as a temporary when
+      no [Deref] precedes it (the address-taken analysis invariant of
+      paper Sec. 3.2);
+    - calls to functions that are neither bodies of the program nor
+      declared primitives (when a program context is supplied). *)
+
+type issue = { in_function : string; detail : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check_body : Syntax.body -> issue list
+(** Intra-procedural checks only. *)
+
+val check_program : ?primitives:string list -> Syntax.program -> issue list
+(** All body checks plus call-target resolution against the program
+    and the given primitive names. *)

@@ -1,0 +1,187 @@
+type 'abs t =
+  | Int of Word.t * Ty.int_ty
+  | Bool of bool
+  | Unit
+  | Struct of int * 'abs t list
+  | Arr of 'abs t array
+  | Ptr of 'abs pointer
+
+and 'abs pointer = Concrete of Path.t | Trusted of 'abs trusted | Rdata of rdata
+
+and 'abs trusted = {
+  tp_name : string;
+  tp_load : 'abs -> ('abs t, string) result;
+  tp_store : 'abs -> 'abs t -> ('abs, string) result;
+}
+
+and rdata = { rd_layer : string; rd_name : string; rd_indices : int list }
+
+let unit = Unit
+let bool b = Bool b
+let word ity w = Int (Word.norm (Ty.width ity) w, ity)
+let int ity i = word ity (Word.of_int (Ty.width ity) i)
+let u64 w = word Ty.U64 w
+let usize i = int Ty.Usize i
+let tuple fields = Struct (0, fields)
+let strukt fields = Struct (0, fields)
+let variant d fields = Struct (d, fields)
+let ptr_path p = Ptr (Concrete p)
+
+let ptr_rdata ~layer ~name indices =
+  Ptr (Rdata { rd_layer = layer; rd_name = name; rd_indices = indices })
+
+let describe = function
+  | Int _ -> "int"
+  | Bool _ -> "bool"
+  | Unit -> "unit"
+  | Struct _ -> "struct"
+  | Arr _ -> "array"
+  | Ptr _ -> "pointer"
+
+let as_word = function
+  | Int (w, ity) -> Ok (w, ity)
+  | v -> Error (Printf.sprintf "expected integer value, got %s" (describe v))
+
+let as_bool = function
+  | Bool b -> Ok b
+  | v -> Error (Printf.sprintf "expected bool value, got %s" (describe v))
+
+let as_ptr = function
+  | Ptr p -> Ok p
+  | v -> Error (Printf.sprintf "expected pointer value, got %s" (describe v))
+
+let as_fields = function
+  | Struct (d, fs) -> Ok (d, fs)
+  | v -> Error (Printf.sprintf "expected struct/enum value, got %s" (describe v))
+
+let discriminant = function
+  | Struct (d, _) -> Ok d
+  | v -> Error (Printf.sprintf "discriminant of non-aggregate %s" (describe v))
+
+let project v pr =
+  match (v, pr) with
+  | Struct (_, fields), Path.Field i -> (
+      match List.nth_opt fields i with
+      | Some f -> Ok f
+      | None ->
+          Error
+            (Printf.sprintf "field %d out of bounds (aggregate has %d fields)" i
+               (List.length fields)))
+  | Arr elems, Path.Index i ->
+      if i >= 0 && i < Array.length elems then Ok elems.(i)
+      else Error (Printf.sprintf "index %d out of bounds (array length %d)" i (Array.length elems))
+  | Struct _, Path.Index i ->
+      Error (Printf.sprintf "indexing a struct with [%d]" i)
+  | Arr _, Path.Field i -> Error (Printf.sprintf "field .%d of an array" i)
+  | (Int _ | Bool _ | Unit | Ptr _), _ ->
+      Error (Printf.sprintf "projection from scalar %s" (describe v))
+
+let rec project_many v = function
+  | [] -> Ok v
+  | pr :: rest -> (
+      match project v pr with Ok v' -> project_many v' rest | Error _ as e -> e)
+
+let rec update v projs sub =
+  match projs with
+  | [] -> Ok sub
+  | pr :: rest -> (
+      match (v, pr) with
+      | Struct (d, fields), Path.Field i -> (
+          match List.nth_opt fields i with
+          | None ->
+              Error
+                (Printf.sprintf "field %d out of bounds in update (%d fields)" i
+                   (List.length fields))
+          | Some old -> (
+              match update old rest sub with
+              | Error _ as e -> e
+              | Ok repl ->
+                  let fields' = List.mapi (fun j f -> if j = i then repl else f) fields in
+                  Ok (Struct (d, fields'))))
+      | Arr elems, Path.Index i ->
+          if i < 0 || i >= Array.length elems then
+            Error (Printf.sprintf "index %d out of bounds in update (length %d)" i (Array.length elems))
+          else (
+            match update elems.(i) rest sub with
+            | Error _ as e -> e
+            | Ok repl ->
+                let elems' = Array.copy elems in
+                elems'.(i) <- repl;
+                Ok (Arr elems'))
+      | _, _ ->
+          Error (Printf.sprintf "update projection into %s" (describe v)))
+
+let rec retag : 'a 'b. 'a t -> ('b t, string) result = function
+  | Int (w, ity) -> Ok (Int (w, ity))
+  | Bool b -> Ok (Bool b)
+  | Unit -> Ok Unit
+  | Struct (d, fields) ->
+      let rec go acc = function
+        | [] -> Ok (Struct (d, List.rev acc))
+        | f :: rest -> (
+            match retag f with Error _ as e -> e | Ok f' -> go (f' :: acc) rest)
+      in
+      go [] fields
+  | Arr elems ->
+      let out = Array.make (Array.length elems) Unit in
+      let rec go i =
+        if i >= Array.length elems then Ok (Arr out)
+        else
+          match retag elems.(i) with
+          | Error _ as e -> e
+          | Ok v ->
+              out.(i) <- v;
+              go (i + 1)
+      in
+      go 0
+  | Ptr (Concrete p) -> Ok (Ptr (Concrete p))
+  | Ptr (Rdata r) -> Ok (Ptr (Rdata r))
+  | Ptr (Trusted t) ->
+      Error (Printf.sprintf "cannot retag trusted pointer %s" t.tp_name)
+
+let pointer_equal pa pb =
+  match (pa, pb) with
+  | Concrete a, Concrete b -> Path.equal a b
+  | Trusted a, Trusted b -> String.equal a.tp_name b.tp_name
+  | Rdata a, Rdata b ->
+      String.equal a.rd_layer b.rd_layer
+      && String.equal a.rd_name b.rd_name
+      && List.equal Int.equal a.rd_indices b.rd_indices
+  | (Concrete _ | Trusted _ | Rdata _), _ -> false
+
+let rec equal a b =
+  match (a, b) with
+  | Int (x, tx), Int (y, ty) -> Word.equal x y && Ty.int_ty_equal tx ty
+  | Bool x, Bool y -> Bool.equal x y
+  | Unit, Unit -> true
+  | Struct (d, xs), Struct (e, ys) ->
+      d = e && List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Arr xs, Arr ys ->
+      Array.length xs = Array.length ys
+      && (let n = Array.length xs in
+          let rec go i = i >= n || (equal xs.(i) ys.(i) && go (i + 1)) in
+          go 0)
+  | Ptr x, Ptr y -> pointer_equal x y
+  | (Int _ | Bool _ | Unit | Struct _ | Arr _ | Ptr _), _ -> false
+
+let rec pp fmt = function
+  | Int (w, ity) -> Format.fprintf fmt "%a_%a" Word.pp w Ty.pp_int_ty ity
+  | Bool b -> Format.pp_print_bool fmt b
+  | Unit -> Format.pp_print_string fmt "()"
+  | Struct (0, fields) -> Format.fprintf fmt "{%a}" pp_fields fields
+  | Struct (d, fields) -> Format.fprintf fmt "#%d{%a}" d pp_fields fields
+  | Arr elems ->
+      Format.fprintf fmt "[|%a|]" pp_fields (Array.to_list elems)
+  | Ptr (Concrete p) -> Format.fprintf fmt "&%a" Path.pp p
+  | Ptr (Trusted t) -> Format.fprintf fmt "&trusted<%s>" t.tp_name
+  | Ptr (Rdata r) ->
+      Format.fprintf fmt "&rdata<%s.%s%a>" r.rd_layer r.rd_name
+        (fun f ixs -> List.iter (Format.fprintf f "[%d]") ixs)
+        r.rd_indices
+
+and pp_fields fmt fields =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.fprintf f ", ")
+    pp fmt fields
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,91 @@
+(** Runtime values: the object view of memory.
+
+    Structs and enums are values — an integer discriminant plus a field
+    list — not blocks of contiguous bytes (paper Sec. 3.2).  The value
+    type is parameterized by ['abs], the CCAL abstract machine state,
+    because {e trusted pointers} (paper Sec. 3.4, case 2) carry
+    getter/setter functions over that state.
+
+    The three pointer kinds of Fig. 4:
+    - {!pointer.Concrete} — a path into object memory.  Used when a
+      caller passes a pointer to its own data down to a lower layer
+      (case 1).
+    - {!pointer.Trusted} — a getter/setter pair over the abstract state.
+      Returned by bottom-layer primitives such as [phys_to_ptr]; gives a
+      load/store abstraction over the flat physical-memory array without
+      rewriting the code (case 2).
+    - {!pointer.Rdata} — an opaque handle (identifier + indices).  The
+      semantics provide {e no} way to read or write through it, so a
+      higher layer can only hand it back to the layer that forged it
+      (case 3); this is how [&self] pointers preserve encapsulation. *)
+
+type 'abs t =
+  | Int of Word.t * Ty.int_ty
+  | Bool of bool
+  | Unit
+  | Struct of int * 'abs t list
+      (** [(discriminant, fields)]; discriminant is [0] for structs and
+          tuples, the variant index for enums *)
+  | Arr of 'abs t array
+      (** array aggregate; treated persistently (updates copy) *)
+  | Ptr of 'abs pointer
+
+and 'abs pointer =
+  | Concrete of Path.t
+  | Trusted of 'abs trusted
+  | Rdata of rdata
+
+and 'abs trusted = {
+  tp_name : string;  (** for printing and structural comparison *)
+  tp_load : 'abs -> ('abs t, string) result;
+  tp_store : 'abs -> 'abs t -> ('abs, string) result;
+}
+
+and rdata = {
+  rd_layer : string;  (** the layer that owns the pointee *)
+  rd_name : string;
+  rd_indices : int list;
+}
+
+val unit : 'abs t
+val bool : bool -> 'abs t
+val int : Ty.int_ty -> int -> 'abs t
+val word : Ty.int_ty -> Word.t -> 'abs t
+val u64 : Word.t -> 'abs t
+val usize : int -> 'abs t
+val tuple : 'abs t list -> 'abs t
+val strukt : 'abs t list -> 'abs t
+val variant : int -> 'abs t list -> 'abs t
+val ptr_path : Path.t -> 'abs t
+val ptr_rdata : layer:string -> name:string -> int list -> 'abs t
+
+val as_word : 'abs t -> (Word.t * Ty.int_ty, string) result
+val as_bool : 'abs t -> (bool, string) result
+val as_ptr : 'abs t -> ('abs pointer, string) result
+val as_fields : 'abs t -> (int * 'abs t list, string) result
+val discriminant : 'abs t -> (int, string) result
+
+val project : 'abs t -> Path.proj -> ('abs t, string) result
+(** [project v pr] reads one field/index of an aggregate value. *)
+
+val project_many : 'abs t -> Path.proj list -> ('abs t, string) result
+
+val update : 'abs t -> Path.proj list -> 'abs t -> ('abs t, string) result
+(** [update v projs sub] functionally replaces the sub-value of [v] at
+    [projs] with [sub]. *)
+
+val retag : 'a t -> ('b t, string) result
+(** Rebuild a value at a different abstract-state type.  Succeeds for
+    all data values (including concrete and RData pointers); fails on
+    trusted pointers, whose getter/setter closures are tied to one
+    abstract state type.  Used when the same argument list feeds two
+    specifications over different abstract states. *)
+
+val equal : 'abs t -> 'abs t -> bool
+(** Structural equality.  Trusted pointers compare by [tp_name]
+    (closures are not comparable); this suffices for refinement checks,
+    which never need to distinguish two trusted views of the same
+    primitive. *)
+
+val pp : Format.formatter -> 'abs t -> unit
+val to_string : 'abs t -> string

@@ -1,0 +1,1 @@
+lib/rustlite/ast.mli: Format Token

@@ -1,0 +1,1 @@
+lib/rustlite/lexer.ml: Buffer Format Int64 List Printf Result String Token

@@ -1,0 +1,1 @@
+lib/rustlite/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/rustlite/lower.ml: Ast Int64 List Mir Printf Set String Typecheck

@@ -1,0 +1,1 @@
+lib/rustlite/lower.mli: Mir Typecheck

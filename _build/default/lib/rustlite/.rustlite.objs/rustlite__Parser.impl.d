@@ -1,0 +1,1 @@
+lib/rustlite/parser.ml: Array Ast Format Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/rustlite/parser.mli: Ast

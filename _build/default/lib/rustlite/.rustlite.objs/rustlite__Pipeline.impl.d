@@ -1,0 +1,1 @@
+lib/rustlite/pipeline.ml: Format List Lower Mir Parser Result String Typecheck

@@ -1,0 +1,1 @@
+lib/rustlite/pipeline.mli: Mir

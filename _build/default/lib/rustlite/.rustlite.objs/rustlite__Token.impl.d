@@ -1,0 +1,1 @@
+lib/rustlite/token.ml: Format Int64 String

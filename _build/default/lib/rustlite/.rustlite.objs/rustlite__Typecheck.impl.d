@@ -1,0 +1,1 @@
+lib/rustlite/typecheck.ml: Ast Format Hashtbl List Map Option Printf String Token

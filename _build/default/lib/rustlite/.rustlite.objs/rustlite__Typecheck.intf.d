@@ -1,0 +1,1 @@
+lib/rustlite/typecheck.mli: Ast

@@ -1,0 +1,89 @@
+type ty = Tu64 | Tbool | Tunit | Tref of ty | Tstruct of string
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tu64, Tu64 | Tbool, Tbool | Tunit, Tunit -> true
+  | Tref x, Tref y -> ty_equal x y
+  | Tstruct x, Tstruct y -> String.equal x y
+  | (Tu64 | Tbool | Tunit | Tref _ | Tstruct _), _ -> false
+
+let rec pp_ty fmt = function
+  | Tu64 -> Format.pp_print_string fmt "u64"
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tunit -> Format.pp_print_string fmt "()"
+  | Tref t -> Format.fprintf fmt "&%a" pp_ty t
+  | Tstruct s -> Format.pp_print_string fmt s
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type unop = Not | Neg
+
+type expr = { e : expr_kind; pos : Token.pos }
+
+and expr_kind =
+  | Eint of int64
+  | Ebool of bool
+  | Eunit
+  | Evar of string
+  | Efield of expr * string
+  | Ederef of expr
+  | Eref of expr
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Emethod of expr * string * expr list
+  | Estruct of string * (string * expr) list
+  | Evariant of string * string * expr list
+      (* Enum::Variant(args) *)
+  | Ecast of expr * ty
+
+type stmt = { s : stmt_kind; spos : Token.pos }
+
+and stmt_kind =
+  | Slet of { mut : bool; name : string; ty : ty option; init : expr }
+  | Sassign of expr * expr
+  | Sexpr of expr
+  | Sif of expr * block * block option
+  | Swhile of expr * block
+  | Sloop of block
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Smatch of expr * (pattern * block) list
+
+and pattern =
+  | Pvariant of string * string * string list
+      (* Enum::Variant(x, y) *)
+  | Pwild
+
+and block = stmt list
+
+type self_kind = No_self | Self_ref | Self_ref_mut
+
+type fndef = {
+  fn_name : string;
+  self_param : self_kind;
+  params : (string * ty) list;
+  ret : ty;
+  body : block;
+  fn_pos : Token.pos;
+}
+
+type item =
+  | Iconst of string * int64
+  | Istruct of string * (string * ty) list
+  | Ienum of string * (string * ty list) list
+      (* variants carry positional payloads *)
+  | Iextern of { ex_name : string; ex_params : (string * ty) list; ex_ret : ty }
+  | Ifn of fndef
+  | Iimpl of string * fndef list
+
+type program = item list
+
+let method_symbol struct_name m = struct_name ^ "::" ^ m

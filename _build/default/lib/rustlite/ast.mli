@@ -1,0 +1,86 @@
+(** Abstract syntax of Rustlite. *)
+
+type ty =
+  | Tu64
+  | Tbool
+  | Tunit
+  | Tref of ty  (** [&T] and [&mut T]; mutability is erased, as in MIR *)
+  | Tstruct of string
+
+val ty_equal : ty -> ty -> bool
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuiting && and || *)
+
+type unop = Not | Neg
+
+type expr = { e : expr_kind; pos : Token.pos }
+
+and expr_kind =
+  | Eint of int64
+  | Ebool of bool
+  | Eunit
+  | Evar of string  (** variable, constant, or [self] *)
+  | Efield of expr * string
+  | Ederef of expr
+  | Eref of expr  (** [&e] / [&mut e]; the operand must be a place *)
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Emethod of expr * string * expr list
+  | Estruct of string * (string * expr) list
+  | Evariant of string * string * expr list
+      (** [Enum::Variant(args)] *)
+  | Ecast of expr * ty
+
+type stmt = { s : stmt_kind; spos : Token.pos }
+
+and stmt_kind =
+  | Slet of { mut : bool; name : string; ty : ty option; init : expr }
+  | Sassign of expr * expr  (** place := value *)
+  | Sexpr of expr
+  | Sif of expr * block * block option
+  | Swhile of expr * block
+  | Sloop of block
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Smatch of expr * (pattern * block) list
+
+and pattern =
+  | Pvariant of string * string * string list
+      (** [Enum::Variant(x, y)]; binders are plain identifiers *)
+  | Pwild
+
+and block = stmt list
+
+type self_kind = No_self | Self_ref | Self_ref_mut
+
+type fndef = {
+  fn_name : string;
+  self_param : self_kind;
+  params : (string * ty) list;
+  ret : ty;
+  body : block;
+  fn_pos : Token.pos;
+}
+
+type item =
+  | Iconst of string * int64
+  | Istruct of string * (string * ty) list
+  | Ienum of string * (string * ty list) list
+      (** variants carry positional payloads *)
+  | Iextern of { ex_name : string; ex_params : (string * ty) list; ex_ret : ty }
+  | Ifn of fndef
+  | Iimpl of string * fndef list
+
+type program = item list
+
+val method_symbol : string -> string -> string
+(** [method_symbol "FrameAlloc" "alloc"] is ["FrameAlloc::alloc"], the
+    MIR-level function name. *)

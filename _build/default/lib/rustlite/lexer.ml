@@ -1,0 +1,145 @@
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+type cursor = { src : string; mutable off : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.off < String.length cur.src then Some cur.src.[cur.off] else None
+
+let peek2 cur =
+  if cur.off + 1 < String.length cur.src then Some cur.src.[cur.off + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.off <- cur.off + 1
+
+let pos cur = { Token.line = cur.line; col = cur.col }
+
+let error cur msg =
+  Error (Format.asprintf "lex error at %a: %s" Token.pp_pos (pos cur) msg)
+
+(* longest-match first *)
+let puncts =
+  [
+    "<<"; ">>"; "=="; "!="; "<="; ">="; "&&"; "||"; "->"; "=>"; "::";
+    "("; ")"; "{"; "}"; ","; ";"; ":"; "."; "="; "<"; ">"; "+"; "-"; "*";
+    "/"; "%"; "&"; "|"; "^"; "!"; "["; "]";
+  ]
+
+let tokenize src =
+  let cur = { src; off = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let push tok p = out := { Token.tok; pos = p } :: !out in
+  let rec skip_block_comment depth =
+    if depth = 0 then Ok ()
+    else
+      match (peek cur, peek2 cur) with
+      | Some '*', Some '/' ->
+          advance cur;
+          advance cur;
+          skip_block_comment (depth - 1)
+      | Some '/', Some '*' ->
+          advance cur;
+          advance cur;
+          skip_block_comment (depth + 1)
+      | Some _, _ ->
+          advance cur;
+          skip_block_comment depth
+      | None, _ -> error cur "unterminated block comment"
+  in
+  let lex_int p =
+    let start = cur.off in
+    let hex =
+      match (peek cur, peek2 cur) with
+      | Some '0', Some ('x' | 'X') ->
+          advance cur;
+          advance cur;
+          true
+      | _ -> false
+    in
+    let digits = Buffer.create 8 in
+    let rec go () =
+      match peek cur with
+      | Some c when (if hex then is_hex c else is_digit c) ->
+          Buffer.add_char digits c;
+          advance cur;
+          go ()
+      | Some '_' ->
+          advance cur;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if Buffer.length digits = 0 then
+      error cur (Printf.sprintf "malformed integer literal at offset %d" start)
+    else
+      let text = (if hex then "0x" else "") ^ Buffer.contents digits in
+      match Int64.of_string_opt (if hex then text else Buffer.contents digits) with
+      | Some v ->
+          push (Token.Int v) p;
+          Ok ()
+      | None -> error cur (Printf.sprintf "integer literal out of range: %s" text)
+  in
+  let lex_ident p =
+    let b = Buffer.create 8 in
+    let rec go () =
+      match peek cur with
+      | Some c when is_ident c ->
+          Buffer.add_char b c;
+          advance cur;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let name = Buffer.contents b in
+    if List.mem name Token.keywords then push (Token.Kw name) p
+    else push (Token.Ident name) p;
+    Ok ()
+  in
+  let lex_punct p =
+    let matches s =
+      cur.off + String.length s <= String.length src
+      && String.sub src cur.off (String.length s) = s
+    in
+    match List.find_opt matches puncts with
+    | Some s ->
+        for _ = 1 to String.length s do
+          advance cur
+        done;
+        push (Token.Punct s) p;
+        Ok ()
+    | None -> error cur (Printf.sprintf "unexpected character %C" src.[cur.off])
+  in
+  let rec loop () =
+    match peek cur with
+    | None ->
+        push Token.Eof (pos cur);
+        Ok (List.rev !out)
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance cur;
+        loop ()
+    | Some '/' when peek2 cur = Some '/' ->
+        let rec to_eol () =
+          match peek cur with
+          | Some '\n' | None -> ()
+          | Some _ ->
+              advance cur;
+              to_eol ()
+        in
+        to_eol ();
+        loop ()
+    | Some '/' when peek2 cur = Some '*' ->
+        advance cur;
+        advance cur;
+        Result.bind (skip_block_comment 1) (fun () -> loop ())
+    | Some c when is_digit c -> Result.bind (lex_int (pos cur)) (fun () -> loop ())
+    | Some c when is_ident_start c -> Result.bind (lex_ident (pos cur)) (fun () -> loop ())
+    | Some _ -> Result.bind (lex_punct (pos cur)) (fun () -> loop ())
+  in
+  loop ()

@@ -1,0 +1,7 @@
+(** Lexer for Rustlite.
+
+    Supports decimal and [0x] hexadecimal integers with [_] separators,
+    line comments ([//]) and nestable block comments, and the operator
+    and punctuation set of {!Token}. *)
+
+val tokenize : string -> (Token.spanned list, string) result

@@ -1,0 +1,464 @@
+module B = Mir.Builder
+module Syn = Mir.Syntax
+module StrSet = Set.Make (String)
+open Typecheck
+
+let rec mir_ty = function
+  | Ast.Tu64 -> Mir.Ty.Int Mir.Ty.U64
+  | Ast.Tbool -> Mir.Ty.Bool
+  | Ast.Tunit -> Mir.Ty.Unit
+  | Ast.Tref t -> Mir.Ty.Ref (mir_ty t)
+  | Ast.Tstruct s -> Mir.Ty.Adt s
+
+(* ------------------------------------------------------------------ *)
+(* Address-taken analysis                                              *)
+
+let rec place_base (e : texpr) =
+  match e.te with
+  | Tlocal x -> Some x
+  | Tfield (b, _) -> place_base b
+  | Tderef _ -> None (* address comes from an existing pointer *)
+  | Tint _ | Tbool_lit _ | Tunit_lit | Tref_of _ | Tbin _ | Tun _ | Tcall _
+  | Tstruct_lit _ | Tvariant_lit _ | Tcast _ ->
+      None
+
+let rec addr_taken_expr acc (e : texpr) =
+  match e.te with
+  | Tref_of pl ->
+      let acc =
+        match place_base pl with Some x -> StrSet.add x acc | None -> acc
+      in
+      addr_taken_expr acc pl
+  | Tint _ | Tbool_lit _ | Tunit_lit | Tlocal _ -> acc
+  | Tfield (b, _) | Tderef b | Tun (_, b) | Tcast b -> addr_taken_expr acc b
+  | Tbin (_, a, b) -> addr_taken_expr (addr_taken_expr acc a) b
+  | Tcall (_, args) | Tstruct_lit (_, args) | Tvariant_lit (_, _, args) ->
+      List.fold_left addr_taken_expr acc args
+
+let rec addr_taken_stmts acc stmts = List.fold_left addr_taken_stmt acc stmts
+
+and addr_taken_stmt acc = function
+  | TSlet (_, e) | TSexpr e -> addr_taken_expr acc e
+  | TSassign (a, b) -> addr_taken_expr (addr_taken_expr acc a) b
+  | TSif (c, t, e) ->
+      addr_taken_stmts (addr_taken_stmts (addr_taken_expr acc c) t) e
+  | TSwhile (c, b) -> addr_taken_stmts (addr_taken_expr acc c) b
+  | TSloop b -> addr_taken_stmts acc b
+  | TSbreak | TScontinue -> acc
+  | TSreturn (Some e) -> addr_taken_expr acc e
+  | TSreturn None -> acc
+  | TSmatch (scrut, arms, wild) ->
+      let acc = addr_taken_expr acc scrut in
+      let acc =
+        List.fold_left (fun acc arm -> addr_taken_stmts acc arm.arm_body) acc arms
+      in
+      (match wild with Some body -> addr_taken_stmts acc body | None -> acc)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering context                                                    *)
+
+type ctx = {
+  b : B.t;
+  addr_taken : StrSet.t;
+  return_block : Syn.label;
+  overflow_checks : bool;  (* rustc debug mode: checked +, -, * *)
+  mutable loops : (Syn.label * Syn.label) list;  (* (continue, break) *)
+  mutable shadow : int;  (* counter for shadowed let bindings *)
+  mutable names : string list;  (* declared MIR names, to detect shadowing *)
+}
+
+let declare_var ctx name ty =
+  (* surface re-let of the same name shadows; give the new binding a
+     fresh MIR name *)
+  let mir_name =
+    if List.mem name ctx.names then begin
+      ctx.shadow <- ctx.shadow + 1;
+      Printf.sprintf "%s#%d" name ctx.shadow
+    end
+    else name
+  in
+  ctx.names <- mir_name :: ctx.names;
+  let kind =
+    if StrSet.mem name ctx.addr_taken then B.local ctx.b ~name:mir_name (mir_ty ty)
+    else B.temp ctx.b ~name:mir_name (mir_ty ty)
+  in
+  ignore kind;
+  mir_name
+
+(* Resolution of surface names to current MIR names: maintained as an
+   association list snapshot per scope. *)
+type scope = (string * string) list
+
+let resolve scope name =
+  match List.assoc_opt name scope with
+  | Some mir_name -> mir_name
+  | None -> name (* parameters keep their surface names *)
+
+let fresh_temp ctx ty = B.temp ctx.b (mir_ty ty)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec lower_operand ctx scope (e : texpr) : Syn.operand =
+  match e.te with
+  | Tint i -> B.cword Mir.Ty.U64 i
+  | Tbool_lit bv -> B.cbool bv
+  | Tunit_lit -> B.cunit
+  | Tlocal x -> Syn.Copy (B.pvar (resolve scope x))
+  | Tfield _ | Tderef _ -> Syn.Copy (lower_place ctx scope e)
+  | Tref_of pl ->
+      let place = lower_place ctx scope pl in
+      into_temp ctx e.tty (Syn.Ref place)
+  | Tbin (op, a, b) -> lower_binop ctx scope e.tty op a b
+  | Tun (op, a) ->
+      let oa = lower_operand ctx scope a in
+      let mop = match op with Ast.Not -> Syn.Not | Ast.Neg -> Syn.Neg in
+      into_temp ctx e.tty (Syn.Unary (mop, oa))
+  | Tcall (f, args) ->
+      let oargs = List.map (lower_operand ctx scope) args in
+      let dest = fresh_temp ctx e.tty in
+      let next = B.fresh_block ctx.b in
+      B.terminate ctx.b
+        (Syn.Call { dest = B.pvar dest; func = f; args = oargs; target = Some next });
+      B.switch_to ctx.b next;
+      Syn.Copy (B.pvar dest)
+  | Tstruct_lit (name, fields) ->
+      let ofields = List.map (lower_operand ctx scope) fields in
+      into_temp ctx e.tty (Syn.Aggregate (Syn.Agg_struct name, ofields))
+  | Tvariant_lit (name, index, payload) ->
+      let ofields = List.map (lower_operand ctx scope) payload in
+      into_temp ctx e.tty (Syn.Aggregate (Syn.Agg_variant (name, index), ofields))
+  | Tcast a ->
+      let oa = lower_operand ctx scope a in
+      into_temp ctx e.tty (Syn.Cast (oa, Mir.Ty.U64))
+
+and into_temp ctx ty rv =
+  let t = fresh_temp ctx ty in
+  B.assign_var ctx.b t rv;
+  Syn.Copy (B.pvar t)
+
+and lower_binop ctx scope ty op a b =
+  match op with
+  | Ast.Land | Ast.Lor ->
+      (* short-circuit: result := a; if it decides, skip b *)
+      let result = fresh_temp ctx Ast.Tbool in
+      let oa = lower_operand ctx scope a in
+      B.assign_var ctx.b result (Syn.Use oa);
+      let rhs_block = B.fresh_block ctx.b in
+      let join = B.fresh_block ctx.b in
+      (* for &&: false short-circuits; for ||: true short-circuits *)
+      (match op with
+      | Ast.Land ->
+          B.terminate ctx.b
+            (Syn.Switch_int (Syn.Copy (B.pvar result), [ (0L, join) ], rhs_block))
+      | _ ->
+          B.terminate ctx.b
+            (Syn.Switch_int (Syn.Copy (B.pvar result), [ (0L, rhs_block) ], join)));
+      B.switch_to ctx.b rhs_block;
+      let ob = lower_operand ctx scope b in
+      B.assign_var ctx.b result (Syn.Use ob);
+      B.terminate ctx.b (Syn.Goto join);
+      B.switch_to ctx.b join;
+      Syn.Copy (B.pvar result)
+  | Ast.Div | Ast.Rem ->
+      let oa = lower_operand ctx scope a in
+      let ob = lower_operand ctx scope b in
+      (* rustc guards division with an assert terminator *)
+      let nonzero = fresh_temp ctx Ast.Tbool in
+      B.assign_var ctx.b nonzero
+        (Syn.Binary (Syn.Ne, ob, B.cword Mir.Ty.U64 0L));
+      let cont = B.fresh_block ctx.b in
+      B.terminate ctx.b
+        (Syn.Assert
+           {
+             cond = Syn.Copy (B.pvar nonzero);
+             expected = true;
+             msg = "attempt to divide by zero";
+             target = cont;
+           });
+      B.switch_to ctx.b cont;
+      let mop = match op with Ast.Div -> Syn.Div | _ -> Syn.Rem in
+      into_temp ctx ty (Syn.Binary (mop, oa, ob))
+  | (Ast.Add | Ast.Sub | Ast.Mul) when ctx.overflow_checks ->
+      (* rustc debug mode: a checked operation plus an overflow assert *)
+      let oa = lower_operand ctx scope a in
+      let ob = lower_operand ctx scope b in
+      let mop, what =
+        match op with
+        | Ast.Add -> (Syn.Add, "add")
+        | Ast.Sub -> (Syn.Sub, "subtract")
+        | _ -> (Syn.Mul, "multiply")
+      in
+      let pair = fresh_temp ctx Ast.Tu64 (* 2-tuple, type is nominal only *) in
+      B.assign_var ctx.b pair (Syn.Checked_binary (mop, oa, ob));
+      let cont = B.fresh_block ctx.b in
+      B.terminate ctx.b
+        (Syn.Assert
+           {
+             cond = Syn.Copy (B.pfield (B.pvar pair) 1);
+             expected = false;
+             msg = Printf.sprintf "attempt to %s with overflow" what;
+             target = cont;
+           });
+      B.switch_to ctx.b cont;
+      into_temp ctx ty (Syn.Use (Syn.Copy (B.pfield (B.pvar pair) 0)))
+  | _ ->
+      let oa = lower_operand ctx scope a in
+      let ob = lower_operand ctx scope b in
+      let mop =
+        match op with
+        | Ast.Add -> Syn.Add
+        | Ast.Sub -> Syn.Sub
+        | Ast.Mul -> Syn.Mul
+        | Ast.And -> Syn.Bit_and
+        | Ast.Or -> Syn.Bit_or
+        | Ast.Xor -> Syn.Bit_xor
+        | Ast.Shl -> Syn.Shl
+        | Ast.Shr -> Syn.Shr
+        | Ast.Eq -> Syn.Eq
+        | Ast.Ne -> Syn.Ne
+        | Ast.Lt -> Syn.Lt
+        | Ast.Le -> Syn.Le
+        | Ast.Gt -> Syn.Gt
+        | Ast.Ge -> Syn.Ge
+        | Ast.Div | Ast.Rem | Ast.Land | Ast.Lor -> assert false
+      in
+      into_temp ctx ty (Syn.Binary (mop, oa, ob))
+
+and lower_place ctx scope (e : texpr) : Syn.place =
+  match e.te with
+  | Tlocal x -> B.pvar (resolve scope x)
+  | Tfield (b, i) ->
+      if Typecheck.is_place b then B.pfield (lower_place ctx scope b) i
+      else
+        let op = lower_operand ctx scope b in
+        let t = fresh_temp ctx b.tty in
+        B.assign_var ctx.b t (Syn.Use op);
+        B.pfield (B.pvar t) i
+  | Tderef b ->
+      if Typecheck.is_place b then B.pderef (lower_place ctx scope b)
+      else
+        let op = lower_operand ctx scope b in
+        let t = fresh_temp ctx b.tty in
+        B.assign_var ctx.b t (Syn.Use op);
+        B.pderef (B.pvar t)
+  | Tint _ | Tbool_lit _ | Tunit_lit | Tref_of _ | Tbin _ | Tun _ | Tcall _
+  | Tstruct_lit _ | Tvariant_lit _ | Tcast _ ->
+      invalid_arg "lower_place: not a place (typechecker should have rejected this)"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec lower_stmts ctx scope stmts =
+  List.fold_left (fun scope st -> lower_stmt ctx scope st) scope stmts
+
+and lower_stmt ctx scope (st : tstmt) : scope =
+  match st with
+  | TSlet (name, init) ->
+      let op = lower_operand ctx scope init in
+      let mir_name = declare_var ctx name init.tty in
+      B.assign ctx.b (B.pvar mir_name) (Syn.Use op);
+      (name, mir_name) :: scope
+  | TSassign (pl, v) ->
+      let op = lower_operand ctx scope v in
+      let place = lower_place ctx scope pl in
+      B.assign ctx.b place (Syn.Use op);
+      scope
+  | TSexpr e ->
+      ignore (lower_operand ctx scope e);
+      scope
+  | TSif (cond, then_blk, else_blk) ->
+      let oc = lower_operand ctx scope cond in
+      let then_label = B.fresh_block ctx.b in
+      let else_label = B.fresh_block ctx.b in
+      let join = B.fresh_block ctx.b in
+      B.terminate ctx.b (Syn.Switch_int (oc, [ (0L, else_label) ], then_label));
+      B.switch_to ctx.b then_label;
+      ignore (lower_stmts ctx scope then_blk);
+      B.terminate ctx.b (Syn.Goto join);
+      B.switch_to ctx.b else_label;
+      ignore (lower_stmts ctx scope else_blk);
+      B.terminate ctx.b (Syn.Goto join);
+      B.switch_to ctx.b join;
+      scope
+  | TSwhile (cond, body) ->
+      let head = B.fresh_block ctx.b in
+      let body_label = B.fresh_block ctx.b in
+      let exit = B.fresh_block ctx.b in
+      B.terminate ctx.b (Syn.Goto head);
+      B.switch_to ctx.b head;
+      let oc = lower_operand ctx scope cond in
+      B.terminate ctx.b (Syn.Switch_int (oc, [ (0L, exit) ], body_label));
+      B.switch_to ctx.b body_label;
+      ctx.loops <- (head, exit) :: ctx.loops;
+      ignore (lower_stmts ctx scope body);
+      ctx.loops <- List.tl ctx.loops;
+      B.terminate ctx.b (Syn.Goto head);
+      B.switch_to ctx.b exit;
+      scope
+  | TSloop body ->
+      let start = B.fresh_block ctx.b in
+      let exit = B.fresh_block ctx.b in
+      B.terminate ctx.b (Syn.Goto start);
+      B.switch_to ctx.b start;
+      ctx.loops <- (start, exit) :: ctx.loops;
+      ignore (lower_stmts ctx scope body);
+      ctx.loops <- List.tl ctx.loops;
+      B.terminate ctx.b (Syn.Goto start);
+      B.switch_to ctx.b exit;
+      scope
+  | TSbreak ->
+      (match ctx.loops with
+      | (_, exit) :: _ -> B.terminate ctx.b (Syn.Goto exit)
+      | [] -> invalid_arg "break outside loop (typechecker should have rejected)");
+      (* statements after a break are unreachable; park them in a fresh
+         block that falls through normally *)
+      let dead = B.fresh_block ctx.b in
+      B.switch_to ctx.b dead;
+      scope
+  | TScontinue ->
+      (match ctx.loops with
+      | (head, _) :: _ -> B.terminate ctx.b (Syn.Goto head)
+      | [] -> invalid_arg "continue outside loop (typechecker should have rejected)");
+      let dead = B.fresh_block ctx.b in
+      B.switch_to ctx.b dead;
+      scope
+  | TSreturn e ->
+      (match e with
+      | Some e ->
+          let op = lower_operand ctx scope e in
+          B.assign ctx.b (B.pvar Syn.return_var) (Syn.Use op)
+      | None -> B.assign ctx.b (B.pvar Syn.return_var) (Syn.Use B.cunit));
+      B.terminate ctx.b (Syn.Goto ctx.return_block);
+      let dead = B.fresh_block ctx.b in
+      B.switch_to ctx.b dead;
+      scope
+  | TSmatch (scrut, arms, wild) ->
+      (* rustc shape: spill the scrutinee, switch on its discriminant,
+         project payload fields through a downcast in each arm *)
+      let op = lower_operand ctx scope scrut in
+      let s = fresh_temp ctx scrut.tty in
+      B.assign_var ctx.b s (Syn.Use op);
+      let disc = fresh_temp ctx Ast.Tu64 in
+      B.assign_var ctx.b disc (Syn.Discriminant (B.pvar s));
+      let join = B.fresh_block ctx.b in
+      let arm_labels = List.map (fun _ -> B.fresh_block ctx.b) arms in
+      let otherwise = B.fresh_block ctx.b in
+      let cases =
+        List.map2
+          (fun arm label -> (Int64.of_int arm.arm_variant, label))
+          arms arm_labels
+      in
+      B.terminate ctx.b (Syn.Switch_int (Syn.Copy (B.pvar disc), cases, otherwise));
+      List.iter2
+        (fun arm label ->
+          B.switch_to ctx.b label;
+          let arm_scope =
+            List.fold_left
+              (fun sc (i, (binder, ty)) ->
+                let mir_name = declare_var ctx binder ty in
+                B.assign ctx.b (B.pvar mir_name)
+                  (Syn.Use
+                     (Syn.Copy
+                        (B.pfield (B.pdowncast (B.pvar s) arm.arm_variant) i)));
+                (binder, mir_name) :: sc)
+              scope
+              (List.mapi (fun i b -> (i, b)) arm.arm_binders)
+          in
+          ignore (lower_stmts ctx arm_scope arm.arm_body);
+          B.terminate ctx.b (Syn.Goto join))
+        arms arm_labels;
+      B.switch_to ctx.b otherwise;
+      (match wild with
+      | Some body ->
+          ignore (lower_stmts ctx scope body);
+          B.terminate ctx.b (Syn.Goto join)
+      | None ->
+          (* exhaustive match: rustc emits Unreachable here *)
+          B.terminate ctx.b Syn.Unreachable);
+      B.switch_to ctx.b join;
+      scope
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+
+let rec all_vars_of_stmts acc = List.fold_left all_vars_of_stmt acc
+
+and all_vars_of_stmt acc = function
+  | TSlet (name, e) -> all_vars_of_expr (StrSet.add name acc) e
+  | TSassign (a, b) -> all_vars_of_expr (all_vars_of_expr acc a) b
+  | TSexpr e -> all_vars_of_expr acc e
+  | TSif (c, t, e) -> all_vars_of_stmts (all_vars_of_stmts (all_vars_of_expr acc c) t) e
+  | TSwhile (c, b) -> all_vars_of_stmts (all_vars_of_expr acc c) b
+  | TSloop b -> all_vars_of_stmts acc b
+  | TSbreak | TScontinue -> acc
+  | TSreturn (Some e) -> all_vars_of_expr acc e
+  | TSreturn None -> acc
+  | TSmatch (scrut, arms, wild) ->
+      let acc = all_vars_of_expr acc scrut in
+      let acc =
+        List.fold_left
+          (fun acc arm ->
+            all_vars_of_stmts
+              (List.fold_left (fun a (n, _) -> StrSet.add n a) acc arm.arm_binders)
+              arm.arm_body)
+          acc arms
+      in
+      (match wild with Some body -> all_vars_of_stmts acc body | None -> acc)
+
+and all_vars_of_expr acc (e : texpr) =
+  match e.te with
+  | Tlocal x -> StrSet.add x acc
+  | Tint _ | Tbool_lit _ | Tunit_lit -> acc
+  | Tfield (b, _) | Tderef b | Tun (_, b) | Tcast b | Tref_of b -> all_vars_of_expr acc b
+  | Tbin (_, a, b) -> all_vars_of_expr (all_vars_of_expr acc a) b
+  | Tcall (_, args) | Tstruct_lit (_, args) | Tvariant_lit (_, _, args) ->
+      List.fold_left all_vars_of_expr acc args
+
+let lower_function ?(lift_temps = true) ?(overflow_checks = false) (fd : tfn) =
+  (* With lifting disabled every variable is address-taken, i.e. all of
+     them live in object memory, like the Miri-style semantics the
+     paper compares against (Sec. 3.2) — used by the ablation bench. *)
+  let addr_taken =
+    if lift_temps then addr_taken_stmts StrSet.empty fd.tbody
+    else
+      List.fold_left
+        (fun s (n, _) -> StrSet.add n s)
+        (all_vars_of_stmts StrSet.empty fd.tbody)
+        fd.tparams
+  in
+  let params =
+    List.map
+      (fun (name, ty) ->
+        let kind =
+          if StrSet.mem name addr_taken then Syn.Klocal else Syn.Ktemp
+        in
+        (name, mir_ty ty, kind))
+      fd.tparams
+  in
+  let b = B.create ~name:fd.symbol ~params ~ret_ty:(mir_ty fd.tret) in
+  let return_block = B.fresh_block b in
+  let ctx =
+    {
+      b;
+      addr_taken;
+      return_block;
+      overflow_checks;
+      loops = [];
+      shadow = 0;
+      names = List.map (fun (n, _) -> n) fd.tparams;
+    }
+  in
+  ignore (lower_stmts ctx [] fd.tbody);
+  (* implicit return at the end of the body *)
+  (match fd.tret with
+  | Ast.Tunit -> B.assign ctx.b (B.pvar Syn.return_var) (Syn.Use B.cunit)
+  | _ -> ());
+  B.terminate ctx.b (Syn.Goto return_block);
+  B.switch_to ctx.b return_block;
+  B.terminate ctx.b Syn.Return;
+  B.finish b
+
+let lower_program ?lift_temps ?overflow_checks (prog : tprog) =
+  let bodies = List.map (lower_function ?lift_temps ?overflow_checks) prog.functions in
+  (Syn.program_of_bodies bodies, List.map fst prog.externs)

@@ -1,0 +1,26 @@
+(** Lowering from the typed AST to MIRlight CFGs.
+
+    Performs what rustc's MIR construction does for this subset:
+
+    - splits variables into address-taken {e locals} and pure {e temps}
+      (the mem2reg-style lifting of paper Sec. 3.2) — only variables
+      whose address is taken with [&] end up in object memory;
+    - flattens control flow ([if]/[while]/[loop]/[&&]/[||]) into basic
+      blocks with [switchInt] terminators;
+    - emits rustc-style [Assert] terminators guarding division and
+      remainder by zero;
+    - turns method bodies into plain functions whose first parameter is
+      the [self] pointer. *)
+
+val lower_function :
+  ?lift_temps:bool -> ?overflow_checks:bool -> Typecheck.tfn -> Mir.Syntax.body
+(* [lift_temps:false] forces every variable into object memory (the
+   ablation of the Sec. 3.2 temp-lifting optimization);
+   [overflow_checks:true] emits rustc-debug-style checked +, -, * with
+   overflow asserts *)
+
+val lower_program :
+  ?lift_temps:bool -> ?overflow_checks:bool -> Typecheck.tprog ->
+  Mir.Syntax.program * string list
+(** The MIR program plus the names of extern (trusted) functions it
+    expects as primitives. *)

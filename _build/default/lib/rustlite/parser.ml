@@ -1,0 +1,478 @@
+type state = { toks : Token.spanned array; mutable idx : int; mutable no_struct : bool }
+
+exception Parse_error of string
+
+let fail st msg =
+  let t = st.toks.(st.idx) in
+  raise
+    (Parse_error
+       (Format.asprintf "parse error at %a: %s (found %a)" Token.pp_pos t.Token.pos
+          msg Token.pp t.Token.tok))
+
+let cur st = st.toks.(st.idx).Token.tok
+let cur_pos st = st.toks.(st.idx).Token.pos
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let eat st tok =
+  if Token.equal (cur st) tok then advance st
+  else fail st (Printf.sprintf "expected %s" (Token.to_string tok))
+
+let accept st tok =
+  if Token.equal (cur st) tok then (
+    advance st;
+    true)
+  else false
+
+let punct s = Token.Punct s
+let kw s = Token.Kw s
+
+let ident st =
+  match cur st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | _ -> fail st "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let rec parse_ty st =
+  match cur st with
+  | Token.Kw "u64" | Token.Kw "usize" ->
+      advance st;
+      Ast.Tu64
+  | Token.Kw "bool" ->
+      advance st;
+      Ast.Tbool
+  | Token.Punct "(" ->
+      advance st;
+      eat st (punct ")");
+      Ast.Tunit
+  | Token.Punct "&" ->
+      advance st;
+      ignore (accept st (kw "mut"));
+      Ast.Tref (parse_ty st)
+  | Token.Ident name ->
+      advance st;
+      Ast.Tstruct name
+  | _ -> fail st "expected a type"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let binop_of_punct = function
+  | "+" -> Some Ast.Add
+  | "-" -> Some Ast.Sub
+  | "*" -> Some Ast.Mul
+  | "/" -> Some Ast.Div
+  | "%" -> Some Ast.Rem
+  | "&" -> Some Ast.And
+  | "|" -> Some Ast.Or
+  | "^" -> Some Ast.Xor
+  | "<<" -> Some Ast.Shl
+  | ">>" -> Some Ast.Shr
+  | "==" -> Some Ast.Eq
+  | "!=" -> Some Ast.Ne
+  | "<" -> Some Ast.Lt
+  | "<=" -> Some Ast.Le
+  | ">" -> Some Ast.Gt
+  | ">=" -> Some Ast.Ge
+  | "&&" -> Some Ast.Land
+  | "||" -> Some Ast.Lor
+  | _ -> None
+
+(* smaller binds looser *)
+let precedence = function
+  | Ast.Lor -> 1
+  | Ast.Land -> 2
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 3
+  | Ast.Or -> 4
+  | Ast.Xor -> 5
+  | Ast.And -> 6
+  | Ast.Shl | Ast.Shr -> 7
+  | Ast.Add | Ast.Sub -> 8
+  | Ast.Mul | Ast.Div | Ast.Rem -> 9
+
+let mk pos e = { Ast.e; pos }
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  climb st lhs min_prec
+
+and climb st lhs min_prec =
+  match cur st with
+  | Token.Punct p -> (
+      match binop_of_punct p with
+      | Some op when precedence op >= min_prec ->
+          let pos = cur_pos st in
+          advance st;
+          let rhs = parse_expr_prec st (precedence op + 1) in
+          climb st (mk pos (Ast.Ebin (op, lhs, rhs))) min_prec
+      | _ -> lhs)
+  | _ -> lhs
+
+and parse_unary st =
+  let pos = cur_pos st in
+  match cur st with
+  | Token.Punct "!" ->
+      advance st;
+      mk pos (Ast.Eun (Ast.Not, parse_unary st))
+  | Token.Punct "-" ->
+      advance st;
+      mk pos (Ast.Eun (Ast.Neg, parse_unary st))
+  | Token.Punct "*" ->
+      advance st;
+      mk pos (Ast.Ederef (parse_unary st))
+  | Token.Punct "&" ->
+      advance st;
+      ignore (accept st (kw "mut"));
+      mk pos (Ast.Eref (parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match cur st with
+    | Token.Punct "." ->
+        advance st;
+        let pos = cur_pos st in
+        let name = ident st in
+        if Token.equal (cur st) (punct "(") then begin
+          let args = parse_call_args st in
+          e := mk pos (Ast.Emethod (!e, name, args))
+        end
+        else e := mk pos (Ast.Efield (!e, name))
+    | Token.Kw "as" ->
+        advance st;
+        let pos = cur_pos st in
+        let ty = parse_ty st in
+        e := mk pos (Ast.Ecast (!e, ty))
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_call_args st =
+  eat st (punct "(");
+  let args = ref [] in
+  if not (Token.equal (cur st) (punct ")")) then begin
+    let saved = st.no_struct in
+    st.no_struct <- false;
+    args := [ parse_expr st ];
+    while accept st (punct ",") do
+      args := parse_expr st :: !args
+    done;
+    st.no_struct <- saved
+  end;
+  eat st (punct ")");
+  List.rev !args
+
+and parse_primary st =
+  let pos = cur_pos st in
+  match cur st with
+  | Token.Int i ->
+      advance st;
+      mk pos (Ast.Eint i)
+  | Token.Kw "true" ->
+      advance st;
+      mk pos (Ast.Ebool true)
+  | Token.Kw "false" ->
+      advance st;
+      mk pos (Ast.Ebool false)
+  | Token.Kw "self" ->
+      advance st;
+      mk pos (Ast.Evar "self")
+  | Token.Punct "(" ->
+      advance st;
+      if accept st (punct ")") then mk pos Ast.Eunit
+      else begin
+        let saved = st.no_struct in
+        st.no_struct <- false;
+        let e = parse_expr st in
+        st.no_struct <- saved;
+        eat st (punct ")");
+        e
+      end
+  | Token.Ident name ->
+      advance st;
+      if Token.equal (cur st) (punct "::") then begin
+        advance st;
+        let variant = ident st in
+        let args =
+          if Token.equal (cur st) (punct "(") then parse_call_args st else []
+        in
+        mk pos (Ast.Evariant (name, variant, args))
+      end
+      else if Token.equal (cur st) (punct "(") then
+        let args = parse_call_args st in
+        mk pos (Ast.Ecall (name, args))
+      else if Token.equal (cur st) (punct "{") && not st.no_struct then begin
+        advance st;
+        let fields = ref [] in
+        while not (Token.equal (cur st) (punct "}")) do
+          let f = ident st in
+          eat st (punct ":");
+          fields := (f, parse_expr st) :: !fields;
+          if not (Token.equal (cur st) (punct "}")) then eat st (punct ",")
+        done;
+        eat st (punct "}");
+        mk pos (Ast.Estruct (name, List.rev !fields))
+      end
+      else mk pos (Ast.Evar name)
+  | _ -> fail st "expected an expression"
+
+and parse_expr st = parse_expr_prec st 0
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let parse_condition st =
+  let saved = st.no_struct in
+  st.no_struct <- true;
+  let e = parse_expr st in
+  st.no_struct <- saved;
+  e
+
+let rec parse_block st =
+  eat st (punct "{");
+  let stmts = ref [] in
+  while not (Token.equal (cur st) (punct "}")) do
+    stmts := parse_stmt st :: !stmts
+  done;
+  eat st (punct "}");
+  List.rev !stmts
+
+and parse_stmt st =
+  let spos = cur_pos st in
+  let mk_s s = { Ast.s; spos } in
+  match cur st with
+  | Token.Kw "let" ->
+      advance st;
+      let mut = accept st (kw "mut") in
+      let name = ident st in
+      let ty = if accept st (punct ":") then Some (parse_ty st) else None in
+      eat st (punct "=");
+      let init = parse_expr st in
+      eat st (punct ";");
+      mk_s (Ast.Slet { mut; name; ty; init })
+  | Token.Kw "if" -> parse_if st spos
+  | Token.Kw "while" ->
+      advance st;
+      let cond = parse_condition st in
+      let body = parse_block st in
+      mk_s (Ast.Swhile (cond, body))
+  | Token.Kw "loop" ->
+      advance st;
+      let body = parse_block st in
+      mk_s (Ast.Sloop body)
+  | Token.Kw "match" ->
+      advance st;
+      let scrutinee = parse_condition st in
+      eat st (punct "{");
+      let arms = ref [] in
+      while not (Token.equal (cur st) (punct "}")) do
+        let pat =
+          match cur st with
+          | Token.Ident "_" ->
+              advance st;
+              Ast.Pwild
+          | Token.Ident enum_name ->
+              advance st;
+              eat st (punct "::");
+              let variant = ident st in
+              let binders = ref [] in
+              if accept st (punct "(") then begin
+                if not (Token.equal (cur st) (punct ")")) then begin
+                  binders := [ ident st ];
+                  while accept st (punct ",") do
+                    binders := ident st :: !binders
+                  done
+                end;
+                eat st (punct ")")
+              end;
+              Ast.Pvariant (enum_name, variant, List.rev !binders)
+          | _ -> fail st "expected a match pattern"
+        in
+        eat st (punct "=>");
+        let body = parse_block st in
+        ignore (accept st (punct ","));
+        arms := (pat, body) :: !arms
+      done;
+      eat st (punct "}");
+      mk_s (Ast.Smatch (scrutinee, List.rev !arms))
+  | Token.Kw "break" ->
+      advance st;
+      eat st (punct ";");
+      mk_s Ast.Sbreak
+  | Token.Kw "continue" ->
+      advance st;
+      eat st (punct ";");
+      mk_s Ast.Scontinue
+  | Token.Kw "return" ->
+      advance st;
+      if accept st (punct ";") then mk_s (Ast.Sreturn None)
+      else begin
+        let e = parse_expr st in
+        eat st (punct ";");
+        mk_s (Ast.Sreturn (Some e))
+      end
+  | _ ->
+      let e = parse_expr st in
+      if accept st (punct "=") then begin
+        let rhs = parse_expr st in
+        eat st (punct ";");
+        mk_s (Ast.Sassign (e, rhs))
+      end
+      else if Token.equal (cur st) (punct "}") then
+        (* Rust tail expression: the block's value.  Rustlite only has
+           statement blocks, so a tail expression is the function's
+           return value. *)
+        mk_s (Ast.Sreturn (Some e))
+      else begin
+        eat st (punct ";");
+        mk_s (Ast.Sexpr e)
+      end
+
+and parse_if st spos =
+  eat st (kw "if");
+  let cond = parse_condition st in
+  let then_blk = parse_block st in
+  let else_blk =
+    if accept st (kw "else") then
+      if Token.equal (cur st) (kw "if") then Some [ parse_if st (cur_pos st) ]
+      else Some (parse_block st)
+    else None
+  in
+  { Ast.s = Ast.Sif (cond, then_blk, else_blk); spos }
+
+(* ------------------------------------------------------------------ *)
+(* Items                                                               *)
+
+let parse_params st ~allow_self =
+  eat st (punct "(");
+  let self_param = ref Ast.No_self in
+  let params = ref [] in
+  let first = ref true in
+  while not (Token.equal (cur st) (punct ")")) do
+    if not !first then eat st (punct ",");
+    (match (cur st, !first && allow_self) with
+    | Token.Punct "&", true ->
+        advance st;
+        let mut = accept st (kw "mut") in
+        eat st (kw "self");
+        self_param := (if mut then Ast.Self_ref_mut else Ast.Self_ref)
+    | _ ->
+        let name = ident st in
+        eat st (punct ":");
+        let ty = parse_ty st in
+        params := (name, ty) :: !params);
+    first := false
+  done;
+  eat st (punct ")");
+  (!self_param, List.rev !params)
+
+let parse_ret st = if accept st (punct "->") then parse_ty st else Ast.Tunit
+
+let parse_fndef st ~allow_self =
+  let fn_pos = cur_pos st in
+  eat st (kw "fn");
+  let fn_name = ident st in
+  let self_param, params = parse_params st ~allow_self in
+  let ret = parse_ret st in
+  let body = parse_block st in
+  { Ast.fn_name; self_param; params; ret; body; fn_pos }
+
+let parse_item st =
+  match cur st with
+  | Token.Kw "const" ->
+      advance st;
+      let name = ident st in
+      eat st (punct ":");
+      let _ty = parse_ty st in
+      eat st (punct "=");
+      let v =
+        match cur st with
+        | Token.Int i ->
+            advance st;
+            i
+        | _ -> fail st "const initializer must be an integer literal"
+      in
+      eat st (punct ";");
+      Ast.Iconst (name, v)
+  | Token.Kw "enum" ->
+      advance st;
+      let name = ident st in
+      eat st (punct "{");
+      let variants = ref [] in
+      while not (Token.equal (cur st) (punct "}")) do
+        let vname = ident st in
+        let payload = ref [] in
+        if accept st (punct "(") then begin
+          if not (Token.equal (cur st) (punct ")")) then begin
+            payload := [ parse_ty st ];
+            while accept st (punct ",") do
+              payload := parse_ty st :: !payload
+            done
+          end;
+          eat st (punct ")")
+        end;
+        variants := (vname, List.rev !payload) :: !variants;
+        if not (Token.equal (cur st) (punct "}")) then eat st (punct ",")
+      done;
+      eat st (punct "}");
+      Ast.Ienum (name, List.rev !variants)
+  | Token.Kw "struct" ->
+      advance st;
+      let name = ident st in
+      eat st (punct "{");
+      let fields = ref [] in
+      while not (Token.equal (cur st) (punct "}")) do
+        let f = ident st in
+        eat st (punct ":");
+        let ty = parse_ty st in
+        fields := (f, ty) :: !fields;
+        if not (Token.equal (cur st) (punct "}")) then eat st (punct ",")
+      done;
+      eat st (punct "}");
+      Ast.Istruct (name, List.rev !fields)
+  | Token.Kw "extern" ->
+      advance st;
+      eat st (kw "fn");
+      let ex_name = ident st in
+      let _, ex_params = parse_params st ~allow_self:false in
+      let ex_ret = parse_ret st in
+      eat st (punct ";");
+      Ast.Iextern { ex_name; ex_params; ex_ret }
+  | Token.Kw "fn" -> Ast.Ifn (parse_fndef st ~allow_self:false)
+  | Token.Kw "impl" ->
+      advance st;
+      let name = ident st in
+      eat st (punct "{");
+      let fns = ref [] in
+      while not (Token.equal (cur st) (punct "}")) do
+        fns := parse_fndef st ~allow_self:true :: !fns
+      done;
+      eat st (punct "}");
+      Ast.Iimpl (name, List.rev !fns)
+  | _ -> fail st "expected an item (const, struct, extern, fn, impl)"
+
+let with_tokens src f =
+  match Lexer.tokenize src with
+  | Error _ as e -> e
+  | Ok toks -> (
+      let st = { toks = Array.of_list toks; idx = 0; no_struct = false } in
+      try Ok (f st) with Parse_error msg -> Error msg)
+
+let parse src =
+  with_tokens src (fun st ->
+      let items = ref [] in
+      while not (Token.equal (cur st) Token.Eof) do
+        items := parse_item st :: !items
+      done;
+      List.rev !items)
+
+let parse_expr src =
+  with_tokens src (fun st ->
+      let e = parse_expr st in
+      if not (Token.equal (cur st) Token.Eof) then fail st "trailing input";
+      e)

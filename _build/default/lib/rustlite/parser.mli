@@ -1,0 +1,10 @@
+(** Recursive-descent parser for Rustlite.
+
+    Rust-style restriction: struct literals are not allowed in [if] /
+    [while] condition position (where [{] starts the body instead). *)
+
+val parse : string -> (Ast.program, string) result
+(** Lex and parse a full program. *)
+
+val parse_expr : string -> (Ast.expr, string) result
+(** For tests: parse a single expression. *)

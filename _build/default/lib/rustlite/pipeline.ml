@@ -1,0 +1,37 @@
+type output = {
+  program : Mir.Syntax.program;
+  externs : string list;
+  function_names : string list;
+  mir_lines : int;
+  source_lines : int;
+}
+
+let ( let* ) = Result.bind
+
+let count_lines src =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 1 src
+
+let compile ?lift_temps ?overflow_checks src =
+  let* ast = Parser.parse src in
+  let* typed = Typecheck.check ast in
+  let program, externs = Lower.lower_program ?lift_temps ?overflow_checks typed in
+  match Mir.Validate.check_program ~primitives:externs program with
+  | [] ->
+      Ok
+        {
+          program;
+          externs;
+          function_names = List.map (fun (f : Typecheck.tfn) -> f.Typecheck.symbol) typed.Typecheck.functions;
+          mir_lines = Mir.Syntax.program_line_count program;
+          source_lines = count_lines src;
+        }
+  | issues ->
+      Error
+        (Format.asprintf "internal error: generated MIR is ill-formed:@.%a"
+           (Format.pp_print_list Mir.Validate.pp_issue)
+           issues)
+
+let compile_exn src =
+  match compile src with Ok o -> o | Error msg -> invalid_arg msg
+
+let emit o = Mir.Pp.program_to_string o.program

@@ -1,0 +1,20 @@
+(** The full mirlightgen pipeline (paper Sec. 3.3, Fig. 3):
+    source → tokens → AST → typed AST → MIRlight → validation. *)
+
+type output = {
+  program : Mir.Syntax.program;
+  externs : string list;  (** trusted primitives the program expects *)
+  function_names : string list;
+  mir_lines : int;  (** Table 1's "lines of mirlight code" statistic *)
+  source_lines : int;
+}
+
+val compile : ?lift_temps:bool -> ?overflow_checks:bool -> string -> (output, string) result
+(** Compile Rustlite source.  Fails on lex, parse, or type errors, and
+    on MIR that does not pass {!Mir.Validate} (an internal error). *)
+
+val compile_exn : string -> output
+
+val emit : output -> string
+(** Pretty-print the compiled program in MIR form (what the
+    [mirlightgen] CLI prints). *)

@@ -1,0 +1,480 @@
+type texpr = { te : texpr_kind; tty : Ast.ty }
+
+and texpr_kind =
+  | Tint of int64
+  | Tbool_lit of bool
+  | Tunit_lit
+  | Tlocal of string
+  | Tfield of texpr * int
+  | Tderef of texpr
+  | Tref_of of texpr
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Tcall of string * texpr list
+  | Tstruct_lit of string * texpr list
+  | Tvariant_lit of string * int * texpr list
+  | Tcast of texpr
+
+type tstmt =
+  | TSlet of string * texpr
+  | TSassign of texpr * texpr
+  | TSexpr of texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSloop of tstmt list
+  | TSbreak
+  | TScontinue
+  | TSreturn of texpr option
+  | TSmatch of texpr * tarm list * tstmt list option
+
+and tarm = {
+  arm_enum : string;
+  arm_variant : int;
+  arm_binders : (string * Ast.ty) list;
+  arm_body : tstmt list;
+}
+
+type signature = { sig_params : Ast.ty list; sig_ret : Ast.ty }
+
+type tfn = {
+  symbol : string;
+  tparams : (string * Ast.ty) list;
+  tret : Ast.ty;
+  tbody : tstmt list;
+}
+
+type tprog = {
+  structs : (string * (string * Ast.ty) list) list;
+  externs : (string * signature) list;
+  functions : tfn list;
+}
+
+exception Type_error of string
+
+module StrMap = Map.Make (String)
+
+type env = {
+  consts : int64 StrMap.t;
+  structs : (string * Ast.ty) list StrMap.t;
+  enums : (string * Ast.ty list) list StrMap.t;
+      (* enum name -> [(variant, payload types)] in declaration order *)
+  sigs : signature StrMap.t;  (* all callables: fns, externs, methods *)
+}
+
+type fctx = {
+  env : env;
+  locals : (Ast.ty * bool (* mutable *)) StrMap.t;
+  ret : Ast.ty;
+  loop_depth : int;
+}
+
+let err pos fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Type_error (Format.asprintf "type error at %a: %s" Token.pp_pos pos msg)))
+    fmt
+
+let rec is_place e =
+  match e.te with
+  | Tlocal _ | Tderef _ -> true
+  | Tfield (base, _) -> is_place base
+  | Tint _ | Tbool_lit _ | Tunit_lit | Tref_of _ | Tbin _ | Tun _ | Tcall _
+  | Tstruct_lit _ | Tvariant_lit _ | Tcast _ ->
+      false
+
+let struct_fields env pos name =
+  match StrMap.find_opt name env.structs with
+  | Some fields -> fields
+  | None ->
+      if StrMap.mem name env.enums then
+        err pos "%s is an enum; use match to inspect it" name
+      else err pos "unknown struct %s" name
+
+let enum_variant env pos ename vname =
+  match StrMap.find_opt ename env.enums with
+  | None -> err pos "unknown enum %s" ename
+  | Some variants -> (
+      let rec go i = function
+        | [] -> err pos "enum %s has no variant %s" ename vname
+        | (v, payload) :: rest ->
+            if String.equal v vname then (i, payload) else go (i + 1) rest
+      in
+      go 0 variants)
+
+let field_index env pos struct_name field =
+  let fields = struct_fields env pos struct_name in
+  let rec go i = function
+    | [] -> err pos "struct %s has no field %s" struct_name field
+    | (f, ty) :: rest -> if String.equal f field then (i, ty) else go (i + 1) rest
+  in
+  go 0 fields
+
+(* Auto-deref one level for field access and method receivers. *)
+let rec base_struct pos e =
+  match e.tty with
+  | Ast.Tstruct s -> (e, s)
+  | Ast.Tref (Ast.Tstruct s) -> ({ te = Tderef e; tty = Ast.Tstruct s }, s)
+  | Ast.Tref (Ast.Tref _ as inner) ->
+      base_struct pos { te = Tderef e; tty = inner }
+  | ty -> err pos "expected a struct value, got %s" (Ast.ty_to_string ty)
+
+let rec check_expr fx (e : Ast.expr) : texpr =
+  let pos = e.Ast.pos in
+  match e.Ast.e with
+  | Ast.Eint i -> { te = Tint i; tty = Ast.Tu64 }
+  | Ast.Ebool b -> { te = Tbool_lit b; tty = Ast.Tbool }
+  | Ast.Eunit -> { te = Tunit_lit; tty = Ast.Tunit }
+  | Ast.Evar name -> (
+      match StrMap.find_opt name fx.locals with
+      | Some (ty, _) -> { te = Tlocal name; tty = ty }
+      | None -> (
+          match StrMap.find_opt name fx.env.consts with
+          | Some v -> { te = Tint v; tty = Ast.Tu64 }
+          | None -> err pos "unbound name %s" name))
+  | Ast.Efield (base, field) ->
+      let tbase = check_expr fx base in
+      let tbase, sname = base_struct pos tbase in
+      let index, fty = field_index fx.env pos sname field in
+      { te = Tfield (tbase, index); tty = fty }
+  | Ast.Ederef inner -> (
+      let t = check_expr fx inner in
+      match t.tty with
+      | Ast.Tref ty -> { te = Tderef t; tty = ty }
+      | ty -> err pos "cannot dereference non-reference %s" (Ast.ty_to_string ty))
+  | Ast.Eref inner ->
+      let t = check_expr fx inner in
+      if not (is_place t) then err pos "cannot take a reference to a temporary value"
+      else { te = Tref_of t; tty = Ast.Tref t.tty }
+  | Ast.Ebin (op, a, b) -> check_binop fx pos op a b
+  | Ast.Eun (Ast.Not, a) -> (
+      let t = check_expr fx a in
+      match t.tty with
+      | Ast.Tbool | Ast.Tu64 -> { te = Tun (Ast.Not, t); tty = t.tty }
+      | ty -> err pos "operator ! expects bool or u64, got %s" (Ast.ty_to_string ty))
+  | Ast.Eun (Ast.Neg, a) -> (
+      let t = check_expr fx a in
+      match t.tty with
+      | Ast.Tu64 -> { te = Tun (Ast.Neg, t); tty = Ast.Tu64 }
+      | ty -> err pos "operator - expects u64, got %s" (Ast.ty_to_string ty))
+  | Ast.Ecall (name, args) -> (
+      match StrMap.find_opt name fx.env.sigs with
+      | None -> err pos "call of unknown function %s" name
+      | Some s ->
+          let targs = check_args fx pos name s.sig_params args in
+          { te = Tcall (name, targs); tty = s.sig_ret })
+  | Ast.Emethod (recv, m, args) -> (
+      let trecv = check_expr fx recv in
+      let adjusted, sname =
+        (* auto-ref: methods take &self; a struct-typed receiver is
+           referenced, a reference-typed one passes through *)
+        match trecv.tty with
+        | Ast.Tstruct s ->
+            if not (is_place trecv) then
+              err pos "method receiver must be a place (cannot borrow a temporary)"
+            else ({ te = Tref_of trecv; tty = Ast.Tref trecv.tty }, s)
+        | Ast.Tref (Ast.Tstruct s) -> (trecv, s)
+        | ty -> err pos "method call on non-struct %s" (Ast.ty_to_string ty)
+      in
+      let symbol = Ast.method_symbol sname m in
+      match StrMap.find_opt symbol fx.env.sigs with
+      | None -> err pos "struct %s has no method %s" sname m
+      | Some s ->
+          (match s.sig_params with
+          | Ast.Tref (Ast.Tstruct s0) :: _ when String.equal s0 sname -> ()
+          | _ -> err pos "%s is not a method" symbol);
+          let targs =
+            check_args fx pos symbol (List.tl s.sig_params) args
+          in
+          { te = Tcall (symbol, adjusted :: targs); tty = s.sig_ret })
+  | Ast.Estruct (name, inits) ->
+      let fields = struct_fields fx.env pos name in
+      if List.length inits <> List.length fields then
+        err pos "struct %s literal must initialize all %d fields" name
+          (List.length fields);
+      let ordered =
+        List.map
+          (fun (fname, fty) ->
+            match List.find_opt (fun (n, _) -> String.equal n fname) inits with
+            | None -> err pos "struct %s literal is missing field %s" name fname
+            | Some (_, init) ->
+                let t = check_expr fx init in
+                if not (Ast.ty_equal t.tty fty) then
+                  err pos "field %s of %s expects %s, got %s" fname name
+                    (Ast.ty_to_string fty) (Ast.ty_to_string t.tty)
+                else t)
+          fields
+      in
+      { te = Tstruct_lit (name, ordered); tty = Ast.Tstruct name }
+  | Ast.Evariant (ename, vname, args) ->
+      let index, payload = enum_variant fx.env pos ename vname in
+      let targs = check_args fx pos (ename ^ "::" ^ vname) payload args in
+      { te = Tvariant_lit (ename, index, targs); tty = Ast.Tstruct ename }
+  | Ast.Ecast (inner, ty) -> (
+      let t = check_expr fx inner in
+      match (t.tty, ty) with
+      | (Ast.Tu64 | Ast.Tbool), Ast.Tu64 -> { te = Tcast t; tty = Ast.Tu64 }
+      | _ ->
+          err pos "unsupported cast from %s to %s" (Ast.ty_to_string t.tty)
+            (Ast.ty_to_string ty))
+
+and check_binop fx pos op a b =
+  let ta = check_expr fx a in
+  let tb = check_expr fx b in
+  let need ty t =
+    if not (Ast.ty_equal t.tty ty) then
+      err pos "operator expects %s, got %s" (Ast.ty_to_string ty)
+        (Ast.ty_to_string t.tty)
+  in
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem | Ast.And | Ast.Or | Ast.Xor
+  | Ast.Shl | Ast.Shr ->
+      need Ast.Tu64 ta;
+      need Ast.Tu64 tb;
+      { te = Tbin (op, ta, tb); tty = Ast.Tu64 }
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      need Ast.Tu64 ta;
+      need Ast.Tu64 tb;
+      { te = Tbin (op, ta, tb); tty = Ast.Tbool }
+  | Ast.Eq | Ast.Ne ->
+      if not (Ast.ty_equal ta.tty tb.tty) then
+        err pos "comparison of %s with %s" (Ast.ty_to_string ta.tty)
+          (Ast.ty_to_string tb.tty)
+      else (
+        (match ta.tty with
+        | Ast.Tu64 | Ast.Tbool -> ()
+        | ty -> err pos "cannot compare values of type %s" (Ast.ty_to_string ty));
+        { te = Tbin (op, ta, tb); tty = Ast.Tbool })
+  | Ast.Land | Ast.Lor ->
+      need Ast.Tbool ta;
+      need Ast.Tbool tb;
+      { te = Tbin (op, ta, tb); tty = Ast.Tbool }
+
+and check_args fx pos what param_tys args =
+  if List.length param_tys <> List.length args then
+    err pos "%s expects %d arguments, got %d" what (List.length param_tys)
+      (List.length args);
+  List.map2
+    (fun pty arg ->
+      let t = check_expr fx arg in
+      if not (Ast.ty_equal t.tty pty) then
+        err pos "%s: argument expects %s, got %s" what (Ast.ty_to_string pty)
+          (Ast.ty_to_string t.tty)
+      else t)
+    param_tys args
+
+let rec check_stmts fx stmts = snd (List.fold_left check_stmt (fx, []) stmts) |> List.rev
+
+and check_stmt (fx, acc) (st : Ast.stmt) =
+  let pos = st.Ast.spos in
+  match st.Ast.s with
+  | Ast.Slet { mut; name; ty; init } ->
+      let t = check_expr fx init in
+      (match ty with
+      | Some annot when not (Ast.ty_equal annot t.tty) ->
+          err pos "let %s: %s initialized with %s" name (Ast.ty_to_string annot)
+            (Ast.ty_to_string t.tty)
+      | Some _ | None -> ());
+      let fx = { fx with locals = StrMap.add name (t.tty, mut) fx.locals } in
+      (fx, TSlet (name, t) :: acc)
+  | Ast.Sassign (lhs, rhs) ->
+      let tl = check_expr fx lhs in
+      if not (is_place tl) then err pos "left side of assignment is not a place";
+      (* direct assignment to an immutable binding is rejected, like rustc *)
+      (match tl.te with
+      | Tlocal name -> (
+          match StrMap.find_opt name fx.locals with
+          | Some (_, false) when not (String.equal name "self") ->
+              err pos "cannot assign to immutable binding %s" name
+          | _ -> ())
+      | _ -> ());
+      let tr = check_expr fx rhs in
+      if not (Ast.ty_equal tl.tty tr.tty) then
+        err pos "assignment of %s to place of type %s" (Ast.ty_to_string tr.tty)
+          (Ast.ty_to_string tl.tty);
+      (fx, TSassign (tl, tr) :: acc)
+  | Ast.Sexpr e -> (fx, TSexpr (check_expr fx e) :: acc)
+  | Ast.Sif (cond, then_blk, else_blk) ->
+      let tc = check_expr fx cond in
+      if not (Ast.ty_equal tc.tty Ast.Tbool) then err pos "if condition must be bool";
+      let tt = check_stmts fx then_blk in
+      let te = match else_blk with None -> [] | Some b -> check_stmts fx b in
+      (fx, TSif (tc, tt, te) :: acc)
+  | Ast.Swhile (cond, body) ->
+      let tc = check_expr fx cond in
+      if not (Ast.ty_equal tc.tty Ast.Tbool) then err pos "while condition must be bool";
+      let tb = check_stmts { fx with loop_depth = fx.loop_depth + 1 } body in
+      (fx, TSwhile (tc, tb) :: acc)
+  | Ast.Sloop body ->
+      let tb = check_stmts { fx with loop_depth = fx.loop_depth + 1 } body in
+      (fx, TSloop tb :: acc)
+  | Ast.Sbreak ->
+      if fx.loop_depth = 0 then err pos "break outside a loop";
+      (fx, TSbreak :: acc)
+  | Ast.Scontinue ->
+      if fx.loop_depth = 0 then err pos "continue outside a loop";
+      (fx, TScontinue :: acc)
+  | Ast.Sreturn e ->
+      let t = Option.map (check_expr fx) e in
+      let actual = match t with None -> Ast.Tunit | Some t -> t.tty in
+      if not (Ast.ty_equal actual fx.ret) then
+        err pos "return of %s from function returning %s" (Ast.ty_to_string actual)
+          (Ast.ty_to_string fx.ret);
+      (fx, TSreturn t :: acc)
+  | Ast.Smatch (scrutinee, arms) ->
+      let ts = check_expr fx scrutinee in
+      let ename =
+        match ts.tty with
+        | Ast.Tstruct n when StrMap.mem n fx.env.enums -> n
+        | ty -> err pos "match on non-enum value of type %s" (Ast.ty_to_string ty)
+      in
+      let variants = StrMap.find ename fx.env.enums in
+      let seen = Hashtbl.create 8 in
+      let wild = ref None in
+      let tarms =
+        List.filter_map
+          (fun (pat, body) ->
+            match pat with
+            | Ast.Pwild ->
+                if !wild <> None then err pos "duplicate wildcard arm";
+                wild := Some (check_stmts fx body);
+                None
+            | Ast.Pvariant (e, v, binders) ->
+                if not (String.equal e ename) then
+                  err pos "pattern mentions %s but the scrutinee is a %s" e ename;
+                let index, payload = enum_variant fx.env pos e v in
+                if Hashtbl.mem seen index then err pos "duplicate arm for %s::%s" e v;
+                Hashtbl.add seen index ();
+                if List.length binders <> List.length payload then
+                  err pos "%s::%s carries %d fields, pattern binds %d" e v
+                    (List.length payload) (List.length binders);
+                let arm_binders = List.combine binders payload in
+                let fx_arm =
+                  {
+                    fx with
+                    locals =
+                      List.fold_left
+                        (fun m (n, ty) -> StrMap.add n (ty, false) m)
+                        fx.locals arm_binders;
+                  }
+                in
+                Some
+                  {
+                    arm_enum = ename;
+                    arm_variant = index;
+                    arm_binders;
+                    arm_body = check_stmts fx_arm body;
+                  })
+          arms
+      in
+      if !wild = None && Hashtbl.length seen < List.length variants then
+        err pos "non-exhaustive match on %s: cover every variant or add _" ename;
+      (fx, TSmatch (ts, tarms, !wild) :: acc)
+
+let fn_signature ~self_struct (fd : Ast.fndef) =
+  let self_tys =
+    match (fd.Ast.self_param, self_struct) with
+    | Ast.No_self, _ -> []
+    | (Ast.Self_ref | Ast.Self_ref_mut), Some s -> [ Ast.Tref (Ast.Tstruct s) ]
+    | (Ast.Self_ref | Ast.Self_ref_mut), None ->
+        raise (Type_error "self parameter outside an impl block")
+  in
+  { sig_params = self_tys @ List.map snd fd.Ast.params; sig_ret = fd.Ast.ret }
+
+let check (prog : Ast.program) =
+  try
+    (* pass 1: collect declarations *)
+    let env =
+      List.fold_left
+        (fun env item ->
+          match item with
+          | Ast.Iconst (name, v) -> { env with consts = StrMap.add name v env.consts }
+          | Ast.Istruct (name, fields) ->
+              { env with structs = StrMap.add name fields env.structs }
+          | Ast.Ienum (name, variants) ->
+              { env with enums = StrMap.add name variants env.enums }
+          | Ast.Iextern { ex_name; ex_params; ex_ret } ->
+              {
+                env with
+                sigs =
+                  StrMap.add ex_name
+                    { sig_params = List.map snd ex_params; sig_ret = ex_ret }
+                    env.sigs;
+              }
+          | Ast.Ifn fd ->
+              {
+                env with
+                sigs = StrMap.add fd.Ast.fn_name (fn_signature ~self_struct:None fd) env.sigs;
+              }
+          | Ast.Iimpl (sname, fds) ->
+              List.fold_left
+                (fun env fd ->
+                  {
+                    env with
+                    sigs =
+                      StrMap.add
+                        (Ast.method_symbol sname fd.Ast.fn_name)
+                        (fn_signature ~self_struct:(Some sname) fd)
+                        env.sigs;
+                  })
+                env fds)
+        { consts = StrMap.empty; structs = StrMap.empty; enums = StrMap.empty; sigs = StrMap.empty }
+        prog
+    in
+    (* pass 2: check bodies *)
+    let check_fn ~self_struct symbol (fd : Ast.fndef) =
+      let self_params =
+        match (fd.Ast.self_param, self_struct) with
+        | Ast.No_self, _ -> []
+        | _, Some s -> [ ("self", Ast.Tref (Ast.Tstruct s)) ]
+        | _, None -> raise (Type_error "self parameter outside an impl block")
+      in
+      let tparams = self_params @ fd.Ast.params in
+      let locals =
+        List.fold_left
+          (fun m (n, ty) -> StrMap.add n (ty, true) m)
+          StrMap.empty tparams
+      in
+      let fx = { env; locals; ret = fd.Ast.ret; loop_depth = 0 } in
+      { symbol; tparams; tret = fd.Ast.ret; tbody = check_stmts fx fd.Ast.body }
+    in
+    let functions =
+      List.concat_map
+        (fun item ->
+          match item with
+          | Ast.Ifn fd -> [ check_fn ~self_struct:None fd.Ast.fn_name fd ]
+          | Ast.Iimpl (sname, fds) ->
+              List.map
+                (fun fd ->
+                  check_fn ~self_struct:(Some sname)
+                    (Ast.method_symbol sname fd.Ast.fn_name)
+                    fd)
+                fds
+          | Ast.Iconst _ | Ast.Istruct _ | Ast.Ienum _ | Ast.Iextern _ -> [])
+        prog
+    in
+    (* duplicate detection *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun f ->
+        if Hashtbl.mem seen f.symbol then
+          raise (Type_error (Printf.sprintf "duplicate function %s" f.symbol))
+        else Hashtbl.add seen f.symbol ())
+      functions;
+    Ok
+      {
+        structs =
+          List.filter_map
+            (function Ast.Istruct (n, fs) -> Some (n, fs) | _ -> None)
+            prog;
+        externs =
+          List.filter_map
+            (function
+              | Ast.Iextern { ex_name; ex_params; ex_ret } ->
+                  Some (ex_name, { sig_params = List.map snd ex_params; sig_ret = ex_ret })
+              | _ -> None)
+            prog;
+        functions;
+      }
+  with Type_error msg -> Error msg
+
+let is_place = is_place

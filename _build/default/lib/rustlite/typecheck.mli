@@ -1,0 +1,68 @@
+(** Type checking and name resolution.
+
+    Produces a typed AST: constants are folded, field names become
+    indices, method calls become calls of their mangled symbol with an
+    explicit (auto-referenced) receiver, and one level of auto-deref is
+    resolved for field access and method receivers — the jobs rustc has
+    already done by the time MIR exists. *)
+
+type texpr = { te : texpr_kind; tty : Ast.ty }
+
+and texpr_kind =
+  | Tint of int64
+  | Tbool_lit of bool
+  | Tunit_lit
+  | Tlocal of string  (** local variable or parameter (including self) *)
+  | Tfield of texpr * int
+  | Tderef of texpr
+  | Tref_of of texpr
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Tcall of string * texpr list
+      (** direct or method call; receivers are already explicit first
+          arguments *)
+  | Tstruct_lit of string * texpr list  (** fields in declaration order *)
+  | Tvariant_lit of string * int * texpr list
+      (** enum name, variant index, payload *)
+  | Tcast of texpr
+
+type tstmt =
+  | TSlet of string * texpr
+  | TSassign of texpr * texpr  (** lhs is a place *)
+  | TSexpr of texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSloop of tstmt list
+  | TSbreak
+  | TScontinue
+  | TSreturn of texpr option
+  | TSmatch of texpr * tarm list * tstmt list option
+      (** scrutinee, variant arms, optional wildcard arm *)
+
+and tarm = {
+  arm_enum : string;
+  arm_variant : int;
+  arm_binders : (string * Ast.ty) list;
+  arm_body : tstmt list;
+}
+
+type signature = { sig_params : Ast.ty list; sig_ret : Ast.ty }
+
+type tfn = {
+  symbol : string;  (** plain name, or ["Struct::method"] *)
+  tparams : (string * Ast.ty) list;  (** self first when present *)
+  tret : Ast.ty;
+  tbody : tstmt list;
+}
+
+type tprog = {
+  structs : (string * (string * Ast.ty) list) list;
+  externs : (string * signature) list;
+  functions : tfn list;
+}
+
+val check : Ast.program -> (tprog, string) result
+
+val is_place : texpr -> bool
+(** Whether the typed expression denotes a place (assignable /
+    referenceable). *)

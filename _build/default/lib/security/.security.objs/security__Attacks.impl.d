@@ -1,0 +1,1 @@
+lib/security/attacks.ml: Absdata Boot Enclave Epcm Flags Format Geometry Hypercall Hyperenclave Int64 Invariants Layout Lazy Mir Printf Pt_flat Pte Result String

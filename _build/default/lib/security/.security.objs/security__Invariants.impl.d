@@ -1,0 +1,1 @@
+lib/security/invariants.ml: Absdata Enclave Epcm Geometry Hyperenclave Layout List Mir Mirverif Nested Printf Pt_flat Pte Result

@@ -1,0 +1,1 @@
+lib/security/invariants.mli: Hyperenclave Mirverif

@@ -1,0 +1,1 @@
+lib/security/nested.ml: Absdata Enclave Flags Geometry Hyperenclave List Mir Pt_flat Result

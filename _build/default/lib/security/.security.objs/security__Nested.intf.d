@@ -1,0 +1,1 @@
+lib/security/nested.mli: Hyperenclave Mir

@@ -1,0 +1,1 @@
+lib/security/noninterference.ml: Bool List Mirverif Observation Principal Printf State Transition

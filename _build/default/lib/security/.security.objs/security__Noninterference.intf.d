@@ -1,0 +1,1 @@
+lib/security/noninterference.mli: Mirverif Principal State Transition

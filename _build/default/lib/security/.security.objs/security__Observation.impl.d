@@ -1,0 +1,1 @@
+lib/security/observation.ml: Absdata Array Bool Flags Format Geometry Hyperenclave Int64 Layout List Mir Nested Option Oracle Phys_mem Principal Result State

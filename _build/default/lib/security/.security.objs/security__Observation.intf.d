@@ -1,0 +1,1 @@
+lib/security/observation.mli: Format Hyperenclave Mir Principal State

@@ -1,0 +1,1 @@
+lib/security/oracle.ml: Int64 List Mir

@@ -1,0 +1,1 @@
+lib/security/principal.ml: Format Int Map

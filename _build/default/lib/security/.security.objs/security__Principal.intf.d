@@ -1,0 +1,1 @@
+lib/security/principal.mli: Format Map

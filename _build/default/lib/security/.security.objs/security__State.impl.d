@@ -1,0 +1,1 @@
+lib/security/state.ml: Array Format Hyperenclave List Mir Oracle Principal Printf Tlb

@@ -1,0 +1,1 @@
+lib/security/state.mli: Format Hyperenclave Mir Oracle Principal Tlb

@@ -1,0 +1,1 @@
+lib/security/tlb.ml: Hyperenclave Int64 Map Mir Principal

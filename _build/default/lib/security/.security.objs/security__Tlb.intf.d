@@ -1,0 +1,1 @@
+lib/security/tlb.mli: Hyperenclave Mir Principal

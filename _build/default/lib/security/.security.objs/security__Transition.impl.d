@@ -1,0 +1,1 @@
+lib/security/transition.ml: Absdata Enclave Flags Format Geometry Hypercall Hyperenclave Int64 Layout Mir Nested Phys_mem Principal Printf Result State Tlb

@@ -1,0 +1,1 @@
+lib/security/transition.mli: Format Hyperenclave Mir Principal State

@@ -1,0 +1,163 @@
+open Hyperenclave
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+type scenario = {
+  name : string;
+  description : string;
+  build : unit -> (Absdata.t, string) result;
+  expected_violation : string option;
+}
+
+let layout = lazy (Layout.default Geometry.tiny)
+
+let page_va i =
+  Int64.mul (Int64.of_int (Geometry.page_size Geometry.tiny)) (Int64.of_int i)
+
+let hc what (o : _ Hypercall.outcome) =
+  if Hypercall.status_equal o.Hypercall.status Hypercall.Success then
+    Ok (o.Hypercall.d, o.Hypercall.value)
+  else
+    Error
+      (Format.asprintf "%s failed: %a" what Hypercall.pp_status o.Hypercall.status)
+
+(* Two enclaves, one EPC page each, all through the official interface. *)
+let build_two_enclaves () =
+  let d = Boot.booted (Lazy.force layout) in
+  let* d, e1 =
+    hc "create e1" (Hypercall.create d ~elrange_base:0L ~elrange_pages:2 ~mbuf_va:(page_va 8))
+  in
+  let* d, () = hc "add e1 page" (Hypercall.add_page d ~eid:e1 ~va:0L) in
+  let* d, e2 =
+    hc "create e2" (Hypercall.create d ~elrange_base:0L ~elrange_pages:2 ~mbuf_va:(page_va 8))
+  in
+  let* d, () = hc "add e2 page" (Hypercall.add_page d ~eid:e2 ~va:0L) in
+  Ok (d, e1, e2)
+
+let healthy =
+  {
+    name = "healthy";
+    description = "two enclaves built purely through hypercalls";
+    build =
+      (fun () ->
+        let* d, _, _ = build_two_enclaves () in
+        Ok d);
+    expected_violation = None;
+  }
+
+(* Map [va -> hpa] in both of an enclave's tables, the way a buggy
+   monitor code path would: GPT identity, EPT to the target. *)
+let forge_mapping d (e : Enclave.t) ~va ~hpa =
+  let* d = Pt_flat.map_page d ~root:e.Enclave.gpt_root ~va ~pa:va Flags.user_rw in
+  Pt_flat.map_page d ~root:e.Enclave.ept_root ~va ~pa:hpa Flags.user_rw
+
+let cross_enclave_alias =
+  {
+    name = "cross-enclave-alias";
+    description =
+      "enclave 2's page table maps an ELRANGE address onto enclave 1's EPC page \
+       (Fig. 5 case 1)";
+    build =
+      (fun () ->
+        let* d, _, e2 = build_two_enclaves () in
+        let* e2 = Absdata.find_enclave d e2 in
+        (* e1 owns EPC page 0; alias e2's second ELRANGE page onto it *)
+        let epc0 = Layout.epc_page_addr d.Absdata.layout 0 in
+        forge_mapping d e2 ~va:(page_va 1) ~hpa:epc0);
+    expected_violation = Some "elrange-isolation";
+  }
+
+let outside_elrange =
+  {
+    name = "outside-elrange";
+    description =
+      "an address outside the ELRANGE is mapped to an EPC page (Fig. 5 case 2)";
+    build =
+      (fun () ->
+        let* d, e1, _ = build_two_enclaves () in
+        let* e1 = Absdata.find_enclave d e1 in
+        (* ELRANGE is pages 0..1; page 4 is outside it and outside the
+           mbuf.  The buggy code path dutifully records the EPCM entry
+           (so the EPCM invariant holds) but forgets the ELRANGE
+           check. *)
+        match Epcm.find_free d.Absdata.epcm with
+        | None -> Error "no free EPC page"
+        | Some page ->
+            let hpa = Layout.epc_page_addr d.Absdata.layout page in
+            let* d = forge_mapping d e1 ~va:(page_va 4) ~hpa in
+            let* epcm =
+              Epcm.set d.Absdata.epcm page
+                (Epcm.Valid { eid = e1.Enclave.eid; va = page_va 4 })
+            in
+            Ok { d with Absdata.epcm });
+    expected_violation = Some "enclave-invariants";
+  }
+
+let shallow_copy =
+  {
+    name = "shallow-copy";
+    description =
+      "the enclave GPT's top-level entry is copied from a guest table, so the \
+       next-level table lives in guest memory (Sec. 4.1 bug)";
+    build =
+      (fun () ->
+        let* d, e1, _ = build_two_enclaves () in
+        let* e1 = Absdata.find_enclave d e1 in
+        (* entry 1 of the GPT root points into normal (guest) memory *)
+        let guest_page = page_va 2 in
+        let evil = Pte.make Geometry.tiny ~pa:guest_page Flags.user_rw in
+        Pt_flat.write_entry d ~frame:e1.Enclave.gpt_root ~index:1 evil);
+    expected_violation = Some "frame area";
+  }
+
+let mbuf_bypass =
+  {
+    name = "mbuf-bypass";
+    description =
+      "a normal-memory page outside the marshalling window is shared between an \
+       enclave and the OS";
+    build =
+      (fun () ->
+        let* d, e1, _ = build_two_enclaves () in
+        let* e1 = Absdata.find_enclave d e1 in
+        (* normal page 2 is OS-reachable and not in the mbuf window *)
+        forge_mapping d e1 ~va:(page_va 5) ~hpa:(page_va 2));
+    expected_violation = Some "mbuf-invariant";
+  }
+
+let table_exposure =
+  {
+    name = "table-exposure";
+    description = "a page-table frame of the frame area is mapped into an enclave";
+    build =
+      (fun () ->
+        let* d, e1, _ = build_two_enclaves () in
+        let* e1 = Absdata.find_enclave d e1 in
+        let victim = Layout.frame_addr d.Absdata.layout 0 in
+        forge_mapping d e1 ~va:(page_va 5) ~hpa:victim);
+    expected_violation = Some "tables-protected";
+  }
+
+let all =
+  [ healthy; cross_enclave_alias; outside_elrange; shallow_copy; mbuf_bypass; table_exposure ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let run scenario =
+  let* d = scenario.build () in
+  match (Invariants.check d, scenario.expected_violation) with
+  | Ok (), None -> Ok ()
+  | Ok (), Some expected ->
+      Error (Printf.sprintf "attack %s was NOT detected (expected %s)" scenario.name expected)
+  | Error msg, Some expected ->
+      if contains msg expected then Ok ()
+      else
+        Error
+          (Printf.sprintf "attack %s rejected for the wrong reason: %s (expected %s)"
+             scenario.name msg expected)
+  | Error msg, None ->
+      Error (Printf.sprintf "healthy scenario rejected: %s" msg)

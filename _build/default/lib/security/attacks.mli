@@ -1,0 +1,48 @@
+(** Malformed page-table designs and the checks that catch them.
+
+    Fig. 5 of the paper shows designs that type-check and run but break
+    isolation; Sec. 4.1 describes a real bug (enclave tables shallow-
+    copied from the guest's) found during development.  Each scenario
+    here builds the corresponding corrupted monitor state — using the
+    same low-level primitives a buggy monitor would use — and names the
+    invariant expected to reject it.  A healthy state is included so
+    the harness shows both directions. *)
+
+type scenario = {
+  name : string;
+  description : string;
+  build : unit -> (Hyperenclave.Absdata.t, string) result;
+  expected_violation : string option;
+      (** substring of the expected invariant failure; [None] for the
+          healthy scenario, which must pass *)
+}
+
+val healthy : scenario
+(** Two enclaves with pages, built purely through hypercalls. *)
+
+val cross_enclave_alias : scenario
+(** Fig. 5 case 1: two ELRANGE addresses of different enclaves reach
+    the same EPC page. *)
+
+val outside_elrange : scenario
+(** Fig. 5 case 2: an address outside the ELRANGE is mapped into the
+    EPC, fooling the enclave into corrupting its own private page. *)
+
+val shallow_copy : scenario
+(** Sec. 4.1: the enclave's top-level table contains entries copied
+    from a guest-controlled table, so intermediate tables live outside
+    the frame area. *)
+
+val mbuf_bypass : scenario
+(** A normal-memory page shared with the OS outside the marshalling
+    window. *)
+
+val table_exposure : scenario
+(** A page-table frame mapped into a guest address space. *)
+
+val all : scenario list
+
+val run : scenario -> (unit, string) result
+(** [Ok ()] when the scenario behaves as expected (healthy passes the
+    invariants; each attack is rejected by an invariant whose message
+    contains [expected_violation]). *)

@@ -1,0 +1,219 @@
+open Hyperenclave
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+let enclaves d =
+  List.map
+    (fun eid ->
+      match Absdata.find_enclave d eid with
+      | Ok e -> e
+      | Error _ -> assert false)
+    (Absdata.enclave_ids d)
+
+let rec each f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      each f rest
+
+(* Physical pages an enclave reaches from its ELRANGE. *)
+let elrange_pages d (e : Enclave.t) =
+  let geom = Absdata.geom d in
+  let* reach = Nested.enclave_reachable d e in
+  Ok
+    (List.filter_map
+       (fun (va, hpa, _) -> if Enclave.in_elrange e geom va then Some hpa else None)
+       reach)
+
+let elrange_isolation d =
+  let es = enclaves d in
+  let* page_sets =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* pages = elrange_pages d e in
+        Ok ((e, pages) :: acc))
+      (Ok []) es
+  in
+  let rec pairs = function
+    | [] -> Ok ()
+    | (e1, p1) :: rest ->
+        let* () =
+          each
+            (fun (e2, p2) ->
+              match
+                List.find_opt (fun pa -> List.exists (Word.equal pa) p2) p1
+              with
+              | None -> Ok ()
+              | Some pa ->
+                  Error
+                    (Printf.sprintf
+                       "enclaves %d and %d both reach physical page %s from \
+                        their ELRANGEs"
+                       e1.Enclave.eid e2.Enclave.eid (Word.to_hex pa)))
+            rest
+        in
+        pairs rest
+  in
+  pairs page_sets
+
+let mbuf_invariant d =
+  let geom = Absdata.geom d in
+  let layout = d.Absdata.layout in
+  let* os_reach = Nested.os_reachable d in
+  let os_pages = List.map (fun (_, hpa, _) -> hpa) os_reach in
+  each
+    (fun e ->
+      let* reach = Nested.enclave_reachable d e in
+      each
+        (fun (va, hpa, _) ->
+          if List.exists (Word.equal hpa) os_pages then
+            if
+              Layout.region_equal (Layout.region_of layout hpa) Layout.Mbuf
+              && Enclave.in_mbuf_va e geom va
+            then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "enclave %d va %s and the OS share physical page %s outside \
+                    the marshalling buffer"
+                   e.Enclave.eid (Word.to_hex va) (Word.to_hex hpa))
+          else Ok ())
+        reach)
+    (enclaves d)
+
+let epcm_invariant d =
+  let layout = d.Absdata.layout in
+  each
+    (fun e ->
+      let* reach = Nested.enclave_reachable d e in
+      each
+        (fun (va, hpa, _) ->
+          match Layout.epc_page_index layout hpa with
+          | None -> Ok ()
+          | Some page -> (
+              let* st = Epcm.get d.Absdata.epcm page in
+              match st with
+              | Epcm.Valid { eid; va = recorded_va }
+                when eid = e.Enclave.eid && Word.equal recorded_va va ->
+                  Ok ()
+              | Epcm.Valid { eid; _ } ->
+                  Error
+                    (Printf.sprintf
+                       "EPC page %d mapped by enclave %d but EPCM records owner %d"
+                       page e.Enclave.eid eid)
+              | Epcm.Free ->
+                  Error
+                    (Printf.sprintf
+                       "covert mapping: EPC page %d mapped by enclave %d with no \
+                        EPCM entry"
+                       page e.Enclave.eid)))
+        reach)
+    (enclaves d)
+
+let no_huge d ~root =
+  let g = Absdata.geom d in
+  let rec table frame level =
+    let rec go index =
+      if index >= Geometry.entries_per_table g then Ok ()
+      else
+        let* entry = Pt_flat.read_entry d ~frame ~index in
+        let* () =
+          if not (Pte.is_present g entry) then Ok ()
+          else if Pte.is_huge g entry then
+            Error
+              (Printf.sprintf "huge mapping at level %d (frame %d, index %d)"
+                 level frame index)
+          else if level = 1 then Ok ()
+          else
+            match Layout.frame_index d.Absdata.layout (Pte.addr g entry) with
+            | None ->
+                Error
+                  (Printf.sprintf "entry escapes frame area (frame %d, index %d)"
+                     frame index)
+            | Some next -> table next (level - 1)
+        in
+        go (index + 1)
+    in
+    go 0
+  in
+  table root g.Geometry.levels
+
+let enclave_invariants d =
+  let geom = Absdata.geom d in
+  let layout = d.Absdata.layout in
+  each
+    (fun e ->
+      if not (Enclave.ranges_disjoint e geom) then
+        Error
+          (Printf.sprintf "enclave %d: ELRANGE overlaps the marshalling window"
+             e.Enclave.eid)
+      else
+        let* () = no_huge d ~root:e.Enclave.gpt_root in
+        let* () = no_huge d ~root:e.Enclave.ept_root in
+        let* reach = Nested.enclave_reachable d e in
+        each
+          (fun (va, hpa, _) ->
+            let in_epc =
+              Layout.region_equal (Layout.region_of layout hpa) Layout.Epc
+            in
+            let in_elrange = Enclave.in_elrange e geom va in
+            if in_epc && not in_elrange then
+              Error
+                (Printf.sprintf
+                   "enclave %d: va %s outside ELRANGE reaches EPC page %s"
+                   e.Enclave.eid (Word.to_hex va) (Word.to_hex hpa))
+            else if in_elrange && not in_epc then
+              Error
+                (Printf.sprintf
+                   "enclave %d: ELRANGE va %s reaches non-EPC page %s"
+                   e.Enclave.eid (Word.to_hex va) (Word.to_hex hpa))
+            else Ok ())
+          reach)
+    (enclaves d)
+
+let tables_protected d =
+  let layout = d.Absdata.layout in
+  let bad hpa =
+    match Layout.region_of layout hpa with
+    | Layout.Frame_area | Layout.Monitor -> true
+    | Layout.Normal | Layout.Mbuf | Layout.Epc | Layout.Outside -> false
+  in
+  let* os_reach = Nested.os_reachable d in
+  let* () =
+    each
+      (fun (gpa, hpa, _) ->
+        if bad hpa then
+          Error
+            (Printf.sprintf "OS gpa %s reaches protected page %s" (Word.to_hex gpa)
+               (Word.to_hex hpa))
+        else Ok ())
+      os_reach
+  in
+  each
+    (fun e ->
+      let* reach = Nested.enclave_reachable d e in
+      each
+        (fun (va, hpa, _) ->
+          if bad hpa then
+            Error
+              (Printf.sprintf "enclave %d va %s reaches protected page %s"
+                 e.Enclave.eid (Word.to_hex va) (Word.to_hex hpa))
+          else Ok ())
+        reach)
+    (enclaves d)
+
+let as_inv name f =
+  Mirverif.Invariant.make name (fun d -> f d)
+
+let all =
+  [
+    as_inv "elrange-isolation" elrange_isolation;
+    as_inv "mbuf-invariant" mbuf_invariant;
+    as_inv "epcm-invariant" epcm_invariant;
+    as_inv "enclave-invariants" enclave_invariants;
+    as_inv "tables-protected" tables_protected;
+  ]
+
+let check d = Mirverif.Invariant.check_all all d

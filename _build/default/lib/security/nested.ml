@@ -1,0 +1,45 @@
+open Hyperenclave
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+let conj_flags (a : Flags.t) (b : Flags.t) =
+  {
+    Flags.present = a.Flags.present && b.Flags.present;
+    write = a.Flags.write && b.Flags.write;
+    user = a.Flags.user && b.Flags.user;
+    huge = false;
+  }
+
+let enclave_translate d (e : Enclave.t) ~va =
+  let* gpt = Pt_flat.translate d ~root:e.Enclave.gpt_root ~va in
+  match gpt with
+  | None -> Ok None
+  | Some (gpa, gpt_flags) -> (
+      let* ept = Pt_flat.translate d ~root:e.Enclave.ept_root ~va:gpa in
+      match ept with
+      | None -> Ok None
+      | Some (hpa, ept_flags) -> Ok (Some (hpa, conj_flags gpt_flags ept_flags)))
+
+let os_translate d ~gpa =
+  match d.Absdata.os_ept_root with
+  | None -> Error "system not booted: no OS EPT"
+  | Some root -> Pt_flat.translate d ~root ~va:gpa
+
+let enclave_reachable d (e : Enclave.t) =
+  let* gpt_maps = Pt_flat.mappings d ~root:e.Enclave.gpt_root in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (va, gpa, gf) :: rest ->
+        let* ept = Pt_flat.translate d ~root:e.Enclave.ept_root ~va:gpa in
+        (match ept with
+        | None -> go acc rest (* gpa not backed: unreachable *)
+        | Some (hpa, ef) ->
+            go ((va, Geometry.page_base (Absdata.geom d) hpa, conj_flags gf ef) :: acc) rest)
+  in
+  go [] gpt_maps
+
+let os_reachable d =
+  match d.Absdata.os_ept_root with
+  | None -> Error "system not booted: no OS EPT"
+  | Some root -> Pt_flat.mappings d ~root

@@ -1,0 +1,35 @@
+(** Nested address translation (Fig. 2).
+
+    An enclave access translates twice: its guest page table maps the
+    virtual address to a guest-physical address, and its EPT maps that
+    to host-physical; effective permissions are the conjunction.  The
+    primary OS's own guest page tables are attacker-controlled and not
+    part of the monitor state, so the OS is modelled as addressing
+    guest-physical memory directly — exactly the paper's observation
+    that only the EPT bounds what the untrusted OS can reach.
+
+    Both stages reuse {!Hyperenclave.Pt_flat.translate}, the same
+    verified walker the code proofs cover (paper Sec. 5.1). *)
+
+val conj_flags : Hyperenclave.Flags.t -> Hyperenclave.Flags.t -> Hyperenclave.Flags.t
+
+val enclave_translate :
+  Hyperenclave.Absdata.t -> Hyperenclave.Enclave.t -> va:Mir.Word.t ->
+  ((Mir.Word.t * Hyperenclave.Flags.t) option, string) result
+(** Full GVA to HPA translation for an enclave access. *)
+
+val os_translate :
+  Hyperenclave.Absdata.t -> gpa:Mir.Word.t ->
+  ((Mir.Word.t * Hyperenclave.Flags.t) option, string) result
+(** GPA to HPA through the normal VM's EPT. *)
+
+val enclave_reachable :
+  Hyperenclave.Absdata.t -> Hyperenclave.Enclave.t ->
+  ((Mir.Word.t * Mir.Word.t * Hyperenclave.Flags.t) list, string) result
+(** All [(gva_page, hpa_page, flags)] an enclave can reach, i.e. the
+    composition of its GPT and EPT page maps. *)
+
+val os_reachable :
+  Hyperenclave.Absdata.t ->
+  ((Mir.Word.t * Mir.Word.t * Hyperenclave.Flags.t) list, string) result
+(** All [(gpa_page, hpa_page, flags)] the primary OS can reach. *)

@@ -1,0 +1,62 @@
+(** Step-wise noninterference lemmas (paper Sec. 5.3).
+
+    Theorem 5.1 (indistinguishability is preserved by transitions) is
+    decomposed, as in SeKVM, into three step lemmas checked here over
+    generated states, state pairs, and actions:
+
+    - {!check_integrity} — Lemma 5.2: a step by some {e other} active
+      principal leaves p's view unchanged.
+    - {!check_local_consistency} — Lemma 5.3: from two states
+      indistinguishable to the {e active} principal p, the same action
+      by p yields indistinguishable states; enabledness must agree,
+      since p could distinguish a fault from a success.
+    - {!check_inactive_consistency} — Lemma 5.4 (generalized from
+      "moves that activate p" to all moves): from two states
+      indistinguishable to an {e inactive} p, the same action by the
+      same other principal, when enabled in both, preserves
+      indistinguishability.
+
+    The state pairs fed to the consistency lemmas must share their
+    public structure (same lifecycle history) and differ only in
+    secrets; {!Check.Gen} constructs them that way.  Resource-
+    exhaustion channels (a hypercall failing for lack of frames) are
+    out of scope, as in the paper. *)
+
+val check_integrity :
+  observer:Principal.t ->
+  states:(string * State.t) list ->
+  actions:Transition.action list ->
+  Mirverif.Report.t
+
+val check_local_consistency :
+  observer:Principal.t ->
+  pairs:(string * State.t * State.t) list ->
+  actions:Transition.action list ->
+  Mirverif.Report.t
+
+val check_inactive_consistency :
+  observer:Principal.t ->
+  pairs:(string * State.t * State.t) list ->
+  actions:Transition.action list ->
+  Mirverif.Report.t
+
+val check_trace :
+  observer:Principal.t ->
+  pairs:(string * State.t * State.t) list ->
+  schedules:Transition.action list list ->
+  Mirverif.Report.t
+(** Theorem 5.1 end-to-end: from an indistinguishable pair, run the
+    same multi-step schedule in both executions and require
+    indistinguishability after {e every} step.  A step disabled in both
+    runs is skipped; enabledness divergence fails when the observer is
+    the active principal (it can see its own fault) and truncates the
+    schedule otherwise (the runs have genuinely different schedules
+    from that point, which rely-guarantee handles separately). *)
+
+val check_all :
+  observers:Principal.t list ->
+  states:(string * State.t) list ->
+  pairs:(string * State.t * State.t) list ->
+  actions:Transition.action list ->
+  Mirverif.Report.t list
+(** All three lemmas for every observer. *)

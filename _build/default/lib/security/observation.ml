@@ -1,0 +1,89 @@
+open Hyperenclave
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+type view = {
+  is_active : bool;
+  cpu_regs : State.regs option;
+  saved_regs : State.regs;
+  mappings : (Word.t * Word.t * Flags.t) list;
+  pages : (Word.t * Word.t list) list;
+  oracle_pos : int;
+}
+
+let page_contents d hpa =
+  let g = Absdata.geom d in
+  let nwords = Geometry.page_size g / 8 in
+  let rec go i acc =
+    if i >= nwords then Ok (List.rev acc)
+    else
+      let* w = Phys_mem.read64 d.Absdata.phys (Int64.add hpa (Int64.of_int (8 * i))) in
+      go (i + 1) (w :: acc)
+  in
+  go 0 []
+
+let reachable_of (st : State.t) p =
+  let d = st.State.mon in
+  match p with
+  | Principal.Os -> Nested.os_reachable d
+  | Principal.Enclave eid -> (
+      match Absdata.find_enclave d eid with
+      | Error _ -> Ok [] (* principal not created yet: empty address space *)
+      | Ok e -> Nested.enclave_reachable d e)
+
+let observe (st : State.t) p =
+  let d = st.State.mon in
+  let is_active = Principal.equal st.State.active p in
+  let* reach = reachable_of st p in
+  let non_shared =
+    List.filter
+      (fun (_, hpa, _) ->
+        not (Layout.region_equal (Layout.region_of d.Absdata.layout hpa) Layout.Mbuf))
+      reach
+  in
+  let* pages =
+    List.fold_left
+      (fun acc (_, hpa, _) ->
+        let* acc = acc in
+        if List.exists (fun (p0, _) -> Word.equal p0 hpa) acc then Ok acc
+        else
+          let* contents = page_contents d hpa in
+          Ok ((hpa, contents) :: acc))
+      (Ok []) non_shared
+  in
+  Ok
+    {
+      is_active;
+      cpu_regs = (if is_active then Some (Array.copy st.State.regs) else None);
+      saved_regs = State.saved_ctx st p;
+      mappings = reach;
+      pages = List.sort (fun (a, _) (b, _) -> Word.compare_u a b) pages;
+      oracle_pos = Oracle.position (State.oracle_of st p);
+    }
+
+let mapping_equal (va1, pa1, f1) (va2, pa2, f2) =
+  Word.equal va1 va2 && Word.equal pa1 pa2 && Flags.equal f1 f2
+
+let view_equal a b =
+  Bool.equal a.is_active b.is_active
+  && Option.equal State.regs_equal a.cpu_regs b.cpu_regs
+  && State.regs_equal a.saved_regs b.saved_regs
+  && List.equal mapping_equal a.mappings b.mappings
+  && List.equal
+       (fun (p1, c1) (p2, c2) -> Word.equal p1 p2 && List.equal Word.equal c1 c2)
+       a.pages b.pages
+  && a.oracle_pos = b.oracle_pos
+
+let pp_view fmt v =
+  Format.fprintf fmt
+    "@[<v>active: %b, cpu: %a, saved: %a, oracle@%d@,%d mappings, %d private pages@]"
+    v.is_active
+    (Format.pp_print_option State.pp_regs)
+    v.cpu_regs State.pp_regs v.saved_regs v.oracle_pos (List.length v.mappings)
+    (List.length v.pages)
+
+let indistinguishable p st1 st2 =
+  let* v1 = observe st1 p in
+  let* v2 = observe st2 p in
+  Ok (view_equal v1 v2)

@@ -1,0 +1,31 @@
+(** The observation function V(p, σ) (paper Sec. 5.3).
+
+    A principal observes: (1) the CPU registers when it is the active
+    principal; (2) its own saved register context; (3) the mappings of
+    the page tables that define its address space (for an enclave the
+    composed GPT∘EPT view, which includes the immutable marshalling
+    mapping; for the OS its EPT view); (4) the contents of reachable
+    memory pages that are not shared — marshalling-buffer pages are
+    excluded, their data is handled by the oracle; and (5) the oracle
+    position (the declassification schedule is public, the data is
+    not). *)
+
+type view = {
+  is_active : bool;
+  cpu_regs : State.regs option;  (** present iff active *)
+  saved_regs : State.regs;
+  mappings : (Mir.Word.t * Mir.Word.t * Hyperenclave.Flags.t) list;
+  pages : (Mir.Word.t * Mir.Word.t list) list;
+      (** non-shared reachable pages: page base and word contents *)
+  oracle_pos : int;
+}
+
+val observe : State.t -> Principal.t -> (view, string) result
+(** A principal that does not exist yet (enclave id never created)
+    observes only the CPU-facing components. *)
+
+val view_equal : view -> view -> bool
+val pp_view : Format.formatter -> view -> unit
+
+val indistinguishable : Principal.t -> State.t -> State.t -> (bool, string) result
+(** V(p, σ1) = V(p, σ2). *)

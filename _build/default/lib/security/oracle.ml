@@ -1,0 +1,32 @@
+type source = Seeded of int | Replay of Mir.Word.t list
+
+type t = { source : source; pos : int }
+
+let create ?(seed = 0x9E3779B9) () = { source = Seeded seed; pos = 0 }
+let of_list values = { source = Replay values; pos = 0 }
+
+(* splitmix64-style hash: deterministic, well-spread values *)
+let hash seed n =
+  let open Int64 in
+  let z = add (of_int seed) (mul (of_int (n + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let take t =
+  let v =
+    match t.source with
+    | Seeded seed -> hash seed t.pos
+    | Replay values -> ( match List.nth_opt values t.pos with Some v -> v | None -> 0L)
+  in
+  (v, { t with pos = t.pos + 1 })
+
+let position t = t.pos
+
+let source_equal a b =
+  match (a, b) with
+  | Seeded x, Seeded y -> x = y
+  | Replay x, Replay y -> List.equal Mir.Word.equal x y
+  | (Seeded _ | Replay _), _ -> false
+
+let equal_stream a b = source_equal a.source b.source && a.pos = b.pos

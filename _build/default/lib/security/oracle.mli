@@ -1,0 +1,24 @@
+(** Data oracles (paper Sec. 5.4).
+
+    Marshalling-buffer contents are declassified: loads from the buffer
+    return the next value of an oracle stream instead of reading
+    memory, and stores to it are ignored.  The noninterference theorem
+    is then quantified over all oracles — including the one that
+    replays exactly what other guests wrote — so all real code paths
+    are covered without the buffer contents entering any view. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** A deterministic stream derived from [seed]. *)
+
+val of_list : Mir.Word.t list -> t
+(** A stream replaying the given values (then zeros). *)
+
+val take : t -> Mir.Word.t * t
+val position : t -> int
+(** How many values have been consumed; part of every principal's
+    observation (the schedule is public, the data is not). *)
+
+val equal_stream : t -> t -> bool
+(** Same generator and same position: subsequent reads agree. *)

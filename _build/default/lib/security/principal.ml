@@ -1,0 +1,26 @@
+type t = Os | Enclave of int
+
+let equal a b =
+  match (a, b) with
+  | Os, Os -> true
+  | Enclave x, Enclave y -> x = y
+  | (Os | Enclave _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Os, Os -> 0
+  | Os, Enclave _ -> -1
+  | Enclave _, Os -> 1
+  | Enclave x, Enclave y -> Int.compare x y
+
+let pp fmt = function
+  | Os -> Format.pp_print_string fmt "primary-os"
+  | Enclave e -> Format.fprintf fmt "enclave-%d" e
+
+let to_string p = Format.asprintf "%a" pp p
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,15 @@
+(** Security principals.
+
+    The noninterference statement divides the system into principals —
+    the primary OS (with its applications, which it fully controls) and
+    each enclave (paper Sec. 5).  RustMonitor itself is not a
+    principal: it is the trusted base the theorem is about. *)
+
+type t = Os | Enclave of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t

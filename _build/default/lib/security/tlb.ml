@@ -1,0 +1,26 @@
+module Key = struct
+  type t = Principal.t * Mir.Word.t
+
+  let compare (p1, va1) (p2, va2) =
+    let c = Principal.compare p1 p2 in
+    if c <> 0 then c else Int64.unsigned_compare va1 va2
+end
+
+module KeyMap = Map.Make (Key)
+
+type entry = { hpa_page : Mir.Word.t; flags : Hyperenclave.Flags.t }
+
+type t = entry KeyMap.t
+
+let empty = KeyMap.empty
+let lookup t p ~va_page = KeyMap.find_opt (p, va_page) t
+let fill t p ~va_page entry = KeyMap.add (p, va_page) entry t
+let flush_va t p ~va_page = KeyMap.remove (p, va_page) t
+let flush_principal t p = KeyMap.filter (fun (q, _) _ -> not (Principal.equal p q)) t
+let flush_all _ = KeyMap.empty
+let entry_count = KeyMap.cardinal
+
+let entry_equal a b =
+  Mir.Word.equal a.hpa_page b.hpa_page && Hyperenclave.Flags.equal a.flags b.flags
+
+let equal = KeyMap.equal entry_equal

@@ -1,0 +1,36 @@
+(** A tagged translation lookaside buffer.
+
+    HyperEnclave flushes the TLB entries of a domain when switching
+    vCPU modes (paper Sec. 2.1); the correctness obligation this
+    models is {e TLB consistency}: cached translations must never
+    outlive the page-table entries they were filled from.  Entries are
+    tagged by principal (VPID/ASID style), so context switches need no
+    flush, but any hypercall that removes or changes a mapping must
+    invalidate the affected entries — a monitor that forgets the flush
+    leaves a stale translation that bypasses spatial isolation
+    (exercised by the [stale-tlb] tests).
+
+    The TLB is {e not} part of any principal's observation: when
+    consistent, a cached translation equals the walked one, so caching
+    is semantically invisible. *)
+
+type t
+
+type entry = { hpa_page : Mir.Word.t; flags : Hyperenclave.Flags.t }
+
+val empty : t
+
+val lookup : t -> Principal.t -> va_page:Mir.Word.t -> entry option
+
+val fill : t -> Principal.t -> va_page:Mir.Word.t -> entry -> t
+
+val flush_va : t -> Principal.t -> va_page:Mir.Word.t -> t
+(** Invalidate one tagged entry (INVLPG). *)
+
+val flush_principal : t -> Principal.t -> t
+(** Invalidate everything tagged with one principal. *)
+
+val flush_all : t -> t
+
+val entry_count : t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,57 @@
+(** The system's step relation (paper Sec. 5.1).
+
+    CPU-local computation is nondeterministic in the paper; here it is
+    parameterized by the concrete [Compute]/[Const] actions the checker
+    chooses to exercise.  [Load]/[Store] resolve their address with the
+    verified page walk — nested for enclaves, EPT-only for the OS —
+    and treat the marshalling buffer with oracle semantics
+    (Sec. 5.4).  Hypercalls apply the functional models of
+    {!Hyperenclave.Hypercall}; [Enter]/[Exit] swap register contexts
+    and the active principal.
+
+    [Error] from {!step} means the action is {e disabled} in that
+    state (page fault, wrong principal, lifecycle violation of
+    enter/exit); the noninterference lemmas quantify over enabled
+    steps. *)
+
+type action =
+  | Const of { dst : int; value : Mir.Word.t }  (** reg := immediate *)
+  | Compute of { dst : int; src1 : int; src2 : int }  (** reg := reg + reg *)
+  | Load of { dst : int; va : Mir.Word.t }
+  | Store of { src : int; va : Mir.Word.t }
+  | Hc_create of {
+      elrange_base : Mir.Word.t;
+      elrange_pages : int;
+      mbuf_va : Mir.Word.t;
+    }  (** OS only; status to reg 0, new eid to reg 1 *)
+  | Hc_add_page of { eid : int; va : Mir.Word.t }  (** OS only; status to reg 0 *)
+  | Hc_remove_page of { eid : int; va : Mir.Word.t }
+      (** OS only (EREMOVE extension); status to reg 0 *)
+  | Hc_init_done of { eid : int }  (** OS only; status to reg 0 *)
+  | Hc_enter of { eid : int }  (** OS only; target must be initialized *)
+  | Hc_exit  (** enclave only *)
+
+val pp_action : Format.formatter -> action -> unit
+val action_to_string : action -> string
+
+val step : ?flush:bool -> State.t -> action -> (State.t, string) result
+(** [flush] (default true) controls whether mapping-removing hypercalls
+    invalidate the affected TLB entries; [flush:false] models the buggy
+    monitor used by the stale-TLB demonstrations. *)
+
+val enabled : State.t -> action -> bool
+
+val cpu_local : action -> bool
+(** Register operations, loads and stores — the moves Lemmas 5.2–5.4
+    quantify over directly. *)
+
+val configures : State.t -> Principal.t -> action -> bool
+(** Whether the action legitimately reshapes [p]'s own view: a
+    hypercall that creates, populates, seals or activates [p], or an
+    activity transfer involving [p].  The per-primitive integrity
+    property excludes these (they are covered by the pairwise
+    consistency lemma instead). *)
+
+val mon_step :
+  (Hyperenclave.Absdata.t -> Hyperenclave.Absdata.t) -> State.t -> State.t
+(** Lift a monitor-state transformation (used by attack scenarios). *)

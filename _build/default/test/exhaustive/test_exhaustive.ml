@@ -1,0 +1,310 @@
+(* Bounded-exhaustive checking on the tiny geometry.
+
+   The tiny shape (2 levels x 4 entries x 32-byte pages, 16 virtual
+   pages, 42 physical pages) is small enough to enumerate whole input
+   spaces instead of sampling them: these suites run every combination
+   and compare the Rustlite code (under the MIR interpreter), its low
+   spec, and — where applicable — the Pt_flat and Pt_tree views, all
+   four of which must agree. *)
+
+open Hyperenclave
+module Report = Mirverif.Report
+
+let layout = Layout.default Geometry.tiny
+let g = Geometry.tiny
+let pageL = Int64.of_int (Geometry.page_size g)
+let page i = Int64.mul pageL (Int64.of_int i)
+let vpages = 1 lsl (Geometry.va_bits g - g.Geometry.page_shift)
+let ppages = Int64.to_int (Int64.div (Layout.phys_limit layout) pageL)
+
+let ok what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let env_for layer = Layers.env_for layout ~layer
+
+let run_code ?mem env d fn args =
+  Mir.Interp.call env ~abs:d ~mem:(Option.value ~default:Mir.Mem.empty mem) fn args
+
+let spec_of fn = Option.get (Mem_spec.find layout fn)
+
+(* Compare code and spec on one input; both-undefined counts as agree. *)
+let agree ?mem env d fn args =
+  let spec_args = args in
+  match
+    ( Mirverif.Spec.apply (spec_of fn) d spec_args,
+      run_code ?mem env d fn args )
+  with
+  | Error _, Error _ -> true
+  | Ok (abs_s, ret_s), Ok outcome ->
+      Mir.Value.equal outcome.Mir.Interp.ret ret_s
+      && Absdata.equal outcome.Mir.Interp.abs abs_s
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* 1. Every pure PTE operation over every flag combination and every
+      physical page of the space (16 flags x 42 pages = 672 entries,
+      through 6 functions each).                                       *)
+
+let test_exhaustive_pte_ops () =
+  let env = env_for "PteOps" in
+  let d = Absdata.create layout in
+  let entries =
+    List.concat_map
+      (fun p ->
+        List.map (fun f -> Pte.make g ~pa:(page p) f) Flags.all)
+      (List.init ppages (fun i -> i))
+  in
+  let fns = [ "pte_is_present"; "pte_is_huge"; "pte_is_writable"; "pte_is_user"; "pte_addr"; "pte_flag_bits" ] in
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun e ->
+          if not (agree env d fn [ Mir.Value.u64 e ]) then
+            Alcotest.failf "%s disagrees on entry %Lx" fn e)
+        entries)
+    fns;
+  (* pte_make over every page x flag combination *)
+  List.iteri
+    (fun p () ->
+      List.iter
+        (fun f ->
+          let args = [ Mir.Value.u64 (page p); Mir.Value.u64 (Flags.encode g f) ] in
+          if not (agree env d "pte_make" args) then
+            Alcotest.failf "pte_make disagrees on page %d" p)
+        Flags.all)
+    (List.init ppages (fun _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* 2. The frame allocator over its full bitmap state space: the tiny
+      pool has 24 frames; enumerate all 2^12 states of the low half
+      (the half boot actually uses) and check alloc/free/is_allocated
+      against the code for each.                                       *)
+
+let test_exhaustive_frame_alloc () =
+  let env = env_for "FrameAlloc" in
+  for bits = 0 to (1 lsl 12) - 1 do
+    let falloc =
+      ok "bitmap"
+        (Frame_alloc.set_bitmap_word
+           (Frame_alloc.create ~nframes:layout.Layout.frame_count)
+           0 (Int64.of_int bits))
+    in
+    let d = { (Absdata.create layout) with Absdata.falloc } in
+    if not (agree env d "frame_alloc" []) then
+      Alcotest.failf "frame_alloc disagrees on bitmap %x" bits;
+    (* spot the first-free answer against a direct computation *)
+    (match run_code env d "frame_alloc" [] with
+    | Ok o ->
+        let expected =
+          let rec go i = if i >= 12 then 12 else if bits land (1 lsl i) = 0 then i else go (i + 1) in
+          go 0
+        in
+        let got =
+          match o.Mir.Interp.ret with
+          | Mir.Value.Int (w, _) -> Int64.to_int w
+          | _ -> -1
+        in
+        Alcotest.(check int) (Printf.sprintf "lowest free of %x" bits) expected got
+    | Error e -> Alcotest.failf "frame_alloc run: %s" (Mir.Interp.error_to_string e));
+    (* free / is_allocated on every frame of the enumerated half *)
+    for i = 0 to 11 do
+      if not (agree env d "frame_free" [ Mir.Value.int Mir.Ty.U64 i ]) then
+        Alcotest.failf "frame_free disagrees on bitmap %x frame %d" bits i;
+      if not (agree env d "frame_is_allocated" [ Mir.Value.int Mir.Ty.U64 i ]) then
+        Alcotest.failf "frame_is_allocated disagrees on bitmap %x frame %d" bits i
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* 3. map_page over the entire (va page, pa page, flags/8) input cube
+      on a fresh table, checked code-vs-spec, and for accepted inputs
+      also against Pt_flat and the tree abstraction.                   *)
+
+let test_exhaustive_map_page () =
+  let env = env_for "PtMap" in
+  let d0, root = ok "create" (Pt_flat.create_table (Boot.booted layout)) in
+  let flags_sample =
+    [ Flags.user_rw; Flags.user_r; Flags.present_rw; Flags.none;
+      Flags.with_huge Flags.user_rw; Flags.present_r ]
+  in
+  for vp = 0 to vpages - 1 do
+    for pp = 0 to ppages - 1 do
+      List.iter
+        (fun f ->
+          let fl = Flags.encode g f in
+          let args =
+            [
+              Mir.Value.int Mir.Ty.U64 root;
+              Mir.Value.u64 (page vp);
+              Mir.Value.u64 (page pp);
+              Mir.Value.u64 fl;
+            ]
+          in
+          if not (agree env d0 "map_page" args) then
+            Alcotest.failf "map_page disagrees on va=%d pa=%d flags=%s" vp pp
+              (Flags.to_string f);
+          (* cross-check the intermediate and high views on success *)
+          match Mirverif.Spec.apply (spec_of "map_page") d0 args with
+          | Ok (d', ret) when Mir.Value.equal ret (Mir.Value.u64 0L) ->
+              (match Pt_flat.map_page d0 ~root ~va:(page vp) ~pa:(page pp) f with
+              | Ok d_flat ->
+                  if not (Absdata.equal d' d_flat) then
+                    Alcotest.failf "low spec and Pt_flat diverge on va=%d pa=%d" vp pp;
+                  let tree = ok "abstract" (Pt_refine.abstract d' ~root) in
+                  ok "wf" (Pt_tree.wf tree);
+                  if not (Pt_refine.relate d' ~root tree) then
+                    Alcotest.failf "R broken after map va=%d pa=%d" vp pp
+              | Error e ->
+                  Alcotest.failf "Pt_flat rejects what the low spec accepts (va=%d pa=%d): %s"
+                    vp pp e)
+          | _ -> ())
+        flags_sample
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* 4. walk/query over every (mapped va, queried va) pair: map one page
+      then ask about every address; all four layers must agree.        *)
+
+let test_exhaustive_single_mapping_queries () =
+  let env = env_for "PtQuery" in
+  for mapped = 0 to vpages - 1 do
+    let d0, root = ok "create" (Pt_flat.create_table (Boot.booted layout)) in
+    let d =
+      ok "map" (Pt_flat.map_page d0 ~root ~va:(page mapped) ~pa:(page 1) Flags.user_r)
+    in
+    let tree = ok "abstract" (Pt_refine.abstract d ~root) in
+    for queried = 0 to vpages - 1 do
+      let args = [ Mir.Value.int Mir.Ty.U64 root; Mir.Value.u64 (page queried) ] in
+      if not (agree env d "query" args) then
+        Alcotest.failf "query disagrees (mapped %d, queried %d)" mapped queried;
+      let flat_q = ok "flat" (Pt_flat.query d ~root ~va:(page queried)) in
+      let tree_q = ok "tree" (Pt_tree.query tree ~va:(page queried)) in
+      (match (flat_q, tree_q) with
+      | None, None -> ()
+      | Some (pa1, f1), Some (pa2, f2)
+        when Mir.Word.equal pa1 pa2 && Flags.equal f1 f2 ->
+          ()
+      | _ -> Alcotest.failf "flat/tree diverge (mapped %d, queried %d)" mapped queried);
+      let expected = if queried = mapped then Some (page 1) else None in
+      (match (flat_q, expected) with
+      | Some (pa, _), Some epa when Mir.Word.equal pa epa -> ()
+      | None, None -> ()
+      | _ -> Alcotest.failf "wrong answer (mapped %d, queried %d)" mapped queried)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* 5. The enclave invariants against a first-principles oracle: for
+      every (va page, backing region) forge one extra mapping into a
+      healthy two-enclave state and compare the checker's verdict with
+      a direct characterization of Sec. 5.2.                           *)
+
+let test_exhaustive_invariant_verdicts () =
+  let base = ok "build" (Security.Attacks.healthy.Security.Attacks.build ()) in
+  let e1 = ok "find" (Absdata.find_enclave base 1) in
+  let backings =
+    [
+      ("epc-own", Layout.epc_page_addr layout 0, true);
+      (* e1's own page: an alias within one enclave -> epcm va mismatch *)
+      ("epc-other", Layout.epc_page_addr layout 1, true);
+      ("epc-free", Layout.epc_page_addr layout 2, true);
+      ("normal", page 2, false);
+      ("mbuf", layout.Layout.mbuf_base, false);
+      ("frame-area", Layout.frame_addr layout 0, false);
+      ("monitor", layout.Layout.monitor_base, false);
+    ]
+  in
+  for vp = 0 to vpages - 1 do
+    List.iter
+      (fun (what, hpa, _is_epc) ->
+        let va = page vp in
+        (* skip combinations the forge itself cannot build *)
+        match
+          Result.bind (Pt_flat.map_page base ~root:e1.Enclave.gpt_root ~va ~pa:va Flags.user_rw)
+            (fun d -> Pt_flat.map_page d ~root:e1.Enclave.ept_root ~va ~pa:hpa Flags.user_rw)
+        with
+        | Error _ -> () (* e.g. va already mapped: not a new scenario *)
+        | Ok d ->
+            let verdict = Security.Invariants.check d in
+            (* first-principles: adding mapping va->hpa to e1 is legal
+               only in these cases, none of which a forged mapping
+               satisfies (add_page would also set the EPCM) *)
+            let in_elrange = Enclave.in_elrange e1 g va in
+            let in_mbuf_window = Enclave.in_mbuf_va e1 g va in
+            let legal =
+              (* the only forged mapping the invariants cannot reject:
+                 pointing the enclave's own mbuf window at the mbuf *)
+              in_mbuf_window
+              && Layout.region_equal (Layout.region_of layout hpa) Layout.Mbuf
+            in
+            (match (verdict, legal) with
+            | Ok (), true -> ()
+            | Error _, false -> ()
+            | Ok (), false ->
+                Alcotest.failf "invariants MISSED forged mapping va=%d -> %s" vp what
+            | Error msg, true ->
+                Alcotest.failf "invariants over-rejected va=%d -> %s: %s" vp what msg);
+            ignore in_elrange)
+      backings
+  done
+
+(* ------------------------------------------------------------------ *)
+(* 6. The Enclave::add_page code over every (enclave state, va page):
+      exhaustive method-call conformance.                              *)
+
+let test_exhaustive_add_page () =
+  let env = env_for "EnclaveMem" in
+  let d = ok "build" (Security.Attacks.healthy.Security.Attacks.build ()) in
+  List.iter
+    (fun eid ->
+      let e = ok "find" (Absdata.find_enclave d eid) in
+      List.iter
+        (fun state ->
+          let e = { e with Enclave.state } in
+          let self_value = Mem_spec.enclave_to_value e in
+          for vp = 0 to vpages - 1 do
+            (* also probe one unaligned address per page *)
+            List.iter
+              (fun va ->
+                let mem =
+                  Mir.Mem.define (Mir.Path.Global "self") self_value Mir.Mem.empty
+                in
+                let args = [ Mir.Value.ptr_path (Mir.Path.global "self"); Mir.Value.u64 va ] in
+                match
+                  ( Mirverif.Spec.apply (spec_of "Enclave::add_page") d
+                      [ self_value; Mir.Value.u64 va ],
+                    run_code ~mem env d "Enclave::add_page" args )
+                with
+                | Error _, Error _ -> ()
+                | Ok (abs_s, ret_s), Ok outcome ->
+                    if
+                      not
+                        (Mir.Value.equal outcome.Mir.Interp.ret ret_s
+                        && Absdata.equal outcome.Mir.Interp.abs abs_s)
+                    then
+                      Alcotest.failf "add_page disagrees (eid=%d va=%Lx)" eid va
+                | _ -> Alcotest.failf "add_page verdicts diverge (eid=%d va=%Lx)" eid va)
+              [ page vp; Int64.add (page vp) 8L ]
+          done)
+        [ Enclave.Created; Enclave.Initialized ])
+    (Absdata.enclave_ids d)
+
+let () =
+  Alcotest.run "exhaustive"
+    [
+      ( "tiny-geometry",
+        [
+          Alcotest.test_case "pte ops: all flags x all pages" `Quick test_exhaustive_pte_ops;
+          Alcotest.test_case "frame allocator: 4096 bitmap states" `Slow
+            test_exhaustive_frame_alloc;
+          Alcotest.test_case "map_page: full input cube" `Slow test_exhaustive_map_page;
+          Alcotest.test_case "single-mapping queries: all pairs" `Quick
+            test_exhaustive_single_mapping_queries;
+          Alcotest.test_case "invariant verdicts vs oracle" `Slow
+            test_exhaustive_invariant_verdicts;
+          Alcotest.test_case "add_page: all states x all pages" `Slow
+            test_exhaustive_add_page;
+        ] );
+    ]

@@ -1,0 +1,571 @@
+(* Unit and property tests for the MIRlight semantics. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_ok what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: unexpected error: %s" what msg
+
+let check_err what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error msg -> msg
+
+(* ------------------------------------------------------------------ *)
+(* Word                                                                *)
+
+let test_word_norm () =
+  Alcotest.(check int64) "u8 wrap" 0x34L (Mir.Word.of_int Mir.Word.W8 0x1234);
+  Alcotest.(check int64) "u16 wrap" 0x1234L (Mir.Word.of_int Mir.Word.W16 0x1234);
+  Alcotest.(check int64) "add wraps" 0L
+    (Mir.Word.add Mir.Word.W8 (Mir.Word.of_int Mir.Word.W8 255) 1L)
+
+let test_word_bitfields () =
+  let w = 0xDEAD_BEEF_1234_5678L in
+  Alcotest.(check int64) "extract low nibble" 0x8L (Mir.Word.extract w ~lo:0 ~len:4);
+  Alcotest.(check int64) "extract mid" 0xBEL (Mir.Word.extract w ~lo:40 ~len:8);
+  let w' = Mir.Word.insert w ~lo:0 ~len:8 0xAAL in
+  Alcotest.(check int64) "insert low byte" 0xDEAD_BEEF_1234_56AAL w';
+  Alcotest.(check bool) "bit 3 set" true (Mir.Word.bit 0x8L 3);
+  Alcotest.(check int64) "set bit" 0x9L (Mir.Word.set_bit 0x8L 0 true);
+  Alcotest.(check int64) "clear bit" 0x8L (Mir.Word.set_bit 0x9L 0 false)
+
+let test_word_unsigned_div () =
+  (* 2^63 has the sign bit set; unsigned division must treat it as large *)
+  let big = Int64.min_int in
+  Alcotest.(check (option int64))
+    "unsigned div" (Some 0x4000_0000_0000_0000L)
+    (Mir.Word.div Mir.Word.W64 big 2L);
+  Alcotest.(check (option int64)) "div by zero" None (Mir.Word.div Mir.Word.W64 1L 0L);
+  Alcotest.(check bool) "unsigned lt" true (Mir.Word.lt_u 1L big)
+
+let prop_insert_extract =
+  QCheck2.Test.make ~count:500 ~name:"word insert/extract roundtrip"
+    QCheck2.Gen.(triple (int_bound 56) (int_range 1 8) ui64)
+    (fun (lo, len, w) ->
+      let field = Mir.Word.extract w ~lo ~len in
+      Mir.Word.equal (Mir.Word.insert w ~lo ~len field) w)
+
+(* ------------------------------------------------------------------ *)
+(* Value: projection and update                                        *)
+
+let v_nested : unit Mir.Value.t =
+  (* #1{ [| {10, 20}, {30, 40} |], true } *)
+  Mir.Value.variant 1
+    [
+      Mir.Value.Arr
+        [|
+          Mir.Value.tuple [ Mir.Value.usize 10; Mir.Value.usize 20 ];
+          Mir.Value.tuple [ Mir.Value.usize 30; Mir.Value.usize 40 ];
+        |];
+      Mir.Value.bool true;
+    ]
+
+let test_value_project () =
+  let open Mir.Path in
+  let got =
+    check_ok "project"
+      (Mir.Value.project_many v_nested [ Field 0; Index 1; Field 0 ])
+  in
+  Alcotest.(check bool) "project path" true (Mir.Value.equal got (Mir.Value.usize 30));
+  let _ = check_err "oob field" (Mir.Value.project v_nested (Field 5)) in
+  let _ = check_err "index struct" (Mir.Value.project v_nested (Index 0)) in
+  ()
+
+let test_value_update () =
+  let open Mir.Path in
+  let v' =
+    check_ok "update"
+      (Mir.Value.update v_nested [ Field 0; Index 0; Field 1 ] (Mir.Value.usize 99))
+  in
+  let got = check_ok "re-read" (Mir.Value.project_many v' [ Field 0; Index 0; Field 1 ]) in
+  Alcotest.(check bool) "updated" true (Mir.Value.equal got (Mir.Value.usize 99));
+  (* untouched sibling *)
+  let sib = check_ok "sibling" (Mir.Value.project_many v' [ Field 0; Index 0; Field 0 ]) in
+  Alcotest.(check bool) "sibling untouched" true (Mir.Value.equal sib (Mir.Value.usize 10));
+  (* persistence: original value unchanged (arrays are copied) *)
+  let orig = check_ok "orig" (Mir.Value.project_many v_nested [ Field 0; Index 0; Field 1 ]) in
+  Alcotest.(check bool) "persistent" true (Mir.Value.equal orig (Mir.Value.usize 20))
+
+let value_gen : unit Mir.Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            map (fun i -> Mir.Value.usize (abs i mod 1000)) int;
+            map Mir.Value.bool bool;
+            return Mir.Value.unit;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 1,
+              map2
+                (fun d fs -> Mir.Value.variant (abs d mod 4) fs)
+                int
+                (list_size (int_range 1 3) (self (n / 2))) );
+            (1, map (fun l -> Mir.Value.Arr (Array.of_list l))
+                 (list_size (int_range 1 3) (self (n / 2))));
+          ])
+
+let prop_value_equal_refl =
+  QCheck2.Test.make ~count:300 ~name:"value equality is reflexive" value_gen
+    (fun v -> Mir.Value.equal v v)
+
+(* ------------------------------------------------------------------ *)
+(* Mem: frame condition                                                *)
+
+let test_mem_rw () =
+  let mem = Mir.Mem.empty in
+  let base = Mir.Path.Global "g" in
+  let mem = Mir.Mem.define base (v_nested : unit Mir.Value.t) mem in
+  let p = Mir.Path.{ base; projs = [ Field 0; Index 1; Field 1 ] } in
+  let got = check_ok "read" (Mir.Mem.read mem p) in
+  Alcotest.(check bool) "read value" true (Mir.Value.equal got (Mir.Value.usize 40));
+  let mem' = check_ok "write" (Mir.Mem.write mem p (Mir.Value.usize 7)) in
+  let got' = check_ok "reread" (Mir.Mem.read mem' p) in
+  Alcotest.(check bool) "written" true (Mir.Value.equal got' (Mir.Value.usize 7))
+
+let test_mem_undefined () =
+  let p = Mir.Path.global "nope" in
+  let _ = check_err "read undefined" (Mir.Mem.read Mir.Mem.empty p) in
+  let p2 = Mir.Path.extend p (Mir.Path.Field 0) in
+  let _ = check_err "proj write undefined" (Mir.Mem.write Mir.Mem.empty p2 Mir.Value.unit) in
+  (* whole-object store allocates *)
+  let _ = check_ok "whole write" (Mir.Mem.write Mir.Mem.empty p Mir.Value.unit) in
+  ()
+
+(* Assignment only changes the assigned location (the paper's
+   assignment axiom, here a theorem). *)
+let prop_mem_frame_condition =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 0 1) (int_range 0 1) >>= fun (i, j) ->
+      pair (return (i, j)) (int_range 0 999))
+  in
+  QCheck2.Test.make ~count:300 ~name:"mem write frame condition" gen
+    (fun ((i, j), fresh) ->
+      let base = Mir.Path.Global "g" in
+      let mem = Mir.Mem.define base v_nested Mir.Mem.empty in
+      let target = Mir.Path.{ base; projs = [ Field 0; Index i; Field j ] } in
+      let other = Mir.Path.{ base; projs = [ Field 0; Index (1 - i); Field j ] } in
+      match Mir.Mem.write mem target (Mir.Value.usize fresh) with
+      | Error _ -> false
+      | Ok mem' -> (
+          match (Mir.Mem.read mem other, Mir.Mem.read mem' other) with
+          | Ok before, Ok after -> Mir.Value.equal before after
+          | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Eval                                                                *)
+
+let u64v i : unit Mir.Value.t = Mir.Value.int Mir.Ty.U64 i
+
+let test_eval_arith () =
+  let add = check_ok "add" (Mir.Eval.binary Mir.Syntax.Add (u64v 2) (u64v 3)) in
+  Alcotest.(check bool) "2+3" true (Mir.Value.equal add (u64v 5));
+  let _ = check_err "mismatched widths"
+      (Mir.Eval.binary Mir.Syntax.Add (u64v 2) (Mir.Value.int Mir.Ty.U8 3)) in
+  let _ = check_err "div by zero" (Mir.Eval.binary Mir.Syntax.Div (u64v 2) (u64v 0)) in
+  let shl = check_ok "shl" (Mir.Eval.binary Mir.Syntax.Shl (u64v 1) (Mir.Value.int Mir.Ty.U32 12)) in
+  Alcotest.(check bool) "1<<12" true (Mir.Value.equal shl (u64v 4096));
+  let _ = check_err "shift range" (Mir.Eval.binary Mir.Syntax.Shl (u64v 1) (Mir.Value.int Mir.Ty.U32 64)) in
+  ()
+
+let test_eval_checked () =
+  let v = check_ok "checked add"
+      (Mir.Eval.checked_binary Mir.Syntax.Add
+         (Mir.Value.int Mir.Ty.U8 250) (Mir.Value.int Mir.Ty.U8 10))
+  in
+  (match v with
+  | Mir.Value.Struct (0, [ r; Mir.Value.Bool ovf ]) ->
+      Alcotest.(check bool) "wrapped result" true
+        (Mir.Value.equal r (Mir.Value.int Mir.Ty.U8 4));
+      Alcotest.(check bool) "overflow flag" true ovf
+  | _ -> Alcotest.fail "checked add shape");
+  let v2 = check_ok "checked ok"
+      (Mir.Eval.checked_binary Mir.Syntax.Add (u64v 1) (u64v 2))
+  in
+  match v2 with
+  | Mir.Value.Struct (0, [ _; Mir.Value.Bool ovf ]) ->
+      Alcotest.(check bool) "no overflow" false ovf
+  | _ -> Alcotest.fail "checked add shape"
+
+let test_eval_signed_compare () =
+  let minus_one = Mir.Value.word Mir.Ty.I64 (-1L) in
+  let one = Mir.Value.word Mir.Ty.I64 1L in
+  let lt = check_ok "signed lt" (Mir.Eval.binary Mir.Syntax.Lt minus_one one) in
+  Alcotest.(check bool) "-1 < 1 signed" true (Mir.Value.equal lt (Mir.Value.bool true));
+  let m1u = Mir.Value.word Mir.Ty.U64 (-1L) in
+  let oneu = Mir.Value.word Mir.Ty.U64 1L in
+  let ltu = check_ok "unsigned lt" (Mir.Eval.binary Mir.Syntax.Lt m1u oneu) in
+  Alcotest.(check bool) "max_u64 < 1 unsigned is false" true
+    (Mir.Value.equal ltu (Mir.Value.bool false))
+
+(* ------------------------------------------------------------------ *)
+(* Interp: whole-function executions                                   *)
+
+open Mir.Builder
+
+(* fn add1(x: u64) -> u64 { x + 1 } *)
+let body_add1 () =
+  let b = create ~name:"add1" ~params:[ ("_1", Mir.Ty.Int Mir.Ty.U64, Mir.Syntax.Ktemp) ]
+      ~ret_ty:(Mir.Ty.Int Mir.Ty.U64)
+  in
+  assign_var b "_0" (Mir.Syntax.Binary (Mir.Syntax.Add, copy "_1", cu64 1));
+  terminate b Mir.Syntax.Return;
+  finish b
+
+(* fn tri(n: u64) -> u64 { sum of 1..=n, via a loop } *)
+let body_tri () =
+  let b = create ~name:"tri" ~params:[ ("_1", Mir.Ty.Int Mir.Ty.U64, Mir.Syntax.Ktemp) ]
+      ~ret_ty:(Mir.Ty.Int Mir.Ty.U64)
+  in
+  let acc = temp b ~name:"acc" (Mir.Ty.Int Mir.Ty.U64) in
+  let i = temp b ~name:"i" (Mir.Ty.Int Mir.Ty.U64) in
+  let cond = temp b ~name:"cond" Mir.Ty.Bool in
+  let head = fresh_block b in
+  let body_blk = fresh_block b in
+  let exit = fresh_block b in
+  assign_var b acc (Mir.Syntax.Use (cu64 0));
+  assign_var b i (Mir.Syntax.Use (cu64 1));
+  terminate b (Mir.Syntax.Goto head);
+  switch_to b head;
+  assign_var b cond (Mir.Syntax.Binary (Mir.Syntax.Le, copy i, copy "_1"));
+  terminate b (Mir.Syntax.Switch_int (copy cond, [ (0L, exit) ], body_blk));
+  switch_to b body_blk;
+  assign_var b acc (Mir.Syntax.Binary (Mir.Syntax.Add, copy acc, copy i));
+  assign_var b i (Mir.Syntax.Binary (Mir.Syntax.Add, copy i, cu64 1));
+  terminate b (Mir.Syntax.Goto head);
+  switch_to b exit;
+  assign_var b "_0" (Mir.Syntax.Use (copy acc));
+  terminate b Mir.Syntax.Return;
+  finish b
+
+(* fn call_add1_twice(x) -> u64 { add1(add1(x)) } *)
+let body_call_twice () =
+  let b = create ~name:"call_add1_twice"
+      ~params:[ ("_1", Mir.Ty.Int Mir.Ty.U64, Mir.Syntax.Ktemp) ]
+      ~ret_ty:(Mir.Ty.Int Mir.Ty.U64)
+  in
+  let t = temp b (Mir.Ty.Int Mir.Ty.U64) in
+  let after1 = fresh_block b in
+  let after2 = fresh_block b in
+  terminate b (Mir.Syntax.Call { dest = pvar t; func = "add1"; args = [ copy "_1" ]; target = Some after1 });
+  switch_to b after1;
+  terminate b (Mir.Syntax.Call { dest = pvar "_0"; func = "add1"; args = [ copy t ]; target = Some after2 });
+  switch_to b after2;
+  terminate b Mir.Syntax.Return;
+  finish b
+
+(* Local (address-taken) variable mutated through a pointer:
+   fn through_ptr() -> u64 { let mut x = 5; let p = &mut x; *p = 9; x } *)
+let body_through_ptr () =
+  let b = create ~name:"through_ptr" ~params:[] ~ret_ty:(Mir.Ty.Int Mir.Ty.U64) in
+  let x = local b ~name:"x" (Mir.Ty.Int Mir.Ty.U64) in
+  let p = temp b ~name:"p" (Mir.Ty.Ref (Mir.Ty.Int Mir.Ty.U64)) in
+  assign_var b x (Mir.Syntax.Use (cu64 5));
+  assign_var b p (Mir.Syntax.Ref (pvar x));
+  assign b (pderef (pvar p)) (Mir.Syntax.Use (cu64 9));
+  assign_var b "_0" (Mir.Syntax.Use (copy x));
+  terminate b Mir.Syntax.Return;
+  finish b
+
+(* Dereferencing an RData handle must fault. *)
+let body_deref_rdata () =
+  let b = create ~name:"deref_rdata" ~params:[] ~ret_ty:(Mir.Ty.Int Mir.Ty.U64) in
+  let h = temp b ~name:"h" (Mir.Ty.Ref (Mir.Ty.Opaque "secret")) in
+  let after = fresh_block b in
+  terminate b (Mir.Syntax.Call { dest = pvar h; func = "make_handle"; args = []; target = Some after });
+  switch_to b after;
+  assign_var b "_0" (Mir.Syntax.Use (Mir.Syntax.Copy (pderef (pvar h))));
+  terminate b Mir.Syntax.Return;
+  finish b
+
+let unit_env bodies : unit Mir.Interp.env =
+  Mir.Interp.env ~prims:[] (Mir.Syntax.program_of_bodies bodies)
+
+let run_fn ?fuel env fn args =
+  Mir.Interp.call ?fuel env ~abs:() ~mem:Mir.Mem.empty fn args
+
+let expect_ret what r expected =
+  match r with
+  | Error e -> Alcotest.failf "%s: %s" what (Mir.Interp.error_to_string e)
+  | Ok (o : unit Mir.Interp.outcome) ->
+      Alcotest.(check bool)
+        (what ^ " return value")
+        true
+        (Mir.Value.equal o.Mir.Interp.ret expected)
+
+let test_interp_add1 () =
+  expect_ret "add1" (run_fn (unit_env [ body_add1 () ]) "add1" [ u64v 41 ]) (u64v 42)
+
+let test_interp_loop () =
+  expect_ret "tri 10" (run_fn (unit_env [ body_tri () ]) "tri" [ u64v 10 ]) (u64v 55);
+  expect_ret "tri 0" (run_fn (unit_env [ body_tri () ]) "tri" [ u64v 0 ]) (u64v 0)
+
+let test_interp_calls () =
+  expect_ret "nested calls"
+    (run_fn (unit_env [ body_add1 (); body_call_twice () ]) "call_add1_twice" [ u64v 40 ])
+    (u64v 42)
+
+let test_interp_through_ptr () =
+  expect_ret "through_ptr" (run_fn (unit_env [ body_through_ptr () ]) "through_ptr" []) (u64v 9)
+
+let test_interp_rdata_faults () =
+  let make_handle =
+    {
+      Mir.Interp.prim_name = "make_handle";
+      prim_exec =
+        (fun abs _args ->
+          Ok (abs, Mir.Value.ptr_rdata ~layer:"L3" ~name:"secret" [ 0 ]));
+    }
+  in
+  let env =
+    Mir.Interp.env ~prims:[ make_handle ]
+      (Mir.Syntax.program_of_bodies [ body_deref_rdata () ])
+  in
+  match run_fn env "deref_rdata" [] with
+  | Ok _ -> Alcotest.fail "RData dereference should fault"
+  | Error (Mir.Interp.Fault { msg; _ }) ->
+      Alcotest.(check bool) "mentions encapsulation" true
+        (contains msg "encapsulated")
+  | Error e -> Alcotest.failf "unexpected error: %s" (Mir.Interp.error_to_string e)
+
+let test_interp_out_of_fuel () =
+  let b = create ~name:"spin" ~params:[] ~ret_ty:Mir.Ty.Unit in
+  terminate b (Mir.Syntax.Goto 0);
+  let body = finish b in
+  match run_fn ~fuel:100 (unit_env [ body ]) "spin" [] with
+  | Error Mir.Interp.Out_of_fuel -> ()
+  | Ok _ -> Alcotest.fail "spin should not terminate"
+  | Error e -> Alcotest.failf "unexpected: %s" (Mir.Interp.error_to_string e)
+
+let test_interp_assert () =
+  let b = create ~name:"asrt" ~params:[ ("_1", Mir.Ty.Bool, Mir.Syntax.Ktemp) ] ~ret_ty:Mir.Ty.Unit in
+  let ok_blk = fresh_block b in
+  terminate b
+    (Mir.Syntax.Assert { cond = copy "_1"; expected = true; msg = "boom"; target = ok_blk });
+  switch_to b ok_blk;
+  terminate b Mir.Syntax.Return;
+  let body = finish b in
+  (match run_fn (unit_env [ body ]) "asrt" [ Mir.Value.bool true ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "assert true: %s" (Mir.Interp.error_to_string e));
+  match run_fn (unit_env [ body ]) "asrt" [ Mir.Value.bool false ] with
+  | Error (Mir.Interp.Assert_failed { msg; _ }) ->
+      Alcotest.(check string) "assert message" "boom" msg
+  | Ok _ -> Alcotest.fail "assert false should fail"
+  | Error e -> Alcotest.failf "unexpected: %s" (Mir.Interp.error_to_string e)
+
+(* Trusted pointers: a primitive returns a pointer whose store updates
+   the abstract state; the MIR code writes through it. *)
+let test_interp_trusted_ptr () =
+  let trusted : int Mir.Value.trusted =
+    {
+      Mir.Value.tp_name = "cell";
+      tp_load = (fun abs -> Ok (Mir.Value.int Mir.Ty.U64 abs));
+      tp_store =
+        (fun _abs v ->
+          Result.map (fun (w, _) -> Mir.Word.to_int w) (Mir.Value.as_word v));
+    }
+  in
+  let get_cell =
+    {
+      Mir.Interp.prim_name = "get_cell";
+      prim_exec = (fun abs _ -> Ok (abs, Mir.Value.Ptr (Mir.Value.Trusted trusted)));
+    }
+  in
+  let b = create ~name:"bump_cell" ~params:[] ~ret_ty:Mir.Ty.Unit in
+  let p = temp b ~name:"p" (Mir.Ty.Raw (Mir.Ty.Int Mir.Ty.U64)) in
+  let v = temp b ~name:"v" (Mir.Ty.Int Mir.Ty.U64) in
+  let after = fresh_block b in
+  terminate b (Mir.Syntax.Call { dest = pvar p; func = "get_cell"; args = []; target = Some after });
+  switch_to b after;
+  assign_var b v (Mir.Syntax.Use (Mir.Syntax.Copy (pderef (pvar p))));
+  assign b (pderef (pvar p))
+    (Mir.Syntax.Binary (Mir.Syntax.Add, copy v, cu64 100));
+  terminate b Mir.Syntax.Return;
+  let body = finish b in
+  let env = Mir.Interp.env ~prims:[ get_cell ] (Mir.Syntax.program_of_bodies [ body ]) in
+  match Mir.Interp.call env ~abs:7 ~mem:Mir.Mem.empty "bump_cell" [] with
+  | Error e -> Alcotest.failf "trusted ptr: %s" (Mir.Interp.error_to_string e)
+  | Ok o -> Alcotest.(check int) "abstract state updated" 107 o.Mir.Interp.abs
+
+(* Temps never touch memory: running a purely-temp function leaves the
+   object memory unchanged (Sec. 3.2 "Lifting Local Variables"). *)
+let test_temps_no_memory_effect () =
+  let env = unit_env [ body_tri () ] in
+  match run_fn env "tri" [ u64v 20 ] with
+  | Error e -> Alcotest.failf "tri: %s" (Mir.Interp.error_to_string e)
+  | Ok o -> Alcotest.(check int) "memory untouched" 0 (Mir.Mem.cardinal o.Mir.Interp.mem)
+
+let prop_tri_matches_formula =
+  QCheck2.Test.make ~count:50 ~name:"interp loop equals closed form"
+    (QCheck2.Gen.int_bound 200)
+    (fun n ->
+      let env = unit_env [ body_tri () ] in
+      match run_fn env "tri" [ u64v n ] with
+      | Error _ -> false
+      | Ok o -> Mir.Value.equal o.Mir.Interp.ret (u64v (n * (n + 1) / 2)))
+
+(* The exposed small-step machine agrees with the big-step driver:
+   stepping manually to completion produces the same outcome and the
+   same number of steps. *)
+let test_small_step_agrees_with_call () =
+  let env = unit_env [ body_add1 (); body_call_twice (); body_tri () ] in
+  List.iter
+    (fun (fn, args) ->
+      let big =
+        match Mir.Interp.call env ~abs:() ~mem:Mir.Mem.empty fn args with
+        | Ok o -> o
+        | Error e -> Alcotest.failf "call: %s" (Mir.Interp.error_to_string e)
+      in
+      let cfg0 =
+        match Mir.Interp.start env ~abs:() ~mem:Mir.Mem.empty fn args with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "start: %s" (Mir.Interp.error_to_string e)
+      in
+      let rec drive cfg n =
+        if n > 1_000_000 then Alcotest.fail "manual stepping diverged"
+        else
+          match Mir.Interp.step cfg with
+          | Ok (Mir.Interp.Finished o) -> o
+          | Ok (Mir.Interp.Running cfg') -> drive cfg' (n + 1)
+          | Error e -> Alcotest.failf "step: %s" (Mir.Interp.error_to_string e)
+      in
+      let small = drive cfg0 0 in
+      Alcotest.(check bool) (fn ^ " same return") true
+        (Mir.Value.equal big.Mir.Interp.ret small.Mir.Interp.ret);
+      Alcotest.(check int) (fn ^ " same step count") big.Mir.Interp.steps
+        small.Mir.Interp.steps)
+    [ ("add1", [ u64v 4 ]); ("call_add1_twice", [ u64v 4 ]); ("tri", [ u64v 9 ]) ]
+
+let test_config_introspection () =
+  let env = unit_env [ body_add1 (); body_call_twice () ] in
+  match Mir.Interp.start env ~abs:() ~mem:Mir.Mem.empty "call_add1_twice" [ u64v 1 ] with
+  | Error e -> Alcotest.failf "start: %s" (Mir.Interp.error_to_string e)
+  | Ok cfg ->
+      Alcotest.(check int) "initial depth" 1 (Mir.Interp.config_depth cfg);
+      Alcotest.(check (option string)) "initial fn" (Some "call_add1_twice")
+        (Mir.Interp.config_function cfg);
+      (* one step: the Call terminator pushes the callee *)
+      (match Mir.Interp.step cfg with
+      | Ok (Mir.Interp.Running cfg') ->
+          Alcotest.(check int) "depth after call" 2 (Mir.Interp.config_depth cfg');
+          Alcotest.(check (option string)) "callee on top" (Some "add1")
+            (Mir.Interp.config_function cfg')
+      | Ok (Mir.Interp.Finished _) -> Alcotest.fail "finished too early"
+      | Error e -> Alcotest.failf "step: %s" (Mir.Interp.error_to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                            *)
+
+let test_validate_catches_bad_jump () =
+  let b = create ~name:"bad" ~params:[] ~ret_ty:Mir.Ty.Unit in
+  terminate b (Mir.Syntax.Goto 99);
+  let issues = Mir.Validate.check_body (finish b) in
+  Alcotest.(check bool) "found issue" true (issues <> [])
+
+let test_validate_catches_ref_of_temp () =
+  let b = create ~name:"badref" ~params:[] ~ret_ty:Mir.Ty.Unit in
+  let t = temp b (Mir.Ty.Int Mir.Ty.U64) in
+  let p = temp b (Mir.Ty.Ref (Mir.Ty.Int Mir.Ty.U64)) in
+  assign_var b t (Mir.Syntax.Use (cu64 1));
+  assign_var b p (Mir.Syntax.Ref (pvar t));
+  terminate b Mir.Syntax.Return;
+  let issues = Mir.Validate.check_body (finish b) in
+  Alcotest.(check bool) "address-of-temp flagged" true
+    (List.exists (fun i -> contains i.Mir.Validate.detail "address of temporary") issues)
+
+let test_validate_good_bodies () =
+  List.iter
+    (fun body ->
+      match Mir.Validate.check_body body with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "unexpected issues in %s: %s" body.Mir.Syntax.fname
+            (String.concat "; "
+               (List.map (fun i -> i.Mir.Validate.detail) issues)))
+    [ body_add1 (); body_tri (); body_call_twice (); body_through_ptr () ]
+
+let test_validate_program_calls () =
+  let prog = Mir.Syntax.program_of_bodies [ body_call_twice () ] in
+  let issues = Mir.Validate.check_program prog in
+  Alcotest.(check bool) "missing callee flagged" true
+    (List.exists (fun i -> contains i.Mir.Validate.detail "add1") issues);
+  let prog2 = Mir.Syntax.program_of_bodies [ body_call_twice (); body_add1 () ] in
+  Alcotest.(check int) "complete program clean" 0
+    (List.length (Mir.Validate.check_program prog2))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printer round-trips through non-empty text                   *)
+
+let test_pp_smoke () =
+  let s = Mir.Pp.body_to_string (body_tri ()) in
+  Alcotest.(check bool) "mentions switchInt" true (contains s "switchInt");
+  Alcotest.(check bool) "mentions fn tri" true (contains s "fn tri")
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "mir"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "normalization" `Quick test_word_norm;
+          Alcotest.test_case "bitfields" `Quick test_word_bitfields;
+          Alcotest.test_case "unsigned division" `Quick test_word_unsigned_div;
+        ] );
+      qsuite "word-props" [ prop_insert_extract ];
+      ( "value",
+        [
+          Alcotest.test_case "project" `Quick test_value_project;
+          Alcotest.test_case "update" `Quick test_value_update;
+        ] );
+      qsuite "value-props" [ prop_value_equal_refl ];
+      ( "mem",
+        [
+          Alcotest.test_case "read/write" `Quick test_mem_rw;
+          Alcotest.test_case "undefined objects" `Quick test_mem_undefined;
+        ] );
+      qsuite "mem-props" [ prop_mem_frame_condition ];
+      ( "eval",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_eval_arith;
+          Alcotest.test_case "checked ops" `Quick test_eval_checked;
+          Alcotest.test_case "signed compare" `Quick test_eval_signed_compare;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "straight line" `Quick test_interp_add1;
+          Alcotest.test_case "loop" `Quick test_interp_loop;
+          Alcotest.test_case "nested calls" `Quick test_interp_calls;
+          Alcotest.test_case "pointer to local" `Quick test_interp_through_ptr;
+          Alcotest.test_case "rdata deref faults" `Quick test_interp_rdata_faults;
+          Alcotest.test_case "out of fuel" `Quick test_interp_out_of_fuel;
+          Alcotest.test_case "assert" `Quick test_interp_assert;
+          Alcotest.test_case "trusted pointer" `Quick test_interp_trusted_ptr;
+          Alcotest.test_case "temps leave memory alone" `Quick test_temps_no_memory_effect;
+        ] );
+      qsuite "interp-props" [ prop_tri_matches_formula ];
+      ( "small-step",
+        [
+          Alcotest.test_case "agrees with big-step" `Quick test_small_step_agrees_with_call;
+          Alcotest.test_case "config introspection" `Quick test_config_introspection;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "bad jump" `Quick test_validate_catches_bad_jump;
+          Alcotest.test_case "ref of temp" `Quick test_validate_catches_ref_of_temp;
+          Alcotest.test_case "good bodies" `Quick test_validate_good_bodies;
+          Alcotest.test_case "program call targets" `Quick test_validate_program_calls;
+        ] );
+      ("pp", [ Alcotest.test_case "smoke" `Quick test_pp_smoke ]);
+    ]

@@ -1,0 +1,1 @@
+test/rustlite/test_props.ml: Alcotest Array Int64 List Mir Printf QCheck2 QCheck_alcotest Rustlite String

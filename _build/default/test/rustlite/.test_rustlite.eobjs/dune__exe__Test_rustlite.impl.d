@@ -1,0 +1,1 @@
+test/rustlite/test_rustlite.ml: Alcotest Int64 List Mir Option QCheck2 QCheck_alcotest Rustlite String

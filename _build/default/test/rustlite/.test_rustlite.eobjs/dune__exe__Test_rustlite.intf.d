@@ -1,0 +1,1 @@
+test/rustlite/test_rustlite.mli:

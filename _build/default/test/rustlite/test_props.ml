@@ -1,0 +1,149 @@
+(* Property tests for the Rustlite compiler: randomly generated
+   programs compiled to MIR must compute exactly what a direct OCaml
+   evaluation of the same expression computes (wrapping u64 semantics),
+   and compilation must be deterministic. *)
+
+module G = QCheck2.Gen
+
+(* ------------------------------------------------------------------ *)
+(* A generator of (expression source, direct evaluator) pairs over
+   three u64 parameters a, b, c.                                       *)
+
+type expr =
+  | Lit of int64
+  | Var of int  (* 0..2 *)
+  | Bin of string * expr * expr
+  | Not of expr
+  | Cond of expr * expr * expr  (* compiled as if/else via a helper *)
+
+let rec pp_expr = function
+  | Lit i -> Printf.sprintf "%Lu" i
+  | Var 0 -> "a"
+  | Var 1 -> "b"
+  | Var _ -> "c"
+  | Bin (op, x, y) -> Printf.sprintf "(%s %s %s)" (pp_expr x) op (pp_expr y)
+  | Not x -> Printf.sprintf "(!%s)" (pp_expr x)
+  | Cond (c, t, e) ->
+      (* lowered via the ite helper function *)
+      Printf.sprintf "ite((%s) != 0, %s, %s)" (pp_expr c) (pp_expr t) (pp_expr e)
+
+let rec eval env = function
+  | Lit i -> i
+  | Var i -> env.(i)
+  | Bin (op, x, y) -> (
+      let a = eval env x and b = eval env y in
+      match op with
+      | "+" -> Int64.add a b
+      | "-" -> Int64.sub a b
+      | "*" -> Int64.mul a b
+      | "&" -> Int64.logand a b
+      | "|" -> Int64.logor a b
+      | "^" -> Int64.logxor a b
+      | "<<" -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L) land 63)
+      | ">>" -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L) land 63)
+      | _ -> assert false)
+  | Not x -> Int64.lognot (eval env x)
+  | Cond (c, t, e) -> if not (Int64.equal (eval env c) 0L) then eval env t else eval env e
+
+(* shifts must stay in range: generate shift amounts as (e & 63) *)
+let gen_expr : expr G.t =
+  G.sized
+  @@ G.fix (fun self n ->
+         let leaf =
+           G.oneof
+             [
+               G.map (fun i -> Lit (Int64.of_int (abs i mod 1000))) G.int;
+               G.map (fun i -> Lit i) G.ui64;
+               G.map (fun i -> Var (abs i mod 3)) G.int;
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           G.frequency
+             [
+               (2, leaf);
+               ( 4,
+                 let op = G.oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+                 G.map3 (fun op x y -> Bin (op, x, y)) op (self (n / 2)) (self (n / 2)) );
+               ( 1,
+                 let op = G.oneofl [ "<<"; ">>" ] in
+                 G.map3
+                   (fun op x y -> Bin (op, x, Bin ("&", y, Lit 63L)))
+                   op (self (n / 2)) (self (n / 2)) );
+               (1, G.map (fun x -> Not x) (self (n - 1)));
+               ( 1,
+                 G.map3 (fun c t e -> Cond (c, t, e)) (self (n / 3)) (self (n / 3))
+                   (self (n / 3)) );
+             ])
+
+let source_of e =
+  Printf.sprintf
+    {|
+      fn ite(c: bool, t: u64, e: u64) -> u64 {
+        if c { return t; }
+        e
+      }
+      fn f(a: u64, b: u64, c: u64) -> u64 { %s }
+    |}
+    (pp_expr e)
+
+let prop_compiled_expressions_match =
+  QCheck2.Test.make ~count:150 ~name:"compiled expressions match direct evaluation"
+    ~print:(fun (e, _) -> source_of e)
+    (G.pair gen_expr (G.triple G.ui64 G.ui64 G.ui64))
+    (fun (e, (a, b, c)) ->
+      match Rustlite.Pipeline.compile (source_of e) with
+      | Error msg -> QCheck2.Test.fail_reportf "compile failed: %s" msg
+      | Ok out -> (
+          let env = Mir.Interp.env ~prims:[] out.Rustlite.Pipeline.program in
+          match
+            Mir.Interp.call env ~abs:() ~mem:Mir.Mem.empty "f"
+              [ Mir.Value.u64 a; Mir.Value.u64 b; Mir.Value.u64 c ]
+          with
+          | Error err ->
+              QCheck2.Test.fail_reportf "run failed: %s" (Mir.Interp.error_to_string err)
+          | Ok o -> Mir.Value.equal o.Mir.Interp.ret (Mir.Value.u64 (eval [| a; b; c |] e))))
+
+(* Note: Cond's ite helper evaluates both branches (call-by-value), but
+   our expression language is total, so that is unobservable. *)
+
+let prop_compile_deterministic =
+  QCheck2.Test.make ~count:40 ~name:"compilation is deterministic" gen_expr (fun e ->
+      let src = source_of e in
+      match (Rustlite.Pipeline.compile src, Rustlite.Pipeline.compile src) with
+      | Ok o1, Ok o2 ->
+          String.equal (Rustlite.Pipeline.emit o1) (Rustlite.Pipeline.emit o2)
+      | _ -> false)
+
+(* Lowering ablation: the unlifted (all-vars-in-memory) compilation
+   computes the same results. *)
+let prop_unlifted_equivalent =
+  QCheck2.Test.make ~count:60 ~name:"temp lifting does not change results"
+    (G.pair gen_expr (G.triple G.ui64 G.ui64 G.ui64))
+    (fun (e, (a, b, c)) ->
+      let src = source_of e in
+      match
+        (Rustlite.Pipeline.compile src, Rustlite.Pipeline.compile ~lift_temps:false src)
+      with
+      | Ok o1, Ok o2 -> (
+          let run out =
+            let env = Mir.Interp.env ~prims:[] out.Rustlite.Pipeline.program in
+            Mir.Interp.call env ~abs:() ~mem:Mir.Mem.empty "f"
+              [ Mir.Value.u64 a; Mir.Value.u64 b; Mir.Value.u64 c ]
+          in
+          match (run o1, run o2) with
+          | Ok r1, Ok r2 -> Mir.Value.equal r1.Mir.Interp.ret r2.Mir.Interp.ret
+          | _ -> false)
+      | _ -> false)
+
+let () =
+  Alcotest.run "rustlite-props"
+    [
+      ( "compiler-correctness",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compiled_expressions_match;
+            prop_compile_deterministic;
+            prop_unlifted_equivalent;
+          ] );
+    ]
