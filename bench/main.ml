@@ -516,6 +516,46 @@ let ablations () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: fault-injection subsystem cost                               *)
+
+let chaos () =
+  header "Chaos: fault-injected trace throughput";
+  let faulty = Fault.Chaos.events_for ~seed:7 ~len:40 tiny_layout in
+  let fault_free = Fault.Chaos.events_for ~faults:[] ~seed:7 ~len:40 tiny_layout in
+  let n_faults =
+    List.length
+      (List.filter (function Fault.Chaos.Inject _ -> true | _ -> false) faulty)
+  in
+  Format.printf "  a 40-event trace from seed 7 carries %d faults@." n_faults;
+  (* the known stale-TLB seed: finding + shrinking one counterexample *)
+  let stats, cx =
+    Fault.Chaos.run ~flush:false ~seed:2620 ~traces:1 tiny_layout
+  in
+  (match cx with
+  | Some cx ->
+      Format.printf
+        "  stale-TLB witness (seed %d): %d -> %d events in %d shrink replays@."
+        cx.Fault.Chaos.cx_seed
+        (List.length cx.Fault.Chaos.cx_events)
+        (List.length cx.Fault.Chaos.cx_shrunk)
+        cx.Fault.Chaos.cx_evals
+  | None ->
+      Format.printf "  (stale-TLB witness not reproduced: %d traces clean)@."
+        stats.Fault.Chaos.traces);
+  [
+    bench "chaos/trace-generate(40-events)" (fun () ->
+        ignore (Fault.Chaos.events_for ~seed:7 ~len:40 tiny_layout));
+    bench "chaos/trace-replay(40-events,with-faults)" (fun () ->
+        ignore (Fault.Chaos.replay tiny_layout faulty));
+    bench "chaos/trace-replay(40-events,fault-free)" (fun () ->
+        ignore (Fault.Chaos.replay tiny_layout fault_free));
+    bench "chaos/find+shrink(stale-tlb,seed-2620)" (fun () ->
+        ignore (Fault.Chaos.run ~flush:false ~seed:2620 ~traces:1 tiny_layout));
+    bench "chaos/mir-prim-faults(full-battery)" (fun () ->
+        ignore (Fault.Mir_chaos.run tiny_layout));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Format.printf "MIRVerif / HyperEnclave reproduction benchmarks@.";
@@ -526,6 +566,7 @@ let () =
   let f4 = fig4 () in
   let f5 = fig5 () in
   let ab = ablations () in
+  let ch = chaos () in
   header "Timings (OLS estimate per operation)";
   run_benchs ~name:"table1" t1;
   run_benchs ~name:"fig1" f1;
@@ -534,4 +575,5 @@ let () =
   run_benchs ~name:"fig4" f4;
   run_benchs ~name:"fig5" f5;
   run_benchs ~name:"ablations" ab;
+  run_benchs ~name:"chaos" ch;
   Format.printf "@.done.@."

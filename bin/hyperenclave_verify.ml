@@ -7,7 +7,11 @@
      4. refinement   — flat/tree page-table simulation (Sec. 4.1)
      5. invariants   — Sec. 5.2 invariants on reachable states
      6. noninterference — Lemmas 5.2-5.4 (Sec. 5.3)
-     7. attacks      — Fig. 5 scenarios must be rejected *)
+     7. trace noninterference — Theorem 5.1
+     8. attacks      — Fig. 5 scenarios must be rejected
+     9. chaos        — opt-in (--chaos): fault-injected traces with
+                       transactionality, invariant and TLB-consistency
+                       checks, plus MIRlight-level primitive faults *)
 
 open Cmdliner
 module Report = Mirverif.Report
@@ -88,7 +92,63 @@ let run_refinement_sim layout seed =
   done;
   !report
 
-let run geometry seed quick =
+(* Phase 9 (opt-in): chaos.  On the correct monitor the phase passes
+   when [traces] fault-injected traces survive every per-step check; on
+   the --buggy-tlb monitor it passes when the planted stale-TLB bug is
+   found and shrunk to a minimal witness. *)
+let run_chaos ~failures ~quick ~seed ~traces ~faults_spec ~buggy_tlb layout =
+  let kinds =
+    if String.trim faults_spec = "all" then Ok Fault.Plan.all_kinds
+    else Fault.Plan.kinds_of_string faults_spec
+  in
+  match kinds with
+  | Error msg ->
+      incr failures;
+      Format.printf "  bad --faults: %s@." msg
+  | Ok [] ->
+      incr failures;
+      Format.printf "  bad --faults: empty kind list@."
+  | Ok kinds ->
+      let traces = if quick then min traces 1_000 else traces in
+      let flush = not buggy_tlb in
+      Format.printf "  monitor: %s@.  fault kinds: %s@."
+        (if buggy_tlb then "buggy (unmap does not flush the TLB)" else "correct")
+        (String.concat ", " (List.map Fault.Plan.kind_to_string kinds));
+      let stats, cx = Fault.Chaos.run ~flush ~faults:kinds ~seed ~traces layout in
+      Format.printf
+        "  %d traces, %d events, %d faults applied (%d inapplicable), %d disabled actions@."
+        stats.Fault.Chaos.traces stats.Fault.Chaos.events stats.Fault.Chaos.faults
+        stats.Fault.Chaos.fault_skips stats.Fault.Chaos.disabled_steps;
+      (match (cx, buggy_tlb) with
+      | None, false ->
+          Format.printf
+            "  no violations: transactionality, invariants and TLB consistency hold@."
+      | Some cx, false ->
+          incr failures;
+          Format.printf "  COUNTEREXAMPLE:@.%a@." Fault.Chaos.pp_counterexample cx
+      | Some cx, true ->
+          Format.printf "  found and shrunk the planted stale-TLB bug:@.%a@."
+            Fault.Chaos.pp_counterexample cx;
+          if not (String.equal cx.Fault.Chaos.cx_failure.Fault.Chaos.check "tlb-consistency")
+          then begin
+            incr failures;
+            Format.printf "  UNEXPECTED: the failure is not a TLB-consistency violation@."
+          end
+      | None, true ->
+          incr failures;
+          Format.printf "  UNEXPECTED: the buggy monitor survived all %d traces@."
+            stats.Fault.Chaos.traces);
+      let mreport, outcomes = Fault.Mir_chaos.run ~seed layout in
+      Format.printf "  %s@." (Report.to_string mreport);
+      List.iter
+        (fun o ->
+          Format.printf "    %-16s %3d primitive calls, %3d perturbed executions@."
+            o.Fault.Mir_chaos.target o.Fault.Mir_chaos.prim_calls
+            o.Fault.Mir_chaos.injections)
+        outcomes;
+      if not (Report.ok mreport) then incr failures
+
+let run geometry seed quick chaos chaos_traces faults_spec buggy_tlb =
   let geom = geom_of geometry in
   let layout = Hyperenclave.Layout.default geom in
   let failures = ref 0 in
@@ -200,6 +260,16 @@ let run geometry seed quick =
       Security.Attacks.all
   end;
 
+  if chaos then begin
+    phase_header "9. chaos (fault injection, transactionality, shrinking)";
+    if geometry = "x86_64" then
+      Format.printf
+        "  skipped: the chaos checks enumerate page contents; use --geometry tiny@."
+    else
+      run_chaos ~failures ~quick ~seed ~traces:chaos_traces ~faults_spec
+        ~buggy_tlb layout
+  end;
+
   Format.printf "@.%s@."
     (if !failures = 0 then "VERIFICATION PASS: all checks succeeded"
      else Printf.sprintf "VERIFICATION FAILED: %d phase(s) reported failures" !failures);
@@ -211,10 +281,39 @@ let geometry =
 let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
 let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller state budgets.")
 
+let chaos =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:"Also run the fault-injection chaos phase (see lib/fault).")
+
+let chaos_traces =
+  Arg.(
+    value & opt int 10_000
+    & info [ "chaos-traces" ] ~docv:"N"
+        ~doc:"Randomized traces the chaos phase replays (--quick caps at 1000).")
+
+let faults =
+  Arg.(
+    value & opt string "all"
+    & info [ "faults" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated fault kinds to inject: exhaustion, pt-bitflip, \
+           bitmap-bitflip, epcm, oracle, tlb, truncation — or 'all'.")
+
+let buggy_tlb =
+  Arg.(
+    value & flag
+    & info [ "buggy-tlb" ]
+        ~doc:
+          "Chaos the deliberately buggy monitor that skips the TLB flush on \
+           unmap; the phase then passes only if the stale-TLB bug is found \
+           and shrunk to a minimal witness.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hyperenclave-verify"
        ~doc:"Run the full HyperEnclave memory-subsystem verification pass")
-    Term.(const run $ geometry $ seed $ quick)
+    Term.(const run $ geometry $ seed $ quick $ chaos $ chaos_traces $ faults $ buggy_tlb)
 
 let () = exit (Cmd.eval' cmd)

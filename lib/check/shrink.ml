@@ -1,0 +1,35 @@
+(* Greedy ddmin: repeatedly delete contiguous chunks, halving the
+   chunk size whenever no chunk of the current size can be removed.
+   Terminates because every accepted deletion strictly shrinks the
+   list and the chunk size strictly decreases otherwise. *)
+
+let drop_chunk xs ~start ~len =
+  List.filteri (fun i _ -> i < start || i >= start + len) xs
+
+let evaluations ~still_fails xs =
+  let evals = ref 0 in
+  let fails xs =
+    incr evals;
+    still_fails xs
+  in
+  if not (fails xs) then (xs, !evals)
+  else
+    let rec at_size xs size =
+      if size < 1 then xs
+      else
+        (* scan chunk starts left to right; a successful deletion keeps
+           scanning at the same size and position *)
+        let rec scan xs start =
+          if start >= List.length xs then at_size xs (size / 2)
+          else
+            let candidate = drop_chunk xs ~start ~len:size in
+            if List.length candidate < List.length xs && fails candidate then
+              scan candidate start
+            else scan xs (start + 1)
+        in
+        scan xs 0
+    in
+    let shrunk = at_size xs (max 1 (List.length xs / 2)) in
+    (shrunk, !evals)
+
+let list ~still_fails xs = fst (evaluations ~still_fails xs)

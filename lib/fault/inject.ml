@@ -1,0 +1,110 @@
+open Hyperenclave
+open Security
+module Word = Mir.Word
+
+let ( let* ) = Result.bind
+
+let reachable_tables (d : Absdata.t) =
+  let enclave_roots =
+    List.concat_map
+      (fun eid ->
+        match Absdata.find_enclave d eid with
+        | Ok e -> [ e.Enclave.gpt_root; e.Enclave.ept_root ]
+        | Error _ -> [])
+      (Absdata.enclave_ids d)
+  in
+  let roots =
+    match d.Absdata.os_ept_root with
+    | Some r -> r :: enclave_roots
+    | None -> enclave_roots
+  in
+  List.sort_uniq compare
+    (List.concat_map
+       (fun root ->
+         match Pt_flat.table_frames d ~root with Ok fs -> fs | Error _ -> [])
+       roots)
+
+let valid_translations (st : State.t) =
+  let d = st.State.mon in
+  let geom = Absdata.geom d in
+  let all =
+    List.concat_map
+      (fun eid ->
+        match Absdata.find_enclave d eid with
+        | Error _ -> []
+        | Ok e -> (
+            match Nested.enclave_reachable d e with
+            | Error _ -> []
+            | Ok maps ->
+                List.map
+                  (fun (va_page, hpa_page, flags) ->
+                    ( Principal.Enclave eid,
+                      va_page,
+                      { Tlb.hpa_page = Geometry.page_base geom hpa_page; flags } ))
+                  maps))
+      (Absdata.enclave_ids d)
+  in
+  (* prefer EPC-backed translations: those are the ones hypercalls can
+     later revoke, so caching them is what exercises TLB consistency
+     (the mbuf window and any other mapping stays as fallback) *)
+  match
+    List.filter
+      (fun (_, _, (e : Tlb.entry)) ->
+        Layout.region_equal
+          (Layout.region_of d.Absdata.layout e.Tlb.hpa_page)
+          Layout.Epc)
+      all
+  with
+  | [] -> all
+  | epc -> epc
+
+let with_mon (st : State.t) mon = { st with State.mon }
+
+let apply plan (st : State.t) =
+  let d = st.State.mon in
+  match plan with
+  | Plan.Exhaust_frames ->
+      let rec drain falloc =
+        match Frame_alloc.alloc falloc with
+        | Ok (falloc, _) -> drain falloc
+        | Error _ -> falloc
+      in
+      Ok (with_mon st { d with Absdata.falloc = drain d.Absdata.falloc })
+  | Plan.Flip_pt_bit { table; index; bit } -> (
+      match reachable_tables d with
+      | [] -> Error "no reachable page table to corrupt"
+      | tables ->
+          let frame = List.nth tables (table mod List.length tables) in
+          let index = index mod Geometry.entries_per_table (Absdata.geom d) in
+          let* entry = Pt_flat.read_entry d ~frame ~index in
+          let flipped = Int64.logxor entry (Int64.shift_left 1L (bit mod 64)) in
+          let* d = Pt_flat.write_entry d ~frame ~index flipped in
+          Ok (with_mon st d))
+  | Plan.Flip_bitmap_bit { frame } ->
+      let falloc = d.Absdata.falloc in
+      let frame = frame mod Frame_alloc.nframes falloc in
+      let word = frame / 64 in
+      let* bits = Frame_alloc.bitmap_word falloc word in
+      let flipped = Int64.logxor bits (Int64.shift_left 1L (frame mod 64)) in
+      let* falloc = Frame_alloc.set_bitmap_word falloc word flipped in
+      Ok (with_mon st { d with Absdata.falloc })
+  | Plan.Corrupt_epcm { page; state } ->
+      let page = page mod Epcm.npages d.Absdata.epcm in
+      let* epcm = Epcm.set d.Absdata.epcm page state in
+      Ok (with_mon st { d with Absdata.epcm })
+  | Plan.Clobber_oracle { who; seed } ->
+      Ok
+        {
+          st with
+          State.oracles =
+            Principal.Map.add who (Oracle.create ~seed ()) st.State.oracles;
+        }
+  | Plan.Tlb_prefetch { pick } -> (
+      match valid_translations st with
+      | [] -> Error "no valid translation to prefetch"
+      | translations ->
+          let who, va_page, entry =
+            List.nth translations (pick mod List.length translations)
+          in
+          Ok { st with State.tlb = Tlb.fill st.State.tlb who ~va_page entry })
+  | Plan.Truncate -> Ok st

@@ -1,0 +1,25 @@
+(** Give fault plans meaning on a machine state.
+
+    Injection happens at layer boundaries: every fault is expressed
+    through the same verified interfaces the monitor itself uses
+    ({!Hyperenclave.Pt_flat} entry reads/writes, the
+    {!Hyperenclave.Frame_alloc} bitmap view, {!Hyperenclave.Epcm},
+    {!Security.Tlb}), so the semantics is never forked — a corrupted
+    state is an ordinary state the checker can keep stepping.
+
+    [Error] means the fault is {e not applicable} in this state (no
+    reachable page table to corrupt, no valid translation to
+    prefetch); the chaos driver records a skip and carries on. *)
+
+val apply : Plan.t -> Security.State.t -> (Security.State.t, string) result
+
+val reachable_tables : Hyperenclave.Absdata.t -> int list
+(** Every table frame reachable from any installed root (OS EPT plus
+    each enclave's GPT and EPT), deduplicated — the bit-flip target
+    population. *)
+
+val valid_translations :
+  Security.State.t ->
+  (Security.Principal.t * Mir.Word.t * Security.Tlb.entry) list
+(** Every (enclave, va_page) the hardware could speculatively walk and
+    cache right now, with the entry the walk would fill. *)

@@ -1,0 +1,28 @@
+(** Chaos at the MIRlight level.
+
+    The state-machine chaos of {!Chaos} perturbs the functional model;
+    this module perturbs the {e executions} of the compiled memory
+    module: through {!Mir.Interp.map_prims} every lower-layer
+    primitive a function calls can be made to fail (a transient fault
+    at the layer boundary), and through the interpreter's fuel bound a
+    call can be starved mid-execution ([Out_of_fuel]).
+
+    The robustness obligation is graceful degradation: whatever is
+    injected, {!Mir.Interp.call} must return a structured
+    [('a, Interp.error) result] — injected primitive failures surface
+    as [Fault]s naming the injection, starvation as [Out_of_fuel], and
+    no OCaml exception ever escapes.  Since the interpreter threads the
+    abstract state functionally, a failed call also cannot leak partial
+    monitor-state updates to its caller — the code-level counterpart of
+    hypercall transactionality. *)
+
+type outcome = {
+  target : string;  (** function under chaos *)
+  prim_calls : int;  (** primitive calls on the unperturbed run *)
+  injections : int;  (** perturbed executions performed *)
+}
+
+val run : ?seed:int -> Hyperenclave.Layout.t -> Mirverif.Report.t * outcome list
+(** Exercise a battery of memory-module functions under exhaustive
+    single-primitive-failure injection plus a fuel ladder.  One report
+    case per perturbed execution. *)

@@ -15,6 +15,7 @@ let env ~prims prog =
 
 let env_prims e = List.map snd (StrMap.bindings e.prims)
 let env_program e = e.prog
+let map_prims f e = { e with prims = StrMap.map f e.prims }
 
 type error =
   | Fault of { fn : string; block : Syntax.label; msg : string }

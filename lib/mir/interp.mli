@@ -24,6 +24,12 @@ val env : prims:'abs prim list -> Syntax.program -> 'abs env
 val env_prims : 'abs env -> 'abs prim list
 val env_program : 'abs env -> Syntax.program
 
+val map_prims : ('abs prim -> 'abs prim) -> 'abs env -> 'abs env
+(** Rewrite every registered primitive, keeping the program unchanged.
+    The layer-boundary hook the fault-injection subsystem uses: a
+    wrapper can make a lower layer's specification fail (resource
+    exhaustion, transient fault) without forking the semantics. *)
+
 type error =
   | Fault of { fn : string; block : Syntax.label; msg : string }
       (** stuck execution: type confusion, undefined variable, RData

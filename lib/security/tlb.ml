@@ -19,6 +19,7 @@ let flush_va t p ~va_page = KeyMap.remove (p, va_page) t
 let flush_principal t p = KeyMap.filter (fun (q, _) _ -> not (Principal.equal p q)) t
 let flush_all _ = KeyMap.empty
 let entry_count = KeyMap.cardinal
+let to_list t = List.map (fun ((p, va), e) -> (p, va, e)) (KeyMap.bindings t)
 
 let entry_equal a b =
   Mir.Word.equal a.hpa_page b.hpa_page && Hyperenclave.Flags.equal a.flags b.flags

@@ -33,4 +33,10 @@ val flush_principal : t -> Principal.t -> t
 val flush_all : t -> t
 
 val entry_count : t -> int
+
+val to_list : t -> (Principal.t * Mir.Word.t * entry) list
+(** Every cached translation as [(principal, va_page, entry)], in key
+    order.  The chaos driver's TLB-consistency check folds over this:
+    a consistent cache agrees with the current page walk everywhere. *)
+
 val equal : t -> t -> bool

@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI gate: full build, the test suites, and a deterministic chaos smoke.
+#
+# The smoke replays 1000 fault-injected traces from a fixed seed on
+# both monitors: the correct one must survive every transactionality,
+# invariant and TLB-consistency check, and the deliberately buggy one
+# (unmap without TLB flush) must yield a shrunk stale-TLB witness —
+# each run exits non-zero when its expected outcome does not hold.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --chaos --chaos-traces 1000 --seed 2024
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --chaos --chaos-traces 1000 --seed 2024 --buggy-tlb
+
+echo "ci: all green"

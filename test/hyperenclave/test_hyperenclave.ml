@@ -161,6 +161,49 @@ let test_frame_alloc () =
   let _ = err "exhausted" (Frame_alloc.alloc a) in
   ()
 
+let test_frame_alloc_error_paths () =
+  let a = Frame_alloc.create ~nframes:5 in
+  (* frees that must fail leave the allocator observably unchanged *)
+  let msg = err "free of never-allocated frame" (Frame_alloc.free a 3) in
+  Alcotest.(check bool) "mentions the frame" true (contains msg "3");
+  let _ = err "out-of-range free" (Frame_alloc.free a 5) in
+  let _ = err "negative free" (Frame_alloc.free a (-1)) in
+  let a, f = ok "alloc" (Frame_alloc.alloc a) in
+  let a' = ok "free" (Frame_alloc.free a f) in
+  let _ = err "double free" (Frame_alloc.free a' f) in
+  Alcotest.(check int) "error paths allocated nothing" 1 (Frame_alloc.allocated_count a)
+
+let test_frame_alloc_bitmap_words () =
+  let a = Frame_alloc.create ~nframes:5 in
+  Alcotest.(check int) "one word for 5 frames" 1 (Frame_alloc.bitmap_words a);
+  let w = ok "bitmap_word" (Frame_alloc.bitmap_word a 0) in
+  Alcotest.(check int64) "fresh bitmap empty" 0L w;
+  let _ = err "word index out of range" (Frame_alloc.bitmap_word a 1) in
+  (* bit 5 is the first bit beyond nframes=5: must be rejected *)
+  let _ = err "bits beyond nframes" (Frame_alloc.set_bitmap_word a 0 0x20L) in
+  let _ = err "all bits set" (Frame_alloc.set_bitmap_word a 0 (-1L)) in
+  let a = ok "valid word" (Frame_alloc.set_bitmap_word a 0 0x15L) in
+  Alcotest.(check (list int)) "word round-trips to frames" [ 0; 2; 4 ]
+    (Frame_alloc.allocated_list a);
+  Alcotest.(check int64) "readback" 0x15L (ok "bitmap_word" (Frame_alloc.bitmap_word a 0))
+
+let test_frame_alloc_exhaust_recover () =
+  let a = ref (Frame_alloc.create ~nframes:8) in
+  for i = 0 to 7 do
+    let a', f = ok "alloc" (Frame_alloc.alloc !a) in
+    Alcotest.(check int) "in order" i f;
+    a := a'
+  done;
+  Alcotest.(check int) "pool drained" 0 (Frame_alloc.free_count !a);
+  let _ = err "exhausted" (Frame_alloc.alloc !a) in
+  let _ = err "still exhausted" (Frame_alloc.alloc !a) in
+  (* freeing any frame makes exactly that frame allocatable again *)
+  a := ok "free" (Frame_alloc.free !a 5);
+  let a', f = ok "alloc after recover" (Frame_alloc.alloc !a) in
+  Alcotest.(check int) "recovered frame" 5 f;
+  let _ = err "exhausted again" (Frame_alloc.alloc a') in
+  ()
+
 let test_epcm () =
   let m = Epcm.create ~npages:4 in
   Alcotest.(check (option int)) "first free" (Some 0) (Epcm.find_free m);
@@ -541,6 +584,35 @@ let test_hc_init_done () =
   Alcotest.(check bool) "unknown eid" true
     (Hypercall.status_equal i3.Hypercall.status Hypercall.Invalid_param)
 
+let test_status_roundtrip () =
+  let all =
+    [ Hypercall.Success; Hypercall.Invalid_param; Hypercall.No_memory;
+      Hypercall.Bad_state ]
+  in
+  List.iter
+    (fun s ->
+      match Hypercall.status_of_code (Hypercall.status_code s) with
+      | Some s' ->
+          Alcotest.(check bool)
+            (Format.asprintf "%a survives the round trip" Hypercall.pp_status s)
+            true
+            (Hypercall.status_equal s s')
+      | None ->
+          Alcotest.failf "%a: code not decodable" Hypercall.pp_status s)
+    all;
+  (* distinct statuses keep distinct codes *)
+  let codes = List.map Hypercall.status_code all in
+  Alcotest.(check int) "codes are distinct" (List.length all)
+    (List.length (List.sort_uniq Int64.compare codes));
+  (* words outside the status range decode to nothing *)
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "word %Ld is not a status" w)
+        true
+        (Option.is_none (Hypercall.status_of_code w)))
+    [ 4L; 5L; -1L; 99L; Int64.max_int; Int64.min_int ]
+
 let test_hc_epc_exhaustion () =
   let d = booted () in
   let o = Hypercall.create d ~elrange_base:0L ~elrange_pages:8 ~mbuf_va:(va_of_pages 8) in
@@ -587,6 +659,9 @@ let () =
       ( "allocators",
         [
           Alcotest.test_case "frame alloc" `Quick test_frame_alloc;
+          Alcotest.test_case "frame alloc error paths" `Quick test_frame_alloc_error_paths;
+          Alcotest.test_case "frame alloc bitmap words" `Quick test_frame_alloc_bitmap_words;
+          Alcotest.test_case "frame alloc exhaust/recover" `Quick test_frame_alloc_exhaust_recover;
           Alcotest.test_case "epcm" `Quick test_epcm;
         ] );
       ( "pt-flat",
@@ -615,6 +690,7 @@ let () =
           Alcotest.test_case "create validation" `Quick test_hc_create_validation;
           Alcotest.test_case "add_page" `Quick test_hc_add_page;
           Alcotest.test_case "init_done" `Quick test_hc_init_done;
+          Alcotest.test_case "status-code round trip" `Quick test_status_roundtrip;
           Alcotest.test_case "epc exhaustion" `Quick test_hc_epc_exhaustion;
         ] );
     ]
