@@ -1,0 +1,89 @@
+(* Engine scaling benchmark: cold/warm proof-cache wall-times and
+   jobs-vs-speedup points for the obligation pool, emitted as
+   BENCH_engine.json (consumed by CI as an artifact; see
+   EXPERIMENTS.md).
+
+   Run with: dune exec bench/engine_bench.exe -- [--quick] [--out FILE] *)
+
+open Hyperenclave
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let out = ref "BENCH_engine.json" in
+  Array.iteri
+    (fun i a -> if a = "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1))
+    Sys.argv;
+  let seed = 2024 in
+  let layout = Layout.default Geometry.tiny in
+  let plan, build_s = time (fun () -> Engine.Plan.build ~quick ~seed layout) in
+  let dag = plan.Engine.Plan.dag in
+
+  (* jobs scaling, no cache: every obligation executes *)
+  let jobs_points =
+    List.map
+      (fun jobs ->
+        let _, wall = time (fun () -> Engine.Pool.run ~jobs dag) in
+        (jobs, wall))
+      [ 1; 2; 4 ]
+  in
+  let serial = List.assoc 1 jobs_points in
+
+  (* proof cache: cold run populates, warm run replays *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mirverif-engine-bench-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let cache = Engine.Cache.create ~dir in
+  let cold_execs, cold = time (fun () -> Engine.Pool.run ~cache ~jobs:1 dag) in
+  let warm_execs, warm = time (fun () -> Engine.Pool.run ~cache ~jobs:1 dag) in
+  let hits execs =
+    List.length (List.filter (fun (e : Engine.Pool.exec) -> e.cache = Engine.Pool.Hit) execs)
+  in
+  rm_rf dir;
+
+  let open Engine.Jsonx in
+  let json =
+    Obj
+      [
+        ("bench", Str "engine");
+        ("quick", Bool quick);
+        ("seed", Int seed);
+        ("obligations", Int (Engine.Dag.size dag));
+        ("plan_build_s", Float build_s);
+        ("cold_wall_s", Float cold);
+        ("warm_wall_s", Float warm);
+        ("warm_speedup", Float (cold /. Float.max warm 1e-9));
+        ("cold_cache_hits", Int (hits cold_execs));
+        ("warm_cache_hits", Int (hits warm_execs));
+        ( "jobs_points",
+          List
+            (List.map
+               (fun (jobs, wall) ->
+                 Obj
+                   [
+                     ("jobs", Int jobs);
+                     ("wall_s", Float wall);
+                     ("speedup", Float (serial /. Float.max wall 1e-9));
+                   ])
+               jobs_points) );
+      ]
+  in
+  write_file !out (to_multiline_string json);
+  print_string (to_multiline_string json)

@@ -11,14 +11,17 @@
      8. attacks      — Fig. 5 scenarios must be rejected
      9. chaos        — opt-in (--chaos): fault-injected traces with
                        transactionality, invariant and TLB-consistency
-                       checks, plus MIRlight-level primitive faults *)
+                       checks, plus MIRlight-level primitive faults
+
+   Phases 3-8 are reified as an obligation DAG (lib/engine) and run on
+   a Domain worker pool (--jobs), optionally against a
+   content-addressed proof cache (--cache DIR).  Stdout carries only
+   verification content — no job counts, timings or cache statistics —
+   so the output is byte-identical at any job count and cache state;
+   scheduling metadata goes to stderr, --json-out and --trace-out. *)
 
 open Cmdliner
 module Report = Mirverif.Report
-
-let geom_of = function
-  | "x86_64" -> Hyperenclave.Geometry.x86_64
-  | _ -> Hyperenclave.Geometry.tiny
 
 let phase_header name = Format.printf "@.=== %s ===@." name
 
@@ -29,73 +32,11 @@ let check_reports ~failures reports =
       if not (Report.ok r) then incr failures)
     reports
 
-let run_refinement_sim layout seed =
-  (* random op sequences applied to both views, R checked throughout *)
-  let open Hyperenclave in
-  let rng = ref (Check.Rng.make seed) in
-  let page i = Int64.mul (Int64.of_int (Geometry.page_size layout.Layout.geom)) (Int64.of_int i) in
-  let report = ref (Report.empty "flat/tree simulation (R)") in
-  for trial = 1 to 50 do
-    let d = Absdata.create layout in
-    match Pt_flat.create_table d with
-    | Error msg -> report := Report.add_failure !report ~case:"create" ~reason:msg
-    | Ok (d, root) -> (
-        match Pt_refine.abstract d ~root with
-        | Error msg -> report := Report.add_failure !report ~case:"abstract" ~reason:msg
-        | Ok tree ->
-            let d = ref d and tree = ref tree in
-            let okay = ref true in
-            for _ = 1 to 20 do
-              if !okay then begin
-                let kind, r1 = Check.Rng.int_below !rng 3 in
-                let v, r2 = Check.Rng.int_below r1 16 in
-                let p, r3 = Check.Rng.int_below r2 8 in
-                rng := r3;
-                let va = page v and pa = page p in
-                let fr =
-                  match kind with
-                  | 0 -> (
-                      ( Pt_flat.map_page !d ~root ~va ~pa Flags.user_rw,
-                        Pt_tree.map_page !tree ~va ~pa Flags.user_rw ))
-                  | 1 -> (Pt_flat.unmap_page !d ~root ~va, Pt_tree.unmap_page !tree ~va)
-                  | _ ->
-                      ( Pt_flat.map_huge !d ~root ~va:(Int64.logand va (Int64.lognot (Int64.sub (page 4) 1L)))
-                          ~pa:(Int64.logand pa (Int64.lognot (Int64.sub (page 4) 1L)))
-                          ~level:2 Flags.user_r,
-                        Pt_tree.map_huge !tree
-                          ~va:(Int64.logand va (Int64.lognot (Int64.sub (page 4) 1L)))
-                          ~pa:(Int64.logand pa (Int64.lognot (Int64.sub (page 4) 1L)))
-                          ~level:2 Flags.user_r )
-                in
-                match fr with
-                | Ok d', Ok tree' ->
-                    d := d';
-                    tree := tree';
-                    if Pt_refine.relate !d ~root !tree then
-                      report := Report.add_pass !report
-                    else begin
-                      okay := false;
-                      report :=
-                        Report.add_failure !report
-                          ~case:(Printf.sprintf "trial %d" trial)
-                          ~reason:"R broken after lock-step operation"
-                    end
-                | Error _, Error _ -> report := Report.add_skip !report
-                | Ok _, Error e | Error e, Ok _ ->
-                    okay := false;
-                    report :=
-                      Report.add_failure !report
-                        ~case:(Printf.sprintf "trial %d" trial)
-                        ~reason:("one view rejected what the other accepted: " ^ e)
-              end
-            done)
-  done;
-  !report
-
 (* Phase 9 (opt-in): chaos.  On the correct monitor the phase passes
    when [traces] fault-injected traces survive every per-step check; on
    the --buggy-tlb monitor it passes when the planted stale-TLB bug is
-   found and shrunk to a minimal witness. *)
+   found and shrunk to a minimal witness.  Stays sequential: its value
+   is the shrinking loop, not throughput. *)
 let run_chaos ~failures ~quick ~seed ~traces ~faults_spec ~buggy_tlb layout =
   let kinds =
     if String.trim faults_spec = "all" then Ok Fault.Plan.all_kinds
@@ -148,8 +89,153 @@ let run_chaos ~failures ~quick ~seed ~traces ~faults_spec ~buggy_tlb layout =
         outcomes;
       if not (Report.ok mreport) then incr failures
 
-let run geometry seed quick chaos chaos_traces faults_spec buggy_tlb =
-  let geom = geom_of geometry in
+(* ------------------------------------------------------------------ *)
+(* Engine result rendering                                             *)
+
+let of_phase execs phase =
+  List.filter
+    (fun (e : Engine.Pool.exec) -> String.equal e.obligation.Engine.Obligation.phase phase)
+    execs
+
+let reports_of execs =
+  List.concat_map
+    (fun (e : Engine.Pool.exec) -> e.outcome.Engine.Obligation.reports)
+    execs
+
+let layer_of_code_proof_id id =
+  match String.split_on_char '/' id with _ :: layer :: _ -> layer | _ -> "?"
+
+(* Print the per-phase sections exactly as the sequential pass did,
+   from the execs (which arrive in DAG insertion order, independent of
+   scheduling). *)
+let render_engine_results ~failures ~security execs =
+  phase_header "3. code proofs (code conforms to low specs)";
+  let cp = of_phase execs "code-proofs" in
+  let t, p, s, f =
+    Engine.Obligation.case_totals
+      (List.map (fun (e : Engine.Pool.exec) -> e.outcome) cp)
+  in
+  Format.printf "  %d functions, %d cases: %d passed, %d skipped, %d failed@."
+    (List.length cp) t p s f;
+  List.iter
+    (fun (e : Engine.Pool.exec) ->
+      List.iter
+        (fun r ->
+          if not (Report.ok r) then begin
+            incr failures;
+            Format.printf "  FAIL [%s] %s@."
+              (layer_of_code_proof_id e.obligation.Engine.Obligation.id)
+              (Report.to_string r)
+          end)
+        e.outcome.Engine.Obligation.reports)
+    cp;
+
+  phase_header "4. page-table refinement (flat <-> tree, Sec. 4.1)";
+  check_reports ~failures (Report.merge_by_name (reports_of (of_phase execs "refinement")));
+
+  if security then begin
+    phase_header "5. invariants (Sec. 5.2) on reachable states";
+    check_reports ~failures
+      (Report.merge_by_name (reports_of (of_phase execs "invariants")));
+
+    phase_header "6. noninterference (Lemmas 5.2-5.4, Sec. 5.3)";
+    check_reports ~failures (reports_of (of_phase execs "noninterference"));
+
+    phase_header "7. trace noninterference (Theorem 5.1)";
+    check_reports ~failures (reports_of (of_phase execs "trace-ni"));
+
+    phase_header "8. attack scenarios (Fig. 5 + Sec. 4.1 shallow copy)";
+    List.iter
+      (fun (e : Engine.Pool.exec) ->
+        Format.printf "  %s@." e.outcome.Engine.Obligation.log;
+        if Engine.Obligation.failure_count e.outcome > 0 then incr failures)
+      (of_phase execs "attacks")
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Observability: stderr one-liner, --json-out summary, --trace-out    *)
+
+let count_cache execs status =
+  List.length (List.filter (fun (e : Engine.Pool.exec) -> e.cache = status) execs)
+
+let phase_summary execs phase =
+  let es = of_phase execs phase in
+  let executed = List.length es - count_cache es Engine.Pool.Hit in
+  let wall =
+    List.fold_left
+      (fun acc (e : Engine.Pool.exec) -> acc +. (e.finished -. e.started))
+      0.0 es
+  in
+  Engine.Jsonx.Obj
+    [
+      ("phase", Str phase);
+      ("obligations", Int (List.length es));
+      ("executed", Int executed);
+      ("cache_hits", Int (count_cache es Engine.Pool.Hit));
+      ("wall_s", Float wall);
+    ]
+
+let summary_json ~failures ~jobs ~cache_enabled execs =
+  let hits = count_cache execs Engine.Pool.Hit in
+  let misses = count_cache execs Engine.Pool.Miss in
+  let t, p, s, f =
+    Engine.Obligation.case_totals
+      (List.map (fun (e : Engine.Pool.exec) -> e.outcome) execs)
+  in
+  Engine.Jsonx.Obj
+    [
+      ("verdict", Str (if failures = 0 then "pass" else "fail"));
+      ("failures", Int failures);
+      ("jobs", Int jobs);
+      ("obligations", Int (List.length execs));
+      ("executed", Int (List.length execs - hits));
+      ("cache_hits", Int hits);
+      ("cache_misses", Int misses);
+      ("cache", Str (if cache_enabled then "enabled" else "disabled"));
+      ("elapsed_s", Float (Engine.Pool.wall_of execs));
+      ( "report_totals",
+        Obj [ ("cases", Int t); ("passed", Int p); ("skipped", Int s); ("failed", Int f) ]
+      );
+      ( "phases",
+        List
+          (List.filter_map
+             (fun phase ->
+               if of_phase execs phase = [] then None else Some (phase_summary execs phase))
+             Engine.Plan.phases) );
+      ( "workers",
+        List
+          (List.map
+             (fun (w, busy, n) ->
+               Engine.Jsonx.Obj
+                 [ ("worker", Int w); ("busy_s", Float busy); ("obligations", Int n) ])
+             (Engine.Pool.worker_stats execs)) );
+    ]
+
+let trace_json execs =
+  List.map
+    (fun (e : Engine.Pool.exec) ->
+      Engine.Jsonx.Obj
+        [
+          ("id", Str e.obligation.Engine.Obligation.id);
+          ("phase", Str e.obligation.Engine.Obligation.phase);
+          ("cache", Str (Engine.Pool.cache_status_to_string e.cache));
+          ("worker", Int e.worker);
+          ("started_s", Float e.started);
+          ("finished_s", Float e.finished);
+          ("duration_s", Float (e.finished -. e.started));
+          ("failures", Int (Engine.Obligation.failure_count e.outcome));
+        ])
+    execs
+
+(* ------------------------------------------------------------------ *)
+
+let run geometry seed quick jobs cache_dir json_out trace_out chaos chaos_traces
+    faults_spec buggy_tlb =
+  let geom =
+    match geometry with
+    | "x86_64" -> Hyperenclave.Geometry.x86_64
+    | _ -> Hyperenclave.Geometry.tiny
+  in
   let layout = Hyperenclave.Layout.default geom in
   let failures = ref 0 in
 
@@ -166,99 +252,13 @@ let run geometry seed quick chaos chaos_traces faults_spec buggy_tlb =
   List.iter (fun i -> Format.printf "  %a@." Mirverif.Layer.pp_stratification_issue i) issues;
   if issues <> [] then incr failures;
 
-  phase_header "3. code proofs (code conforms to low specs)";
-  let results = Check.Code_proof.run_all ~seed layout in
-  let t, p, s, f = Check.Code_proof.total_cases results in
-  Format.printf "  %d functions, %d cases: %d passed, %d skipped, %d failed@."
-    (List.length results) t p s f;
-  List.iter
-    (fun (layer, r) ->
-      if not (Report.ok r) then begin
-        incr failures;
-        Format.printf "  FAIL [%s] %s@." layer (Report.to_string r)
-      end)
-    results;
-
-  phase_header "4. page-table refinement (flat <-> tree, Sec. 4.1)";
-  let sim = run_refinement_sim layout seed in
-  check_reports ~failures [ sim ];
-
-  if geometry <> "x86_64" then begin
-    (* the security phases enumerate page contents; tiny geometry only *)
-    phase_header "5. invariants (Sec. 5.2) on reachable states";
-    let states = Check.Gen.states ~n:(if quick then 8 else 25) ~seed ~steps:35 layout in
-    let inv_report =
-      List.fold_left
-        (fun rep (label, st) ->
-          match Security.Invariants.check st.Security.State.mon with
-          | Ok () -> Report.add_pass rep
-          | Error reason -> Report.add_failure rep ~case:label ~reason)
-        (Report.empty "invariants on reachable states")
-        states
-    in
-    let actions = Check.Gen.action_battery layout in
-    let preservation =
-      List.fold_left
-        (fun rep (label, st) ->
-          List.fold_left
-            (fun rep a ->
-              match Security.Transition.step st a with
-              | Error _ -> Report.add_skip rep
-              | Ok st' -> (
-                  match Security.Invariants.check st'.Security.State.mon with
-                  | Ok () -> Report.add_pass rep
-                  | Error reason ->
-                      Report.add_failure rep
-                        ~case:(label ^ " / " ^ Security.Transition.action_to_string a)
-                        ~reason))
-            rep actions)
-        (Report.empty "invariant preservation")
-        states
-    in
-    check_reports ~failures [ inv_report; preservation ];
-
-    phase_header "6. noninterference (Lemmas 5.2-5.4, Sec. 5.3)";
-    let observers =
-      [ Security.Principal.Os; Security.Principal.Enclave 1; Security.Principal.Enclave 2 ]
-    in
-    let n = if quick then 6 else 15 in
-    List.iter
-      (fun observer ->
-        let pairs = Check.Gen.secret_pairs ~n ~seed ~steps:35 ~observer layout in
-        check_reports ~failures
-          [
-            Security.Noninterference.check_integrity ~observer ~states ~actions;
-            Security.Noninterference.check_local_consistency ~observer ~pairs ~actions;
-            Security.Noninterference.check_inactive_consistency ~observer ~pairs ~actions;
-          ])
-      observers;
-
-    phase_header "7. trace noninterference (Theorem 5.1)";
-    let schedules = Check.Gen.schedules ~n:(if quick then 5 else 12) ~len:15 ~seed layout in
-    List.iter
-      (fun observer ->
-        let pairs =
-          Check.Gen.secret_pairs ~n:(if quick then 5 else 12) ~seed:(seed + 1)
-            ~steps:35 ~observer layout
-        in
-        check_reports ~failures
-          [ Security.Noninterference.check_trace ~observer ~pairs ~schedules ])
-      observers;
-
-    phase_header "8. attack scenarios (Fig. 5 + Sec. 4.1 shallow copy)";
-    List.iter
-      (fun scenario ->
-        match Security.Attacks.run scenario with
-        | Ok () ->
-            Format.printf "  %-22s %s@." scenario.Security.Attacks.name
-              (match scenario.Security.Attacks.expected_violation with
-              | None -> "passes all invariants (as expected)"
-              | Some inv -> "REJECTED by " ^ inv ^ " (as expected)")
-        | Error msg ->
-            incr failures;
-            Format.printf "  %-22s UNEXPECTED: %s@." scenario.Security.Attacks.name msg)
-      Security.Attacks.all
-  end;
+  (* phases 3-8: build the obligation DAG and hand it to the pool *)
+  let security = geometry <> "x86_64" in
+  let plan = Engine.Plan.build ~quick ~security ~seed layout in
+  let cache = Option.map (fun dir -> Engine.Cache.create ~dir) cache_dir in
+  let jobs = max 1 jobs in
+  let execs = Engine.Pool.run ?cache ~jobs plan.Engine.Plan.dag in
+  render_engine_results ~failures ~security execs;
 
   if chaos then begin
     phase_header "9. chaos (fault injection, transactionality, shrinking)";
@@ -273,13 +273,63 @@ let run geometry seed quick chaos chaos_traces faults_spec buggy_tlb =
   Format.printf "@.%s@."
     (if !failures = 0 then "VERIFICATION PASS: all checks succeeded"
      else Printf.sprintf "VERIFICATION FAILED: %d phase(s) reported failures" !failures);
+
+  (* scheduling metadata: never on stdout, so runs diff clean *)
+  Format.eprintf "engine: %d obligations, jobs=%d, cache %s, %d hits, %d misses, %.3fs@."
+    (List.length execs) jobs
+    (if cache = None then "off" else "on")
+    (count_cache execs Engine.Pool.Hit)
+    (count_cache execs Engine.Pool.Miss)
+    (Engine.Pool.wall_of execs);
+  Option.iter
+    (fun path ->
+      Engine.Jsonx.write_file path
+        (Engine.Jsonx.to_multiline_string
+           (summary_json ~failures:!failures ~jobs ~cache_enabled:(cache <> None) execs)))
+    json_out;
+  Option.iter (fun path -> Engine.Jsonx.write_lines path (trace_json execs)) trace_out;
   if !failures = 0 then 0 else 1
 
 let geometry =
-  Arg.(value & opt string "tiny" & info [ "geometry" ] ~docv:"GEOM" ~doc:"tiny or x86_64.")
+  Arg.(
+    value
+    & opt (enum [ ("tiny", "tiny"); ("x86_64", "x86_64") ]) "tiny"
+    & info [ "geometry" ] ~docv:"GEOM" ~doc:"Page-table geometry: $(b,tiny) or $(b,x86_64).")
 
 let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
 let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller state budgets.")
+
+let jobs =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the obligation pool (default: the recommended \
+           domain count).  Results are byte-identical at any N.")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed proof cache directory.  Warm runs replay unchanged \
+           obligations from the cache instead of re-executing them.")
+
+let json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-out" ] ~docv:"FILE"
+        ~doc:"Write a machine-readable run summary (verdict, cache and worker stats).")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a JSONL trace: one line per obligation with timing and cache status.")
 
 let chaos =
   Arg.(
@@ -314,6 +364,8 @@ let cmd =
   Cmd.v
     (Cmd.info "hyperenclave-verify"
        ~doc:"Run the full HyperEnclave memory-subsystem verification pass")
-    Term.(const run $ geometry $ seed $ quick $ chaos $ chaos_traces $ faults $ buggy_tlb)
+    Term.(
+      const run $ geometry $ seed $ quick $ jobs $ cache_dir $ json_out $ trace_out
+      $ chaos $ chaos_traces $ faults $ buggy_tlb)
 
 let () = exit (Cmd.eval' cmd)

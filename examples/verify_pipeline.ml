@@ -50,7 +50,7 @@ let () =
         Format.printf "  %-14s %4d cases, %4d passed, %3d skipped, %d failed@."
           lname merged.Mirverif.Report.total merged.Mirverif.Report.passed
           merged.Mirverif.Report.skipped
-          (List.length merged.Mirverif.Report.failures)
+          (Mirverif.Report.failure_count merged)
       end)
     Mem_spec.layer_names;
 

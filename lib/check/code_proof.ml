@@ -293,39 +293,58 @@ let args_for pool fn (d : Absdata.t) : _ Value.t list list =
 
 let eq : Absdata.t Refine.equiv = Refine.equiv Absdata.equal
 
-let checks ?(seed = 2024) layout =
+type ctx = { ctx_layout : Layout.t; ctx_pool : pool }
+
+let ctx ?(seed = 2024) layout =
+  (* building the pool also warms the layout-keyed compile/stack/boot
+     caches, so a ctx built up front is safe to share across domains *)
   let pool = make_pool ~seed layout in
-  let stack = Layers.stack layout in
-  ignore stack;
+  ignore (Layers.stack layout);
+  { ctx_layout = layout; ctx_pool = pool }
+
+let check_function ctx fn =
+  match Layers.layer_of_function ctx.ctx_layout fn with
+  | None -> None
+  | Some lname ->
+      let pool = ctx.ctx_pool in
+      let spec =
+        match Mem_spec.find ctx.ctx_layout fn with
+        | Some s -> s
+        | None -> invalid_arg ("no spec for " ^ fn)
+      in
+      let cases =
+        match fn with
+        | "Enclave::in_elrange" | "Enclave::add_page" | "Enclave::remove_page" ->
+            method_cases pool (fun _ -> List.map (fun va -> [ u64 va ]) (sample 5 pool.vas))
+        | _ -> cases_of pool (args_for pool fn)
+      in
+      Some (lname, Refine.check ~fn ~spec ~eq cases)
+
+let run_function ctx fn =
+  Option.map
+    (fun (lname, c) ->
+      (lname, Refine.run (Layers.env_for ctx.ctx_layout ~layer:lname) c))
+    (check_function ctx fn)
+
+let checks ?seed layout =
+  let ctx = ctx ?seed layout in
   List.concat_map
     (fun lname ->
-      List.map
-        (fun fn ->
-          let spec =
-            match Mem_spec.find layout fn with
-            | Some s -> s
-            | None -> invalid_arg ("no spec for " ^ fn)
-          in
-          let cases =
-            match fn with
-            | "Enclave::in_elrange" | "Enclave::add_page" | "Enclave::remove_page" ->
-                method_cases pool (fun _ -> List.map (fun va -> [ u64 va ]) (sample 5 pool.vas))
-            | _ -> cases_of pool (args_for pool fn)
-          in
-          (lname, Refine.check ~fn ~spec ~eq cases))
-        (Layers.functions_of_layer layout lname))
+      List.filter_map (check_function ctx) (Layers.functions_of_layer layout lname)
+      |> List.map (fun (l, c) -> ((l : string), c)))
     Mem_spec.layer_names
 
 let run_layer ?seed layout lname =
-  let env = Layers.env_for layout ~layer:lname in
-  checks ?seed layout
-  |> List.filter (fun (l, _) -> String.equal l lname)
-  |> List.map (fun (_, c) -> Refine.run env c)
+  let ctx = ctx ?seed layout in
+  Layers.functions_of_layer layout lname
+  |> List.filter_map (run_function ctx)
+  |> List.map snd
 
 let run_all ?seed layout =
+  let ctx = ctx ?seed layout in
   List.concat_map
     (fun lname ->
-      List.map (fun r -> (lname, r)) (run_layer ?seed layout lname))
+      Layers.functions_of_layer layout lname |> List.filter_map (run_function ctx))
     Mem_spec.layer_names
 
 let total_cases results =
@@ -334,5 +353,5 @@ let total_cases results =
       ( t + r.Mirverif.Report.total,
         p + r.Mirverif.Report.passed,
         s + r.Mirverif.Report.skipped,
-        f + List.length r.Mirverif.Report.failures ))
+        f + Mirverif.Report.failure_count r ))
     (0, 0, 0, 0) results

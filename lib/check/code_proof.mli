@@ -8,6 +8,23 @@
     the executable counterpart of the paper's per-function code proofs
     (Sec. 4.3). *)
 
+type ctx
+(** Shared check context: the input pool (reachable states, argument
+    batteries) plus the warmed compile/stack caches.  Build one ctx up
+    front and reuse it across per-function runs — including runs on
+    other domains: a ctx is immutable once built, and building it
+    forces every layout-keyed memo table the checks read. *)
+
+val ctx : ?seed:int -> Hyperenclave.Layout.t -> ctx
+
+val check_function :
+  ctx -> string -> (string * Hyperenclave.Absdata.t Mirverif.Refine.check) option
+(** [(layer, check)] for one function; [None] if no spec owns it. *)
+
+val run_function : ctx -> string -> (string * Mirverif.Report.t) option
+(** Run the conformance check of a single function — the obligation
+    granularity of the parallel engine. *)
+
 val checks :
   ?seed:int -> Hyperenclave.Layout.t ->
   (string * Hyperenclave.Absdata.t Mirverif.Refine.check) list

@@ -138,12 +138,15 @@ let ensure_enclave_active ?prefer layout st =
       in
       match try_enter with Some st' -> st' | None -> build_and_enter st 1)
 
-let states ?(n = 20) ~seed ~steps layout =
-  List.init n (fun i ->
+let states_range ~lo ~hi ~seed ~steps layout =
+  List.init (hi - lo) (fun j ->
+      let i = lo + j in
       let st = trace ~seed:(seed + i) ~steps layout in
       if i mod 2 = 1 then
         (Printf.sprintf "trace[seed=%d+%d,enclave]" seed i, ensure_enclave_active layout st)
       else (Printf.sprintf "trace[seed=%d+%d]" seed i, st))
+
+let states ?(n = 20) ~seed ~steps layout = states_range ~lo:0 ~hi:n ~seed ~steps layout
 
 let absdata_states ?n ~seed ~steps layout =
   List.map (fun (label, st) -> (label, st.State.mon)) (states ?n ~seed ~steps layout)
@@ -229,8 +232,9 @@ let perturb_secrets ~seed ~observer (st : State.t) =
   in
   { st with State.mon = { d with Absdata.phys }; ctx; regs }
 
-let secret_pairs ?(n = 20) ~seed ~steps ~observer layout =
-  List.init n (fun i ->
+let secret_pairs_range ~lo ~hi ~seed ~steps ~observer layout =
+  List.init (hi - lo) (fun j ->
+      let i = lo + j in
       let st = trace ~seed:(seed + i) ~steps layout in
       (* alternate OS-active and enclave-active bases so both the
          active (5.3) and inactive (5.4) lemmas get non-vacuous cases;
@@ -244,6 +248,9 @@ let secret_pairs ?(n = 20) ~seed ~steps ~observer layout =
       in
       let st' = perturb_secrets ~seed:(seed + 7919 + i) ~observer st in
       (Printf.sprintf "pair[seed=%d+%d]" seed i, st, st'))
+
+let secret_pairs ?(n = 20) ~seed ~steps ~observer layout =
+  secret_pairs_range ~lo:0 ~hi:n ~seed ~steps ~observer layout
 
 let schedules ?(n = 10) ?(len = 12) ~seed layout =
   List.init n (fun i ->

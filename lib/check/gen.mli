@@ -20,6 +20,13 @@ val states :
   (string * Security.State.t) list
 (** Labelled reachable states ([n] defaults to 20). *)
 
+val states_range :
+  lo:int -> hi:int -> seed:int -> steps:int -> Hyperenclave.Layout.t ->
+  (string * Security.State.t) list
+(** States [lo..hi-1] of the same sequence {!states} enumerates: the
+    obligation engine shards a state battery into index ranges and the
+    concatenation of the shards is byte-identical to the whole. *)
+
 val absdata_states :
   ?n:int -> seed:int -> steps:int -> Hyperenclave.Layout.t ->
   (string * Hyperenclave.Absdata.t) list
@@ -41,6 +48,13 @@ val secret_pairs :
   (string * Security.State.t * Security.State.t) list
 (** Pairs (σ, perturb σ), indistinguishable to [observer] by
     construction. *)
+
+val secret_pairs_range :
+  lo:int -> hi:int -> seed:int -> steps:int ->
+  observer:Security.Principal.t -> Hyperenclave.Layout.t ->
+  (string * Security.State.t * Security.State.t) list
+(** Pairs [lo..hi-1] of the {!secret_pairs} sequence (sharding, as for
+    {!states_range}). *)
 
 val schedules :
   ?n:int -> ?len:int -> seed:int -> Hyperenclave.Layout.t ->

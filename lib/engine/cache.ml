@@ -1,0 +1,62 @@
+(* Engine/cache format version.  Part of every cache key: bump it when
+   the check semantics, the obligation encoding, or the marshalled
+   outcome shape changes, and every stale entry silently misses. *)
+let version = "mirverif-engine-1"
+
+(* The marshalled payload is additionally guarded by a magic string so
+   a file from a different OCaml version (incompatible Marshal format)
+   or a truncated write degrades to a miss, never a crash. *)
+let magic = "MVEC1\n" ^ Sys.ocaml_version ^ "\n"
+
+type t = { dir : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir }
+
+let key (o : Obligation.t) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ version; o.Obligation.phase; o.Obligation.id; o.Obligation.fingerprint ]))
+
+let path t k = Filename.concat t.dir (k ^ ".proof")
+
+let find t (o : Obligation.t) : Obligation.outcome option =
+  let file = path t (key o) in
+  if not (Sys.file_exists file) then None
+  else
+    try
+      let ic = open_in_bin file in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          let m = really_input_string ic (String.length magic) in
+          if not (String.equal m magic) then None
+          else
+            let (outcome : Obligation.outcome) = Marshal.from_channel ic in
+            Some outcome)
+    with _ -> None
+
+let store t (o : Obligation.t) (outcome : Obligation.outcome) =
+  try
+    let file = path t (key o) in
+    (* write-then-rename: concurrent workers may store under the same
+       key; each writes its own temp file and the rename is atomic *)
+    let tmp = Filename.temp_file ~temp_dir:t.dir ".proof-" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc magic;
+        Marshal.to_channel oc outcome []);
+    Sys.rename tmp file
+  with _ -> ()
+
+let entry_count t =
+  if Sys.file_exists t.dir && Sys.is_directory t.dir then
+    Array.fold_left
+      (fun n f -> if Filename.check_suffix f ".proof" then n + 1 else n)
+      0 (Sys.readdir t.dir)
+  else 0

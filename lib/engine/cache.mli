@@ -1,0 +1,33 @@
+(** Content-addressed proof-result cache.
+
+    An obligation's outcome is stored under a digest of (engine
+    version, phase, id, fingerprint).  The fingerprint captures every
+    input the outcome depends on — for code-proof obligations the
+    MIRlight of the function and of every layer at or below it, the
+    layout geometry, and the seed — so a warm run skips unchanged
+    obligations, and editing one Rustlite function invalidates exactly
+    that function's obligation and its dependents (whose fingerprints
+    include the edited MIR), nothing below it.
+
+    Entries are [Marshal]ed with a magic header carrying the OCaml
+    version; any mismatch, truncation, or IO error degrades to a cache
+    miss.  Stores are write-to-temp + atomic rename, safe under
+    concurrent workers. *)
+
+type t
+
+val version : string
+(** Engine/cache format version; part of every key.  Bump when check
+    semantics change — the OCaml harness code is not fingerprinted. *)
+
+val create : dir:string -> t
+(** Creates [dir] (and parents) when missing. *)
+
+val key : Obligation.t -> string
+(** Hex digest naming the obligation's cache entry. *)
+
+val find : t -> Obligation.t -> Obligation.outcome option
+val store : t -> Obligation.t -> Obligation.outcome -> unit
+
+val entry_count : t -> int
+(** Number of entries on disk (diagnostics). *)

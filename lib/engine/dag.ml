@@ -1,0 +1,99 @@
+module StrMap = Map.Make (String)
+
+type t = {
+  order : Obligation.t list;  (* insertion order: the deterministic merge order *)
+  by_id : Obligation.t StrMap.t;
+  dependents : string list StrMap.t;  (* id -> ids that depend on it, insertion order *)
+}
+
+let obligations t = t.order
+let size t = List.length t.order
+let find t id = StrMap.find_opt id t.by_id
+
+let deps_of t id =
+  match StrMap.find_opt id t.by_id with Some o -> o.Obligation.deps | None -> []
+
+let dependents_of t id =
+  match StrMap.find_opt id t.dependents with Some ds -> ds | None -> []
+
+let build obls =
+  (* unique ids *)
+  let rec check_ids seen = function
+    | [] -> Ok ()
+    | (o : Obligation.t) :: rest ->
+        if StrMap.mem o.id seen then Error (Printf.sprintf "duplicate obligation id %s" o.id)
+        else check_ids (StrMap.add o.id o seen) rest
+  in
+  match check_ids StrMap.empty obls with
+  | Error _ as e -> e
+  | Ok () -> (
+      let by_id =
+        List.fold_left (fun m (o : Obligation.t) -> StrMap.add o.id o m) StrMap.empty obls
+      in
+      (* known deps *)
+      let unknown =
+        List.concat_map
+          (fun (o : Obligation.t) ->
+            List.filter_map
+              (fun d ->
+                if StrMap.mem d by_id then None
+                else Some (Printf.sprintf "%s depends on unknown %s" o.id d))
+              o.deps)
+          obls
+      in
+      match unknown with
+      | msg :: _ -> Error msg
+      | [] ->
+          let dependents =
+            List.fold_left
+              (fun m (o : Obligation.t) ->
+                List.fold_left
+                  (fun m d ->
+                    let ds = try StrMap.find d m with Not_found -> [] in
+                    StrMap.add d (o.id :: ds) m)
+                  m o.deps)
+              StrMap.empty obls
+            |> StrMap.map List.rev
+          in
+          (* cycle check: Kahn's algorithm must consume every node *)
+          let indeg = Hashtbl.create (List.length obls) in
+          List.iter
+            (fun (o : Obligation.t) -> Hashtbl.replace indeg o.id (List.length o.deps))
+            obls;
+          let queue = Queue.create () in
+          List.iter
+            (fun (o : Obligation.t) -> if o.deps = [] then Queue.add o.id queue)
+            obls;
+          let consumed = ref 0 in
+          while not (Queue.is_empty queue) do
+            let id = Queue.take queue in
+            incr consumed;
+            List.iter
+              (fun d ->
+                let k = Hashtbl.find indeg d - 1 in
+                Hashtbl.replace indeg d k;
+                if k = 0 then Queue.add d queue)
+              (match StrMap.find_opt id dependents with Some ds -> ds | None -> [])
+          done;
+          if !consumed <> List.length obls then
+            Error
+              (Printf.sprintf "dependency cycle: only %d of %d obligations schedulable"
+                 !consumed (List.length obls))
+          else Ok { order = obls; by_id; dependents })
+
+let build_exn obls =
+  match build obls with Ok t -> t | Error msg -> invalid_arg ("Dag.build: " ^ msg)
+
+let reaches t ~src ~dst =
+  (* is there a dependency path from [dst] up to [src]?  i.e. does
+     [src] (transitively) depend on [dst]? *)
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if String.equal id dst then true
+    else if Hashtbl.mem seen id then false
+    else begin
+      Hashtbl.add seen id ();
+      List.exists go (deps_of t id)
+    end
+  in
+  go src

@@ -1,0 +1,26 @@
+(** The obligation graph.
+
+    A validated DAG over {!Obligation.t}: ids are unique, every edge
+    points at a known obligation, and the graph is acyclic (checked by
+    Kahn's algorithm at build time, so the worker pool can never
+    deadlock on an unsatisfiable dependency).  The insertion order of
+    the obligations is preserved — it is the deterministic order the
+    driver merges and prints results in, independent of how the pool
+    schedules the work. *)
+
+type t
+
+val build : Obligation.t list -> (t, string) result
+val build_exn : Obligation.t list -> t
+
+val obligations : t -> Obligation.t list
+(** In insertion order. *)
+
+val size : t -> int
+val find : t -> string -> Obligation.t option
+val deps_of : t -> string -> string list
+val dependents_of : t -> string -> string list
+
+val reaches : t -> src:string -> dst:string -> bool
+(** Does [src] transitively depend on [dst]?  (Used by the tests to
+    assert the stratification edges.) *)

@@ -1,0 +1,27 @@
+(** Minimal JSON emission (no external dependency).
+
+    The engine's observability outputs — the per-obligation JSONL trace
+    and the machine-readable run summary — are plain JSON consumed by
+    the bench harness and the CI gate.  Emission only; nothing in the
+    engine parses JSON back (the proof cache uses [Marshal] keyed by a
+    content digest instead). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+val to_string : t -> string
+
+val to_multiline_string : t -> string
+(** Top-level object with one field per line (scalars) and one list
+    element per line — greppable by the CI shell gate. *)
+
+val write_file : string -> string -> unit
+val write_lines : string -> t list -> unit
+(** JSONL: one value per line. *)

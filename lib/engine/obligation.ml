@@ -1,0 +1,32 @@
+type outcome = {
+  reports : Mirverif.Report.t list;
+  log : string;
+}
+
+type t = {
+  id : string;
+  phase : string;
+  deps : string list;
+  fingerprint : string;
+  run : unit -> outcome;
+}
+
+let v ~id ~phase ?(deps = []) ~fingerprint run =
+  { id; phase; deps; fingerprint; run }
+
+let outcome ?(log = "") reports = { reports; log }
+
+let failure_count o =
+  List.fold_left (fun n r -> n + Mirverif.Report.failure_count r) 0 o.reports
+
+let case_totals os =
+  List.fold_left
+    (fun (t, p, s, f) o ->
+      List.fold_left
+        (fun (t, p, s, f) (r : Mirverif.Report.t) ->
+          ( t + r.Mirverif.Report.total,
+            p + r.Mirverif.Report.passed,
+            s + r.Mirverif.Report.skipped,
+            f + Mirverif.Report.failure_count r ))
+        (t, p, s, f) o.reports)
+    (0, 0, 0, 0) os

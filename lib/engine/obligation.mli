@@ -1,0 +1,40 @@
+(** A single schedulable unit of the verification pass.
+
+    The pass is reified as a DAG of obligations: one per code-proof
+    function, per refinement-simulation shard, per invariant /
+    noninterference state batch, and per attack scenario.  An
+    obligation is pure: [run] depends only on the inputs captured at
+    plan-build time, so executing it on any worker domain, in any
+    order, or replaying it from the proof cache yields the same
+    outcome. *)
+
+type outcome = {
+  reports : Mirverif.Report.t list;
+      (** the obligation's check reports, merged by the driver in
+          obligation-id order — results are independent of scheduling *)
+  log : string;
+      (** deterministic human-readable lines (e.g. the attack-scenario
+          verdict text), printed by the driver in id order *)
+}
+
+type t = {
+  id : string;  (** unique and stable, e.g. ["code-proof/PtMap/map_page"] *)
+  phase : string;  (** display/aggregation group, e.g. ["code-proofs"] *)
+  deps : string list;  (** obligation ids that must complete first *)
+  fingerprint : string;
+      (** content description of every input the outcome depends on
+          (MIRlight of the functions involved, layout geometry, seed,
+          budgets); the cache key is a digest of this plus the engine
+          version *)
+  run : unit -> outcome;
+}
+
+val v :
+  id:string -> phase:string -> ?deps:string list -> fingerprint:string ->
+  (unit -> outcome) -> t
+
+val outcome : ?log:string -> Mirverif.Report.t list -> outcome
+val failure_count : outcome -> int
+
+val case_totals : outcome list -> int * int * int * int
+(** (total, passed, skipped, failed) over the reports of a result set. *)

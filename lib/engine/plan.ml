@@ -1,0 +1,367 @@
+open Hyperenclave
+module Report = Mirverif.Report
+
+type t = {
+  dag : Dag.t;
+  layout : Layout.t;
+  seed : int;
+  quick : bool;
+  security : bool;
+}
+
+let phases = [ "code-proofs"; "refinement"; "invariants"; "noninterference"; "trace-ni"; "attacks" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+
+let geometry_fp (g : Geometry.t) =
+  Printf.sprintf "geom{levels=%d;index_bits=%d;page_shift=%d;fb=%d,%d,%d,%d}"
+    g.Geometry.levels g.Geometry.index_bits g.Geometry.page_shift g.Geometry.fb_present
+    g.Geometry.fb_write g.Geometry.fb_user g.Geometry.fb_huge
+
+let layout_fp (l : Layout.t) =
+  Printf.sprintf
+    "%s;layout{normal=%Lx+%d;mbuf=%Lx+%d;monitor=%Lx+%d;frames=%Lx+%d;epc=%Lx+%d}"
+    (geometry_fp l.Layout.geom) l.Layout.normal_base l.Layout.normal_pages l.Layout.mbuf_base
+    l.Layout.mbuf_pages l.Layout.monitor_base l.Layout.monitor_pages l.Layout.frame_base
+    l.Layout.frame_count l.Layout.epc_base l.Layout.epc_pages
+
+(* ------------------------------------------------------------------ *)
+(* Per-obligation RNG streams                                          *)
+
+(* A distinct deterministic stream per obligation, split from the run
+   seed and a stable obligation tag: results cannot depend on which
+   worker picks the obligation up or in what order. *)
+let stream_seed ~seed tag =
+  let h = ref seed in
+  String.iter (fun c -> h := (!h * 131) + Char.code c) tag;
+  let w, _ = Check.Rng.next (Check.Rng.make !h) in
+  Int64.to_int (Int64.logand w 0x3FFF_FFFFL)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: per-function code proofs                                   *)
+
+let code_proof_id ~layer fn = Printf.sprintf "code-proof/%s/%s" layer fn
+
+let code_proof_obligations ?(seed = 2024) layout =
+  let ctx = Check.Code_proof.ctx ~seed layout in
+  let out = Layers.compiled layout in
+  let base_fp = Printf.sprintf "%s;seed=%d" (layout_fp layout) seed in
+  (* MIR accumulated bottom-up: a function's fingerprint digests its
+     own layer's MIR plus everything below, so editing one Rustlite
+     function invalidates exactly that layer and the layers above *)
+  let mir_below = Buffer.create 4096 in
+  let _, obls =
+    List.fold_left
+      (fun ((prev_layer_ids : string list), acc) lname ->
+        let fns = Layers.functions_of_layer layout lname in
+        if fns = [] then (prev_layer_ids, acc)
+        else begin
+          List.iter
+            (fun fn ->
+              match Mir.Syntax.find_body out.Rustlite.Pipeline.program fn with
+              | Some body ->
+                  Buffer.add_string mir_below (Mir.Pp.body_to_string body);
+                  Buffer.add_char mir_below '\n'
+              | None -> ())
+            fns;
+          let mir_digest = Digest.to_hex (Digest.string (Buffer.contents mir_below)) in
+          let ids =
+            List.map
+              (fun fn ->
+                let id = code_proof_id ~layer:lname fn in
+                let fingerprint =
+                  Printf.sprintf "%s;fn=%s;mir<=%s=%s" base_fp fn lname mir_digest
+                in
+                Obligation.v ~id ~phase:"code-proofs" ~deps:prev_layer_ids ~fingerprint
+                  (fun () ->
+                    match Check.Code_proof.run_function ctx fn with
+                    | Some (_, report) -> Obligation.outcome [ report ]
+                    | None ->
+                        Obligation.outcome
+                          [
+                            Report.add_failure (Report.empty fn) ~case:fn
+                              ~reason:"no spec owns this function";
+                          ]))
+              fns
+          in
+          (List.map (fun (o : Obligation.t) -> o.Obligation.id) ids, acc @ [ (lname, ids) ])
+        end)
+      ([], []) Mem_spec.layer_names
+  in
+  obls
+
+let function_layer_ids obls_by_layer lname =
+  match List.assoc_opt lname obls_by_layer with
+  | Some obls -> List.map (fun (o : Obligation.t) -> o.Obligation.id) obls
+  | None -> []
+
+let last_layer_ids obls_by_layer =
+  match List.rev obls_by_layer with
+  | (_, obls) :: _ -> List.map (fun (o : Obligation.t) -> o.Obligation.id) obls
+  | [] -> []
+
+(* ------------------------------------------------------------------ *)
+(* Phase 4: flat/tree refinement simulation, sharded                   *)
+
+let refinement_trials ~quick = if quick then 20 else 50
+let refinement_shards = 10
+
+(* One shard: [trials] random lock-step op sequences applied to both
+   views, R checked throughout — the sequential phase 4 body with an
+   explicit RNG stream. *)
+let run_refinement_shard layout ~stream ~trials =
+  let rng = ref (Check.Rng.make stream) in
+  let page i =
+    Int64.mul (Int64.of_int (Geometry.page_size layout.Layout.geom)) (Int64.of_int i)
+  in
+  let report = ref (Report.empty "flat/tree simulation (R)") in
+  for trial = 1 to trials do
+    let d = Absdata.create layout in
+    match Pt_flat.create_table d with
+    | Error msg -> report := Report.add_failure !report ~case:"create" ~reason:msg
+    | Ok (d, root) -> (
+        match Pt_refine.abstract d ~root with
+        | Error msg -> report := Report.add_failure !report ~case:"abstract" ~reason:msg
+        | Ok tree ->
+            let d = ref d and tree = ref tree in
+            let okay = ref true in
+            for _ = 1 to 20 do
+              if !okay then begin
+                let kind, r1 = Check.Rng.int_below !rng 3 in
+                let v, r2 = Check.Rng.int_below r1 16 in
+                let p, r3 = Check.Rng.int_below r2 8 in
+                rng := r3;
+                let va = page v and pa = page p in
+                let huge_mask = Int64.lognot (Int64.sub (page 4) 1L) in
+                let fr =
+                  match kind with
+                  | 0 ->
+                      ( Pt_flat.map_page !d ~root ~va ~pa Flags.user_rw,
+                        Pt_tree.map_page !tree ~va ~pa Flags.user_rw )
+                  | 1 -> (Pt_flat.unmap_page !d ~root ~va, Pt_tree.unmap_page !tree ~va)
+                  | _ ->
+                      ( Pt_flat.map_huge !d ~root ~va:(Int64.logand va huge_mask)
+                          ~pa:(Int64.logand pa huge_mask) ~level:2 Flags.user_r,
+                        Pt_tree.map_huge !tree ~va:(Int64.logand va huge_mask)
+                          ~pa:(Int64.logand pa huge_mask) ~level:2 Flags.user_r )
+                in
+                match fr with
+                | Ok d', Ok tree' ->
+                    d := d';
+                    tree := tree';
+                    if Pt_refine.relate !d ~root !tree then report := Report.add_pass !report
+                    else begin
+                      okay := false;
+                      report :=
+                        Report.add_failure !report
+                          ~case:(Printf.sprintf "trial %d" trial)
+                          ~reason:"R broken after lock-step operation"
+                    end
+                | Error _, Error _ -> report := Report.add_skip !report
+                | Ok _, Error e | Error e, Ok _ ->
+                    okay := false;
+                    report :=
+                      Report.add_failure !report
+                        ~case:(Printf.sprintf "trial %d" trial)
+                        ~reason:("one view rejected what the other accepted: " ^ e)
+              end
+            done)
+  done;
+  !report
+
+let refinement_obligations ~seed ~quick ~deps layout =
+  let trials = refinement_trials ~quick in
+  let per_shard = max 1 (trials / refinement_shards) in
+  let shards = (trials + per_shard - 1) / per_shard in
+  List.init shards (fun i ->
+      let id = Printf.sprintf "refine/shard-%02d" i in
+      let n = min per_shard (trials - (i * per_shard)) in
+      let stream = stream_seed ~seed id in
+      let fingerprint =
+        Printf.sprintf "%s;refine-sim-v1;seed=%d;shard=%d;trials=%d" (layout_fp layout)
+          seed i n
+      in
+      Obligation.v ~id ~phase:"refinement" ~deps ~fingerprint (fun () ->
+          Obligation.outcome [ run_refinement_shard layout ~stream ~trials:n ]))
+
+(* ------------------------------------------------------------------ *)
+(* Phases 5-8: security obligations (tiny geometry only)               *)
+
+let observers =
+  [ Security.Principal.Os; Security.Principal.Enclave 1; Security.Principal.Enclave 2 ]
+
+let inv_steps = 35
+let inv_states ~quick = if quick then 8 else 25
+let inv_batch_size = 5
+
+let invariant_obligations ~seed ~quick ~deps layout =
+  let n = inv_states ~quick in
+  let batches = (n + inv_batch_size - 1) / inv_batch_size in
+  List.init batches (fun b ->
+      let lo = b * inv_batch_size and hi = min n ((b + 1) * inv_batch_size) in
+      let id = Printf.sprintf "invariants/batch-%02d" b in
+      let fingerprint =
+        Printf.sprintf "%s;invariants-v1;seed=%d;states=%d..%d;steps=%d" (layout_fp layout)
+          seed lo hi inv_steps
+      in
+      Obligation.v ~id ~phase:"invariants" ~deps ~fingerprint (fun () ->
+          let states = Check.Gen.states_range ~lo ~hi ~seed ~steps:inv_steps layout in
+          let inv_report =
+            List.fold_left
+              (fun rep (label, st) ->
+                match Security.Invariants.check st.Security.State.mon with
+                | Ok () -> Report.add_pass rep
+                | Error reason -> Report.add_failure rep ~case:label ~reason)
+              (Report.empty "invariants on reachable states")
+              states
+          in
+          let actions = Check.Gen.action_battery layout in
+          let preservation =
+            List.fold_left
+              (fun rep (label, st) ->
+                List.fold_left
+                  (fun rep a ->
+                    match Security.Transition.step st a with
+                    | Error _ -> Report.add_skip rep
+                    | Ok st' -> (
+                        match Security.Invariants.check st'.Security.State.mon with
+                        | Ok () -> Report.add_pass rep
+                        | Error reason ->
+                            Report.add_failure rep
+                              ~case:(label ^ " / " ^ Security.Transition.action_to_string a)
+                              ~reason))
+                  rep actions)
+              (Report.empty "invariant preservation")
+              states
+          in
+          Obligation.outcome [ inv_report; preservation ]))
+
+let ni_pairs ~quick = if quick then 6 else 15
+
+type lemma = Integrity | Local_consistency | Inactive_consistency
+
+let lemma_tag = function
+  | Integrity -> "integrity"
+  | Local_consistency -> "local-consistency"
+  | Inactive_consistency -> "inactive-consistency"
+
+let noninterference_obligations ~seed ~quick ~deps layout =
+  let n = ni_pairs ~quick in
+  let nstates = inv_states ~quick in
+  List.concat_map
+    (fun observer ->
+      let obs = Security.Principal.to_string observer in
+      List.map
+        (fun lemma ->
+          let id = Printf.sprintf "noninterference/%s/%s" (lemma_tag lemma) obs in
+          let fingerprint =
+            Printf.sprintf "%s;ni-v1;seed=%d;lemma=%s;observer=%s;pairs=%d;states=%d;steps=%d"
+              (layout_fp layout) seed (lemma_tag lemma) obs n nstates inv_steps
+          in
+          Obligation.v ~id ~phase:"noninterference" ~deps ~fingerprint (fun () ->
+              let actions = Check.Gen.action_battery layout in
+              let report =
+                match lemma with
+                | Integrity ->
+                    let states =
+                      Check.Gen.states_range ~lo:0 ~hi:nstates ~seed ~steps:inv_steps layout
+                    in
+                    Security.Noninterference.check_integrity ~observer ~states ~actions
+                | Local_consistency ->
+                    let pairs =
+                      Check.Gen.secret_pairs ~n ~seed ~steps:inv_steps ~observer layout
+                    in
+                    Security.Noninterference.check_local_consistency ~observer ~pairs ~actions
+                | Inactive_consistency ->
+                    let pairs =
+                      Check.Gen.secret_pairs ~n ~seed ~steps:inv_steps ~observer layout
+                    in
+                    Security.Noninterference.check_inactive_consistency ~observer ~pairs
+                      ~actions
+              in
+              Obligation.outcome [ report ]))
+        [ Integrity; Local_consistency; Inactive_consistency ])
+    observers
+
+let trace_ni_obligations ~seed ~quick ~deps_for layout =
+  let n_sched = if quick then 5 else 12 in
+  let n_pairs = if quick then 5 else 12 in
+  List.map
+    (fun observer ->
+      let obs = Security.Principal.to_string observer in
+      let id = Printf.sprintf "trace-ni/%s" obs in
+      let fingerprint =
+        Printf.sprintf "%s;trace-ni-v1;seed=%d;observer=%s;schedules=%d;pairs=%d;steps=%d"
+          (layout_fp layout) seed obs n_sched n_pairs inv_steps
+      in
+      Obligation.v ~id ~phase:"trace-ni" ~deps:(deps_for obs) ~fingerprint (fun () ->
+          let schedules = Check.Gen.schedules ~n:n_sched ~len:15 ~seed layout in
+          let pairs =
+            Check.Gen.secret_pairs ~n:n_pairs ~seed:(seed + 1) ~steps:inv_steps ~observer
+              layout
+          in
+          Obligation.outcome
+            [ Security.Noninterference.check_trace ~observer ~pairs ~schedules ]))
+    observers
+
+let attack_obligations ~deps scenarios =
+  List.map
+    (fun scenario ->
+      let name = scenario.Security.Attacks.name in
+      let id = Printf.sprintf "attacks/%s" name in
+      let fingerprint = Printf.sprintf "attacks-v1;scenario=%s" name in
+      Obligation.v ~id ~phase:"attacks" ~deps ~fingerprint (fun () ->
+          match Security.Attacks.run scenario with
+          | Ok () ->
+              let log =
+                Printf.sprintf "%-22s %s" name
+                  (match scenario.Security.Attacks.expected_violation with
+                  | None -> "passes all invariants (as expected)"
+                  | Some inv -> "REJECTED by " ^ inv ^ " (as expected)")
+              in
+              Obligation.outcome ~log
+                [ Report.add_pass (Report.empty "attack scenarios (Fig. 5)") ]
+          | Error msg ->
+              Obligation.outcome
+                ~log:(Printf.sprintf "%-22s UNEXPECTED: %s" name msg)
+                [
+                  Report.add_failure
+                    (Report.empty "attack scenarios (Fig. 5)")
+                    ~case:name ~reason:msg;
+                ]))
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+
+let build ?(quick = false) ?(security = true) ~seed layout =
+  Layers.warm layout;
+  if security then
+    (* forces the attack module's lazily built layout from this domain *)
+    ignore (Security.Attacks.run Security.Attacks.healthy);
+  let by_layer = code_proof_obligations ~seed layout in
+  let code = List.concat_map snd by_layer in
+  let top_ids = last_layer_ids by_layer in
+  let pt_ids =
+    match function_layer_ids by_layer "PtQuery" with [] -> top_ids | ids -> ids
+  in
+  let refine = refinement_obligations ~seed ~quick ~deps:pt_ids layout in
+  let security_obls =
+    if not security then []
+    else begin
+      let inv = invariant_obligations ~seed ~quick ~deps:top_ids layout in
+      let inv_ids = List.map (fun (o : Obligation.t) -> o.Obligation.id) inv in
+      let ni = noninterference_obligations ~seed ~quick ~deps:inv_ids layout in
+      let ni_ids_for obs =
+        List.map
+          (fun lemma -> Printf.sprintf "noninterference/%s/%s" (lemma_tag lemma) obs)
+          [ Integrity; Local_consistency; Inactive_consistency ]
+      in
+      let tni = trace_ni_obligations ~seed ~quick ~deps_for:ni_ids_for layout in
+      let att = attack_obligations ~deps:inv_ids Security.Attacks.all in
+      inv @ ni @ tni @ att
+    end
+  in
+  let dag = Dag.build_exn (code @ refine @ security_obls) in
+  { dag; layout; seed; quick; security }

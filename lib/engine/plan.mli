@@ -1,0 +1,46 @@
+(** Builds the verification plan: the full pass (phases 3-8 of the
+    CLI) reified as an obligation DAG.
+
+    Obligation granularity mirrors the paper's proof structure: one
+    node per code-proof function, per refinement-simulation shard, per
+    invariant/noninterference state batch, per attack scenario.  Edges
+    encode layer stratification (a layer's code proofs depend on the
+    function-bearing layer below) and phase dependencies (refinement
+    waits on the page-table layer's proofs; security phases wait on
+    the invariant batches; trace-NI on that observer's three NI
+    lemmas).
+
+    Each obligation's RNG stream is split deterministically from the
+    run seed and the obligation id, and its fingerprint digests every
+    input the outcome depends on, so results are byte-identical at any
+    job count and cache entries invalidate exactly when an input
+    changes. *)
+
+type t = {
+  dag : Dag.t;
+  layout : Hyperenclave.Layout.t;
+  seed : int;
+  quick : bool;
+  security : bool;
+}
+
+val phases : string list
+(** Engine phase names, in pass order: code-proofs, refinement,
+    invariants, noninterference, trace-ni, attacks. *)
+
+val build :
+  ?quick:bool -> ?security:bool -> seed:int -> Hyperenclave.Layout.t -> t
+(** [build ~seed layout] constructs the DAG and warms every
+    layout-keyed memo table ([Layers.warm], the attack module's lazy
+    layout) in the calling domain, so worker domains only read shared
+    state.  [~security:false] (x86_64 geometry) drops phases 5-8;
+    [~quick] shrinks trial/state counts like the CLI's [--quick]. *)
+
+val code_proof_obligations :
+  ?seed:int -> Hyperenclave.Layout.t -> (string * Obligation.t list) list
+(** Per-layer code-proof obligations, bottom-up; exposed for tests and
+    for cache-invalidation experiments. *)
+
+val stream_seed : seed:int -> string -> int
+(** The per-obligation RNG stream split: deterministic in (seed, tag),
+    independent of scheduling. *)

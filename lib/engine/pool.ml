@@ -1,0 +1,136 @@
+type cache_status = Hit | Miss | Off
+
+let cache_status_to_string = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Off -> "off"
+
+type exec = {
+  obligation : Obligation.t;
+  outcome : Obligation.outcome;
+  cache : cache_status;
+  worker : int;
+  started : float;
+  finished : float;
+}
+
+(* Shared scheduler state.  Workers take ready obligation ids under the
+   mutex, run them unlocked, then publish the result and release newly
+   ready dependents.  All obligation [run] closures are pure and the
+   layout-keyed memo tables are warmed before the pool starts, so the
+   only cross-domain communication is this scheduler. *)
+type sched = {
+  dag : Dag.t;
+  cache : Cache.t option;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  ready : string Queue.t;
+  indeg : (string, int) Hashtbl.t;
+  results : (string, exec) Hashtbl.t;
+  mutable completed : int;
+  total : int;
+  t0 : float;
+}
+
+let crash_outcome (o : Obligation.t) exn =
+  let reason = Printf.sprintf "obligation raised: %s" (Printexc.to_string exn) in
+  Obligation.outcome
+    [ Mirverif.Report.add_failure (Mirverif.Report.empty o.Obligation.id) ~case:"exception" ~reason ]
+
+let execute sched (o : Obligation.t) =
+  match sched.cache with
+  | None ->
+      let outcome = try o.Obligation.run () with exn -> crash_outcome o exn in
+      (outcome, Off)
+  | Some c -> (
+      match Cache.find c o with
+      | Some outcome -> (outcome, Hit)
+      | None ->
+          let outcome = try o.Obligation.run () with exn -> crash_outcome o exn in
+          Cache.store c o outcome;
+          (outcome, Miss))
+
+let rec worker sched wid =
+  Mutex.lock sched.mutex;
+  let rec take () =
+    if sched.completed = sched.total then None
+    else
+      match Queue.take_opt sched.ready with
+      | Some id -> Some id
+      | None ->
+          Condition.wait sched.cond sched.mutex;
+          take ()
+  in
+  match take () with
+  | None ->
+      Mutex.unlock sched.mutex;
+      ()
+  | Some id ->
+      Mutex.unlock sched.mutex;
+      let o = Option.get (Dag.find sched.dag id) in
+      let started = Unix.gettimeofday () -. sched.t0 in
+      let outcome, cache = execute sched o in
+      let finished = Unix.gettimeofday () -. sched.t0 in
+      Mutex.lock sched.mutex;
+      Hashtbl.replace sched.results id
+        { obligation = o; outcome; cache; worker = wid; started; finished };
+      sched.completed <- sched.completed + 1;
+      List.iter
+        (fun d ->
+          let k = Hashtbl.find sched.indeg d - 1 in
+          Hashtbl.replace sched.indeg d k;
+          if k = 0 then Queue.add d sched.ready)
+        (Dag.dependents_of sched.dag id);
+      Condition.broadcast sched.cond;
+      Mutex.unlock sched.mutex;
+      worker sched wid
+
+let run ?cache ~jobs dag =
+  let obls = Dag.obligations dag in
+  let total = List.length obls in
+  let sched =
+    {
+      dag;
+      cache;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      ready = Queue.create ();
+      indeg = Hashtbl.create (max 16 total);
+      results = Hashtbl.create (max 16 total);
+      completed = 0;
+      total;
+      t0 = Unix.gettimeofday ();
+    }
+  in
+  List.iter
+    (fun (o : Obligation.t) ->
+      Hashtbl.replace sched.indeg o.id (List.length o.deps);
+      if o.deps = [] then Queue.add o.id sched.ready)
+    obls;
+  let jobs = max 1 (min jobs (max 1 total)) in
+  if total = 0 then []
+  else begin
+    if jobs = 1 then worker sched 0
+    else begin
+      let domains = List.init jobs (fun wid -> Domain.spawn (fun () -> worker sched wid)) in
+      List.iter Domain.join domains
+    end;
+    (* results in DAG insertion order: scheduling cannot influence what
+       the caller sees *)
+    List.map (fun (o : Obligation.t) -> Hashtbl.find sched.results o.id) obls
+  end
+
+let wall_of execs =
+  List.fold_left (fun acc e -> Float.max acc e.finished) 0.0 execs
+
+let worker_stats execs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let busy, count =
+        match Hashtbl.find_opt tbl e.worker with Some x -> x | None -> (0.0, 0)
+      in
+      Hashtbl.replace tbl e.worker (busy +. (e.finished -. e.started), count + 1))
+    execs;
+  Hashtbl.fold (fun w (busy, count) acc -> (w, busy, count) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

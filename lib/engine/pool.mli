@@ -1,0 +1,35 @@
+(** OCaml 5 [Domain] worker pool over an obligation DAG.
+
+    [run ~jobs dag] executes every obligation, respecting dependency
+    edges, on up to [jobs] domains ([jobs = 1] runs inline on the
+    calling domain).  Results come back in the DAG's insertion order,
+    so the merged output is byte-identical at any job count; only the
+    trace metadata (worker ids, timestamps) reflects the actual
+    schedule.
+
+    With [?cache], each obligation is first looked up in the
+    content-addressed proof cache and executed only on a miss (the
+    outcome is then stored).  An obligation that raises is converted
+    into a one-failure report rather than tearing down the pool. *)
+
+type cache_status = Hit | Miss | Off
+
+val cache_status_to_string : cache_status -> string
+
+type exec = {
+  obligation : Obligation.t;
+  outcome : Obligation.outcome;
+  cache : cache_status;
+  worker : int;  (** worker that ran (or replayed) it *)
+  started : float;  (** seconds since pool start *)
+  finished : float;
+}
+
+val run : ?cache:Cache.t -> jobs:int -> Dag.t -> exec list
+
+val wall_of : exec list -> float
+(** Latest finish time = the pool's wall-clock. *)
+
+val worker_stats : exec list -> (int * float * int) list
+(** Per worker: (id, busy seconds, obligations run), sorted by id —
+    the utilization numbers of the summary output. *)

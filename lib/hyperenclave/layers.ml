@@ -69,3 +69,11 @@ let verified_function_count layout =
 let layer_count = List.length Mem_spec.layer_names
 
 let stratification_ok layout = Layer.check_stratified (stack layout)
+
+let warm layout =
+  (* populate every layout-keyed memo table from a single domain; the
+     tables are plain Hashtbls, so the first insertion must not race
+     with reads from worker domains *)
+  ignore (compiled layout);
+  ignore (stack layout);
+  ignore (Boot.booted layout)

@@ -25,3 +25,9 @@ val layer_count : int
 
 val stratification_ok : Layout.t -> Mirverif.Layer.stratification_issue list
 (** Syntactic no-upcall check over the stack (empty = ok). *)
+
+val warm : Layout.t -> unit
+(** Force the layout-keyed memo tables ({!compiled}, {!stack}, the boot
+    state) from the calling domain.  The parallel verification engine
+    calls this before spawning workers: afterwards the tables are only
+    read, which is safe concurrently. *)

@@ -1,11 +1,20 @@
 #!/bin/sh
-# CI gate: full build, the test suites, and a deterministic chaos smoke.
+# CI gate: full build, the test suites, a deterministic chaos smoke,
+# and the engine determinism/cache gate.
 #
-# The smoke replays 1000 fault-injected traces from a fixed seed on
-# both monitors: the correct one must survive every transactionality,
-# invariant and TLB-consistency check, and the deliberately buggy one
-# (unmap without TLB flush) must yield a shrunk stale-TLB witness —
-# each run exits non-zero when its expected outcome does not hold.
+# The chaos smoke replays 1000 fault-injected traces from a fixed seed
+# on both monitors: the correct one must survive every
+# transactionality, invariant and TLB-consistency check, and the
+# deliberately buggy one (unmap without TLB flush) must yield a shrunk
+# stale-TLB witness — each run exits non-zero when its expected
+# outcome does not hold.
+#
+# The engine gate runs the pass three times: jobs=1 without a cache,
+# jobs=4 against a cold cache, jobs=2 against the now-warm cache.
+# Stdout must be byte-identical across all three (scheduling and cache
+# state may not influence verification output), the warm run must
+# report cache hits, and it must re-execute zero code-proof
+# obligations.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,5 +25,36 @@ dune exec bin/hyperenclave_verify.exe -- \
   --quick --chaos --chaos-traces 1000 --seed 2024
 dune exec bin/hyperenclave_verify.exe -- \
   --quick --chaos --chaos-traces 1000 --seed 2024 --buggy-tlb
+
+# --- engine determinism + proof-cache gate --------------------------
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --jobs 1 > "$workdir/serial.out"
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --jobs 4 --cache "$workdir/pcache" \
+  --json-out "$workdir/cold.json" > "$workdir/cold.out"
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --jobs 2 --cache "$workdir/pcache" \
+  --json-out "$workdir/warm.json" --trace-out "$workdir/warm.jsonl" \
+  > "$workdir/warm.out"
+
+diff "$workdir/serial.out" "$workdir/cold.out"
+diff "$workdir/serial.out" "$workdir/warm.out"
+echo "ci: engine output identical across jobs 1/4 and warm cache"
+
+hits=$(sed -n 's/^  "cache_hits": *\([0-9][0-9]*\).*/\1/p' "$workdir/warm.json")
+[ -n "$hits" ] && [ "$hits" -gt 0 ] || {
+  echo "ci: warm run reported no cache hits" >&2; exit 1; }
+grep '"phase": "code-proofs"' "$workdir/warm.json" | grep -q '"executed": 0' || {
+  echo "ci: warm run re-executed code-proof obligations" >&2; exit 1; }
+grep -q '"verdict": "pass"' "$workdir/warm.json" || {
+  echo "ci: warm run verdict is not pass" >&2; exit 1; }
+echo "ci: warm cache replayed $hits obligations, zero code proofs re-executed"
+
+# scaling benchmark, uploaded as a workflow artifact
+dune exec bench/engine_bench.exe -- --quick --out BENCH_engine.json > /dev/null
+echo "ci: wrote BENCH_engine.json"
 
 echo "ci: all green"

@@ -188,7 +188,7 @@ let test_refine_catches_faulting_code () =
   let r = Refine.run env check in
   Alcotest.(check bool) "fault is a failure" false (Report.ok r);
   Alcotest.(check bool) "reason mentions fault" true
-    (match r.Report.failures with
+    (match Report.failures r with
     | [ f ] ->
         let s = f.Report.reason in
         let sub = "faulted" in
@@ -296,7 +296,7 @@ let test_invariant_preserved () =
 
 let test_invariant_establishes () =
   let r = Invariant.establishes ~invariants:[ inv_nonneg ] ~init:[ ("a", 0); ("b", -1) ] in
-  Alcotest.(check int) "one failure" 1 (List.length r.Report.failures)
+  Alcotest.(check int) "one failure" 1 (Report.failure_count r)
 
 (* ------------------------------------------------------------------ *)
 (* Report                                                              *)
@@ -308,8 +308,31 @@ let test_report_merge () =
   Alcotest.(check int) "total" 3 m.Report.total;
   Alcotest.(check int) "passed" 1 m.Report.passed;
   Alcotest.(check int) "skipped" 1 m.Report.skipped;
-  Alcotest.(check int) "failures" 1 (List.length m.Report.failures);
+  Alcotest.(check int) "failures" 1 (Report.failure_count m);
   Alcotest.(check bool) "not ok" false (Report.ok m)
+
+let test_report_failure_order () =
+  (* failures must come back in the order they were added, across
+     both accumulation and merge *)
+  let add r i =
+    Report.add_failure r ~case:(Printf.sprintf "c%d" i) ~reason:"r"
+  in
+  let a = List.fold_left add (Report.empty "a") [ 0; 1; 2 ] in
+  let b = List.fold_left add (Report.empty "b") [ 3; 4 ] in
+  let cases r = List.map (fun f -> f.Report.case) (Report.failures r) in
+  Alcotest.(check (list string)) "order preserved" [ "c0"; "c1"; "c2" ] (cases a);
+  let m = Report.merge "m" [ a; b ] in
+  Alcotest.(check (list string))
+    "merge keeps argument order" [ "c0"; "c1"; "c2"; "c3"; "c4" ] (cases m)
+
+let test_report_merge_by_name () =
+  let r name = Report.add_pass (Report.empty name) in
+  let merged = Report.merge_by_name [ r "x"; r "y"; r "x"; r "z"; r "y" ] in
+  Alcotest.(check (list string))
+    "first-occurrence order, one line per name" [ "x"; "y"; "z" ]
+    (List.map (fun (m : Report.t) -> m.Report.name) merged);
+  Alcotest.(check (list int)) "totals folded" [ 2; 2; 1 ]
+    (List.map (fun (m : Report.t) -> m.Report.total) merged)
 
 let () =
   Alcotest.run "core"
@@ -340,5 +363,10 @@ let () =
           Alcotest.test_case "preserved" `Quick test_invariant_preserved;
           Alcotest.test_case "establishes" `Quick test_invariant_establishes;
         ] );
-      ("report", [ Alcotest.test_case "merge" `Quick test_report_merge ]);
+      ( "report",
+        [
+          Alcotest.test_case "merge" `Quick test_report_merge;
+          Alcotest.test_case "failure order" `Quick test_report_failure_order;
+          Alcotest.test_case "merge_by_name" `Quick test_report_merge_by_name;
+        ] );
     ]

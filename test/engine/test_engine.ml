@@ -1,0 +1,273 @@
+(* Tests of the parallel incremental verification engine: DAG
+   validation and stratification edges, scheduling determinism (same
+   reports at any job count), and the content-addressed proof cache
+   (cold populates, warm replays, a fingerprint edit invalidates only
+   the obligation and its dependents). *)
+
+open Hyperenclave
+module Report = Mirverif.Report
+module Obligation = Engine.Obligation
+module Dag = Engine.Dag
+module Pool = Engine.Pool
+module Cache = Engine.Cache
+module Plan = Engine.Plan
+
+let layout = Layout.default Geometry.tiny
+
+let pass_obl ?(phase = "test") ?(deps = []) ?(fingerprint = "fp") id =
+  Obligation.v ~id ~phase ~deps ~fingerprint (fun () ->
+      Obligation.outcome [ Report.add_pass (Report.empty id) ])
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mirverif-engine-test-%d-%d" (Unix.getpid ()) !n)
+
+(* ------------------------------------------------------------------ *)
+(* DAG construction                                                    *)
+
+let test_dag_rejects_duplicates () =
+  match Dag.build [ pass_obl "a"; pass_obl "a" ] with
+  | Ok _ -> Alcotest.fail "duplicate ids accepted"
+  | Error _ -> ()
+
+let test_dag_rejects_unknown_dep () =
+  match Dag.build [ pass_obl ~deps:[ "ghost" ] "a" ] with
+  | Ok _ -> Alcotest.fail "unknown dependency accepted"
+  | Error _ -> ()
+
+let test_dag_rejects_cycle () =
+  match Dag.build [ pass_obl ~deps:[ "b" ] "a"; pass_obl ~deps:[ "a" ] "b" ] with
+  | Ok _ -> Alcotest.fail "cycle accepted"
+  | Error _ -> ()
+
+let test_dag_order_and_reaches () =
+  let dag =
+    Dag.build_exn
+      [ pass_obl "a"; pass_obl ~deps:[ "a" ] "b"; pass_obl ~deps:[ "b" ] "c" ]
+  in
+  Alcotest.(check (list string))
+    "insertion order" [ "a"; "b"; "c" ]
+    (List.map (fun (o : Obligation.t) -> o.id) (Dag.obligations dag));
+  Alcotest.(check bool) "c reaches a" true (Dag.reaches dag ~src:"c" ~dst:"a");
+  Alcotest.(check bool) "a does not reach c" false (Dag.reaches dag ~src:"a" ~dst:"c");
+  Alcotest.(check (list string)) "dependents of a" [ "b" ] (Dag.dependents_of dag "a")
+
+(* ------------------------------------------------------------------ *)
+(* The real plan: shape and stratification                             *)
+
+let plan = Plan.build ~quick:true ~seed:2024 layout
+
+let ids_with_prefix prefix =
+  List.filter_map
+    (fun (o : Obligation.t) ->
+      if String.length o.id >= String.length prefix
+         && String.sub o.id 0 (String.length prefix) = prefix
+      then Some o.id
+      else None)
+    (Dag.obligations plan.Plan.dag)
+
+let test_plan_has_all_phases () =
+  List.iter
+    (fun phase ->
+      let n =
+        List.length
+          (List.filter
+             (fun (o : Obligation.t) -> o.phase = phase)
+             (Dag.obligations plan.Plan.dag))
+      in
+      if n = 0 then Alcotest.failf "phase %s has no obligations" phase)
+    Plan.phases
+
+let test_plan_one_obligation_per_function () =
+  (* 49 paper-scope functions + the EREMOVE extension *)
+  Alcotest.(check int) "code-proof obligations" 50
+    (List.length (ids_with_prefix "code-proof/"))
+
+let test_code_proofs_respect_stratification () =
+  let by_layer = Plan.code_proof_obligations ~seed:2024 layout in
+  match (by_layer, List.rev by_layer) with
+  | (bottom, b_obls) :: _, (top, t_obls) :: _ when bottom <> top ->
+      let b = (List.hd b_obls : Obligation.t).id in
+      let t = (List.hd t_obls : Obligation.t).id in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s reaches %s" t b)
+        true
+        (Dag.reaches plan.Plan.dag ~src:t ~dst:b);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s does not reach %s" b t)
+        false
+        (Dag.reaches plan.Plan.dag ~src:b ~dst:t)
+  | _ -> Alcotest.fail "expected at least two function-bearing layers"
+
+let test_phase_dependencies () =
+  let first = function
+    | [] -> Alcotest.fail "missing obligations"
+    | id :: _ -> id
+  in
+  let refine = first (ids_with_prefix "refine/") in
+  let inv = first (ids_with_prefix "invariants/") in
+  let ni = first (ids_with_prefix "noninterference/") in
+  let tni = first (ids_with_prefix "trace-ni/") in
+  let att = first (ids_with_prefix "attacks/") in
+  let code = first (ids_with_prefix "code-proof/") in
+  let check src dst =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s reaches %s" src dst)
+      true
+      (Dag.reaches plan.Plan.dag ~src ~dst)
+  in
+  check refine code;
+  check inv code;
+  check ni inv;
+  check tni ni;
+  check att inv
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling determinism                                              *)
+
+let render execs =
+  String.concat "\n"
+    (List.concat_map
+       (fun (e : Pool.exec) ->
+         e.obligation.Obligation.id
+         :: List.map Report.to_string e.outcome.Obligation.reports)
+       execs)
+
+let test_jobs_invariant_reports () =
+  let r1 = render (Pool.run ~jobs:1 plan.Plan.dag) in
+  let r4 = render (Pool.run ~jobs:4 plan.Plan.dag) in
+  Alcotest.(check string) "jobs=1 and jobs=4 produce identical reports" r1 r4
+
+let test_stream_seed_deterministic () =
+  Alcotest.(check int) "same tag, same stream"
+    (Plan.stream_seed ~seed:7 "refine/shard-00")
+    (Plan.stream_seed ~seed:7 "refine/shard-00");
+  Alcotest.(check bool) "different tags diverge" true
+    (Plan.stream_seed ~seed:7 "refine/shard-00"
+    <> Plan.stream_seed ~seed:7 "refine/shard-01")
+
+let test_pool_survives_crash () =
+  let boom =
+    Obligation.v ~id:"boom" ~phase:"test" ~fingerprint:"fp" (fun () ->
+        failwith "deliberate")
+  in
+  let dag = Dag.build_exn [ boom; pass_obl ~deps:[ "boom" ] "after" ] in
+  let execs = Pool.run ~jobs:2 dag in
+  Alcotest.(check int) "both obligations complete" 2 (List.length execs);
+  let crash = List.hd execs in
+  Alcotest.(check int) "crash becomes one failure" 1
+    (Obligation.failure_count crash.Pool.outcome);
+  let after = List.nth execs 1 in
+  Alcotest.(check int) "dependent still ran" 0
+    (Obligation.failure_count after.Pool.outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Proof cache                                                         *)
+
+let counted counter ?(deps = []) ~fingerprint id =
+  Obligation.v ~id ~phase:"test" ~deps ~fingerprint (fun () ->
+      incr counter;
+      Obligation.outcome [ Report.add_pass (Report.empty id) ])
+
+let statuses execs = List.map (fun (e : Pool.exec) -> e.Pool.cache) execs
+
+let test_cache_round_trip () =
+  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let counter = ref 0 in
+  let build_dag fp_a =
+    (* b's fingerprint contains a's, mirroring how code-proof
+       fingerprints digest everything below them: editing a
+       invalidates b, but never the independent c *)
+    Dag.build_exn
+      [
+        counted counter ~fingerprint:fp_a "a";
+        counted counter ~deps:[ "a" ] ~fingerprint:("b+" ^ fp_a) "b";
+        counted counter ~fingerprint:"c-v1" "c";
+      ]
+  in
+  let cold = Pool.run ~cache ~jobs:1 (build_dag "a-v1") in
+  Alcotest.(check int) "cold run executes all" 3 !counter;
+  Alcotest.(check bool) "cold run all misses" true
+    (List.for_all (( = ) Pool.Miss) (statuses cold));
+  Alcotest.(check int) "cold run stores all" 3 (Cache.entry_count cache);
+  let warm = Pool.run ~cache ~jobs:1 (build_dag "a-v1") in
+  Alcotest.(check int) "warm run executes nothing" 3 !counter;
+  Alcotest.(check bool) "warm run all hits" true
+    (List.for_all (( = ) Pool.Hit) (statuses warm));
+  Alcotest.(check string) "warm replays the same reports" (render cold) (render warm);
+  let edited = Pool.run ~cache ~jobs:1 (build_dag "a-v2") in
+  Alcotest.(check int) "edit re-executes only a and b" 5 !counter;
+  Alcotest.(check (list string))
+    "a misses, b misses, c hits"
+    [ "miss"; "miss"; "hit" ]
+    (List.map Pool.cache_status_to_string (statuses edited))
+
+let test_cache_warm_real_plan () =
+  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let cold = Pool.run ~cache ~jobs:2 plan.Plan.dag in
+  let warm = Pool.run ~cache ~jobs:2 plan.Plan.dag in
+  Alcotest.(check bool)
+    "warm run re-executes zero obligations (code proofs included)" true
+    (List.for_all (( = ) Pool.Hit) (statuses warm));
+  Alcotest.(check string) "warm run reports identical" (render cold) (render warm)
+
+let test_cache_corrupt_entry_is_a_miss () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let o = pass_obl ~fingerprint:"fp-corrupt" "x" in
+  Cache.store cache o (o.Obligation.run ());
+  let file = Filename.concat dir (Cache.key o ^ ".proof") in
+  let oc = open_out_bin file in
+  output_string oc "garbage";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry misses" true (Cache.find cache o = None)
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission                                                       *)
+
+let test_jsonx () =
+  let open Engine.Jsonx in
+  Alcotest.(check string)
+    "escaping" "{\"a\\\"b\": [1, true, \"x\"]}"
+    (to_string (Obj [ ("a\"b", List [ Int 1; Bool true; Str "x" ]) ]));
+  let ml = to_multiline_string (Obj [ ("k", Int 1); ("l", List [ Int 2; Int 3 ]) ]) in
+  Alcotest.(check bool) "one scalar per line" true
+    (List.exists (( = ) "  \"k\": 1,") (String.split_on_char '\n' ml))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "duplicates" `Quick test_dag_rejects_duplicates;
+          Alcotest.test_case "unknown dep" `Quick test_dag_rejects_unknown_dep;
+          Alcotest.test_case "cycle" `Quick test_dag_rejects_cycle;
+          Alcotest.test_case "order and reaches" `Quick test_dag_order_and_reaches;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "all phases present" `Quick test_plan_has_all_phases;
+          Alcotest.test_case "one obligation per function" `Quick
+            test_plan_one_obligation_per_function;
+          Alcotest.test_case "stratification edges" `Quick
+            test_code_proofs_respect_stratification;
+          Alcotest.test_case "phase dependencies" `Quick test_phase_dependencies;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "jobs-invariant reports" `Quick test_jobs_invariant_reports;
+          Alcotest.test_case "stream seeds" `Quick test_stream_seed_deterministic;
+          Alcotest.test_case "crash isolation" `Quick test_pool_survives_crash;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round trip + invalidation" `Quick test_cache_round_trip;
+          Alcotest.test_case "warm real plan" `Quick test_cache_warm_real_plan;
+          Alcotest.test_case "corrupt entry" `Quick test_cache_corrupt_entry_is_a_miss;
+        ] );
+      ("jsonx", [ Alcotest.test_case "emission" `Quick test_jsonx ]);
+    ]
