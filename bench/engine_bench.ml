@@ -1,7 +1,9 @@
 (* Engine scaling benchmark: cold/warm proof-cache wall-times and
    jobs-vs-speedup points for the obligation pool, emitted as
    BENCH_engine.json (consumed by CI as an artifact; see
-   EXPERIMENTS.md).
+   EXPERIMENTS.md).  The DAG comes from Plan.build, so the measured
+   obligations include the static-analysis phase (one dependency-free
+   lint obligation per function) alongside the proof phases.
 
    Run with: dune exec bench/engine_bench.exe -- [--quick] [--out FILE] *)
 

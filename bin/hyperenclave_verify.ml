@@ -3,17 +3,19 @@
    Phases, mirroring the paper's structure:
      1. mirlightgen  — compile the memory module to MIRlight
      2. layering     — assemble the 15-layer stack, check stratification
-     3. code-proofs  — per-function conformance (Sec. 4.3)
-     4. refinement   — flat/tree page-table simulation (Sec. 4.1)
-     5. invariants   — Sec. 5.2 invariants on reachable states
-     6. noninterference — Lemmas 5.2-5.4 (Sec. 5.3)
-     7. trace noninterference — Theorem 5.1
-     8. attacks      — Fig. 5 scenarios must be rejected
-     9. chaos        — opt-in (--chaos): fault-injected traces with
+     3. analysis     — MIRlight dataflow lints (lib/analysis), selected
+                       with --lints
+     4. code-proofs  — per-function conformance (Sec. 4.3)
+     5. refinement   — flat/tree page-table simulation (Sec. 4.1)
+     6. invariants   — Sec. 5.2 invariants on reachable states
+     7. noninterference — Lemmas 5.2-5.4 (Sec. 5.3)
+     8. trace noninterference — Theorem 5.1
+     9. attacks      — Fig. 5 scenarios must be rejected
+    10. chaos        — opt-in (--chaos): fault-injected traces with
                        transactionality, invariant and TLB-consistency
                        checks, plus MIRlight-level primitive faults
 
-   Phases 3-8 are reified as an obligation DAG (lib/engine) and run on
+   Phases 3-9 are reified as an obligation DAG (lib/engine) and run on
    a Domain worker pool (--jobs), optionally against a
    content-addressed proof cache (--cache DIR).  Stdout carries only
    verification content — no job counts, timings or cache statistics —
@@ -109,7 +111,28 @@ let layer_of_code_proof_id id =
    from the execs (which arrive in DAG insertion order, independent of
    scheduling). *)
 let render_engine_results ~failures ~security execs =
-  phase_header "3. code proofs (code conforms to low specs)";
+  phase_header "3. static analysis (MIRlight dataflow lints)";
+  let an = of_phase execs "analysis" in
+  let at, ap, _, af =
+    Engine.Obligation.case_totals
+      (List.map (fun (e : Engine.Pool.exec) -> e.outcome) an)
+  in
+  Format.printf "  %d functions, %d lint checks: %d passed, %d findings@."
+    (List.length an) at ap af;
+  List.iter
+    (fun (e : Engine.Pool.exec) ->
+      List.iter
+        (fun r ->
+          if not (Report.ok r) then begin
+            incr failures;
+            Format.printf "  FAIL [%s] %s@."
+              (layer_of_code_proof_id e.obligation.Engine.Obligation.id)
+              (Report.to_string r)
+          end)
+        e.outcome.Engine.Obligation.reports)
+    an;
+
+  phase_header "4. code proofs (code conforms to low specs)";
   let cp = of_phase execs "code-proofs" in
   let t, p, s, f =
     Engine.Obligation.case_totals
@@ -130,21 +153,21 @@ let render_engine_results ~failures ~security execs =
         e.outcome.Engine.Obligation.reports)
     cp;
 
-  phase_header "4. page-table refinement (flat <-> tree, Sec. 4.1)";
+  phase_header "5. page-table refinement (flat <-> tree, Sec. 4.1)";
   check_reports ~failures (Report.merge_by_name (reports_of (of_phase execs "refinement")));
 
   if security then begin
-    phase_header "5. invariants (Sec. 5.2) on reachable states";
+    phase_header "6. invariants (Sec. 5.2) on reachable states";
     check_reports ~failures
       (Report.merge_by_name (reports_of (of_phase execs "invariants")));
 
-    phase_header "6. noninterference (Lemmas 5.2-5.4, Sec. 5.3)";
+    phase_header "7. noninterference (Lemmas 5.2-5.4, Sec. 5.3)";
     check_reports ~failures (reports_of (of_phase execs "noninterference"));
 
-    phase_header "7. trace noninterference (Theorem 5.1)";
+    phase_header "8. trace noninterference (Theorem 5.1)";
     check_reports ~failures (reports_of (of_phase execs "trace-ni"));
 
-    phase_header "8. attack scenarios (Fig. 5 + Sec. 4.1 shallow copy)";
+    phase_header "9. attack scenarios (Fig. 5 + Sec. 4.1 shallow copy)";
     List.iter
       (fun (e : Engine.Pool.exec) ->
         Format.printf "  %s@." e.outcome.Engine.Obligation.log;
@@ -230,7 +253,12 @@ let trace_json execs =
 (* ------------------------------------------------------------------ *)
 
 let run geometry seed quick jobs cache_dir json_out trace_out chaos chaos_traces
-    faults_spec buggy_tlb =
+    faults_spec buggy_tlb lints_spec =
+  match Analysis.Lint.kinds_of_string lints_spec with
+  | Error msg ->
+      Format.eprintf "hyperenclave-verify: bad --lints: %s@." msg;
+      2
+  | Ok lints ->
   let geom =
     match geometry with
     | "x86_64" -> Hyperenclave.Geometry.x86_64
@@ -254,14 +282,14 @@ let run geometry seed quick jobs cache_dir json_out trace_out chaos chaos_traces
 
   (* phases 3-8: build the obligation DAG and hand it to the pool *)
   let security = geometry <> "x86_64" in
-  let plan = Engine.Plan.build ~quick ~security ~seed layout in
+  let plan = Engine.Plan.build ~quick ~security ~lints ~seed layout in
   let cache = Option.map (fun dir -> Engine.Cache.create ~dir) cache_dir in
   let jobs = max 1 jobs in
   let execs = Engine.Pool.run ?cache ~jobs plan.Engine.Plan.dag in
   render_engine_results ~failures ~security execs;
 
   if chaos then begin
-    phase_header "9. chaos (fault injection, transactionality, shrinking)";
+    phase_header "10. chaos (fault injection, transactionality, shrinking)";
     if geometry = "x86_64" then
       Format.printf
         "  skipped: the chaos checks enumerate page contents; use --geometry tiny@."
@@ -360,12 +388,20 @@ let buggy_tlb =
            unmap; the phase then passes only if the stale-TLB bug is found \
            and shrunk to a minimal witness.")
 
+let lints =
+  Arg.(
+    value & opt string "all"
+    & info [ "lints" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated static-analysis lints to run: layer-encapsulation, \
+           move-init, unchecked-arith, unreachable-block — or 'all'.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hyperenclave-verify"
        ~doc:"Run the full HyperEnclave memory-subsystem verification pass")
     Term.(
       const run $ geometry $ seed $ quick $ jobs $ cache_dir $ json_out $ trace_out
-      $ chaos $ chaos_traces $ faults $ buggy_tlb)
+      $ chaos $ chaos_traces $ faults $ buggy_tlb $ lints)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,74 @@
+(* Unchecked-arithmetic lint.
+
+   MIRlight bodies compiled with overflow checks use [Checked_binary]
+   for [Add]/[Sub]/[Mul]; a raw [Binary] with one of those operators in
+   the same body is then a hole in the overflow discipline (typically a
+   hand-written spec fragment or a lowering bug).  The lint is
+   per-body on purpose: obligation fingerprints cover exactly one
+   function's MIR, so the verdict must not depend on sibling bodies.
+
+   Bodies with no [Checked_binary] at all (the unchecked compilation
+   profile) are exempt — raw arithmetic is their convention.  An
+   operand is "word-typed" when that is determinable locally: an
+   integer constant, or a projection-free copy/move of a local declared
+   with an integer type. *)
+
+module Syn = Mir.Syntax
+
+let overflowing = function Syn.Add | Syn.Sub | Syn.Mul -> true | _ -> false
+
+let op_name = function
+  | Syn.Add -> "add"
+  | Syn.Sub -> "sub"
+  | Syn.Mul -> "mul"
+  | _ -> "?"
+
+let local_ty (body : Syn.body) var =
+  List.find_opt (fun (d : Syn.local_decl) -> String.equal d.Syn.lname var)
+    body.Syn.locals
+  |> Option.map (fun (d : Syn.local_decl) -> d.Syn.lty)
+
+let word_typed body = function
+  | Syn.Const (Syn.Cint _) -> true
+  | (Syn.Copy p | Syn.Move p) when p.Syn.elems = [] -> (
+      match local_ty body p.Syn.var with
+      | Some (Mir.Ty.Int _) -> true
+      | _ -> false)
+  | _ -> false
+
+let uses_checked (body : Syn.body) =
+  Array.exists
+    (fun (blk : Syn.block) ->
+      List.exists
+        (function
+          | Syn.Assign (_, Syn.Checked_binary (op, _, _)) -> overflowing op
+          | _ -> false)
+        blk.Syn.stmts)
+    body.Syn.blocks
+
+let run (body : Syn.body) =
+  if not (uses_checked body) then []
+  else begin
+    let findings = ref [] in
+    let reach = Cfg.reachable body in
+    Array.iteri
+      (fun i (blk : Syn.block) ->
+        if reach.(i) then
+          List.iteri
+            (fun k stmt ->
+              match stmt with
+              | Syn.Assign (_, Syn.Binary (op, a, b))
+                when overflowing op && word_typed body a && word_typed body b ->
+                  findings :=
+                    Lint.v Lint.Unchecked_arith
+                      ~where:(Printf.sprintf "bb%d[%d]" i k)
+                      (Printf.sprintf
+                         "raw %s on word-typed operands in a body that \
+                          otherwise uses checked arithmetic"
+                         (op_name op))
+                    :: !findings
+              | _ -> ())
+            blk.Syn.stmts)
+      body.Syn.blocks;
+    List.rev !findings
+  end

@@ -1,0 +1,8 @@
+(** Unchecked-arithmetic lint (kind {!Lint.Unchecked_arith}).
+
+    In a body that uses [Checked_binary] for overflow-prone operators,
+    flags every reachable raw [Binary] [Add]/[Sub]/[Mul] whose operands
+    are determinably word-typed.  Bodies compiled without overflow
+    checks (no [Checked_binary] anywhere) are exempt. *)
+
+val run : Mir.Syntax.body -> Lint.finding list

@@ -1,0 +1,39 @@
+module Syn = Mir.Syntax
+
+let successors (term : Syn.terminator) =
+  let raw =
+    match term with
+    | Syn.Goto l -> [ l ]
+    | Syn.Switch_int (_, cases, otherwise) -> List.map snd cases @ [ otherwise ]
+    | Syn.Return | Syn.Unreachable -> []
+    | Syn.Drop (_, l) -> [ l ]
+    | Syn.Call { target; _ } -> Option.to_list target
+    | Syn.Assert { target; _ } -> [ target ]
+  in
+  List.sort_uniq Int.compare raw
+
+let block_successors (body : Syn.body) =
+  Array.map (fun (blk : Syn.block) -> successors blk.Syn.term) body.Syn.blocks
+
+let predecessors (body : Syn.body) =
+  let n = Array.length body.Syn.blocks in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i (blk : Syn.block) ->
+      List.iter
+        (fun s -> if s >= 0 && s < n then preds.(s) <- i :: preds.(s))
+        (successors blk.Syn.term))
+    body.Syn.blocks;
+  Array.map List.rev preds
+
+let reachable (body : Syn.body) =
+  let n = Array.length body.Syn.blocks in
+  let seen = Array.make n false in
+  let rec go i =
+    if i >= 0 && i < n && not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go (successors body.Syn.blocks.(i).Syn.term)
+    end
+  in
+  if n > 0 then go 0;
+  seen

@@ -1,0 +1,15 @@
+(** Control-flow graph view of a MIRlight body.
+
+    Blocks are the nodes; the edges come straight from the terminator
+    of each block.  Out-of-range labels are dropped rather than
+    rejected — {!Mir.Validate} owns well-formedness, the analyses only
+    need a total graph. *)
+
+val successors : Mir.Syntax.terminator -> Mir.Syntax.label list
+(** Distinct successor labels, ascending. *)
+
+val block_successors : Mir.Syntax.body -> Mir.Syntax.label list array
+val predecessors : Mir.Syntax.body -> Mir.Syntax.label list array
+
+val reachable : Mir.Syntax.body -> bool array
+(** [reachable body].(i) is true iff bb[i] is reachable from bb0. *)

@@ -1,0 +1,58 @@
+module Syn = Mir.Syntax
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) = struct
+  type result = { before : L.t array; after : L.t array }
+
+  let solve ?(direction = Forward) ~init ~bottom ~transfer (body : Syn.body) =
+    let n = Array.length body.Syn.blocks in
+    let succs = Cfg.block_successors body in
+    let preds = Cfg.predecessors body in
+    (* [inputs] feed a block's incoming join, [outputs] are re-queued
+       when its transfer result changes *)
+    let inputs, outputs =
+      match direction with Forward -> (preds, succs) | Backward -> (succs, preds)
+    in
+    let is_boundary i =
+      match direction with Forward -> i = 0 | Backward -> succs.(i) = []
+    in
+    let before = Array.make n bottom in
+    let after = Array.make n bottom in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let push i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    (* seed in analysis direction so most blocks stabilize in one pass *)
+    (match direction with
+    | Forward -> for i = 0 to n - 1 do push i done
+    | Backward -> for i = n - 1 downto 0 do push i done);
+    while not (Queue.is_empty queue) do
+      let i = Queue.take queue in
+      queued.(i) <- false;
+      let incoming =
+        List.fold_left
+          (fun acc j -> L.join acc after.(j))
+          (if is_boundary i then init else bottom)
+          inputs.(i)
+      in
+      before.(i) <- incoming;
+      let out = transfer i incoming in
+      if not (L.equal out after.(i)) then begin
+        after.(i) <- out;
+        List.iter push outputs.(i)
+      end
+    done;
+    { before; after }
+end

@@ -1,0 +1,39 @@
+(** Worklist dataflow solver over MIRlight CFGs.
+
+    The framework is generic in the lattice and the per-block transfer
+    function; the lint passes instantiate it with small set/map
+    lattices.  [solve] iterates block transfers to a fixpoint:
+
+    - [Forward]: a block's input is the join of its predecessors'
+      outputs; bb0 additionally joins [init] (the boundary state).
+    - [Backward]: a block's input is the join of its successors'
+      outputs; exit blocks (no successors) join [init].
+
+    [bottom] must be a neutral element of [join] and [transfer] must
+    be monotone, or the solver may not terminate.  Unreachable blocks
+    keep [bottom]-derived states; clients that report diagnostics
+    should skip them (see {!Cfg.reachable}). *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) : sig
+  type result = {
+    before : L.t array;  (** fixpoint state at each block's input *)
+    after : L.t array;  (** fixpoint state after each block's transfer *)
+  }
+
+  val solve :
+    ?direction:direction ->
+    init:L.t ->
+    bottom:L.t ->
+    transfer:(int -> L.t -> L.t) ->
+    Mir.Syntax.body ->
+    result
+end

@@ -1,0 +1,206 @@
+(* Layer-encapsulation lint for RData handles.
+
+   A handle is a value whose type mentions [Ty.Opaque owner] — the
+   abstract per-layer representation data of layer [owner].  Outside
+   that layer, code may only move handles around and hand them to the
+   owner's accessor functions (the getter/setter set supplied by the
+   caller); it must never look inside one.  Concretely, outside the
+   owning layer we flag:
+
+   - any projection ([Deref], field, index, downcast) applied to a
+     handle place, whether in a read, a write destination, or a borrow;
+   - passing a handle to a callee that is neither in the owning layer
+     nor an accepted accessor of it.
+
+   Handles are identified statically from local declarations and
+   propagated through [Use]/[Ref] chains by a small forward dataflow
+   (a var-to-owner map); a call result's flow taint is cleared — a
+   callee returning a handle shows up in the declared type instead. *)
+
+module Syn = Mir.Syntax
+module StrMap = Map.Make (String)
+
+type owner = Owner of string | Conflict
+
+module L = struct
+  type t = owner StrMap.t
+
+  let equal = StrMap.equal (fun a b -> a = b)
+
+  let join =
+    StrMap.union (fun _ a b ->
+        match (a, b) with
+        | Owner x, Owner y when String.equal x y -> Some a
+        | _ -> Some Conflict)
+
+  let bottom = StrMap.empty
+end
+
+module Solver = Dataflow.Make (L)
+
+let rec type_owner : Mir.Ty.t -> string option = function
+  | Mir.Ty.Opaque name -> Some name
+  | Mir.Ty.Ref t | Mir.Ty.Raw t | Mir.Ty.Array (t, _) -> type_owner t
+  | Mir.Ty.Tuple ts -> List.find_map type_owner ts
+  | Mir.Ty.Int _ | Mir.Ty.Bool | Mir.Ty.Unit | Mir.Ty.Adt _ -> None
+
+let declared_owners (body : Syn.body) =
+  List.fold_left
+    (fun acc (d : Syn.local_decl) ->
+      match type_owner d.Syn.lty with
+      | Some owner -> StrMap.add d.Syn.lname owner acc
+      | None -> acc)
+    StrMap.empty body.Syn.locals
+
+type config = {
+  fn_layer : string option;
+  accessor : owner:string -> callee:string -> bool;
+}
+
+let owner_of ~declared (st : L.t) var =
+  match StrMap.find_opt var declared with
+  | Some o -> Some o
+  | None -> (
+      match StrMap.find_opt var st with
+      | Some (Owner o) -> Some o
+      | Some Conflict | None -> None)
+
+(* handles from joins that disagree on the owner: still a handle, but
+   we can't name the layer — report it as such *)
+let flow_handle (st : L.t) var =
+  match StrMap.find_opt var st with Some _ -> true | None -> false
+
+let step cfg ~declared ~report =
+  let inside owner =
+    match cfg.fn_layer with Some l -> String.equal l owner | None -> false
+  in
+  let owner_name ~declared st var =
+    match owner_of ~declared st var with
+    | Some o -> o
+    | None -> "?" (* Conflict: joined from differently-owned handles *)
+  in
+  let check_place ~where (st : L.t) (p : Syn.place) =
+    let is_handle =
+      StrMap.mem p.Syn.var declared || flow_handle st p.Syn.var
+    in
+    if is_handle && p.Syn.elems <> [] then begin
+      let owner = owner_name ~declared st p.Syn.var in
+      if not (inside owner) then
+        report ~where
+          ~detail:
+            (Printf.sprintf
+               "projection through %s-layer handle %s outside layer %s" owner
+               p.Syn.var owner)
+    end
+  in
+  let check_operand ~where st = function
+    | Syn.Const _ -> ()
+    | Syn.Copy p | Syn.Move p -> check_place ~where st p
+  in
+  let check_rvalue ~where st = function
+    | Syn.Use op | Syn.Repeat (op, _) | Syn.Cast (op, _) | Syn.Unary (_, op) ->
+        check_operand ~where st op
+    | Syn.Binary (_, a, b) | Syn.Checked_binary (_, a, b) ->
+        check_operand ~where st a;
+        check_operand ~where st b
+    | Syn.Ref p | Syn.Address_of p | Syn.Len p | Syn.Discriminant p ->
+        check_place ~where st p
+    | Syn.Aggregate (_, ops) -> List.iter (check_operand ~where st) ops
+  in
+  (* taint transfer: does assigning [rv] to a bare var hand it a
+     handle, and whose? *)
+  let rvalue_taint st = function
+    | Syn.Use (Syn.Copy p | Syn.Move p) | Syn.Ref p | Syn.Address_of p
+      when p.Syn.elems = [] -> (
+        match StrMap.find_opt p.Syn.var declared with
+        | Some o -> Some (Owner o)
+        | None -> StrMap.find_opt p.Syn.var st)
+    | _ -> None
+  in
+  let assign st (dest : Syn.place) taint =
+    if dest.Syn.elems <> [] then st
+    else
+      match taint with
+      | Some t -> StrMap.add dest.Syn.var t st
+      | None -> StrMap.remove dest.Syn.var st
+  in
+  let stmt ~where st = function
+    | Syn.Assign (dest, rv) ->
+        check_rvalue ~where st rv;
+        check_place ~where st dest;
+        assign st dest (rvalue_taint st rv)
+    | Syn.Set_discriminant (p, _) ->
+        check_place ~where st p;
+        st
+    | Syn.Storage_live _ | Syn.Storage_dead _ | Syn.Nop -> st
+  in
+  let check_arg ~where ~callee st = function
+    | Syn.Const _ -> ()
+    | Syn.Copy p | Syn.Move p -> (
+        check_place ~where st p;
+        if p.Syn.elems = [] then
+          match owner_of ~declared st p.Syn.var with
+          | Some owner ->
+              if not (inside owner || cfg.accessor ~owner ~callee) then
+                report ~where
+                  ~detail:
+                    (Printf.sprintf
+                       "%s-layer handle %s passed to %s, which is neither in \
+                        layer %s nor one of its accessors"
+                       owner p.Syn.var callee owner)
+          | None ->
+              if flow_handle st p.Syn.var then
+                report ~where
+                  ~detail:
+                    (Printf.sprintf
+                       "handle %s of ambiguous owner passed to %s" p.Syn.var
+                       callee))
+  in
+  let term ~where st = function
+    | Syn.Goto _ | Syn.Return | Syn.Unreachable -> st
+    | Syn.Switch_int (op, _, _) ->
+        check_operand ~where st op;
+        st
+    | Syn.Drop (p, _) ->
+        check_place ~where st p;
+        st
+    | Syn.Call { dest; func; args; _ } ->
+        List.iter (check_arg ~where ~callee:func st) args;
+        check_place ~where st dest;
+        assign st dest None
+    | Syn.Assert { cond; _ } ->
+        check_operand ~where st cond;
+        st
+  in
+  (stmt, term)
+
+let transfer_block cfg ~declared ~report (body : Syn.body) i st =
+  let blk = body.Syn.blocks.(i) in
+  let stmt, term = step cfg ~declared ~report in
+  let st, _ =
+    List.fold_left
+      (fun (st, k) s -> (stmt ~where:(Printf.sprintf "bb%d[%d]" i k) st s, k + 1))
+      (st, 0) blk.Syn.stmts
+  in
+  term ~where:(Printf.sprintf "bb%d[term]" i) st blk.Syn.term
+
+let run cfg (body : Syn.body) =
+  let declared = declared_owners body in
+  let silent ~where:_ ~detail:_ = () in
+  let result =
+    Solver.solve ~init:L.bottom ~bottom:L.bottom
+      ~transfer:(transfer_block cfg ~declared ~report:silent body)
+      body
+  in
+  let reach = Cfg.reachable body in
+  let findings = ref [] in
+  let report ~where ~detail =
+    findings := Lint.v Lint.Encapsulation ~where detail :: !findings
+  in
+  Array.iteri
+    (fun i _ ->
+      if reach.(i) then
+        ignore
+          (transfer_block cfg ~declared ~report body i result.Solver.before.(i)))
+    body.Syn.blocks;
+  List.rev !findings

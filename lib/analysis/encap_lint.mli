@@ -1,0 +1,18 @@
+(** Layer-encapsulation lint for RData handles (kind
+    {!Lint.Encapsulation}).
+
+    Outside the owning layer, a value whose type mentions
+    [Ty.Opaque owner] may only be moved around and passed to the
+    owner's accessor functions; projecting into one (deref, field,
+    index, downcast) or handing it to any other callee is a finding.
+    Inside the owning layer ([fn_layer = Some owner]) everything is
+    permitted. *)
+
+type config = {
+  fn_layer : string option;
+      (** layer the analyzed function belongs to, if any *)
+  accessor : owner:string -> callee:string -> bool;
+      (** is [callee] an accepted getter/setter for [owner]'s handles? *)
+}
+
+val run : config -> Mir.Syntax.body -> Lint.finding list

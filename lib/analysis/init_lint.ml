@@ -1,0 +1,180 @@
+(* Use-before-init / use-after-move, as a forward may-analysis.
+
+   Tracked variables are compiler temporaries ([Ktemp]) that are not
+   parameters and whose address is never taken ([Ref]/[Address_of]
+   anywhere in the body).  Named locals and escaping temporaries are
+   excluded: writes through pointers would otherwise look like missing
+   initialization.  The lattice element is a pair of may-sets — a
+   variable in [uninit] (resp. [moved]) MAY be uninitialized (moved)
+   on some path reaching the program point. *)
+
+module Syn = Mir.Syntax
+module StrSet = Set.Make (String)
+
+module L = struct
+  type t = { uninit : StrSet.t; moved : StrSet.t }
+
+  let equal a b = StrSet.equal a.uninit b.uninit && StrSet.equal a.moved b.moved
+
+  let join a b =
+    { uninit = StrSet.union a.uninit b.uninit; moved = StrSet.union a.moved b.moved }
+
+  let bottom = { uninit = StrSet.empty; moved = StrSet.empty }
+end
+
+module Solver = Dataflow.Make (L)
+
+let escaped_vars (body : Syn.body) =
+  Array.fold_left
+    (fun acc (blk : Syn.block) ->
+      List.fold_left
+        (fun acc stmt ->
+          match stmt with
+          | Syn.Assign (_, (Syn.Ref p | Syn.Address_of p)) ->
+              StrSet.add p.Syn.var acc
+          | _ -> acc)
+        acc blk.Syn.stmts)
+    StrSet.empty body.Syn.blocks
+
+let tracked_vars (body : Syn.body) =
+  let escaped = escaped_vars body in
+  List.fold_left
+    (fun acc (d : Syn.local_decl) ->
+      if
+        d.Syn.lkind = Syn.Ktemp
+        && (not (List.mem d.Syn.lname body.Syn.params))
+        && not (StrSet.mem d.Syn.lname escaped)
+      then StrSet.add d.Syn.lname acc
+      else acc)
+    StrSet.empty body.Syn.locals
+
+let assigns_return_var (body : Syn.body) =
+  Array.exists
+    (fun (blk : Syn.block) ->
+      List.exists
+        (function
+          | Syn.Assign (p, _) -> String.equal p.Syn.var Syn.return_var
+          | _ -> false)
+        blk.Syn.stmts
+      ||
+      match blk.Syn.term with
+      | Syn.Call { dest; _ } -> String.equal dest.Syn.var Syn.return_var
+      | _ -> false)
+    body.Syn.blocks
+
+(* One interpretation step shared by the fixpoint (silent [report]) and
+   the recording pass.  [report ~where ~detail] fires on each suspect
+   use; the returned state reflects the effects of the instruction. *)
+let step ~tracked ~report =
+  let use_place ~where (st : L.t) (p : Syn.place) =
+    if StrSet.mem p.Syn.var tracked then begin
+      if StrSet.mem p.Syn.var st.L.uninit then
+        report ~where
+          ~detail:(Printf.sprintf "use of possibly-uninitialized %s" p.Syn.var);
+      if StrSet.mem p.Syn.var st.L.moved then
+        report ~where ~detail:(Printf.sprintf "use of moved %s" p.Syn.var)
+    end;
+    st
+  in
+  let use_operand ~where (st : L.t) = function
+    | Syn.Const _ -> st
+    | Syn.Copy p -> use_place ~where st p
+    | Syn.Move p ->
+        let st = use_place ~where st p in
+        if p.Syn.elems = [] && StrSet.mem p.Syn.var tracked then
+          { st with L.moved = StrSet.add p.Syn.var st.L.moved }
+        else st
+  in
+  let use_rvalue ~where st = function
+    | Syn.Use op | Syn.Repeat (op, _) | Syn.Cast (op, _) | Syn.Unary (_, op) ->
+        use_operand ~where st op
+    | Syn.Binary (_, a, b) | Syn.Checked_binary (_, a, b) ->
+        use_operand ~where (use_operand ~where st a) b
+    | Syn.Ref p | Syn.Address_of p | Syn.Len p | Syn.Discriminant p ->
+        use_place ~where st p
+    | Syn.Aggregate (_, ops) -> List.fold_left (use_operand ~where) st ops
+  in
+  let define ~where st (p : Syn.place) =
+    if not (StrSet.mem p.Syn.var tracked) then st
+    else if p.Syn.elems = [] then
+      {
+        L.uninit = StrSet.remove p.Syn.var st.L.uninit;
+        moved = StrSet.remove p.Syn.var st.L.moved;
+      }
+    else
+      (* a projected write initializes only part of the value: the base
+         must already be live, and stays in whatever state it was *)
+      use_place ~where st p
+  in
+  let stmt ~where st = function
+    | Syn.Assign (dest, rv) -> define ~where (use_rvalue ~where st rv) dest
+    | Syn.Set_discriminant (p, _) -> use_place ~where st p
+    | Syn.Storage_live v | Syn.Storage_dead v ->
+        if StrSet.mem v tracked then
+          { L.uninit = StrSet.add v st.L.uninit; moved = StrSet.remove v st.L.moved }
+        else st
+    | Syn.Nop -> st
+  in
+  let term ~where ~uses_ret st = function
+    | Syn.Goto _ | Syn.Unreachable -> st
+    | Syn.Return ->
+        if uses_ret then use_place ~where st (Syn.place_of_var Syn.return_var)
+        else st
+    | Syn.Switch_int (op, _, _) -> use_operand ~where st op
+    | Syn.Drop (p, _) ->
+        (* dropping an already-moved value is fine (drop-flag
+           elaboration skips it); only a never-initialized one is not *)
+        if StrSet.mem p.Syn.var tracked then begin
+          if StrSet.mem p.Syn.var st.L.uninit then
+            report ~where
+              ~detail:
+                (Printf.sprintf "drop of possibly-uninitialized %s" p.Syn.var);
+          if p.Syn.elems = [] then
+            { st with L.moved = StrSet.add p.Syn.var st.L.moved }
+          else st
+        end
+        else st
+    | Syn.Call { dest; args; _ } ->
+        let st = List.fold_left (use_operand ~where) st args in
+        define ~where st dest
+    | Syn.Assert { cond; _ } -> use_operand ~where st cond
+  in
+  (stmt, term)
+
+let transfer_block ~tracked ~report ~uses_ret (body : Syn.body) i st =
+  let blk = body.Syn.blocks.(i) in
+  let stmt, term = step ~tracked ~report in
+  let st, _ =
+    List.fold_left
+      (fun (st, k) s -> (stmt ~where:(Printf.sprintf "bb%d[%d]" i k) st s, k + 1))
+      (st, 0) blk.Syn.stmts
+  in
+  term ~where:(Printf.sprintf "bb%d[term]" i) ~uses_ret st blk.Syn.term
+
+let run (body : Syn.body) =
+  let tracked = tracked_vars body in
+  if StrSet.is_empty tracked then []
+  else begin
+    let uses_ret = assigns_return_var body in
+    let silent ~where:_ ~detail:_ = () in
+    let init = { L.uninit = tracked; moved = StrSet.empty } in
+    let result =
+      Solver.solve ~init ~bottom:L.bottom
+        ~transfer:(transfer_block ~tracked ~report:silent ~uses_ret body)
+        body
+    in
+    (* recording pass: replay reachable blocks from their fixpoint
+       inputs, now with a live reporter *)
+    let reach = Cfg.reachable body in
+    let findings = ref [] in
+    let report ~where ~detail =
+      findings := Lint.v Lint.Move_init ~where detail :: !findings
+    in
+    Array.iteri
+      (fun i _ ->
+        if reach.(i) then
+          ignore
+            (transfer_block ~tracked ~report ~uses_ret body i result.Solver.before.(i)))
+      body.Syn.blocks;
+    List.rev !findings
+  end

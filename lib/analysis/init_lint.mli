@@ -1,0 +1,9 @@
+(** Use-before-init and use-after-move lint (kind {!Lint.Move_init}).
+
+    Tracks compiler temporaries that are not parameters and whose
+    address is never taken; reports a finding at every program point
+    where such a temporary may be read while uninitialized or after a
+    [Move]/[Drop].  Findings are restricted to blocks reachable from
+    bb0. *)
+
+val run : Mir.Syntax.body -> Lint.finding list

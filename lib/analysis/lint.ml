@@ -1,0 +1,56 @@
+type kind = Encapsulation | Move_init | Unchecked_arith | Unreachable_block
+
+let all = [ Encapsulation; Move_init; Unchecked_arith; Unreachable_block ]
+
+let to_string = function
+  | Encapsulation -> "layer-encapsulation"
+  | Move_init -> "move-init"
+  | Unchecked_arith -> "unchecked-arith"
+  | Unreachable_block -> "unreachable-block"
+
+let of_string s =
+  match List.find_opt (fun k -> String.equal (to_string k) s) all with
+  | Some k -> Ok k
+  | None ->
+      Error
+        (Printf.sprintf "unknown lint %S (known: %s)" s
+           (String.concat ", " (List.map to_string all)))
+
+let kinds_of_string spec =
+  if String.equal (String.trim spec) "all" then Ok all
+  else
+    let rec go acc = function
+      | [] ->
+          (* canonical order, duplicates collapsed: the list is part of
+             obligation fingerprints, so equal selections must render
+             identically *)
+          Ok (List.filter (fun k -> List.mem k acc) all)
+      | part :: rest -> (
+          match of_string (String.trim part) with
+          | Ok k -> go (k :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' spec)
+
+type finding = { kind : kind; where : string; detail : string }
+
+let v kind ~where detail = { kind; where; detail }
+
+let finding_to_string f =
+  Printf.sprintf "%s: [%s] %s" f.where (to_string f.kind) f.detail
+
+let pp_finding fmt f = Format.pp_print_string fmt (finding_to_string f)
+
+(* Stable presentation order: lint catalogue order first, then program
+   position.  [where] strings are "bbN" / "bbN[M]" so a string compare
+   is not positional; keep the input order within a kind (every scan
+   already emits in block/statement order). *)
+let sort findings =
+  let rank k =
+    let rec go i = function
+      | [] -> i
+      | k' :: rest -> if k' = k then i else go (i + 1) rest
+    in
+    go 0 all
+  in
+  List.stable_sort (fun a b -> compare (rank a.kind) (rank b.kind)) findings

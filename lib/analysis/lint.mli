@@ -1,0 +1,37 @@
+(** The lint catalogue and its findings.
+
+    Four dataflow lints run over every MIRlight body (see {!Pass}):
+
+    - [Encapsulation] — RData handles (locals whose type mentions
+      [Ty.Opaque]) must not be dereferenced, field-projected, written
+      through, or passed to a callee outside the owning layer's
+      getter/setter set.
+    - [Move_init] — use of a possibly-uninitialized or moved temporary.
+    - [Unchecked_arith] — raw [Add]/[Sub]/[Mul] on word-typed operands
+      in a body whose convention is checked arithmetic (it contains
+      [Checked_binary] operations elsewhere).
+    - [Unreachable_block] — a block unreachable from bb0 that still
+      contains code (empty [Goto] blocks are lowering artifacts of
+      [return]/[break] and are ignored). *)
+
+type kind = Encapsulation | Move_init | Unchecked_arith | Unreachable_block
+
+val all : kind list
+(** Catalogue order; also the presentation order of findings. *)
+
+val to_string : kind -> string
+val of_string : string -> (kind, string) result
+
+val kinds_of_string : string -> (kind list, string) result
+(** Parse a comma-separated selection; ["all"] selects the full
+    catalogue.  The result is deduplicated and in catalogue order so
+    equal selections fingerprint identically. *)
+
+type finding = { kind : kind; where : string; detail : string }
+
+val v : kind -> where:string -> string -> finding
+val finding_to_string : finding -> string
+val pp_finding : Format.formatter -> finding -> unit
+
+val sort : finding list -> finding list
+(** Catalogue order, stable within a kind. *)

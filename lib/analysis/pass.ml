@@ -1,0 +1,43 @@
+module Syn = Mir.Syntax
+
+type config = {
+  fn_layer : string option;
+  accessor : owner:string -> callee:string -> bool;
+  lints : Lint.kind list;
+}
+
+let default_config =
+  {
+    fn_layer = None;
+    accessor = (fun ~owner:_ ~callee:_ -> false);
+    lints = Lint.all;
+  }
+
+let run_lint cfg (body : Syn.body) = function
+  | Lint.Encapsulation ->
+      Encap_lint.run
+        { Encap_lint.fn_layer = cfg.fn_layer; accessor = cfg.accessor }
+        body
+  | Lint.Move_init -> Init_lint.run body
+  | Lint.Unchecked_arith -> Arith_lint.run body
+  | Lint.Unreachable_block -> Reach_lint.run body
+
+let analyze cfg (body : Syn.body) =
+  Lint.sort (List.concat_map (run_lint cfg body) cfg.lints)
+
+let report ~name ~lints findings =
+  let r = Mirverif.Report.empty name in
+  List.fold_left
+    (fun r lint ->
+      let hits = List.filter (fun (f : Lint.finding) -> f.Lint.kind = lint) findings in
+      if hits = [] then Mirverif.Report.add_pass r
+      else
+        List.fold_left
+          (fun r (f : Lint.finding) ->
+            Mirverif.Report.add_failure r
+              ~case:(Printf.sprintf "%s %s" (Lint.to_string lint) f.Lint.where)
+              ~reason:f.Lint.detail)
+          r hits)
+    r lints
+
+let check cfg ~name body = report ~name ~lints:cfg.lints (analyze cfg body)

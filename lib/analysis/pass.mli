@@ -1,0 +1,26 @@
+(** Driver that runs a selection of lints over one MIRlight body and
+    folds the findings into a {!Mirverif.Report.t}.
+
+    One clean body scores one pass per selected lint, so report totals
+    stay proportional to the work done; each finding is a failure whose
+    case names the lint and program point. *)
+
+type config = {
+  fn_layer : string option;
+      (** layer the function belongs to (for the encapsulation lint) *)
+  accessor : owner:string -> callee:string -> bool;
+      (** accepted getter/setter relation for RData handles *)
+  lints : Lint.kind list;  (** which lints to run, catalogue order *)
+}
+
+val default_config : config
+(** No layer context, no accessors, all lints. *)
+
+val analyze : config -> Mir.Syntax.body -> Lint.finding list
+(** Findings in {!Lint.sort} order. *)
+
+val report :
+  name:string -> lints:Lint.kind list -> Lint.finding list -> Mirverif.Report.t
+
+val check : config -> name:string -> Mir.Syntax.body -> Mirverif.Report.t
+(** [analyze] + [report] in one step. *)

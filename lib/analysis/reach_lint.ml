@@ -1,0 +1,34 @@
+(* Unreachable-code lint.
+
+   The Rustlite lowering parks statements that follow [return]/[break]/
+   [continue] in blocks that nothing jumps to; when the source had no
+   such trailing code these artifact blocks are empty and end in a bare
+   [Goto]/[Return].  Only unreachable blocks that still contain code —
+   a real statement, or a terminator that does work — are findings. *)
+
+module Syn = Mir.Syntax
+
+let meaningful (blk : Syn.block) =
+  List.exists
+    (function
+      | Syn.Assign _ | Syn.Set_discriminant _ -> true
+      | Syn.Storage_live _ | Syn.Storage_dead _ | Syn.Nop -> false)
+    blk.Syn.stmts
+  ||
+  match blk.Syn.term with
+  | Syn.Switch_int _ | Syn.Drop _ | Syn.Call _ | Syn.Assert _ -> true
+  | Syn.Goto _ | Syn.Return | Syn.Unreachable -> false
+
+let run (body : Syn.body) =
+  let reach = Cfg.reachable body in
+  let findings = ref [] in
+  Array.iteri
+    (fun i blk ->
+      if (not reach.(i)) && meaningful blk then
+        findings :=
+          Lint.v Lint.Unreachable_block
+            ~where:(Printf.sprintf "bb%d" i)
+            "unreachable block contains code"
+          :: !findings)
+    body.Syn.blocks;
+  List.rev !findings

@@ -1,0 +1,7 @@
+(** Unreachable-code lint (kind {!Lint.Unreachable_block}).
+
+    Flags blocks unreachable from bb0 that still contain code.  Empty
+    goto/return blocks — artifacts of lowering [return]/[break]/
+    [continue] — are ignored. *)
+
+val run : Mir.Syntax.body -> Lint.finding list

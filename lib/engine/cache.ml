@@ -17,7 +17,14 @@ let rec mkdir_p dir =
   end
 
 let create ~dir =
-  mkdir_p dir;
+  if String.trim dir = "" then
+    invalid_arg "Cache.create: empty cache directory (pass --cache DIR)";
+  (match mkdir_p dir with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, arg) ->
+      invalid_arg
+        (Printf.sprintf "Cache.create: cannot create %S (%s: %s)" dir
+           (Unix.error_message e) arg));
   { dir }
 
 let key (o : Obligation.t) =
@@ -29,9 +36,13 @@ let path t k = Filename.concat t.dir (k ^ ".proof")
 
 let find t (o : Obligation.t) : Obligation.outcome option =
   let file = path t (key o) in
+  (* a stale or corrupt entry can never become valid again — its key
+     already encodes version and fingerprint — so evict it on the way
+     out; otherwise every warm run re-reads and re-rejects it *)
+  let evict () = (try Sys.remove file with Sys_error _ -> ()); None in
   if not (Sys.file_exists file) then None
   else
-    try
+    match
       let ic = open_in_bin file in
       Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
           let m = really_input_string ic (String.length magic) in
@@ -39,7 +50,10 @@ let find t (o : Obligation.t) : Obligation.outcome option =
           else
             let (outcome : Obligation.outcome) = Marshal.from_channel ic in
             Some outcome)
-    with _ -> None
+    with
+    | Some outcome -> Some outcome
+    | None -> evict ()
+    | exception _ -> evict ()
 
 let store t (o : Obligation.t) (outcome : Obligation.outcome) =
   try

@@ -11,8 +11,10 @@
 
     Entries are [Marshal]ed with a magic header carrying the OCaml
     version; any mismatch, truncation, or IO error degrades to a cache
-    miss.  Stores are write-to-temp + atomic rename, safe under
-    concurrent workers. *)
+    miss, and the unreadable file is unlinked (its key already encodes
+    version and fingerprint, so it can never become valid again).
+    Stores are write-to-temp + atomic rename, safe under concurrent
+    workers. *)
 
 type t
 
@@ -21,7 +23,8 @@ val version : string
     semantics change — the OCaml harness code is not fingerprinted. *)
 
 val create : dir:string -> t
-(** Creates [dir] (and parents) when missing. *)
+(** Creates [dir] (and parents) when missing.  Raises [Invalid_argument]
+    with a readable message when [dir] is empty or cannot be created. *)
 
 val key : Obligation.t -> string
 (** Hex digest naming the obligation's cache entry. *)

@@ -7,9 +7,19 @@ type t = {
   seed : int;
   quick : bool;
   security : bool;
+  lints : Analysis.Lint.kind list;
 }
 
-let phases = [ "code-proofs"; "refinement"; "invariants"; "noninterference"; "trace-ni"; "attacks" ]
+let phases =
+  [
+    "analysis";
+    "code-proofs";
+    "refinement";
+    "invariants";
+    "noninterference";
+    "trace-ni";
+    "attacks";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Fingerprints                                                        *)
@@ -39,7 +49,60 @@ let stream_seed ~seed tag =
   Int64.to_int (Int64.logand w 0x3FFF_FFFFL)
 
 (* ------------------------------------------------------------------ *)
-(* Phase 3: per-function code proofs                                   *)
+(* Phase 3: static analysis (MIRlight dataflow lints)                  *)
+
+let analysis_version = "mirlight-analysis-v1"
+let analysis_id ~layer fn = Printf.sprintf "analysis/%s/%s" layer fn
+
+(* The accessor relation for the encapsulation lint: a handle of layer
+   L may flow to L's own functions and to the trusted primitives (the
+   getter/setter set every layer's RData is reached through). *)
+let handle_accessor layout =
+  let trusted =
+    List.map (fun (s : Absdata.t Mirverif.Spec.t) -> s.Mirverif.Spec.name) Trusted.all
+  in
+  fun ~owner ~callee ->
+    List.mem callee trusted || Layers.layer_of_function layout callee = Some owner
+
+let analysis_obligations ?(lints = Analysis.Lint.all) layout =
+  let out = Layers.compiled layout in
+  let accessor = handle_accessor layout in
+  let lint_tags = String.concat "," (List.map Analysis.Lint.to_string lints) in
+  List.concat_map
+    (fun lname ->
+      List.map
+        (fun fn ->
+          let id = analysis_id ~layer:lname fn in
+          (* deliberately independent of layout geometry and of other
+             bodies: the lints read exactly one function's MIRlight, so
+             the cache entry survives anything that doesn't change it *)
+          let fingerprint =
+            let mir =
+              match Mir.Syntax.find_body out.Rustlite.Pipeline.program fn with
+              | Some body -> Digest.to_hex (Digest.string (Mir.Pp.body_to_string body))
+              | None -> "missing"
+            in
+            Printf.sprintf "%s;lints=%s;layer=%s;fn=%s;mir=%s" analysis_version
+              lint_tags lname fn mir
+          in
+          Obligation.v ~id ~phase:"analysis" ~deps:[] ~fingerprint (fun () ->
+              match Mir.Syntax.find_body out.Rustlite.Pipeline.program fn with
+              | Some body ->
+                  let cfg =
+                    { Analysis.Pass.fn_layer = Some lname; accessor; lints }
+                  in
+                  Obligation.outcome [ Analysis.Pass.check cfg ~name:fn body ]
+              | None ->
+                  Obligation.outcome
+                    [
+                      Report.add_failure (Report.empty fn) ~case:fn
+                        ~reason:"layer lists a function with no MIRlight body";
+                    ]))
+        (Layers.functions_of_layer layout lname))
+    Mem_spec.layer_names
+
+(* ------------------------------------------------------------------ *)
+(* Phase 4: per-function code proofs                                   *)
 
 let code_proof_id ~layer fn = Printf.sprintf "code-proof/%s/%s" layer fn
 
@@ -335,7 +398,8 @@ let attack_obligations ~deps scenarios =
 (* ------------------------------------------------------------------ *)
 (* Assembly                                                            *)
 
-let build ?(quick = false) ?(security = true) ~seed layout =
+let build ?(quick = false) ?(security = true) ?(lints = Analysis.Lint.all) ~seed
+    layout =
   Layers.warm layout;
   if security then
     (* forces the attack module's lazily built layout from this domain *)
@@ -363,5 +427,6 @@ let build ?(quick = false) ?(security = true) ~seed layout =
       inv @ ni @ tni @ att
     end
   in
-  let dag = Dag.build_exn (code @ refine @ security_obls) in
-  { dag; layout; seed; quick; security }
+  let analysis = analysis_obligations ~lints layout in
+  let dag = Dag.build_exn (analysis @ code @ refine @ security_obls) in
+  { dag; layout; seed; quick; security; lints }

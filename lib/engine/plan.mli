@@ -22,19 +22,36 @@ type t = {
   seed : int;
   quick : bool;
   security : bool;
+  lints : Analysis.Lint.kind list;
 }
 
 val phases : string list
-(** Engine phase names, in pass order: code-proofs, refinement,
-    invariants, noninterference, trace-ni, attacks. *)
+(** Engine phase names, in pass order: analysis, code-proofs,
+    refinement, invariants, noninterference, trace-ni, attacks. *)
 
 val build :
-  ?quick:bool -> ?security:bool -> seed:int -> Hyperenclave.Layout.t -> t
+  ?quick:bool ->
+  ?security:bool ->
+  ?lints:Analysis.Lint.kind list ->
+  seed:int ->
+  Hyperenclave.Layout.t ->
+  t
 (** [build ~seed layout] constructs the DAG and warms every
     layout-keyed memo table ([Layers.warm], the attack module's lazy
     layout) in the calling domain, so worker domains only read shared
     state.  [~security:false] (x86_64 geometry) drops phases 5-8;
-    [~quick] shrinks trial/state counts like the CLI's [--quick]. *)
+    [~quick] shrinks trial/state counts like the CLI's [--quick];
+    [~lints] selects the static-analysis lints (default: the whole
+    catalogue). *)
+
+val analysis_obligations :
+  ?lints:Analysis.Lint.kind list ->
+  Hyperenclave.Layout.t ->
+  Obligation.t list
+(** One dependency-free obligation per function per layer, running the
+    selected lints over that function's MIRlight body.  Fingerprinted
+    on the lint selection and the body alone (no layout geometry), so
+    cache entries survive anything that doesn't change the body. *)
 
 val code_proof_obligations :
   ?seed:int -> Hyperenclave.Layout.t -> (string * Obligation.t list) list

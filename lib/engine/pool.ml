@@ -37,17 +37,23 @@ let crash_outcome (o : Obligation.t) exn =
   Obligation.outcome
     [ Mirverif.Report.add_failure (Mirverif.Report.empty o.Obligation.id) ~case:"exception" ~reason ]
 
+(* [snd] is false when the obligation crashed: the synthesized failure
+   outcome describes this run's exception (out of memory, interrupted
+   worker, a transient bug in a checker), not a property of the
+   fingerprinted inputs, so it must never be cached — a warm run would
+   otherwise replay the crash forever. *)
+let attempt (o : Obligation.t) =
+  try (o.Obligation.run (), true) with exn -> (crash_outcome o exn, false)
+
 let execute sched (o : Obligation.t) =
   match sched.cache with
-  | None ->
-      let outcome = try o.Obligation.run () with exn -> crash_outcome o exn in
-      (outcome, Off)
+  | None -> (fst (attempt o), Off)
   | Some c -> (
       match Cache.find c o with
       | Some outcome -> (outcome, Hit)
       | None ->
-          let outcome = try o.Obligation.run () with exn -> crash_outcome o exn in
-          Cache.store c o outcome;
+          let outcome, ran_ok = attempt o in
+          if ran_ok then Cache.store c o outcome;
           (outcome, Miss))
 
 let rec worker sched wid =

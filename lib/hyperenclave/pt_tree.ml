@@ -100,7 +100,10 @@ let unmap_page st ~va =
   let* () = check_va st va in
   let rec go node level =
     match node with
-    | Term _ -> assert false (* only called on tables *)
+    (* recursion only descends into [Table] children, but the root can
+       be a [Term] in a corrupted state (fault injection flips nodes);
+       fail typed instead of panicking the whole pass *)
+    | Term _ -> Error "corrupt tree: unmap walk reached a terminal node"
     | Table { frame; entries } -> (
         let index = Geometry.va_index g ~level va in
         match entries.(index) with

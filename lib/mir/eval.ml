@@ -45,12 +45,12 @@ let binary op a b =
       let* x, y, ity = arith_width a b in
       let c = compare_ints ity x y in
       let r =
+        (* outer match pins [op] to a comparison; [_] is [Ge] *)
         match op with
         | Syntax.Lt -> c < 0
         | Syntax.Le -> c <= 0
         | Syntax.Gt -> c > 0
-        | Syntax.Ge -> c >= 0
-        | _ -> assert false
+        | _ -> c >= 0
       in
       Ok (Value.Bool r)
   | Syntax.Bit_and | Syntax.Bit_or | Syntax.Bit_xor -> (
@@ -60,8 +60,7 @@ let binary op a b =
             match op with
             | Syntax.Bit_and -> x && y
             | Syntax.Bit_or -> x || y
-            | Syntax.Bit_xor -> not (Bool.equal x y)
-            | _ -> assert false
+            | _ -> not (Bool.equal x y)
           in
           Ok (Value.Bool r)
       | _ ->
@@ -70,8 +69,7 @@ let binary op a b =
             match op with
             | Syntax.Bit_and -> Word.logand x y
             | Syntax.Bit_or -> Word.logor x y
-            | Syntax.Bit_xor -> Word.logxor x y
-            | _ -> assert false
+            | _ -> Word.logxor x y
           in
           Ok (Value.word ity r))
   | Syntax.Add | Syntax.Sub | Syntax.Mul ->
@@ -81,8 +79,7 @@ let binary op a b =
         match op with
         | Syntax.Add -> Word.add w x y
         | Syntax.Sub -> Word.sub w x y
-        | Syntax.Mul -> Word.mul w x y
-        | _ -> assert false
+        | _ -> Word.mul w x y
       in
       Ok (Value.word ity r)
   | Syntax.Div | Syntax.Rem ->
@@ -114,23 +111,25 @@ let checked_binary op a b =
       let* x, y, ity = arith_width a b in
       let wide_ok =
         (* compute in full 64-bit and compare against the normalized
-           result; for 64-bit operands detect wrap via Int64 bounds *)
-        match (Ty.width ity, op) with
-        | Word.W64, Syntax.Add ->
-            Word.compare_u (Int64.add x y) x >= 0
-        | Word.W64, Syntax.Sub -> Word.compare_u x y >= 0
-        | Word.W64, Syntax.Mul ->
-            Word.equal x 0L || Word.equal (Int64.unsigned_div (Int64.mul x y) x) y
-        | (Word.W8 | Word.W16 | Word.W32), _ ->
+           result; for 64-bit operands detect wrap via Int64 bounds.
+           The outer match pins [op] to Add/Sub/Mul, so each [_] arm
+           below is Mul. *)
+        match Ty.width ity with
+        | Word.W64 -> (
+            match op with
+            | Syntax.Add -> Word.compare_u (Int64.add x y) x >= 0
+            | Syntax.Sub -> Word.compare_u x y >= 0
+            | _ ->
+                Word.equal x 0L
+                || Word.equal (Int64.unsigned_div (Int64.mul x y) x) y)
+        | (Word.W8 | Word.W16 | Word.W32) as w ->
             let full =
               match op with
               | Syntax.Add -> Int64.add x y
               | Syntax.Sub -> Int64.sub x y
-              | Syntax.Mul -> Int64.mul x y
-              | _ -> assert false
+              | _ -> Int64.mul x y
             in
-            Word.equal (Word.norm (Ty.width ity) full) full
-        | Word.W64, _ -> assert false
+            Word.equal (Word.norm w full) full
       in
       let* r = binary op a b in
       Ok (Value.tuple [ r; Value.Bool (not wide_ok) ])

@@ -13,8 +13,13 @@
 # jobs=4 against a cold cache, jobs=2 against the now-warm cache.
 # Stdout must be byte-identical across all three (scheduling and cache
 # state may not influence verification output), the warm run must
-# report cache hits, and it must re-execute zero code-proof
-# obligations.
+# report cache hits, and it must re-execute zero code-proof and zero
+# static-analysis obligations.
+#
+# The static-analysis gate additionally requires the lint phase to
+# report zero findings on the seed 15-layer stack, and re-runs the
+# analysis test suite, whose negative fixtures (one hand-built MIRlight
+# body per lint) assert that every lint actually fires.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -49,9 +54,18 @@ hits=$(sed -n 's/^  "cache_hits": *\([0-9][0-9]*\).*/\1/p' "$workdir/warm.json")
   echo "ci: warm run reported no cache hits" >&2; exit 1; }
 grep '"phase": "code-proofs"' "$workdir/warm.json" | grep -q '"executed": 0' || {
   echo "ci: warm run re-executed code-proof obligations" >&2; exit 1; }
+grep '"phase": "analysis"' "$workdir/warm.json" | grep -q '"executed": 0' || {
+  echo "ci: warm run re-executed static-analysis obligations" >&2; exit 1; }
 grep -q '"verdict": "pass"' "$workdir/warm.json" || {
   echo "ci: warm run verdict is not pass" >&2; exit 1; }
-echo "ci: warm cache replayed $hits obligations, zero code proofs re-executed"
+echo "ci: warm cache replayed $hits obligations, zero code proofs or lints re-executed"
+
+# --- static-analysis gate -------------------------------------------
+grep -E -q 'lint checks: [0-9]+ passed, 0 findings' "$workdir/serial.out" || {
+  echo "ci: static analysis reported findings on the seed stack" >&2; exit 1; }
+dune exec test/analysis/test_analysis.exe > /dev/null || {
+  echo "ci: analysis suite (negative lint fixtures) failed" >&2; exit 1; }
+echo "ci: lints clean on the seed stack, all negative fixtures fire"
 
 # scaling benchmark, uploaded as a workflow artifact
 dune exec bench/engine_bench.exe -- --quick --out BENCH_engine.json > /dev/null

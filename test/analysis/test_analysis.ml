@@ -1,0 +1,348 @@
+(* Tests for lib/analysis: the CFG/dataflow framework, one negative
+   fixture per lint (each must fire), positive controls (clean bodies
+   stay clean), lint selection, and the zero-findings gate over the
+   seed 15-layer stack. *)
+
+module Syn = Mir.Syntax
+module B = Mir.Builder
+module Lint = Analysis.Lint
+module Pass = Analysis.Pass
+
+let u64 = Mir.Ty.Int Mir.Ty.U64
+
+let kinds_of findings = List.map (fun (f : Lint.finding) -> f.Lint.kind) findings
+
+let analyze ?fn_layer ?(accessor = fun ~owner:_ ~callee:_ -> false)
+    ?(lints = Lint.all) body =
+  Pass.analyze { Pass.fn_layer; accessor; lints } body
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+
+(* bb0 reads a never-written temporary. *)
+let fix_uninit () =
+  let b = B.create ~name:"fix_uninit" ~params:[] ~ret_ty:u64 in
+  let t = B.temp b u64 in
+  B.assign_var b Syn.return_var (Syn.Use (B.copy t));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* t is moved into u, then read again. *)
+let fix_use_after_move () =
+  let b = B.create ~name:"fix_moved" ~params:[] ~ret_ty:u64 in
+  let t = B.temp b u64 in
+  let u = B.temp b u64 in
+  B.assign_var b t (Syn.Use (B.cu64 7));
+  B.assign_var b u (Syn.Use (B.move t));
+  B.assign_var b Syn.return_var (Syn.Use (B.copy t));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* A handle of layer "FrameAlloc" is dereferenced in foreign code. *)
+let fix_handle_deref () =
+  let b = B.create ~name:"fix_deref" ~params:[] ~ret_ty:u64 in
+  let h = B.temp b (Mir.Ty.Ref (Mir.Ty.Opaque "FrameAlloc")) in
+  B.assign_var b Syn.return_var (Syn.Use (B.copy_place (B.pderef (B.pvar h))));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* A handle is passed whole to some callee; whether that is a finding
+   depends on the accessor relation, which the tests vary. *)
+let fix_handle_passed () =
+  let b = B.create ~name:"fix_passed" ~params:[] ~ret_ty:Mir.Ty.Unit in
+  let h = B.temp b (Mir.Ty.Ref (Mir.Ty.Opaque "FrameAlloc")) in
+  let ret = B.fresh_block b in
+  B.terminate b
+    (Syn.Call
+       {
+         dest = B.pvar Syn.return_var;
+         func = "leak_handle";
+         args = [ B.copy h ];
+         target = Some ret;
+       });
+  B.switch_to b ret;
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* Raw add in a body that elsewhere uses checked adds. *)
+let fix_unchecked_add () =
+  let b = B.create ~name:"fix_add" ~params:[] ~ret_ty:u64 in
+  let x = B.temp b u64 in
+  let y = B.temp b u64 in
+  let pair = B.temp b (Mir.Ty.Tuple [ u64; Mir.Ty.Bool ]) in
+  B.assign_var b x (Syn.Use (B.cu64 1));
+  B.assign_var b y (Syn.Use (B.cu64 2));
+  B.assign_var b pair (Syn.Checked_binary (Syn.Add, B.copy x, B.copy y));
+  B.assign_var b Syn.return_var (Syn.Binary (Syn.Add, B.copy x, B.copy y));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* Same raw add, but nothing checked anywhere: the unchecked
+   compilation profile, exempt by design. *)
+let fix_raw_add_only () =
+  let b = B.create ~name:"fix_raw" ~params:[] ~ret_ty:u64 in
+  let x = B.temp b u64 in
+  B.assign_var b x (Syn.Use (B.cu64 1));
+  B.assign_var b Syn.return_var (Syn.Binary (Syn.Add, B.copy x, B.cu64 2));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* bb1 holds a real statement but nothing jumps to it; bb2 is an empty
+   lowering artifact and must not be flagged. *)
+let fix_unreachable ~artifact_only () =
+  let b = B.create ~name:"fix_unreach" ~params:[] ~ret_ty:u64 in
+  B.assign_var b Syn.return_var (Syn.Use (B.cu64 0));
+  B.terminate b Syn.Return;
+  let dead = B.fresh_block b in
+  B.switch_to b dead;
+  if not artifact_only then
+    B.assign_var b Syn.return_var (Syn.Use (B.cu64 9));
+  B.terminate b (Syn.Goto 0);
+  B.finish b
+
+let clean_body () =
+  let b = B.create ~name:"clean" ~params:[ ("x", u64, Syn.Klocal) ] ~ret_ty:u64 in
+  let t = B.temp b u64 in
+  B.assign_var b t (Syn.Binary (Syn.Add, B.copy "x", B.cu64 1));
+  B.assign_var b Syn.return_var (Syn.Use (B.copy t));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Framework                                                           *)
+
+let test_cfg_diamond () =
+  let b = B.create ~name:"diamond" ~params:[ ("c", Mir.Ty.Bool, Syn.Klocal) ] ~ret_ty:u64 in
+  let bl = B.fresh_block b in
+  let br = B.fresh_block b in
+  let bj = B.fresh_block b in
+  B.terminate b (Syn.Switch_int (B.copy "c", [ (0L, bl) ], br));
+  B.switch_to b bl;
+  B.assign_var b Syn.return_var (Syn.Use (B.cu64 0));
+  B.terminate b (Syn.Goto bj);
+  B.switch_to b br;
+  B.assign_var b Syn.return_var (Syn.Use (B.cu64 1));
+  B.terminate b (Syn.Goto bj);
+  B.switch_to b bj;
+  B.terminate b Syn.Return;
+  let body = B.finish b in
+  let succs = Analysis.Cfg.block_successors body in
+  Alcotest.(check (list int)) "bb0 succs" [ bl; br ] succs.(0);
+  Alcotest.(check (list int)) "join succs" [] succs.(bj);
+  let preds = Analysis.Cfg.predecessors body in
+  Alcotest.(check (list int)) "join preds" [ bl; br ] (List.sort compare preds.(bj));
+  let reach = Analysis.Cfg.reachable body in
+  Alcotest.(check bool) "all reachable" true (Array.for_all Fun.id reach)
+
+(* Liveness — the canonical backward analysis — on a two-block body,
+   exercising the Backward direction of the solver. *)
+let test_backward_liveness () =
+  let b = B.create ~name:"live" ~params:[ ("x", u64, Syn.Klocal) ] ~ret_ty:u64 in
+  let b1 = B.fresh_block b in
+  B.assign_var b Syn.return_var (Syn.Binary (Syn.Add, B.copy "x", B.cu64 1));
+  B.terminate b (Syn.Goto b1);
+  B.switch_to b b1;
+  B.terminate b Syn.Return;
+  let body = B.finish b in
+  let module SS = Set.Make (String) in
+  let module Solver = Analysis.Dataflow.Make (struct
+    type t = SS.t
+
+    let equal = SS.equal
+    let join = SS.union
+  end) in
+  let transfer i live_out =
+    match i with
+    | 0 -> SS.add "x" (SS.remove Syn.return_var live_out)
+    | _ -> SS.add Syn.return_var live_out (* Return reads _0 *)
+  in
+  let r =
+    Solver.solve ~direction:Analysis.Dataflow.Backward ~init:SS.empty
+      ~bottom:SS.empty ~transfer body
+  in
+  Alcotest.(check bool) "x live into bb0" true (SS.mem "x" r.Solver.after.(0));
+  Alcotest.(check bool) "_0 dead into bb0" false
+    (SS.mem Syn.return_var r.Solver.after.(0));
+  Alcotest.(check bool) "_0 live into bb1" true
+    (SS.mem Syn.return_var r.Solver.after.(1))
+
+(* A loop must reach a fixpoint, not diverge: x initialized before the
+   loop, used inside it. *)
+let test_loop_fixpoint () =
+  let b = B.create ~name:"loop" ~params:[ ("c", Mir.Ty.Bool, Syn.Klocal) ] ~ret_ty:u64 in
+  let t = B.temp b u64 in
+  let head = B.fresh_block b in
+  let bbody = B.fresh_block b in
+  let exit = B.fresh_block b in
+  B.assign_var b t (Syn.Use (B.cu64 0));
+  B.terminate b (Syn.Goto head);
+  B.switch_to b head;
+  B.terminate b (Syn.Switch_int (B.copy "c", [ (0L, exit) ], bbody));
+  B.switch_to b bbody;
+  B.assign_var b t (Syn.Binary (Syn.Add, B.copy t, B.cu64 1));
+  B.terminate b (Syn.Goto head);
+  B.switch_to b exit;
+  B.assign_var b Syn.return_var (Syn.Use (B.copy t));
+  B.terminate b Syn.Return;
+  let body = B.finish b in
+  Alcotest.(check (list pass)) "loop body is clean" [] (analyze body)
+
+(* ------------------------------------------------------------------ *)
+(* Lints: each fires on its fixture, stays quiet on the control        *)
+
+let contains kind findings = List.mem kind (kinds_of findings)
+
+let test_move_init_fires () =
+  let fs = analyze (fix_uninit ()) in
+  Alcotest.(check bool) "uninit fires" true (contains Lint.Move_init fs);
+  let fs = analyze (fix_use_after_move ()) in
+  Alcotest.(check bool) "use-after-move fires" true (contains Lint.Move_init fs);
+  Alcotest.(check bool) "detail names the variable" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         f.Lint.kind = Lint.Move_init
+         && String.length f.Lint.detail > 0
+         && String.ends_with ~suffix:"_t0" f.Lint.detail)
+       fs)
+
+let test_encapsulation_fires () =
+  let fs = analyze ~fn_layer:"PtMap" (fix_handle_deref ()) in
+  Alcotest.(check bool) "foreign deref fires" true (contains Lint.Encapsulation fs);
+  (* the same body inside the owning layer is fine *)
+  let fs = analyze ~fn_layer:"FrameAlloc" (fix_handle_deref ()) in
+  Alcotest.(check bool) "owner deref allowed" false (contains Lint.Encapsulation fs);
+  (* passing the handle wholesale: flagged unless the callee is an
+     accepted accessor of the owner *)
+  let fs = analyze ~fn_layer:"PtMap" (fix_handle_passed ()) in
+  Alcotest.(check bool) "handle passed fires" true (contains Lint.Encapsulation fs);
+  let accessor ~owner ~callee =
+    String.equal owner "FrameAlloc" && String.equal callee "leak_handle"
+  in
+  let fs = analyze ~fn_layer:"PtMap" ~accessor (fix_handle_passed ()) in
+  Alcotest.(check bool) "accessor allowed" false (contains Lint.Encapsulation fs)
+
+let test_unchecked_arith_fires () =
+  let fs = analyze (fix_unchecked_add ()) in
+  Alcotest.(check bool) "raw add fires" true (contains Lint.Unchecked_arith fs);
+  let fs = analyze (fix_raw_add_only ()) in
+  Alcotest.(check bool) "unchecked profile exempt" false
+    (contains Lint.Unchecked_arith fs)
+
+let test_unreachable_fires () =
+  let fs = analyze (fix_unreachable ~artifact_only:false ()) in
+  Alcotest.(check bool) "dead code fires" true (contains Lint.Unreachable_block fs);
+  let fs = analyze (fix_unreachable ~artifact_only:true ()) in
+  Alcotest.(check bool) "empty artifact block ignored" false
+    (contains Lint.Unreachable_block fs)
+
+let test_clean_body () =
+  Alcotest.(check int) "clean body, no findings" 0 (List.length (analyze (clean_body ())))
+
+(* ------------------------------------------------------------------ *)
+(* Selection, suppression, reports                                     *)
+
+let test_kinds_of_string () =
+  (match Lint.kinds_of_string "all" with
+  | Ok ks -> Alcotest.(check int) "all = 4" 4 (List.length ks)
+  | Error e -> Alcotest.fail e);
+  (match Lint.kinds_of_string "unchecked-arith, move-init" with
+  | Ok ks ->
+      Alcotest.(check (list string)) "canonical order"
+        [ "move-init"; "unchecked-arith" ]
+        (List.map Lint.to_string ks)
+  | Error e -> Alcotest.fail e);
+  (match Lint.kinds_of_string "move-init,move-init" with
+  | Ok ks -> Alcotest.(check int) "deduplicated" 1 (List.length ks)
+  | Error e -> Alcotest.fail e);
+  match Lint.kinds_of_string "move-init,bogus" with
+  | Ok _ -> Alcotest.fail "bogus lint accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names the lint" true
+        (String.length msg > 0)
+
+let test_suppression () =
+  let body = fix_uninit () in
+  Alcotest.(check bool) "fires with full catalogue" true
+    (contains Lint.Move_init (analyze body));
+  let lints = List.filter (fun k -> k <> Lint.Move_init) Lint.all in
+  Alcotest.(check int) "suppressed when deselected" 0
+    (List.length (analyze ~lints body))
+
+let test_report_shape () =
+  let r = Pass.check Pass.default_config ~name:"clean" (clean_body ()) in
+  Alcotest.(check bool) "clean report ok" true (Mirverif.Report.ok r);
+  Alcotest.(check int) "one case per lint" (List.length Lint.all)
+    r.Mirverif.Report.total;
+  let r = Pass.check Pass.default_config ~name:"dirty" (fix_uninit ()) in
+  Alcotest.(check bool) "dirty report fails" false (Mirverif.Report.ok r)
+
+(* ------------------------------------------------------------------ *)
+(* The seed stack: all 50 functions, all lints, zero findings          *)
+
+let test_seed_stack_clean () =
+  let layout = Hyperenclave.Layout.default Hyperenclave.Geometry.tiny in
+  let obls = Engine.Plan.analysis_obligations layout in
+  Alcotest.(check int) "one obligation per function" 50 (List.length obls);
+  List.iter
+    (fun (o : Engine.Obligation.t) ->
+      Alcotest.(check bool) "analysis phase" true
+        (String.equal o.Engine.Obligation.phase "analysis");
+      Alcotest.(check (list string)) "dependency-free" [] o.Engine.Obligation.deps;
+      let outcome = o.Engine.Obligation.run () in
+      List.iter
+        (fun r ->
+          if not (Mirverif.Report.ok r) then
+            Alcotest.failf "findings in %s: %s" o.Engine.Obligation.id
+              (Mirverif.Report.to_string r))
+        outcome.Engine.Obligation.reports)
+    obls
+
+let test_fingerprints_stable () =
+  let layout = Hyperenclave.Layout.default Hyperenclave.Geometry.tiny in
+  let fp os =
+    List.map
+      (fun (o : Engine.Obligation.t) ->
+        (o.Engine.Obligation.id, o.Engine.Obligation.fingerprint))
+      os
+  in
+  let a = fp (Engine.Plan.analysis_obligations layout) in
+  let b = fp (Engine.Plan.analysis_obligations layout) in
+  Alcotest.(check bool) "rebuild reproduces fingerprints" true (a = b);
+  (* narrowing the lint selection must change every fingerprint: cached
+     full-catalogue verdicts cannot answer for a narrower run *)
+  let c = fp (Engine.Plan.analysis_obligations ~lints:[ Lint.Move_init ] layout) in
+  List.iter2
+    (fun (ida, fpa) (idc, fpc) ->
+      Alcotest.(check string) "same ids" ida idc;
+      Alcotest.(check bool) "different fingerprint" false (String.equal fpa fpc))
+    a c
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "framework",
+        [
+          Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+          Alcotest.test_case "backward liveness" `Quick test_backward_liveness;
+          Alcotest.test_case "loop fixpoint" `Quick test_loop_fixpoint;
+        ] );
+      ( "lints",
+        [
+          Alcotest.test_case "move-init fires" `Quick test_move_init_fires;
+          Alcotest.test_case "encapsulation fires" `Quick test_encapsulation_fires;
+          Alcotest.test_case "unchecked-arith fires" `Quick test_unchecked_arith_fires;
+          Alcotest.test_case "unreachable fires" `Quick test_unreachable_fires;
+          Alcotest.test_case "clean body" `Quick test_clean_body;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "kinds_of_string" `Quick test_kinds_of_string;
+          Alcotest.test_case "per-lint suppression" `Quick test_suppression;
+          Alcotest.test_case "report shape" `Quick test_report_shape;
+        ] );
+      ( "seed",
+        [
+          Alcotest.test_case "seed stack clean" `Quick test_seed_stack_clean;
+          Alcotest.test_case "fingerprints" `Quick test_fingerprints_stable;
+        ] );
+    ]

@@ -224,7 +224,63 @@ let test_cache_corrupt_entry_is_a_miss () =
   let oc = open_out_bin file in
   output_string oc "garbage";
   close_out oc;
-  Alcotest.(check bool) "corrupt entry misses" true (Cache.find cache o = None)
+  Alcotest.(check bool) "corrupt entry misses" true (Cache.find cache o = None);
+  (* the unreadable file can never become valid (its key encodes the
+     fingerprint), so the miss must also evict it *)
+  Alcotest.(check bool) "corrupt entry evicted" false (Sys.file_exists file)
+
+let test_cache_stale_magic_evicted () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let o = pass_obl ~fingerprint:"fp-stale" "y" in
+  let file = Filename.concat dir (Cache.key o ^ ".proof") in
+  (* a well-formed entry from a different OCaml toolchain: full-length
+     magic header that doesn't match ours, then an arbitrary payload *)
+  let oc = open_out_bin file in
+  output_string oc ("MVEC1\n0.00.0-other-compiler-version\n" ^ String.make 64 'x');
+  close_out oc;
+  Alcotest.(check bool) "stale-magic entry misses" true (Cache.find cache o = None);
+  Alcotest.(check bool) "stale-magic entry evicted" false (Sys.file_exists file);
+  (* and a subsequent store repopulates it normally *)
+  Cache.store cache o (o.Obligation.run ());
+  Alcotest.(check bool) "restored entry hits" true (Cache.find cache o <> None)
+
+let test_cache_empty_dir_rejected () =
+  (match Cache.create ~dir:"" with
+  | _ -> Alcotest.fail "empty cache dir accepted"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message mentions the cache" true
+        (String.length msg > 0));
+  match Cache.create ~dir:"   " with
+  | _ -> Alcotest.fail "blank cache dir accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Regression: a crash outcome is this run's accident, not a property
+   of the fingerprinted inputs — it must not be stored, or every warm
+   run replays the failure even after the cause is gone. *)
+let test_cache_skips_crash_outcomes () =
+  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let attempts = ref 0 in
+  let flaky =
+    Obligation.v ~id:"flaky" ~phase:"test" ~fingerprint:"fp-flaky" (fun () ->
+        incr attempts;
+        if !attempts = 1 then failwith "transient";
+        Obligation.outcome [ Report.add_pass (Report.empty "flaky") ])
+  in
+  let first = Pool.run ~cache ~jobs:1 (Dag.build_exn [ flaky ]) in
+  Alcotest.(check int) "first run crashes" 1
+    (Obligation.failure_count (List.hd first).Pool.outcome);
+  Alcotest.(check int) "crash not stored" 0 (Cache.entry_count cache);
+  let second = Pool.run ~cache ~jobs:1 (Dag.build_exn [ flaky ]) in
+  Alcotest.(check string) "second run re-executes" "miss"
+    (Pool.cache_status_to_string (List.hd second).Pool.cache);
+  Alcotest.(check int) "second run passes" 0
+    (Obligation.failure_count (List.hd second).Pool.outcome);
+  Alcotest.(check int) "success stored" 1 (Cache.entry_count cache);
+  let third = Pool.run ~cache ~jobs:1 (Dag.build_exn [ flaky ]) in
+  Alcotest.(check string) "third run hits" "hit"
+    (Pool.cache_status_to_string (List.hd third).Pool.cache);
+  Alcotest.(check int) "no further execution" 2 !attempts
 
 (* ------------------------------------------------------------------ *)
 (* JSON emission                                                       *)
@@ -268,6 +324,10 @@ let () =
           Alcotest.test_case "round trip + invalidation" `Quick test_cache_round_trip;
           Alcotest.test_case "warm real plan" `Quick test_cache_warm_real_plan;
           Alcotest.test_case "corrupt entry" `Quick test_cache_corrupt_entry_is_a_miss;
+          Alcotest.test_case "stale magic evicted" `Quick test_cache_stale_magic_evicted;
+          Alcotest.test_case "empty dir rejected" `Quick test_cache_empty_dir_rejected;
+          Alcotest.test_case "crash outcomes not cached" `Quick
+            test_cache_skips_crash_outcomes;
         ] );
       ("jsonx", [ Alcotest.test_case "emission" `Quick test_jsonx ]);
     ]

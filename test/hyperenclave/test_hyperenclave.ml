@@ -330,6 +330,19 @@ let test_pt_tree_ops () =
   ok "wf huge" (Pt_tree.wf st);
   Alcotest.(check int) "huge expands" 4 (List.length (Pt_tree.mappings st))
 
+(* Regression: a corrupted state whose root is a terminal node (fault
+   injection can produce one) must make unmap fail with a typed error,
+   not bring the whole pass down with an assertion failure. *)
+let test_pt_tree_unmap_term_root () =
+  let st = fresh_tree () in
+  let corrupt =
+    { st with Pt_tree.root = Pt_tree.Term { pa = 0L; flags = Flags.user_rw } }
+  in
+  match Pt_tree.unmap_page corrupt ~va:0L with
+  | Ok _ -> Alcotest.fail "unmap succeeded on a terminal root"
+  | Error msg ->
+      Alcotest.(check bool) "typed corruption error" true (contains msg "corrupt")
+
 (* ------------------------------------------------------------------ *)
 (* Refinement: flat simulates tree                                     *)
 
@@ -672,7 +685,12 @@ let () =
           Alcotest.test_case "malformed tables rejected" `Quick test_pt_flat_malformed_rejected;
           Alcotest.test_case "table frames form a tree" `Quick test_pt_flat_table_frames_tree;
         ] );
-      ("pt-tree", [ Alcotest.test_case "ops" `Quick test_pt_tree_ops ]);
+      ( "pt-tree",
+        [
+          Alcotest.test_case "ops" `Quick test_pt_tree_ops;
+          Alcotest.test_case "unmap on terminal root" `Quick
+            test_pt_tree_unmap_term_root;
+        ] );
       ( "refinement",
         [
           Alcotest.test_case "abstract roundtrip" `Quick test_abstract_roundtrip;

@@ -483,6 +483,81 @@ let prop_loads_are_read_only =
           && Absdata.equal st.State.mon st'.State.mon)
 
 (* ------------------------------------------------------------------ *)
+(* TLB structure properties                                            *)
+
+let tlb_principal_of i = [ Principal.Os; Principal.Enclave 1; Principal.Enclave 2 ]
+  |> Fun.flip List.nth (i mod 3)
+
+let tlb_entry va = { Tlb.hpa_page = Int64.logxor va 0x5AL; flags = Flags.user_rw }
+
+let tlb_of_fills fills =
+  List.fold_left
+    (fun t (i, va) -> Tlb.fill t (tlb_principal_of i) ~va_page:va (tlb_entry va))
+    Tlb.empty fills
+
+(* Random fills across principals and the full unsigned VA range —
+   QCheck2's int64 generator covers values at and above
+   0x8000_0000_0000_0000, which are negative as signed int64. *)
+let gen_tlb_fills =
+  QCheck2.Gen.(list_size (int_range 0 40) (pair (int_range 0 2) int64))
+
+let prop_tlb_flush_principal_exact =
+  QCheck2.Test.make ~count:100
+    ~name:"flush_principal removes exactly that principal's entries"
+    (QCheck2.Gen.pair gen_tlb_fills (QCheck2.Gen.int_range 0 2))
+    (fun (fills, pi) ->
+      let prin = tlb_principal_of pi in
+      let tlb = tlb_of_fills fills in
+      let flushed = Tlb.flush_principal tlb prin in
+      let survivors =
+        List.filter
+          (fun (p, _, _) -> not (Principal.equal p prin))
+          (Tlb.to_list tlb)
+      in
+      Tlb.to_list flushed = survivors
+      && List.for_all
+           (fun (_, va, _) -> Tlb.lookup flushed prin ~va_page:va = None)
+           (Tlb.to_list tlb))
+
+let prop_tlb_unsigned_va_order =
+  QCheck2.Test.make ~count:100
+    ~name:"to_list orders VAs by unsigned comparison within a principal"
+    gen_tlb_fills
+    (fun fills ->
+      let rec strictly_sorted = function
+        | (p1, v1, _) :: ((p2, v2, _) :: _ as rest) ->
+            let c = Principal.compare p1 p2 in
+            (c < 0 || (c = 0 && Int64.unsigned_compare v1 v2 < 0))
+            && strictly_sorted rest
+        | _ -> true
+      in
+      strictly_sorted (Tlb.to_list (tlb_of_fills fills)))
+
+(* The half-space boundary, deterministically: VAs at and above
+   0x8000_0000_0000_0000 must sort after small ones and stay
+   individually addressable. *)
+let test_tlb_unsigned_boundary () =
+  let high = 0x8000_0000_0000_0000L in
+  let e hpa = { Tlb.hpa_page = hpa; flags = Flags.user_rw } in
+  let t = Tlb.fill Tlb.empty Principal.Os ~va_page:high (e 10L) in
+  let t = Tlb.fill t Principal.Os ~va_page:1L (e 20L) in
+  let t = Tlb.fill t Principal.Os ~va_page:Int64.minus_one (e 30L) in
+  Alcotest.(check int) "three distinct entries" 3 (Tlb.entry_count t);
+  (match Tlb.lookup t Principal.Os ~va_page:high with
+  | Some { Tlb.hpa_page = 10L; _ } -> ()
+  | _ -> Alcotest.fail "lookup above the sign boundary");
+  (match Tlb.lookup t Principal.Os ~va_page:1L with
+  | Some { Tlb.hpa_page = 20L; _ } -> ()
+  | _ -> Alcotest.fail "lookup below the sign boundary");
+  Alcotest.(check (list int64)) "unsigned ascending order"
+    [ 1L; high; Int64.minus_one ]
+    (List.map (fun (_, va, _) -> va) (Tlb.to_list t));
+  let t = Tlb.flush_va t Principal.Os ~va_page:high in
+  Alcotest.(check int) "flush_va removes only the boundary VA" 2 (Tlb.entry_count t);
+  Alcotest.(check bool) "boundary VA gone" true
+    (Tlb.lookup t Principal.Os ~va_page:high = None)
+
+(* ------------------------------------------------------------------ *)
 (* Attack scenarios (Fig. 5 + shallow copy)                            *)
 
 let test_attack_scenarios () =
@@ -514,6 +589,7 @@ let () =
         [
           Alcotest.test_case "stale entry attack (flush vs no-flush)" `Quick test_stale_tlb;
           Alcotest.test_case "tagging isolates principals" `Quick test_tlb_tagging;
+          Alcotest.test_case "unsigned VA boundary" `Quick test_tlb_unsigned_boundary;
         ] );
       ( "eremove",
         [
@@ -549,5 +625,7 @@ let () =
             prop_hypercalls_transactional;
             prop_enter_exit_roundtrip;
             prop_loads_are_read_only;
+            prop_tlb_flush_principal_exact;
+            prop_tlb_unsigned_va_order;
           ] );
     ]
