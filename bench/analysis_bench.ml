@@ -1,0 +1,112 @@
+(* Abstract-interpretation benchmark: per-domain wall time over the
+   SCC condensation of the compiled 15-layer stack, with finding /
+   discharge counts, emitted as BENCH_analysis.json (consumed by CI as
+   an artifact; see EXPERIMENTS.md).
+
+   Run with: dune exec bench/analysis_bench.exe -- [--out FILE] [--print] *)
+
+open Hyperenclave
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let out = ref "BENCH_analysis.json" in
+  let print_findings = Array.exists (String.equal "--print") Sys.argv in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1))
+    Sys.argv;
+  let layout = Layout.default Geometry.tiny in
+  let compiled, compile_s = time (fun () -> Layers.compiled layout) in
+  let program = compiled.Rustlite.Pipeline.program in
+  let cg, cg_s = time (fun () -> Analysis.Callgraph.build program) in
+  let sccs = Analysis.Callgraph.sccs cg in
+  let dump tag findings =
+    if print_findings then
+      List.iter
+        (fun (fn, f) ->
+          Printf.printf "%-12s %-24s %s\n" tag fn
+            (Analysis.Lint.finding_to_string f))
+        findings
+  in
+
+  (* interval domain: bounds findings + overflow discharges *)
+  let interval, interval_s =
+    time (fun () ->
+        List.map
+          (fun funcs -> Analysis.Interval_lint.check program ~funcs)
+          sccs)
+  in
+  let itv_findings = List.concat_map fst interval in
+  dump "interval" itv_findings;
+  let itv_errors =
+    List.fold_left
+      (fun n (s : Analysis.Interval_lint.stats) -> n + s.findings)
+      0 (List.map snd interval)
+  and itv_discharged =
+    List.fold_left
+      (fun n (s : Analysis.Interval_lint.stats) -> n + s.discharged)
+      0 (List.map snd interval)
+  and itv_iters =
+    List.fold_left
+      (fun n (s : Analysis.Interval_lint.stats) -> n + s.iterations)
+      0 (List.map snd interval)
+  in
+
+  (* taint domain: secret-flow findings *)
+  let cfg = Security.Labels.secret_flow_config layout program in
+  let taint, taint_s =
+    time (fun () ->
+        List.map (fun funcs -> Analysis.Secret_flow.check cfg ~funcs) sccs)
+  in
+  let sf_findings = List.concat_map fst taint in
+  dump "secret-flow" sf_findings;
+  let sf_count =
+    List.fold_left
+      (fun n (s : Analysis.Secret_flow.stats) -> n + s.findings)
+      0 (List.map snd taint)
+  and sf_iters =
+    List.fold_left
+      (fun n (s : Analysis.Secret_flow.stats) -> n + s.iterations)
+      0 (List.map snd taint)
+  and sf_summaries =
+    List.fold_left
+      (fun n (s : Analysis.Secret_flow.stats) -> n + s.summaries)
+      0 (List.map snd taint)
+  in
+
+  let functions =
+    List.fold_left (fun n scc -> n + List.length scc) 0 sccs
+  in
+  let open Engine.Jsonx in
+  let json =
+    Obj
+      [
+        ("bench", Str "analysis");
+        ("functions", Int functions);
+        ("sccs", Int (List.length sccs));
+        ("compile_s", Float compile_s);
+        ("callgraph_s", Float cg_s);
+        ( "interval",
+          Obj
+            [
+              ("wall_s", Float interval_s);
+              ("findings", Int itv_errors);
+              ("discharged", Int itv_discharged);
+              ("iterations", Int itv_iters);
+            ] );
+        ( "secret_flow",
+          Obj
+            [
+              ("wall_s", Float taint_s);
+              ("findings", Int sf_count);
+              ("iterations", Int sf_iters);
+              ("summaries", Int sf_summaries);
+            ] );
+      ]
+  in
+  write_file !out (to_multiline_string json);
+  print_string (to_multiline_string json)

@@ -104,6 +104,77 @@ let reports_of execs =
     (fun (e : Engine.Pool.exec) -> e.outcome.Engine.Obligation.reports)
     execs
 
+let findings_of execs =
+  List.concat_map
+    (fun (e : Engine.Pool.exec) -> e.outcome.Engine.Obligation.findings)
+    execs
+
+(* All lint findings of the run — per-body dataflow plus per-SCC
+   abstract interpretation — with the discharge certificates applied:
+   an [Info] certificate cancels the [Error] twin at the same site of
+   the same function. *)
+let lint_findings execs =
+  let module M = Map.Make (String) in
+  let by_fn =
+    List.fold_left
+      (fun m (fn, f) ->
+        M.update fn (fun l -> Some (f :: Option.value ~default:[] l)) m)
+      M.empty
+      (findings_of (of_phase execs "analysis") @ findings_of (of_phase execs "absint"))
+  in
+  M.bindings by_fn
+  |> List.concat_map (fun (fn, fs) ->
+         List.map
+           (fun f -> (fn, f))
+           (Analysis.Lint.reconcile (Analysis.Lint.sort (List.rev fs))))
+
+let is_error (f : Analysis.Lint.finding) =
+  f.Analysis.Lint.severity = Analysis.Lint.Error
+
+let is_discharge (f : Analysis.Lint.finding) =
+  f.Analysis.Lint.severity = Analysis.Lint.Info
+  && f.Analysis.Lint.discharged_by <> None
+
+let severity_to_string = function
+  | Analysis.Lint.Error -> "error"
+  | Analysis.Lint.Info -> "info"
+
+let lint_json_of findings =
+  let sorted =
+    List.sort
+      (fun (fn1, (a : Analysis.Lint.finding)) (fn2, (b : Analysis.Lint.finding)) ->
+        let c = String.compare fn1 fn2 in
+        if c <> 0 then c
+        else
+          let c =
+            String.compare
+              (Analysis.Lint.to_string a.Analysis.Lint.kind)
+              (Analysis.Lint.to_string b.Analysis.Lint.kind)
+          in
+          if c <> 0 then c
+          else
+            let c = String.compare a.Analysis.Lint.where b.Analysis.Lint.where in
+            if c <> 0 then c
+            else String.compare a.Analysis.Lint.detail b.Analysis.Lint.detail)
+      findings
+  in
+  Engine.Jsonx.List
+    (List.map
+       (fun (fn, (f : Analysis.Lint.finding)) ->
+         Engine.Jsonx.Obj
+           [
+             ("function", Engine.Jsonx.Str fn);
+             ("kind", Str (Analysis.Lint.to_string f.Analysis.Lint.kind));
+             ("where", Str f.Analysis.Lint.where);
+             ("severity", Str (severity_to_string f.Analysis.Lint.severity));
+             ( "discharged_by",
+               match f.Analysis.Lint.discharged_by with
+               | Some d -> Str d
+               | None -> Null );
+             ("detail", Str f.Analysis.Lint.detail);
+           ])
+       sorted)
+
 let layer_of_code_proof_id id =
   match String.split_on_char '/' id with _ :: layer :: _ -> layer | _ -> "?"
 
@@ -113,24 +184,66 @@ let layer_of_code_proof_id id =
 let render_engine_results ~failures ~security execs =
   phase_header "3. static analysis (MIRlight dataflow lints)";
   let an = of_phase execs "analysis" in
-  let at, ap, _, af =
+  let findings = lint_findings execs in
+  let body_errors =
+    List.filter
+      (fun (_, (f : Analysis.Lint.finding)) ->
+        is_error f && List.mem f.Analysis.Lint.kind Analysis.Lint.all)
+      findings
+  in
+  let at, ap, _, _ =
     Engine.Obligation.case_totals
       (List.map (fun (e : Engine.Pool.exec) -> e.outcome) an)
   in
   Format.printf "  %d functions, %d lint checks: %d passed, %d findings@."
-    (List.length an) at ap af;
+    (List.length an) at ap (List.length body_errors);
+  (* a per-body failure without a finding is an engine-level problem
+     (e.g. a layer listing a function with no MIRlight body) *)
   List.iter
     (fun (e : Engine.Pool.exec) ->
-      List.iter
-        (fun r ->
-          if not (Report.ok r) then begin
-            incr failures;
-            Format.printf "  FAIL [%s] %s@."
-              (layer_of_code_proof_id e.obligation.Engine.Obligation.id)
-              (Report.to_string r)
-          end)
-        e.outcome.Engine.Obligation.reports)
+      if e.outcome.Engine.Obligation.findings = [] then
+        List.iter
+          (fun r ->
+            if not (Report.ok r) then begin
+              incr failures;
+              Format.printf "  FAIL [%s] %s@."
+                (layer_of_code_proof_id e.obligation.Engine.Obligation.id)
+                (Report.to_string r)
+            end)
+          e.outcome.Engine.Obligation.reports)
     an;
+  List.iter
+    (fun (fn, f) ->
+      incr failures;
+      Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
+    body_errors;
+
+  phase_header "3b. abstract interpretation (interval bounds + secret flow)";
+  let ab = of_phase execs "absint" in
+  let absint_errors =
+    List.filter
+      (fun (_, (f : Analysis.Lint.finding)) ->
+        is_error f && List.mem f.Analysis.Lint.kind Analysis.Lint.interprocedural)
+      findings
+  in
+  let count kind =
+    List.length
+      (List.filter
+         (fun (_, (f : Analysis.Lint.finding)) -> f.Analysis.Lint.kind = kind)
+         absint_errors)
+  in
+  Format.printf
+    "  %d SCC obligations: %d secret-flow findings, %d interval findings, %d \
+     arith sites discharged@."
+    (List.length ab)
+    (count Analysis.Lint.Secret_flow)
+    (count Analysis.Lint.Interval_bounds)
+    (List.length (List.filter (fun (_, f) -> is_discharge f) findings));
+  List.iter
+    (fun (fn, f) ->
+      incr failures;
+      Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
+    absint_errors;
 
   phase_header "4. code proofs (code conforms to low specs)";
   let cp = of_phase execs "code-proofs" in
@@ -252,8 +365,8 @@ let trace_json execs =
 
 (* ------------------------------------------------------------------ *)
 
-let run geometry seed quick jobs cache_dir json_out trace_out chaos chaos_traces
-    faults_spec buggy_tlb lints_spec =
+let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
+    chaos_traces faults_spec buggy_tlb lints_spec =
   match Analysis.Lint.kinds_of_string lints_spec with
   | Error msg ->
       Format.eprintf "hyperenclave-verify: bad --lints: %s@." msg;
@@ -316,6 +429,11 @@ let run geometry seed quick jobs cache_dir json_out trace_out chaos chaos_traces
            (summary_json ~failures:!failures ~jobs ~cache_enabled:(cache <> None) execs)))
     json_out;
   Option.iter (fun path -> Engine.Jsonx.write_lines path (trace_json execs)) trace_out;
+  Option.iter
+    (fun path ->
+      Engine.Jsonx.write_file path
+        (Engine.Jsonx.to_multiline_string (lint_json_of (lint_findings execs))))
+    lint_json;
   if !failures = 0 then 0 else 1
 
 let geometry =
@@ -359,6 +477,16 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write a JSONL trace: one line per obligation with timing and cache status.")
 
+let lint_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lint-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the reconciled lint findings (per-body dataflow plus \
+           abstract-interpretation kinds) as a JSON list: kind, function, \
+           program point, severity, discharged-by.")
+
 let chaos =
   Arg.(
     value & flag
@@ -394,7 +522,8 @@ let lints =
     & info [ "lints" ] ~docv:"KINDS"
         ~doc:
           "Comma-separated static-analysis lints to run: layer-encapsulation, \
-           move-init, unchecked-arith, unreachable-block — or 'all'.")
+           move-init, unchecked-arith, unreachable-block, interval-bounds, \
+           secret-flow — or 'all'.")
 
 let cmd =
   Cmd.v
@@ -402,6 +531,6 @@ let cmd =
        ~doc:"Run the full HyperEnclave memory-subsystem verification pass")
     Term.(
       const run $ geometry $ seed $ quick $ jobs $ cache_dir $ json_out $ trace_out
-      $ chaos $ chaos_traces $ faults $ buggy_tlb $ lints)
+      $ lint_json $ chaos $ chaos_traces $ faults $ buggy_tlb $ lints)
 
 let () = exit (Cmd.eval' cmd)

@@ -46,10 +46,24 @@ let uses_checked (body : Syn.body) =
         blk.Syn.stmts)
     body.Syn.blocks
 
-let run (body : Syn.body) =
+type site = {
+  block : int;
+  stmt : int;
+  op : Syn.bin_op;
+  lhs : Syn.operand;
+  rhs : Syn.operand;
+}
+
+let site_where s = Printf.sprintf "bb%d[%d]" s.block s.stmt
+
+(* The flaggable sites, in program order.  Shared with the interval
+   pass ({!Interval_lint}), which re-examines each site with the
+   operand intervals in force and emits a discharge certificate at the
+   exact same [where] when the overflow provably cannot happen. *)
+let sites (body : Syn.body) =
   if not (uses_checked body) then []
   else begin
-    let findings = ref [] in
+    let acc = ref [] in
     let reach = Cfg.reachable body in
     Array.iteri
       (fun i (blk : Syn.block) ->
@@ -59,16 +73,19 @@ let run (body : Syn.body) =
               match stmt with
               | Syn.Assign (_, Syn.Binary (op, a, b))
                 when overflowing op && word_typed body a && word_typed body b ->
-                  findings :=
-                    Lint.v Lint.Unchecked_arith
-                      ~where:(Printf.sprintf "bb%d[%d]" i k)
-                      (Printf.sprintf
-                         "raw %s on word-typed operands in a body that \
-                          otherwise uses checked arithmetic"
-                         (op_name op))
-                    :: !findings
+                  acc := { block = i; stmt = k; op; lhs = a; rhs = b } :: !acc
               | _ -> ())
             blk.Syn.stmts)
       body.Syn.blocks;
-    List.rev !findings
+    List.rev !acc
   end
+
+let run (body : Syn.body) =
+  List.map
+    (fun s ->
+      Lint.v Lint.Unchecked_arith ~where:(site_where s)
+        (Printf.sprintf
+           "raw %s on word-typed operands in a body that otherwise uses \
+            checked arithmetic"
+           (op_name s.op)))
+    (sites body)

@@ -5,4 +5,22 @@
     are determinably word-typed.  Bodies compiled without overflow
     checks (no [Checked_binary] anywhere) are exempt. *)
 
+type site = {
+  block : int;
+  stmt : int;
+  op : Mir.Syntax.bin_op;
+  lhs : Mir.Syntax.operand;
+  rhs : Mir.Syntax.operand;
+}
+
+val sites : Mir.Syntax.body -> site list
+(** The flaggable sites in program order (empty for exempt bodies).
+    {!Interval_lint} re-examines these with interval information and
+    discharges the provably overflow-free ones. *)
+
+val site_where : site -> string
+(** The ["bbN[M]"] location string both passes key findings on. *)
+
+val op_name : Mir.Syntax.bin_op -> string
+
 val run : Mir.Syntax.body -> Lint.finding list

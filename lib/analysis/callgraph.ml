@@ -1,0 +1,126 @@
+(* Call graph of a MIRlight program, condensed to strongly connected
+   components.
+
+   The interprocedural analyses (Absint clients) summarize one SCC at
+   a time, callees first, and the engine turns each SCC into one
+   obligation whose fingerprint digests the MIR of everything the SCC
+   can reach — so an edit invalidates exactly the SCCs that can reach
+   the edited function.  Everything here is deterministic: callee
+   lists, SCC member lists and the SCC order are sorted/canonical, so
+   obligation ids and fingerprints are stable across runs. *)
+
+module Syn = Mir.Syntax
+module StrMap = Map.Make (String)
+module StrSet = Set.Make (String)
+
+type t = {
+  callees : string list StrMap.t; (* program-internal, sorted, deduped *)
+  externs : string list StrMap.t; (* called but not in the program *)
+  sccs : string list list; (* callees-first; each sorted *)
+  scc_index : int StrMap.t; (* function -> index into [sccs] *)
+}
+
+let body_callees prog (body : Syn.body) =
+  let internal = ref StrSet.empty and ext = ref StrSet.empty in
+  Array.iter
+    (fun (blk : Syn.block) ->
+      match blk.Syn.term with
+      | Syn.Call { func; _ } ->
+          if Syn.find_body prog func <> None then
+            internal := StrSet.add func !internal
+          else ext := StrSet.add func !ext
+      | _ -> ())
+    body.Syn.blocks;
+  (StrSet.elements !internal, StrSet.elements !ext)
+
+let build (prog : Syn.program) =
+  let callees, externs =
+    Syn.fold_bodies
+      (fun name body (cs, es) ->
+        let internal, ext = body_callees prog body in
+        (StrMap.add name internal cs, StrMap.add name ext es))
+      prog (StrMap.empty, StrMap.empty)
+  in
+  (* Tarjan, over function names in sorted order so the component
+     order (and hence obligation order) is canonical.  Components come
+     out callees-first: a component is emitted only after everything
+     it reaches. *)
+  let index = Hashtbl.create 64
+  and lowlink = Hashtbl.create 64
+  and on_stack = Hashtbl.create 64 in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (try StrMap.find v callees with Not_found -> []);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if String.equal w v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := List.sort String.compare (pop []) :: !sccs
+    end
+  in
+  StrMap.iter (fun v _ -> if not (Hashtbl.mem index v) then strongconnect v) callees;
+  (* Tarjan emits a component only after everything it reaches, so the
+     emission order is callees-first; we accumulated it reversed. *)
+  let sccs = List.rev !sccs in
+  let scc_index =
+    List.fold_left
+      (fun (i, m) scc ->
+        (i + 1, List.fold_left (fun m f -> StrMap.add f i m) m scc))
+      (0, StrMap.empty) sccs
+    |> snd
+  in
+  { callees; externs; sccs; scc_index }
+
+let sccs t = t.sccs
+let callees t fn = try StrMap.find fn t.callees with Not_found -> []
+let externs t fn = try StrMap.find fn t.externs with Not_found -> []
+let scc_of t fn = StrMap.find_opt fn t.scc_index
+
+(* Distinct SCC indices the members of [fns] call into, excluding
+   their own component — the dependency edges of the SCC DAG. *)
+let callee_sccs t fns =
+  let own = match fns with f :: _ -> scc_of t f | [] -> None in
+  List.sort_uniq compare
+    (List.concat_map
+       (fun f ->
+         List.filter_map
+           (fun c ->
+             match scc_of t c with
+             | Some i when Some i <> own -> Some i
+             | _ -> None)
+           (callees t f))
+       fns)
+
+(* Transitive closure of callees, including [fns] themselves; sorted.
+   The engine digests the MIR of this set into the SCC's fingerprint:
+   summaries cross SCC boundaries, so the verdict depends on it all. *)
+let reachable t fns =
+  let seen = ref StrSet.empty in
+  let rec go f =
+    if not (StrSet.mem f !seen) then begin
+      seen := StrSet.add f !seen;
+      List.iter go (callees t f)
+    end
+  in
+  List.iter go fns;
+  StrSet.elements !seen

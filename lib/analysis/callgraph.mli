@@ -1,0 +1,29 @@
+(** Call graph of a MIRlight program, condensed to SCCs.
+
+    All outputs are canonical (sorted members, deterministic SCC
+    order), so the engine can derive stable obligation ids and
+    fingerprints from them. *)
+
+type t
+
+val build : Mir.Syntax.program -> t
+
+val sccs : t -> string list list
+(** Strongly connected components, callees-first; members sorted. *)
+
+val callees : t -> string -> string list
+(** Program-internal direct callees, sorted, deduplicated. *)
+
+val externs : t -> string -> string list
+(** Called names with no body in the program (trusted primitives). *)
+
+val scc_of : t -> string -> int option
+(** Index of the function's component in {!sccs}. *)
+
+val callee_sccs : t -> string list -> int list
+(** Distinct component indices an SCC's members call into, excluding
+    the component itself — the edges of the SCC DAG. *)
+
+val reachable : t -> string list -> string list
+(** Transitive callee closure including the roots themselves; sorted.
+    What an SCC summary's verdict can depend on. *)

@@ -1,0 +1,394 @@
+(* Unsigned 64-bit interval lattice.
+
+   The numeric abstract domain of the interpreter (Absint): every
+   MIRlight scalar is approximated by an interval [lo, hi] in the
+   unsigned order, or Bot for unreachable/contradictory values.
+   Booleans embed as {0}, {1}, [0,1].
+
+   Transfer functions are exact whenever the concrete operation is
+   monotone on the interval and cannot wrap; a possible wrap degrades
+   to top (the checked-arithmetic path recovers precision through
+   [no_overflow] once the lowered overflow assertion has pruned the
+   wrapping executions).  Widening jumps to the nearest of a threshold
+   set harvested from the function's literals, which is what makes
+   counting loops like [while i < NFRAMES] converge to the precise
+   bound instead of top. *)
+
+module Word = Mir.Word
+
+type t = Bot | Itv of Word.t * Word.t (* lo <=u hi *)
+
+let bot = Bot
+let top = Itv (0L, Word.umax)
+let of_word w = Itv (w, w)
+let of_bool b = of_word (if b then 1L else 0L)
+let of_int n = of_word (Int64.of_int n)
+let boolean = Itv (0L, 1L)
+
+let v lo hi = if Word.le_u lo hi then Itv (lo, hi) else Bot
+
+let bounds = function Bot -> None | Itv (lo, hi) -> Some (lo, hi)
+let is_bot i = i = Bot
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Itv (al, ah), Itv (bl, bh) -> Word.equal al bl && Word.equal ah bh
+  | (Bot | Itv _), _ -> false
+
+let singleton = function
+  | Itv (lo, hi) when Word.equal lo hi -> Some lo
+  | Bot | Itv _ -> None
+
+let mem w = function
+  | Bot -> false
+  | Itv (lo, hi) -> Word.le_u lo w && Word.le_u w hi
+
+let subset a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | Itv _, Bot -> false
+  | Itv (al, ah), Itv (bl, bh) -> Word.le_u bl al && Word.le_u ah bh
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Itv (al, ah), Itv (bl, bh) -> Itv (Word.min_u al bl, Word.max_u ah bh)
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (al, ah), Itv (bl, bh) -> v (Word.max_u al bl) (Word.min_u ah bh)
+
+(* Widening to thresholds: an unstable bound jumps to the nearest
+   threshold beyond it (0 / umax as the final fallback), so every
+   ascending chain stabilizes after at most |thresholds|+1 widenings
+   per bound. [thresholds] must be sorted ascending (unsigned). *)
+let widen ~thresholds a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Itv (al, ah), Itv (bl, bh) ->
+      let lo =
+        if Word.le_u al bl then al
+        else
+          List.fold_left
+            (fun acc t -> if Word.le_u t bl then Word.max_u acc t else acc)
+            0L thresholds
+      in
+      let hi =
+        if Word.le_u bh ah then ah
+        else
+          List.fold_left
+            (fun acc t -> if Word.le_u bh t then Word.min_u acc t else acc)
+            Word.umax thresholds
+      in
+      Itv (lo, hi)
+
+(* Narrowing step of the decreasing iteration: accept the recomputed
+   value when it refines the widened one (sound above a fixpoint),
+   keep the old one otherwise to rule out oscillation. *)
+let narrow a b = if subset b a then b else a
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions                                                  *)
+
+let lift2 f a b =
+  match (a, b) with Bot, _ | _, Bot -> Bot | Itv _, Itv _ -> f a b
+
+let add =
+  lift2 (fun a b ->
+      match (a, b) with
+      | Itv (al, ah), Itv (bl, bh) ->
+          if Word.add_overflows ah bh then top
+          else Itv (Int64.add al bl, Int64.add ah bh)
+      | _ -> assert false)
+
+let sub =
+  lift2 (fun a b ->
+      match (a, b) with
+      | Itv (al, ah), Itv (bl, bh) ->
+          if Word.lt_u al bh then top (* some pair may borrow *)
+          else Itv (Int64.sub al bh, Int64.sub ah bl)
+      | _ -> assert false)
+
+let mul =
+  lift2 (fun a b ->
+      match (a, b) with
+      | Itv (al, ah), Itv (bl, bh) ->
+          if Word.mul_overflows ah bh then top
+          else Itv (Int64.mul al bl, Int64.mul ah bh)
+      | _ -> assert false)
+
+(* Saturating variants: the envelope of the non-wrapping executions,
+   used to re-bound a checked pair once its overflow flag is refuted. *)
+let add_sat =
+  lift2 (fun a b ->
+      match (a, b) with
+      | Itv (al, ah), Itv (bl, bh) ->
+          if Word.add_overflows al bl then Bot (* every pair wraps *)
+          else Itv (Int64.add al bl, Word.add_sat ah bh)
+      | _ -> assert false)
+
+let sub_sat =
+  lift2 (fun a b ->
+      match (a, b) with
+      | Itv (al, ah), Itv (bl, bh) ->
+          if Word.lt_u ah bl then Bot (* every pair borrows *)
+          else Itv (Word.sub_sat al bh, Int64.sub ah bl)
+      | _ -> assert false)
+
+let mul_sat =
+  lift2 (fun a b ->
+      match (a, b) with
+      | Itv (al, ah), Itv (bl, bh) ->
+          if Word.mul_overflows al bl then Bot
+          else Itv (Int64.mul al bl, Word.mul_sat ah bh)
+      | _ -> assert false)
+
+let div =
+  lift2 (fun a b ->
+      match (a, meet b (Itv (1L, Word.umax))) with
+      | Itv (al, ah), Itv (bl, bh) ->
+          let q x y = Int64.unsigned_div x y in
+          Itv (q al bh, q ah bl)
+      | _, Bot -> Bot (* divisor provably zero: the guard traps *)
+      | _ -> assert false)
+
+let rem =
+  lift2 (fun a b ->
+      match (a, meet b (Itv (1L, Word.umax))) with
+      | Itv (_, ah), Itv (_, bh) -> Itv (0L, Word.min_u ah (Int64.sub bh 1L))
+      | _, Bot -> Bot
+      | _ -> assert false)
+
+(* Smear the high bit downward: the least 2^k-1 pattern covering x,
+   an upper bound for any bitwise-or/xor result over the operands. *)
+let smear x =
+  let m = ref x in
+  List.iter (fun s -> m := Int64.logor !m (Int64.shift_right_logical !m s)) [ 1; 2; 4; 8; 16; 32 ];
+  !m
+
+let exact2 f a b =
+  match (singleton a, singleton b) with
+  | Some x, Some y -> Some (of_word (f x y))
+  | _ -> None
+
+let bit_and =
+  lift2 (fun a b ->
+      match exact2 Word.logand a b with
+      | Some r -> r
+      | None -> (
+          match (a, b) with
+          | Itv (_, ah), Itv (_, bh) -> Itv (0L, Word.min_u ah bh)
+          | _ -> assert false))
+
+let bit_or =
+  lift2 (fun a b ->
+      match exact2 Word.logor a b with
+      | Some r -> r
+      | None -> (
+          match (a, b) with
+          | Itv (al, ah), Itv (bl, bh) ->
+              Itv (Word.max_u al bl, smear (Int64.logor ah bh))
+          | _ -> assert false))
+
+let bit_xor =
+  lift2 (fun a b ->
+      match exact2 Word.logxor a b with
+      | Some r -> r
+      | None -> (
+          match (a, b) with
+          | Itv (_, ah), Itv (_, bh) -> Itv (0L, smear (Int64.logor ah bh))
+          | _ -> assert false))
+
+let shl =
+  lift2 (fun a b ->
+      match (a, singleton b) with
+      | Itv (al, ah), Some n when Word.lt_u n 64L ->
+          let n = Int64.to_int n in
+          let lo = Word.shift_left Word.W64 al n
+          and hi = Word.shift_left Word.W64 ah n in
+          (* exact iff no bit of the upper bound is shifted out *)
+          if Word.equal (Word.shift_right Word.W64 hi n) ah then Itv (lo, hi)
+          else top
+      | Itv _, Some _ -> of_word 0L (* MIRlight shifts >= 64 produce 0 *)
+      | Itv _, None -> top
+      | _ -> assert false)
+
+let shr =
+  lift2 (fun a b ->
+      match (a, b) with
+      | Itv (al, ah), Itv (bl, bh) ->
+          let sh x n =
+            if Word.le_u 64L n then 0L
+            else Word.shift_right Word.W64 x (Int64.to_int n)
+          in
+          (* antitone in the amount: min at the largest shift *)
+          Itv (sh al bh, sh ah bl)
+      | _ -> assert false)
+
+(* Comparison results as boolean intervals: decided when the intervals
+   separate, [0,1] otherwise. *)
+let cmp_lt a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (al, ah), Itv (bl, bh) ->
+      if Word.lt_u ah bl then of_bool true
+      else if Word.le_u bh al then of_bool false
+      else boolean
+
+let cmp_le a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (al, ah), Itv (bl, bh) ->
+      if Word.le_u ah bl then of_bool true
+      else if Word.lt_u bh al then of_bool false
+      else boolean
+
+let cmp_eq a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv _, Itv _ -> (
+      if meet a b = Bot then of_bool false
+      else
+        match (singleton a, singleton b) with
+        | Some x, Some y when Word.equal x y -> of_bool true
+        | _ -> boolean)
+
+let lognot_ = function
+  | Bot -> Bot
+  | Itv (lo, hi) as i -> (
+      match singleton i with
+      | Some x -> of_word (Word.lognot Word.W64 x)
+      | None ->
+          (* complement is antitone *)
+          Itv (Word.lognot Word.W64 hi, Word.lognot Word.W64 lo))
+
+let neg = function
+  | Bot -> Bot
+  | Itv _ as i -> (
+      match singleton i with
+      | Some x -> of_word (Word.sub Word.W64 0L x)
+      | None -> top)
+
+let cast ity = function
+  | Bot -> Bot
+  | Itv (_, hi) as i ->
+      let m = Word.mask (Mir.Ty.width ity) in
+      if Word.le_u hi m then i else Itv (0L, m)
+
+(* ------------------------------------------------------------------ *)
+(* Branch refinement                                                   *)
+
+(* Constrain (a, b) under [a < b] (truth of the unsigned strict
+   order); [None] when the constraint is unsatisfiable. *)
+let refine_lt a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> None
+  | Itv (al, ah), Itv (bl, bh) ->
+      if Word.equal bh 0L then None
+      else
+        let a' = meet (Itv (al, ah)) (Itv (0L, Int64.sub bh 1L)) in
+        let b' = meet (Itv (bl, bh)) (Itv (Word.add_sat al 1L, Word.umax)) in
+        if a' = Bot || b' = Bot then None else Some (a', b')
+
+let refine_le a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> None
+  | Itv (al, ah), Itv (bl, bh) ->
+      let a' = meet (Itv (al, ah)) (Itv (0L, bh)) in
+      let b' = meet (Itv (bl, bh)) (Itv (al, Word.umax)) in
+      if a' = Bot || b' = Bot then None else Some (a', b')
+
+let refine_eq a b =
+  let m = meet a b in
+  if m = Bot then None else Some (m, m)
+
+(* a <> b only prunes when one side is a singleton at the other's
+   boundary. *)
+let refine_ne a b =
+  let chip x s =
+    match (x, singleton s) with
+    | Itv (lo, hi), Some w ->
+        if Word.equal lo w && Word.equal hi w then Bot
+        else if Word.equal lo w then Itv (Int64.add lo 1L, hi)
+        else if Word.equal hi w then Itv (lo, Int64.sub hi 1L)
+        else x
+    | _ -> x
+  in
+  let a' = chip a b and b' = chip b a in
+  if a' = Bot || b' = Bot then None else Some (a', b')
+
+let refine_cmp op ~truth a b =
+  let swap = Option.map (fun (x, y) -> (y, x)) in
+  match (op, truth) with
+  | Mir.Syntax.Lt, true | Mir.Syntax.Ge, false -> refine_lt a b
+  | Mir.Syntax.Lt, false | Mir.Syntax.Ge, true -> swap (refine_le b a)
+  | Mir.Syntax.Le, true | Mir.Syntax.Gt, false -> refine_le a b
+  | Mir.Syntax.Le, false | Mir.Syntax.Gt, true -> swap (refine_lt b a)
+  | Mir.Syntax.Eq, true | Mir.Syntax.Ne, false -> refine_eq a b
+  | Mir.Syntax.Eq, false | Mir.Syntax.Ne, true -> refine_ne a b
+  | ( ( Mir.Syntax.Add | Mir.Syntax.Sub | Mir.Syntax.Mul | Mir.Syntax.Div
+      | Mir.Syntax.Rem | Mir.Syntax.Bit_and | Mir.Syntax.Bit_or
+      | Mir.Syntax.Bit_xor | Mir.Syntax.Shl | Mir.Syntax.Shr ),
+      _ ) ->
+      Some (a, b)
+
+let binop (op : Mir.Syntax.bin_op) a b =
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> div a b
+  | Rem -> rem a b
+  | Bit_and -> bit_and a b
+  | Bit_or -> bit_or a b
+  | Bit_xor -> bit_xor a b
+  | Shl -> shl a b
+  | Shr -> shr a b
+  | Eq -> cmp_eq a b
+  | Ne -> ( match cmp_eq a b with Bot -> Bot | r -> (
+      match singleton r with
+      | Some w -> of_bool (Word.equal w 0L)
+      | None -> boolean))
+  | Lt -> cmp_lt a b
+  | Le -> cmp_le a b
+  | Gt -> cmp_lt b a
+  | Ge -> cmp_le b a
+
+(* Result envelope of a checked Add/Sub/Mul on the executions that do
+   not overflow — what survives the lowered [Assert !overflow]. *)
+let no_overflow (op : Mir.Syntax.bin_op) a b =
+  match op with
+  | Add -> add_sat a b
+  | Sub -> sub_sat a b
+  | Mul -> mul_sat a b
+  | _ -> binop op a b
+
+(* The checked pair (wrapped result, overflow flag). *)
+let checked (op : Mir.Syntax.bin_op) a b =
+  match (op, a, b) with
+  | (Add | Sub | Mul), Itv (al, ah), Itv (bl, bh) ->
+      let lo_ov, hi_ov =
+        match op with
+        | Add -> (Word.add_overflows al bl, Word.add_overflows ah bh)
+        | Sub -> (Word.lt_u ah bl, Word.lt_u al bh)
+        | _ -> (Word.mul_overflows al bl, Word.mul_overflows ah bh)
+      in
+      let flag =
+        if lo_ov && hi_ov then of_bool true
+        else if (not lo_ov) && not hi_ov then of_bool false
+        else boolean
+      in
+      let res = if lo_ov || hi_ov then top else binop op a b in
+      (res, flag)
+  | _, Bot, _ | _, _, Bot -> (Bot, Bot)
+  | _ -> (binop op a b, of_bool false)
+
+let to_string = function
+  | Bot -> "bot"
+  | Itv (lo, hi) ->
+      if Word.equal lo hi then Word.to_hex lo
+      else Printf.sprintf "[%s, %s]" (Word.to_hex lo) (Word.to_hex hi)
+
+let pp fmt i = Format.pp_print_string fmt (to_string i)

@@ -1,0 +1,67 @@
+(** Unsigned 64-bit interval lattice: the numeric abstract domain.
+
+    Values are [Bot] or a pair [lo <=u hi] in the unsigned order;
+    booleans embed as [{0}], [{1}], [[0,1]].  Transfer functions are
+    exact when the concrete operation is monotone and cannot wrap and
+    degrade to {!top} otherwise; {!no_overflow} gives the tighter
+    saturating envelope valid once a checked operation's overflow
+    assertion has pruned the wrapping executions.  {!widen} jumps
+    unstable bounds to a threshold set (the function's literals), which
+    is what makes page-table-walk loops converge to precise bounds. *)
+
+type t = Bot | Itv of Mir.Word.t * Mir.Word.t
+
+val bot : t
+val top : t
+val boolean : t
+(** [[0, 1]]. *)
+
+val of_word : Mir.Word.t -> t
+val of_bool : bool -> t
+val of_int : int -> t
+
+val v : Mir.Word.t -> Mir.Word.t -> t
+(** [v lo hi] is [[lo, hi]], or [Bot] when [lo >u hi]. *)
+
+val bounds : t -> (Mir.Word.t * Mir.Word.t) option
+val singleton : t -> Mir.Word.t option
+val is_bot : t -> bool
+val mem : Mir.Word.t -> t -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val widen : thresholds:Mir.Word.t list -> t -> t -> t
+(** [widen ~thresholds old joined]: unstable bounds jump to the nearest
+    threshold (fallback 0 / umax).  [thresholds] sorted ascending. *)
+
+val narrow : t -> t -> t
+(** Keep the recomputed value when it refines the widened one. *)
+
+val binop : Mir.Syntax.bin_op -> t -> t -> t
+(** Wrapping MIRlight semantics; comparisons yield boolean intervals. *)
+
+val checked : Mir.Syntax.bin_op -> t -> t -> t * t
+(** [(result, overflow-flag)] of a [Checked_binary]. *)
+
+val no_overflow : Mir.Syntax.bin_op -> t -> t -> t
+(** Result envelope of the non-wrapping executions (saturating bounds);
+    [Bot] when every pair wraps, i.e. the assert edge is dead. *)
+
+val lognot_ : t -> t
+val neg : t -> t
+val cast : Mir.Ty.int_ty -> t -> t
+
+val refine_cmp :
+  Mir.Syntax.bin_op -> truth:bool -> t -> t -> (t * t) option
+(** Constrain both operands under comparison [op] having truth value
+    [truth]; [None] when unsatisfiable (the branch edge is dead).
+    Non-comparison operators pass the pair through unchanged. *)
+
+val refine_eq : t -> t -> (t * t) option
+val refine_ne : t -> t -> (t * t) option
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

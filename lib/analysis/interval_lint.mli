@@ -1,0 +1,28 @@
+(** Interval-bounds certification (kind {!Lint.Interval_bounds}).
+
+    Pure interval abstract interpretation per call-graph SCC:
+    array-index bounds findings, plus [Info] discharge certificates
+    for the {!Arith_lint} sites whose operand intervals provably
+    cannot overflow ({!Lint.reconcile} cancels the corresponding
+    [Error] findings). *)
+
+module Dom : Absint.DOMAIN with type v = Interval.t and type eff = unit
+
+module A : module type of Absint.Make (Dom)
+
+type stats = {
+  functions : int;
+  bound_checks : int;  (** indexing sites examined *)
+  findings : int;  (** indices that may escape *)
+  discharged : int;  (** unchecked-arith certificates *)
+  iterations : int;
+}
+
+val overflow_free : Mir.Syntax.bin_op -> Interval.t -> Interval.t -> bool
+(** Can [op] on operands within the given intervals never wrap? *)
+
+val check :
+  Mir.Syntax.program -> funcs:string list ->
+  (string * Lint.finding) list * stats
+(** Analyze the given functions (one SCC) and return the findings
+    tagged with the containing function's name. *)

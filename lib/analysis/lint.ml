@@ -1,30 +1,46 @@
-type kind = Encapsulation | Move_init | Unchecked_arith | Unreachable_block
+type kind =
+  | Encapsulation
+  | Move_init
+  | Unchecked_arith
+  | Unreachable_block
+  | Interval_bounds
+  | Secret_flow
 
+(* The per-body dataflow lints (what {!Pass} runs over one function's
+   MIR at a time). *)
 let all = [ Encapsulation; Move_init; Unchecked_arith; Unreachable_block ]
+
+(* The whole-program abstract-interpretation lints: their verdicts
+   depend on callees, so the engine schedules them per call-graph SCC
+   rather than per body. *)
+let interprocedural = [ Interval_bounds; Secret_flow ]
+let catalogue = all @ interprocedural
 
 let to_string = function
   | Encapsulation -> "layer-encapsulation"
   | Move_init -> "move-init"
   | Unchecked_arith -> "unchecked-arith"
   | Unreachable_block -> "unreachable-block"
+  | Interval_bounds -> "interval-bounds"
+  | Secret_flow -> "secret-flow"
 
 let of_string s =
-  match List.find_opt (fun k -> String.equal (to_string k) s) all with
+  match List.find_opt (fun k -> String.equal (to_string k) s) catalogue with
   | Some k -> Ok k
   | None ->
       Error
         (Printf.sprintf "unknown lint %S (known: %s)" s
-           (String.concat ", " (List.map to_string all)))
+           (String.concat ", " (List.map to_string catalogue)))
 
 let kinds_of_string spec =
-  if String.equal (String.trim spec) "all" then Ok all
+  if String.equal (String.trim spec) "all" then Ok catalogue
   else
     let rec go acc = function
       | [] ->
           (* canonical order, duplicates collapsed: the list is part of
              obligation fingerprints, so equal selections must render
              identically *)
-          Ok (List.filter (fun k -> List.mem k acc) all)
+          Ok (List.filter (fun k -> List.mem k acc) catalogue)
       | part :: rest -> (
           match of_string (String.trim part) with
           | Ok k -> go (k :: acc) rest
@@ -32,12 +48,42 @@ let kinds_of_string spec =
     in
     go [] (String.split_on_char ',' spec)
 
-type finding = { kind : kind; where : string; detail : string }
+type severity = Error | Info
 
-let v kind ~where detail = { kind; where; detail }
+type finding = {
+  kind : kind;
+  where : string;
+  detail : string;
+  severity : severity;
+  discharged_by : string option;
+}
+
+let v ?(severity = Error) ?discharged_by kind ~where detail =
+  { kind; where; detail; severity; discharged_by }
+
+let discharges cert f =
+  (* An [Info] certificate cancels the [Error] twin it names: same
+     kind, same site. *)
+  cert.severity = Info
+  && cert.discharged_by <> None
+  && f.severity = Error
+  && cert.kind = f.kind
+  && String.equal cert.where f.where
+
+let reconcile findings =
+  let certs = List.filter (fun f -> f.discharged_by <> None) findings in
+  List.filter
+    (fun f -> not (List.exists (fun c -> discharges c f) certs))
+    findings
 
 let finding_to_string f =
-  Printf.sprintf "%s: [%s] %s" f.where (to_string f.kind) f.detail
+  let note =
+    match (f.severity, f.discharged_by) with
+    | Info, Some by -> Printf.sprintf " (discharged by %s)" by
+    | Info, None -> " (info)"
+    | Error, _ -> ""
+  in
+  Printf.sprintf "%s: [%s] %s%s" f.where (to_string f.kind) f.detail note
 
 let pp_finding fmt f = Format.pp_print_string fmt (finding_to_string f)
 
@@ -51,6 +97,6 @@ let sort findings =
       | [] -> i
       | k' :: rest -> if k' = k then i else go (i + 1) rest
     in
-    go 0 all
+    go 0 catalogue
   in
   List.stable_sort (fun a b -> compare (rank a.kind) (rank b.kind)) findings

@@ -12,12 +12,35 @@
       [Checked_binary] operations elsewhere).
     - [Unreachable_block] — a block unreachable from bb0 that still
       contains code (empty [Goto] blocks are lowering artifacts of
-      [return]/[break] and are ignored). *)
+      [return]/[break] and are ignored).
 
-type kind = Encapsulation | Move_init | Unchecked_arith | Unreachable_block
+    Two interprocedural abstract-interpretation lints run per
+    call-graph SCC (see {!Interval_lint} and {!Secret_flow}, scheduled
+    by the engine):
+
+    - [Interval_bounds] — array-index bounds certification, plus
+      [Info]-severity certificates that discharge [Unchecked_arith]
+      findings whose operand intervals provably cannot overflow.
+    - [Secret_flow] — noninterference: enclave-secret state must not
+      reach a primary-OS-observable location except through the
+      marshalling buffer. *)
+
+type kind =
+  | Encapsulation
+  | Move_init
+  | Unchecked_arith
+  | Unreachable_block
+  | Interval_bounds
+  | Secret_flow
 
 val all : kind list
-(** Catalogue order; also the presentation order of findings. *)
+(** The per-body dataflow lints, catalogue order. *)
+
+val interprocedural : kind list
+(** The SCC-granular abstract-interpretation lints. *)
+
+val catalogue : kind list
+(** [all @ interprocedural]; also the presentation order of findings. *)
 
 val to_string : kind -> string
 val of_string : string -> (kind, string) result
@@ -27,9 +50,26 @@ val kinds_of_string : string -> (kind list, string) result
     catalogue.  The result is deduplicated and in catalogue order so
     equal selections fingerprint identically. *)
 
-type finding = { kind : kind; where : string; detail : string }
+type severity = Error | Info
 
-val v : kind -> where:string -> string -> finding
+type finding = {
+  kind : kind;
+  where : string;
+  detail : string;
+  severity : severity;
+  discharged_by : string option;
+}
+
+val v :
+  ?severity:severity -> ?discharged_by:string -> kind -> where:string ->
+  string -> finding
+(** Defaults: [severity = Error], no discharge. *)
+
+val reconcile : finding list -> finding list
+(** Drop every [Error] finding cancelled by an [Info] discharge
+    certificate at the same kind and site (certificates stay, so the
+    output still shows what was proved). *)
+
 val finding_to_string : finding -> string
 val pp_finding : Format.formatter -> finding -> unit
 

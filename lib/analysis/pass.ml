@@ -21,9 +21,16 @@ let run_lint cfg (body : Syn.body) = function
   | Lint.Move_init -> Init_lint.run body
   | Lint.Unchecked_arith -> Arith_lint.run body
   | Lint.Unreachable_block -> Reach_lint.run body
+  (* The interprocedural lints need the whole program and are
+     scheduled per call-graph SCC by the engine, not per body. *)
+  | Lint.Interval_bounds | Lint.Secret_flow -> []
+
+(* Restrict a selection to the per-body kinds: a config naming the
+   interprocedural lints scores no per-body passes for them. *)
+let body_lints lints = List.filter (fun k -> List.mem k Lint.all) lints
 
 let analyze cfg (body : Syn.body) =
-  Lint.sort (List.concat_map (run_lint cfg body) cfg.lints)
+  Lint.sort (List.concat_map (run_lint cfg body) (body_lints cfg.lints))
 
 let report ~name ~lints findings =
   let r = Mirverif.Report.empty name in
@@ -40,4 +47,5 @@ let report ~name ~lints findings =
           r hits)
     r lints
 
-let check cfg ~name body = report ~name ~lints:cfg.lints (analyze cfg body)
+let check cfg ~name body =
+  report ~name ~lints:(body_lints cfg.lints) (analyze cfg body)

@@ -16,8 +16,13 @@ type config = {
 val default_config : config
 (** No layer context, no accessors, all lints. *)
 
+val body_lints : Lint.kind list -> Lint.kind list
+(** Restrict a selection to the per-body kinds ({!Lint.all}); the
+    interprocedural kinds are scheduled separately by the engine. *)
+
 val analyze : config -> Mir.Syntax.body -> Lint.finding list
-(** Findings in {!Lint.sort} order. *)
+(** Findings of the per-body lints in the selection, {!Lint.sort}
+    order. *)
 
 val report :
   name:string -> lints:Lint.kind list -> Lint.finding list -> Mirverif.Report.t

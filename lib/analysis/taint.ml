@@ -1,0 +1,152 @@
+(* Taint domain for the secret-flow lint: each scalar carries the
+   interval component (reused from {!Interval}, so branch refinement
+   and the trusted-primitive models still see precise physical
+   addresses) plus a label set saying where the value may come from.
+
+   Labels form a finite lattice: a [secret] bit (the value may derive
+   from enclave-secret state: EPC page contents, EPCM owner fields),
+   a set of argument indices (the value may derive from the [i]-th
+   parameter of the function under analysis — the currency of
+   interprocedural summaries), and a set of source-site descriptions
+   carried only to make findings readable.
+
+   The summary effect of a function is one label set: the labels of
+   everything it may write to a primary-OS-observable location.  At a
+   call site [subst_eff] maps argument labels through the actuals —
+   and drops the callee's own [secret] bit, because a leak wholly
+   inside the callee is the callee's own finding (each function is
+   checked under its own obligation; re-reporting it at every caller
+   would double-count). *)
+
+module IntSet = Set.Make (Int)
+module StrSet = Set.Make (String)
+
+module Labels = struct
+  type t = { secret : bool; args : IntSet.t; srcs : StrSet.t }
+
+  let empty = { secret = false; args = IntSet.empty; srcs = StrSet.empty }
+  let secret ~src = { secret = true; args = IntSet.empty; srcs = StrSet.singleton src }
+  let arg i = { secret = false; args = IntSet.singleton i; srcs = StrSet.empty }
+
+  let join a b =
+    {
+      secret = a.secret || b.secret;
+      args = IntSet.union a.args b.args;
+      srcs = StrSet.union a.srcs b.srcs;
+    }
+
+  let equal a b =
+    a.secret = b.secret && IntSet.equal a.args b.args
+    && StrSet.equal a.srcs b.srcs
+
+  let is_secret l = l.secret
+  let args l = IntSet.elements l.args
+  let sources l = StrSet.elements l.srcs
+
+  let to_string l =
+    let parts =
+      (if l.secret then [ "secret" ] else [])
+      @ List.map (Printf.sprintf "arg%d") (IntSet.elements l.args)
+    in
+    match parts with [] -> "public" | _ -> String.concat "+" parts
+end
+
+module Dom = struct
+  type v = { iv : Interval.t; lbl : Labels.t }
+
+  let name = "taint"
+
+  (* Numeric-unknown but public: the value of monitor-local state the
+     interpreter does not track.  Secrets enter only through the
+     trusted-primitive models. *)
+  let top = { iv = Interval.top; lbl = Labels.empty }
+
+  let make iv lbl = { iv; lbl }
+  let equal a b = Interval.equal a.iv b.iv && Labels.equal a.lbl b.lbl
+  let join a b = { iv = Interval.join a.iv b.iv; lbl = Labels.join a.lbl b.lbl }
+
+  let widen ~thresholds a b =
+    { iv = Interval.widen ~thresholds a.iv b.iv; lbl = Labels.join a.lbl b.lbl }
+
+  let narrow a b =
+    { iv = Interval.narrow a.iv b.iv; lbl = Labels.join a.lbl b.lbl }
+
+  let is_bot a = Interval.is_bot a.iv
+
+  let of_const c =
+    let iv =
+      match c with
+      | Mir.Syntax.Cint (w, _) -> Interval.of_word w
+      | Mir.Syntax.Cbool b -> Interval.of_bool b
+      | Mir.Syntax.Cunit | Mir.Syntax.Cfn _ -> Interval.top
+    in
+    { iv; lbl = Labels.empty }
+
+  let binop op a b =
+    { iv = Interval.binop op a.iv b.iv; lbl = Labels.join a.lbl b.lbl }
+
+  let checked op a b =
+    let r, f = Interval.checked op a.iv b.iv in
+    let lbl = Labels.join a.lbl b.lbl in
+    ({ iv = r; lbl }, { iv = f; lbl })
+
+  let unop op a =
+    let iv =
+      match op with
+      | Mir.Syntax.Not -> Interval.lognot_ a.iv
+      | Mir.Syntax.Neg -> Interval.neg a.iv
+    in
+    { a with iv }
+
+  let cast ity a = { a with iv = Interval.cast ity a.iv }
+
+  (* Pointees are monitor-local and untracked numerically, but keep
+     the labels the pointer value accumulated (a ref to a local that
+     held a secret stays secret-labelled). *)
+  let deref a = { iv = Interval.top; lbl = a.lbl }
+
+  let interval a = a.iv
+  let with_interval a iv = { a with iv }
+
+  (* Summary contexts standardize parameter labels to their argument
+     index; the interval component keeps the call site's precision. *)
+  let label_arg i a = { iv = a.iv; lbl = Labels.arg i }
+
+  let nth_label actuals i =
+    match List.nth_opt actuals i with
+    | Some a -> a.lbl
+    | None -> Labels.empty
+
+  let subst_labels ~actuals (l : Labels.t) =
+    IntSet.fold
+      (fun i acc -> Labels.join acc (nth_label actuals i))
+      l.Labels.args
+      { l with Labels.args = IntSet.empty }
+
+  let subst ~actuals a = { a with lbl = subst_labels ~actuals a.lbl }
+
+  type eff = Labels.t
+
+  let eff_bot = Labels.empty
+  let eff_join = Labels.join
+
+  let eff_top ~arity =
+    {
+      Labels.secret = false;
+      args = IntSet.of_list (List.init arity (fun i -> i));
+      srcs = StrSet.empty;
+    }
+
+  let subst_eff ~actuals (e : eff) =
+    let hit =
+      IntSet.exists
+        (fun i -> Labels.is_secret (nth_label actuals i))
+        e.Labels.args
+    in
+    (* The callee's own secret bit is its own obligation's finding;
+       the caller's effect only carries what the caller handed in. *)
+    let e' = subst_labels ~actuals { e with Labels.secret = false } in
+    (e', hit)
+
+  let key a = Interval.to_string a.iv
+end

@@ -1,0 +1,31 @@
+(** Taint domain for the secret-flow lint: interval component plus a
+    finite label lattice (secret bit, argument indices, source-site
+    descriptions for messages). *)
+
+module IntSet : Set.S with type elt = int
+module StrSet : Set.S with type elt = string
+
+module Labels : sig
+  type t = { secret : bool; args : IntSet.t; srcs : StrSet.t }
+
+  val empty : t
+
+  val secret : src:string -> t
+  (** Secret label recording the source site for messages. *)
+
+  val arg : int -> t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val is_secret : t -> bool
+  val args : t -> int list
+  val sources : t -> string list
+  val to_string : t -> string
+end
+
+module Dom : sig
+  type v = { iv : Interval.t; lbl : Labels.t }
+
+  include Absint.DOMAIN with type v := v and type eff = Labels.t
+
+  val make : Interval.t -> Labels.t -> v
+end

@@ -1,7 +1,7 @@
 (* Engine/cache format version.  Part of every cache key: bump it when
    the check semantics, the obligation encoding, or the marshalled
    outcome shape changes, and every stale entry silently misses. *)
-let version = "mirverif-engine-1"
+let version = "mirverif-engine-2"
 
 (* The marshalled payload is additionally guarded by a magic string so
    a file from a different OCaml version (incompatible Marshal format)

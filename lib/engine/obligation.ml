@@ -1,6 +1,7 @@
 type outcome = {
   reports : Mirverif.Report.t list;
   log : string;
+  findings : (string * Analysis.Lint.finding) list;
 }
 
 type t = {
@@ -14,7 +15,7 @@ type t = {
 let v ~id ~phase ?(deps = []) ~fingerprint run =
   { id; phase; deps; fingerprint; run }
 
-let outcome ?(log = "") reports = { reports; log }
+let outcome ?(log = "") ?(findings = []) reports = { reports; log; findings }
 
 let failure_count o =
   List.fold_left (fun n r -> n + Mirverif.Report.failure_count r) 0 o.reports

@@ -15,6 +15,10 @@ type outcome = {
   log : string;
       (** deterministic human-readable lines (e.g. the attack-scenario
           verdict text), printed by the driver in id order *)
+  findings : (string * Analysis.Lint.finding) list;
+      (** lint findings tagged with the containing function, carried
+          structurally so the driver can render them and emit
+          [--lint-json] without re-parsing report text *)
 }
 
 type t = {
@@ -33,7 +37,11 @@ val v :
   id:string -> phase:string -> ?deps:string list -> fingerprint:string ->
   (unit -> outcome) -> t
 
-val outcome : ?log:string -> Mirverif.Report.t list -> outcome
+val outcome :
+  ?log:string ->
+  ?findings:(string * Analysis.Lint.finding) list ->
+  Mirverif.Report.t list ->
+  outcome
 val failure_count : outcome -> int
 
 val case_totals : outcome list -> int * int * int * int

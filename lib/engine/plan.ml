@@ -13,6 +13,7 @@ type t = {
 let phases =
   [
     "analysis";
+    "absint";
     "code-proofs";
     "refinement";
     "invariants";
@@ -67,7 +68,8 @@ let handle_accessor layout =
 let analysis_obligations ?(lints = Analysis.Lint.all) layout =
   let out = Layers.compiled layout in
   let accessor = handle_accessor layout in
-  let lint_tags = String.concat "," (List.map Analysis.Lint.to_string lints) in
+  let body_lints = Analysis.Pass.body_lints lints in
+  let lint_tags = String.concat "," (List.map Analysis.Lint.to_string body_lints) in
   List.concat_map
     (fun lname ->
       List.map
@@ -89,9 +91,12 @@ let analysis_obligations ?(lints = Analysis.Lint.all) layout =
               match Mir.Syntax.find_body out.Rustlite.Pipeline.program fn with
               | Some body ->
                   let cfg =
-                    { Analysis.Pass.fn_layer = Some lname; accessor; lints }
+                    { Analysis.Pass.fn_layer = Some lname; accessor; lints = body_lints }
                   in
-                  Obligation.outcome [ Analysis.Pass.check cfg ~name:fn body ]
+                  let findings = Analysis.Pass.analyze cfg body in
+                  Obligation.outcome
+                    ~findings:(List.map (fun f -> (fn, f)) findings)
+                    [ Analysis.Pass.report ~name:fn ~lints:body_lints findings ]
               | None ->
                   Obligation.outcome
                     [
@@ -100,6 +105,96 @@ let analysis_obligations ?(lints = Analysis.Lint.all) layout =
                     ]))
         (Layers.functions_of_layer layout lname))
     Mem_spec.layer_names
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3b: interprocedural abstract interpretation, per SCC          *)
+
+let absint_version = "mirlight-absint-v1"
+let absint_id ~domain scc = Printf.sprintf "absint/%s/%s" domain scc
+
+(* One report per SCC obligation: a pass per analyzed function and per
+   discharge certificate, a failure per [Error] finding. *)
+let absint_report ~name ~functions findings =
+  let rep =
+    List.fold_left
+      (fun rep (fn, (f : Analysis.Lint.finding)) ->
+        match f.Analysis.Lint.severity with
+        | Analysis.Lint.Info -> Report.add_pass rep
+        | Analysis.Lint.Error ->
+            Report.add_failure rep
+              ~case:
+                (Printf.sprintf "%s %s@%s"
+                   (Analysis.Lint.to_string f.Analysis.Lint.kind)
+                   fn f.Analysis.Lint.where)
+              ~reason:f.Analysis.Lint.detail)
+      (Report.empty name) findings
+  in
+  List.fold_left (fun rep _ -> Report.add_pass rep) rep functions
+
+let absint_obligations ?(lints = Analysis.Lint.catalogue) layout =
+  let domains =
+    (if List.mem Analysis.Lint.Interval_bounds lints then [ "interval" ] else [])
+    @ if List.mem Analysis.Lint.Secret_flow lints then [ "secret-flow" ] else []
+  in
+  if domains = [] then []
+  else begin
+    let out = Layers.compiled layout in
+    let program = out.Rustlite.Pipeline.program in
+    let cg = Analysis.Callgraph.build program in
+    let sccs = Array.of_list (Analysis.Callgraph.sccs cg) in
+    let scc_name members = String.concat "+" members in
+    let digest_of fn =
+      match Mir.Syntax.find_body program fn with
+      | Some body -> Digest.to_hex (Digest.string (Mir.Pp.body_to_string body))
+      | None -> "missing"
+    in
+    List.concat_map
+      (fun domain ->
+        List.map
+          (fun members ->
+            let name = scc_name members in
+            let id = absint_id ~domain name in
+            (* summaries flow callees-first, so an SCC's verdict depends
+               on (and its obligation waits for) its callee SCCs *)
+            let deps =
+              List.map
+                (fun i -> absint_id ~domain (scc_name sccs.(i)))
+                (Analysis.Callgraph.callee_sccs cg members)
+            in
+            let mir =
+              String.concat ","
+                (List.map
+                   (fun fn -> fn ^ "=" ^ digest_of fn)
+                   (Analysis.Callgraph.reachable cg members))
+            in
+            (* the taint verdict additionally depends on the layout (the
+               secret/sink policy is derived from it); intervals don't,
+               so their entries survive layout changes that leave the
+               reachable MIR alone *)
+            let fingerprint =
+              match domain with
+              | "secret-flow" ->
+                  Printf.sprintf "%s;domain=%s;%s;scc=%s;mir=%s" absint_version
+                    domain (layout_fp layout) name mir
+              | _ ->
+                  Printf.sprintf "%s;domain=%s;scc=%s;mir=%s" absint_version
+                    domain name mir
+            in
+            Obligation.v ~id ~phase:"absint" ~deps ~fingerprint (fun () ->
+                let findings =
+                  match domain with
+                  | "secret-flow" ->
+                      fst
+                        (Analysis.Secret_flow.check
+                           (Security.Labels.secret_flow_config layout program)
+                           ~funcs:members)
+                  | _ -> fst (Analysis.Interval_lint.check program ~funcs:members)
+                in
+                Obligation.outcome ~findings
+                  [ absint_report ~name:id ~functions:members findings ]))
+          (Array.to_list sccs))
+      domains
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Phase 4: per-function code proofs                                   *)
@@ -398,8 +493,8 @@ let attack_obligations ~deps scenarios =
 (* ------------------------------------------------------------------ *)
 (* Assembly                                                            *)
 
-let build ?(quick = false) ?(security = true) ?(lints = Analysis.Lint.all) ~seed
-    layout =
+let build ?(quick = false) ?(security = true)
+    ?(lints = Analysis.Lint.catalogue) ~seed layout =
   Layers.warm layout;
   if security then
     (* forces the attack module's lazily built layout from this domain *)
@@ -428,5 +523,6 @@ let build ?(quick = false) ?(security = true) ?(lints = Analysis.Lint.all) ~seed
     end
   in
   let analysis = analysis_obligations ~lints layout in
-  let dag = Dag.build_exn (analysis @ code @ refine @ security_obls) in
+  let absint = absint_obligations ~lints layout in
+  let dag = Dag.build_exn (analysis @ absint @ code @ refine @ security_obls) in
   { dag; layout; seed; quick; security; lints }

@@ -26,7 +26,7 @@ type t = {
 }
 
 val phases : string list
-(** Engine phase names, in pass order: analysis, code-proofs,
+(** Engine phase names, in pass order: analysis, absint, code-proofs,
     refinement, invariants, noninterference, trace-ni, attacks. *)
 
 val build :
@@ -49,9 +49,22 @@ val analysis_obligations :
   Hyperenclave.Layout.t ->
   Obligation.t list
 (** One dependency-free obligation per function per layer, running the
-    selected lints over that function's MIRlight body.  Fingerprinted
-    on the lint selection and the body alone (no layout geometry), so
-    cache entries survive anything that doesn't change the body. *)
+    selected per-body lints over that function's MIRlight body.
+    Fingerprinted on the (body-)lint selection and the body alone (no
+    layout geometry), so cache entries survive anything that doesn't
+    change the body. *)
+
+val absint_obligations :
+  ?lints:Analysis.Lint.kind list ->
+  Hyperenclave.Layout.t ->
+  Obligation.t list
+(** One obligation per call-graph SCC per selected abstract domain
+    (interval bounds, secret-flow taint), depending on the same-domain
+    obligations of its callee SCCs.  Fingerprinted on the domain, the
+    SCC membership and the MIRlight digests of the SCC's transitive
+    callee closure (plus the layout for secret-flow, whose policy is
+    derived from it): a warm cache re-executes nothing, and editing a
+    function invalidates exactly its SCC and the SCCs above it. *)
 
 val code_proof_obligations :
   ?seed:int -> Hyperenclave.Layout.t -> (string * Obligation.t list) list

@@ -71,3 +71,24 @@ let insert x ~lo ~len f =
 let to_hex x = Printf.sprintf "0x%Lx" x
 let pp fmt x = Format.pp_print_string fmt (to_hex x)
 let pp_dec fmt x = Format.fprintf fmt "%Lu" x
+
+(* Unsigned 64-bit overflow predicates and saturating arithmetic: the
+   transfer hooks the abstract interpreter (lib/analysis) evaluates
+   MIRlight arithmetic with.  All treat the word as a full 64-bit
+   unsigned value (the widths the stack computes in). *)
+
+let umax = 0xFFFF_FFFF_FFFF_FFFFL
+
+let min_u a b = if le_u a b then a else b
+let max_u a b = if le_u a b then b else a
+
+let add_overflows a b = lt_u (Int64.add a b) a
+
+let mul_overflows a b =
+  (not (Int64.equal a 0L))
+  && (not (Int64.equal b 0L))
+  && not (Int64.equal (Int64.unsigned_div (Int64.mul a b) b) a)
+
+let add_sat a b = if add_overflows a b then umax else Int64.add a b
+let sub_sat a b = if lt_u a b then 0L else Int64.sub a b
+let mul_sat a b = if mul_overflows a b then umax else Int64.mul a b

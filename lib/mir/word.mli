@@ -71,6 +71,27 @@ val insert : t -> lo:int -> len:int -> t -> t
 (** [insert x ~lo ~len f] overwrites the bitfield [lo .. lo+len-1] of
     [x] with the low [len] bits of [f]. *)
 
+val umax : t
+(** The all-ones 64-bit word, the top of the unsigned order. *)
+
+val min_u : t -> t -> t
+val max_u : t -> t -> t
+(** Unsigned minimum / maximum. *)
+
+val add_overflows : t -> t -> bool
+val mul_overflows : t -> t -> bool
+(** Does the unsigned 64-bit operation wrap?  The abstract
+    interpreter's transfer functions use these to decide whether an
+    interval operation is exact. *)
+
+val add_sat : t -> t -> t
+val sub_sat : t -> t -> t
+val mul_sat : t -> t -> t
+(** Unsigned 64-bit saturating arithmetic: [add_sat]/[mul_sat] clamp at
+    {!umax}, [sub_sat] at zero.  These bound the surviving values of a
+    [Checked_binary] once its overflow assertion has pruned the
+    wrapping executions. *)
+
 val pp : Format.formatter -> t -> unit
 (** Hexadecimal rendering, e.g. [0x1f]. *)
 

@@ -1,0 +1,111 @@
+(* Secret-flow policy: what the taint lint treats as a source, a sink
+   and sanctioned declassification, derived from the physical layout.
+
+   Sources (paper Sec. 2.1 threat model): enclave-owned state the
+   primary OS must never observe — the contents of the EPC, the page
+   tables the monitor builds in the frame area (a PTE word reveals an
+   enclave's address-space shape), and the EPCM ownership records
+   (eid, va).  EPCM state bits (free/valid) and the frame-allocator
+   bitmap only describe monitor-internal bookkeeping and are public.
+
+   Sinks: any physical write whose target is provably outside secure
+   memory — the primary OS can read normal memory at will.  The one
+   sanctioned channel is the marshalling buffer window: a write
+   provably confined to it is declassification by design.  A write
+   that may still land in secure memory is monitor-internal (the
+   bounds and invariant passes own those), not a leak.
+
+   Boundary: hypercall handlers.  Their return value lands in the
+   primary OS's registers, so a secret-labelled return is a leak even
+   without a memory write. *)
+
+module Word = Mir.Word
+module Itv = Analysis.Interval
+module TL = Analysis.Taint.Labels
+module Dom = Analysis.Taint.Dom
+module SF = Analysis.Secret_flow
+
+type read_class = Read_secret of string | Read_public
+type write_class = Declassified | Internal | Observable
+
+(* [lo,hi] (inclusive) vs [base,limit) *)
+let intersects lo hi base limit = Word.lt_u lo limit && Word.le_u base hi
+let wholly_within lo hi base limit = Word.le_u base lo && Word.lt_u hi limit
+
+let frame_limit (l : Hyperenclave.Layout.t) =
+  Word.add Word.W64 l.frame_base
+    (Word.of_int Word.W64
+       (l.frame_count * Hyperenclave.Geometry.page_size l.geom))
+
+let epc_limit (l : Hyperenclave.Layout.t) =
+  Word.add Word.W64 l.epc_base
+    (Word.of_int Word.W64 (l.epc_pages * Hyperenclave.Geometry.page_size l.geom))
+
+let classify_read (l : Hyperenclave.Layout.t) iv =
+  match Itv.bounds iv with
+  | None -> Read_public (* unreachable read *)
+  | Some (lo, hi) ->
+      if wholly_within lo hi l.mbuf_base (Hyperenclave.Layout.mbuf_limit l)
+      then Read_public (* OS-shared window: already public *)
+      else if intersects lo hi l.frame_base (frame_limit l) then
+        Read_secret "phys_read:frame_area"
+      else if intersects lo hi l.epc_base (epc_limit l) then
+        Read_secret "phys_read:epc"
+      else Read_public
+
+let classify_write (l : Hyperenclave.Layout.t) iv =
+  match Itv.bounds iv with
+  | None -> Internal (* unreachable write *)
+  | Some (lo, hi) ->
+      if wholly_within lo hi l.mbuf_base (Hyperenclave.Layout.mbuf_limit l)
+      then Declassified
+      else if
+        intersects lo hi l.monitor_base (Hyperenclave.Layout.phys_limit l)
+      then Internal
+      else Observable
+
+let boundary (l : Hyperenclave.Layout.t) fn =
+  (String.length fn >= 3 && String.equal (String.sub fn 0 3) "hc_")
+  ||
+  match Hyperenclave.Layers.layer_of_function l fn with
+  | Some layer -> String.equal layer "Hypercalls"
+  | None -> false
+
+(* Taint models of the trusted primitives (Trusted.all).  Each yields
+   the abstract result and the labels reaching an observable sink at
+   the call (empty = not a sink here). *)
+let prim (l : Hyperenclave.Layout.t) ~func ~(args : SF.A.value list) =
+  let arg i =
+    match List.nth_opt args i with
+    | Some v -> SF.A.collapse v
+    | None -> Dom.top
+  in
+  let leaf iv lbl = Analysis.Absint.Leaf (Dom.make iv lbl) in
+  let pure iv = Some (leaf iv TL.empty, TL.empty) in
+  match func with
+  | "phys_read" ->
+      let pa = arg 0 in
+      let lbl =
+        match classify_read l pa.Dom.iv with
+        | Read_secret src -> TL.join (TL.secret ~src) pa.Dom.lbl
+        | Read_public -> pa.Dom.lbl
+      in
+      Some (leaf Itv.top lbl, TL.empty)
+  | "phys_write" ->
+      let pa = arg 0 and value = arg 1 in
+      let eff =
+        match classify_write l pa.Dom.iv with
+        | Observable -> TL.join pa.Dom.lbl value.Dom.lbl
+        | Declassified | Internal -> TL.empty
+      in
+      Some (leaf Itv.top TL.empty, eff)
+  | "falloc_bitmap_read" -> pure Itv.top
+  | "falloc_bitmap_write" -> pure Itv.top
+  | "epcm_state" -> pure Itv.boolean
+  | "epcm_eid" -> Some (leaf Itv.top (TL.secret ~src:"epcm_eid"), TL.empty)
+  | "epcm_va" -> Some (leaf Itv.top (TL.secret ~src:"epcm_va"), TL.empty)
+  | "epcm_write" -> pure Itv.top
+  | _ -> None
+
+let secret_flow_config layout program =
+  { SF.program; prim = prim layout; boundary = boundary layout }

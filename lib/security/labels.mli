@@ -1,0 +1,34 @@
+(** Secret-flow policy for the {!Analysis.Secret_flow} lint, derived
+    from the physical {!Hyperenclave.Layout}.
+
+    Sources: EPC contents, frame-area page-table words and EPCM
+    ownership records (eid/va).  Sanctioned declassification: writes
+    provably confined to the marshalling-buffer window.  Sinks: writes
+    provably outside secure memory, and the return values of hypercall
+    handlers (the [hc_] entry points / the Hypercalls layer). *)
+
+type read_class = Read_secret of string | Read_public
+type write_class = Declassified | Internal | Observable
+
+val classify_read : Hyperenclave.Layout.t -> Analysis.Interval.t -> read_class
+(** How a [phys_read] at an address in the given interval is
+    labelled; the string is the source tag for messages. *)
+
+val classify_write :
+  Hyperenclave.Layout.t -> Analysis.Interval.t -> write_class
+(** How a [phys_write] target interval is classified: wholly inside
+    the mbuf window is declassified, possibly-secure is
+    monitor-internal, provably neither is OS-observable. *)
+
+val boundary : Hyperenclave.Layout.t -> string -> bool
+(** Is this function's return value OS-observable (hypercall
+    handler)? *)
+
+val prim :
+  Hyperenclave.Layout.t ->
+  func:string ->
+  args:Analysis.Secret_flow.A.value list ->
+  (Analysis.Secret_flow.A.value * Analysis.Taint.Labels.t) option
+
+val secret_flow_config :
+  Hyperenclave.Layout.t -> Mir.Syntax.program -> Analysis.Secret_flow.config

@@ -16,10 +16,13 @@
 # report cache hits, and it must re-execute zero code-proof and zero
 # static-analysis obligations.
 #
-# The static-analysis gate additionally requires the lint phase to
-# report zero findings on the seed 15-layer stack, and re-runs the
-# analysis test suite, whose negative fixtures (one hand-built MIRlight
-# body per lint) assert that every lint actually fires.
+# The static-analysis gate additionally requires the lint phase AND
+# the abstract-interpretation phase (interval bounds + secret-flow
+# taint, per call-graph SCC) to report zero findings on the seed
+# 15-layer stack, and re-runs the analysis test suites, whose negative
+# fixtures (one hand-built MIRlight body per lint, plus planted
+# hypercall-leak programs for secret-flow) assert that every lint
+# actually fires.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -56,6 +59,8 @@ grep '"phase": "code-proofs"' "$workdir/warm.json" | grep -q '"executed": 0' || 
   echo "ci: warm run re-executed code-proof obligations" >&2; exit 1; }
 grep '"phase": "analysis"' "$workdir/warm.json" | grep -q '"executed": 0' || {
   echo "ci: warm run re-executed static-analysis obligations" >&2; exit 1; }
+grep '"phase": "absint"' "$workdir/warm.json" | grep -q '"executed": 0' || {
+  echo "ci: warm run re-executed abstract-interpretation obligations" >&2; exit 1; }
 grep -q '"verdict": "pass"' "$workdir/warm.json" || {
   echo "ci: warm run verdict is not pass" >&2; exit 1; }
 echo "ci: warm cache replayed $hits obligations, zero code proofs or lints re-executed"
@@ -63,12 +68,21 @@ echo "ci: warm cache replayed $hits obligations, zero code proofs or lints re-ex
 # --- static-analysis gate -------------------------------------------
 grep -E -q 'lint checks: [0-9]+ passed, 0 findings' "$workdir/serial.out" || {
   echo "ci: static analysis reported findings on the seed stack" >&2; exit 1; }
+grep -E -q 'SCC obligations: 0 secret-flow findings, 0 interval findings' \
+  "$workdir/serial.out" || {
+  echo "ci: abstract interpretation reported findings on the seed stack" >&2
+  exit 1; }
 dune exec test/analysis/test_analysis.exe > /dev/null || {
   echo "ci: analysis suite (negative lint fixtures) failed" >&2; exit 1; }
+dune exec test/analysis/test_absint.exe > /dev/null || {
+  echo "ci: absint suite (planted-leak fixtures, lattice laws) failed" >&2
+  exit 1; }
 echo "ci: lints clean on the seed stack, all negative fixtures fire"
 
-# scaling benchmark, uploaded as a workflow artifact
+# scaling benchmarks, uploaded as workflow artifacts
 dune exec bench/engine_bench.exe -- --quick --out BENCH_engine.json > /dev/null
 echo "ci: wrote BENCH_engine.json"
+dune exec bench/analysis_bench.exe -- --out BENCH_analysis.json > /dev/null
+echo "ci: wrote BENCH_analysis.json"
 
 echo "ci: all green"

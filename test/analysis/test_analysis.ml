@@ -243,7 +243,7 @@ let test_clean_body () =
 
 let test_kinds_of_string () =
   (match Lint.kinds_of_string "all" with
-  | Ok ks -> Alcotest.(check int) "all = 4" 4 (List.length ks)
+  | Ok ks -> Alcotest.(check int) "all = catalogue" 6 (List.length ks)
   | Error e -> Alcotest.fail e);
   (match Lint.kinds_of_string "unchecked-arith, move-init" with
   | Ok ks ->
