@@ -311,9 +311,17 @@ module Make (D : DOMAIN) = struct
     | None -> env
 
   (* ---------------------------------------------------------------- *)
-  (* Widening thresholds: the body's literals, each with its two
-     neighbours (so both strict and inclusive loop bounds land
-     exactly), plus the lattice extremes.                              *)
+  (* Widening thresholds: the literals that can actually stop an
+     ascending chain — comparison operands, switch cases, assert
+     conditions — each with its two neighbours (so both strict and
+     inclusive loop bounds land exactly), plus the lattice extremes.
+
+     Harvesting every literal of the body (arithmetic constants, call
+     arguments, aggregate fields) used to put dozens of irrelevant
+     stops between a loop counter and its real bound; each stop is one
+     more widening round at every retreating edge that crosses it.
+     Only literals a branch can test against ever make a widened bound
+     *stable*, so only those earn a threshold.                         *)
 
   let thresholds_of (body : Syn.body) =
     let acc = ref [ 0L; 1L; Word.umax ] in
@@ -323,13 +331,18 @@ module Make (D : DOMAIN) = struct
       | Syn.Const (Syn.Cbool _ | Syn.Cunit | Syn.Cfn _)
       | Syn.Copy _ | Syn.Move _ -> ()
     in
+    let is_cmp = function
+      | Syn.Eq | Syn.Ne | Syn.Lt | Syn.Le | Syn.Gt | Syn.Ge -> true
+      | Syn.Add | Syn.Sub | Syn.Mul | Syn.Div | Syn.Rem | Syn.Bit_and
+      | Syn.Bit_or | Syn.Bit_xor | Syn.Shl | Syn.Shr -> false
+    in
     let rvalue = function
-      | Syn.Use o | Syn.Repeat (o, _) | Syn.Cast (o, _) | Syn.Unary (_, o) ->
-          operand o
-      | Syn.Binary (_, a, b) | Syn.Checked_binary (_, a, b) ->
-          operand a;
-          operand b
-      | Syn.Aggregate (_, os) -> List.iter operand os
+      | Syn.Binary (op, a, b) | Syn.Checked_binary (op, a, b) ->
+          if is_cmp op then begin
+            operand a;
+            operand b
+          end
+      | Syn.Use _ | Syn.Repeat _ | Syn.Cast _ | Syn.Unary _ | Syn.Aggregate _
       | Syn.Ref _ | Syn.Address_of _ | Syn.Len _ | Syn.Discriminant _ -> ()
     in
     Array.iter
@@ -344,9 +357,8 @@ module Make (D : DOMAIN) = struct
         | Syn.Switch_int (o, cases, _) ->
             operand o;
             List.iter (fun (w, _) -> add w) cases
-        | Syn.Call { args; _ } -> List.iter operand args
         | Syn.Assert { cond; _ } -> operand cond
-        | Syn.Goto _ | Syn.Return | Syn.Unreachable | Syn.Drop _ -> ())
+        | Syn.Call _ | Syn.Goto _ | Syn.Return | Syn.Unreachable | Syn.Drop _ -> ())
       body.Syn.blocks;
     List.sort_uniq Word.compare_u !acc
 

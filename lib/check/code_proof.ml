@@ -293,16 +293,19 @@ let args_for pool fn (d : Absdata.t) : _ Value.t list list =
 
 let eq : Absdata.t Refine.equiv = Refine.equiv Absdata.equal
 
-type ctx = { ctx_layout : Layout.t; ctx_pool : pool }
+type ctx = {
+  ctx_layout : Layout.t;
+  ctx_pool : pool;
+  (* per-function check memo: generated cases are deterministic given
+     (seed, layout), so each function's check is built once per ctx
+     instead of once per obligation run.  Pre-filled at ctx build (from
+     a single domain) and mutex-guarded for any stragglers, so worker
+     domains only ever read it. *)
+  ctx_checks : (string, (string * Absdata.t Refine.check) option) Hashtbl.t;
+  ctx_mu : Mutex.t;
+}
 
-let ctx ?(seed = 2024) layout =
-  (* building the pool also warms the layout-keyed compile/stack/boot
-     caches, so a ctx built up front is safe to share across domains *)
-  let pool = make_pool ~seed layout in
-  ignore (Layers.stack layout);
-  { ctx_layout = layout; ctx_pool = pool }
-
-let check_function ctx fn =
+let build_check ctx fn =
   match Layers.layer_of_function ctx.ctx_layout fn with
   | None -> None
   | Some lname ->
@@ -320,10 +323,41 @@ let check_function ctx fn =
       in
       Some (lname, Refine.check ~fn ~spec ~eq cases)
 
+let check_function ctx fn =
+  Mutex.lock ctx.ctx_mu;
+  match Hashtbl.find_opt ctx.ctx_checks fn with
+  | Some r ->
+      Mutex.unlock ctx.ctx_mu;
+      r
+  | None ->
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock ctx.ctx_mu)
+        (fun () ->
+          let r = build_check ctx fn in
+          Hashtbl.add ctx.ctx_checks fn r;
+          r)
+
+let ctx ?(seed = 2024) layout =
+  (* building the pool also warms the layout-keyed compile/stack/boot
+     caches, so a ctx built up front is safe to share across domains *)
+  let pool = make_pool ~seed layout in
+  ignore (Layers.stack layout);
+  let ctx =
+    { ctx_layout = layout; ctx_pool = pool;
+      ctx_checks = Hashtbl.create 64; ctx_mu = Mutex.create () }
+  in
+  List.iter
+    (fun lname ->
+      List.iter
+        (fun fn -> ignore (check_function ctx fn))
+        (Layers.functions_of_layer layout lname))
+    Mem_spec.layer_names;
+  ctx
+
 let run_function ctx fn =
   Option.map
     (fun (lname, c) ->
-      (lname, Refine.run (Layers.env_for ctx.ctx_layout ~layer:lname) c))
+      (lname, Refine.run_compiled (Layers.compiled_for ctx.ctx_layout ~layer:lname) c))
     (check_function ctx fn)
 
 let checks ?seed layout =

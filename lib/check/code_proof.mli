@@ -10,10 +10,13 @@
 
 type ctx
 (** Shared check context: the input pool (reachable states, argument
-    batteries) plus the warmed compile/stack caches.  Build one ctx up
-    front and reuse it across per-function runs — including runs on
-    other domains: a ctx is immutable once built, and building it
-    forces every layout-keyed memo table the checks read. *)
+    batteries), the warmed compile/stack caches, and a per-function
+    check memo — case generation is deterministic given (seed, layout),
+    so each function's check is built exactly once per ctx instead of
+    once per obligation run.  Build one ctx up front and reuse it
+    across per-function runs — including runs on other domains: the
+    memo is pre-filled at ctx build from a single domain and
+    mutex-guarded after that. *)
 
 val ctx : ?seed:int -> Hyperenclave.Layout.t -> ctx
 

@@ -36,7 +36,12 @@ type 'abs check = {
 
 let check ?(fuel = 1_000_000) ~fn ~spec ~eq cases = { fn; spec; cases; eq; fuel }
 
-let run env c =
+(* The hot path runs against the closure-compiled executor: the check
+   is compiled once and then executed for every generated case.
+   [Mir.Compile.call] is observationally identical to [Mir.Interp.call]
+   (same outcomes, same error classification — pinned by the
+   differential suite), so reports are unchanged. *)
+let run_compiled cenv c =
   List.fold_left
     (fun report cs ->
       let spec_args = Option.value ~default:cs.args cs.spec_args in
@@ -45,7 +50,7 @@ let run env c =
           (* Spec undefined: outside the precondition, nothing claimed. *)
           Report.add_skip report
       | Ok (abs_spec, ret_spec) -> (
-          match Mir.Interp.call ~fuel:c.fuel env ~abs:cs.abs ~mem:cs.mem c.fn cs.args with
+          match Mir.Compile.call ~fuel:c.fuel cenv ~abs:cs.abs ~mem:cs.mem c.fn cs.args with
           | Error e ->
               Report.add_failure report ~case:cs.label
                 ~reason:
@@ -65,6 +70,7 @@ let run env c =
     (Report.empty (Printf.sprintf "refine %s" c.fn))
     c.cases
 
+let run ?ccache env c = run_compiled (Mir.Compile.compile ?cache:ccache env) c
 let run_all env cs = List.map (run env) cs
 
 type ('lo, 'hi) simulation = {

@@ -50,7 +50,14 @@ val check :
   ?fuel:int -> fn:string -> spec:'abs Spec.t -> eq:'abs equiv -> 'abs case list ->
   'abs check
 
-val run : 'abs Mir.Interp.env -> 'abs check -> Report.t
+val run : ?ccache:'abs Mir.Compile.cache -> 'abs Mir.Interp.env -> 'abs check -> Report.t
+(** Compiles the environment with {!Mir.Compile.compile} (against
+    [ccache] when given) and delegates to {!run_compiled}. *)
+
+val run_compiled : 'abs Mir.Compile.t -> 'abs check -> Report.t
+(** The hot path: every case executes against the closure-compiled
+    form of the environment.  Observationally identical to running
+    under {!Mir.Interp.call} (pinned by the differential suite). *)
 
 val run_all : 'abs Mir.Interp.env -> 'abs check list -> Report.t list
 

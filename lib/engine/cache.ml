@@ -8,13 +8,44 @@ let version = "mirverif-engine-2"
    or a truncated write degrades to a miss, never a crash. *)
 let magic = "MVEC1\n" ^ Sys.ocaml_version ^ "\n"
 
-type t = { dir : string }
+(* Two storage tiers share the key space:
+
+   - pack files ([*.pack]): one file per run, appended by {!flush} from
+     the outcomes {!stash}ed during that run, loaded wholesale into the
+     in-memory index at {!create}.  This is the pool's path — a cold
+     run of the full plan costs one file write, not one per obligation.
+   - legacy per-entry files ([<key>.proof]): the write-through path of
+     {!store}, still read (and still evicted when corrupt) so caches
+     written by older engines stay warm. *)
+type t = {
+  dir : string;
+  mu : Mutex.t;
+  index : (string, Obligation.outcome) Hashtbl.t;  (* from pack files *)
+  pending : (string, Obligation.outcome) Hashtbl.t;  (* stashed, not yet flushed *)
+}
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
+
+let load_pack index file =
+  (* a pack that fails to parse can never become valid again (keys
+     inside it encode version and fingerprint), so evict it whole *)
+  let evict () = try Sys.remove file with Sys_error _ -> () in
+  match
+    let ic = open_in_bin file in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        let m = really_input_string ic (String.length magic) in
+        if not (String.equal m magic) then None
+        else
+          let (entries : (string * Obligation.outcome) array) = Marshal.from_channel ic in
+          Some entries)
+  with
+  | Some entries -> Array.iter (fun (k, o) -> Hashtbl.replace index k o) entries
+  | None -> evict ()
+  | exception _ -> evict ()
 
 let create ~dir =
   if String.trim dir = "" then
@@ -25,7 +56,12 @@ let create ~dir =
       invalid_arg
         (Printf.sprintf "Cache.create: cannot create %S (%s: %s)" dir
            (Unix.error_message e) arg));
-  { dir }
+  let index = Hashtbl.create 256 in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".pack" then load_pack index (Filename.concat dir f))
+    (Sys.readdir dir);
+  { dir; mu = Mutex.create (); index; pending = Hashtbl.create 64 }
 
 let key (o : Obligation.t) =
   Digest.to_hex
@@ -34,8 +70,8 @@ let key (o : Obligation.t) =
 
 let path t k = Filename.concat t.dir (k ^ ".proof")
 
-let find t (o : Obligation.t) : Obligation.outcome option =
-  let file = path t (key o) in
+let find_legacy t k : Obligation.outcome option =
+  let file = path t k in
   (* a stale or corrupt entry can never become valid again — its key
      already encodes version and fingerprint — so evict it on the way
      out; otherwise every warm run re-reads and re-rejects it *)
@@ -55,6 +91,45 @@ let find t (o : Obligation.t) : Obligation.outcome option =
     | None -> evict ()
     | exception _ -> evict ()
 
+let find t (o : Obligation.t) : Obligation.outcome option =
+  let k = key o in
+  Mutex.lock t.mu;
+  let packed =
+    match Hashtbl.find_opt t.pending k with
+    | Some _ as r -> r
+    | None -> Hashtbl.find_opt t.index k
+  in
+  Mutex.unlock t.mu;
+  match packed with Some _ as r -> r | None -> find_legacy t k
+
+let stash t (o : Obligation.t) (outcome : Obligation.outcome) =
+  Mutex.lock t.mu;
+  Hashtbl.replace t.pending (key o) outcome;
+  Mutex.unlock t.mu
+
+let flush t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      if Hashtbl.length t.pending > 0 then begin
+        let entries =
+          Array.of_seq (Seq.map (fun (k, o) -> (k, o)) (Hashtbl.to_seq t.pending))
+        in
+        (try
+           (* write-then-rename under a per-run unique name: concurrent
+              runs each produce their own pack, readers see whole files *)
+           let tmp = Filename.temp_file ~temp_dir:t.dir "pack-" ".tmp" in
+           let oc = open_out_bin tmp in
+           Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+               output_string oc magic;
+               Marshal.to_channel oc entries []);
+           Sys.rename tmp (Filename.concat t.dir (Filename.chop_suffix (Filename.basename tmp) ".tmp" ^ ".pack"))
+         with _ -> ());
+        Array.iter (fun (k, o) -> Hashtbl.replace t.index k o) entries;
+        Hashtbl.reset t.pending
+      end)
+
 let store t (o : Obligation.t) (outcome : Obligation.outcome) =
   try
     let file = path t (key o) in
@@ -69,8 +144,15 @@ let store t (o : Obligation.t) (outcome : Obligation.outcome) =
   with _ -> ()
 
 let entry_count t =
+  Mutex.lock t.mu;
+  let keys = Hashtbl.create 256 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t.index;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t.pending;
+  Mutex.unlock t.mu;
   if Sys.file_exists t.dir && Sys.is_directory t.dir then
-    Array.fold_left
-      (fun n f -> if Filename.check_suffix f ".proof" then n + 1 else n)
-      0 (Sys.readdir t.dir)
-  else 0
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".proof" then
+          Hashtbl.replace keys (Filename.chop_suffix f ".proof") ())
+      (Sys.readdir t.dir);
+  Hashtbl.length keys

@@ -9,12 +9,21 @@
     that function's obligation and its dependents (whose fingerprints
     include the edited MIR), nothing below it.
 
+    Two storage tiers share the key space.  The pool's path is batched:
+    {!stash} buffers outcomes in memory and {!flush} appends them all
+    as one per-run pack file ([*.pack]), whose entries are loaded into
+    an in-memory index at {!create} — a cold run costs one file write
+    instead of one per obligation.  The legacy per-entry path
+    ([<key>.proof], written by {!store}) is still read, so caches from
+    older engines stay warm.
+
     Entries are [Marshal]ed with a magic header carrying the OCaml
     version; any mismatch, truncation, or IO error degrades to a cache
-    miss, and the unreadable file is unlinked (its key already encodes
-    version and fingerprint, so it can never become valid again).
-    Stores are write-to-temp + atomic rename, safe under concurrent
-    workers. *)
+    miss, and the unreadable file (pack or per-entry) is unlinked — its
+    keys already encode version and fingerprint, so it can never become
+    valid again.  Writes are write-to-temp + atomic rename, safe under
+    concurrent workers and concurrent runs.  {!stash}/{!find} are
+    mutex-guarded and safe from worker domains. *)
 
 type t
 
@@ -23,14 +32,28 @@ val version : string
     semantics change — the OCaml harness code is not fingerprinted. *)
 
 val create : dir:string -> t
-(** Creates [dir] (and parents) when missing.  Raises [Invalid_argument]
-    with a readable message when [dir] is empty or cannot be created. *)
+(** Creates [dir] (and parents) when missing and loads every readable
+    pack file into the index.  Raises [Invalid_argument] with a
+    readable message when [dir] is empty or cannot be created. *)
 
 val key : Obligation.t -> string
 (** Hex digest naming the obligation's cache entry. *)
 
 val find : t -> Obligation.t -> Obligation.outcome option
+(** Pending buffer, then pack index, then legacy per-entry file. *)
+
+val stash : t -> Obligation.t -> Obligation.outcome -> unit
+(** Buffer an outcome for the next {!flush}.  Visible to {!find}
+    immediately; durable only after {!flush}. *)
+
+val flush : t -> unit
+(** Write all stashed outcomes as one new pack file and merge them into
+    the index.  A no-op when nothing is pending.  [Pool.run] calls this
+    once per run. *)
+
 val store : t -> Obligation.t -> Obligation.outcome -> unit
+(** Legacy write-through path: one [<key>.proof] file per entry. *)
 
 val entry_count : t -> int
-(** Number of entries on disk (diagnostics). *)
+(** Number of distinct keys across the index, the pending buffer, and
+    legacy per-entry files (diagnostics). *)

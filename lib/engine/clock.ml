@@ -1,0 +1,30 @@
+(* The engine's single time source.  Everything that timestamps work
+   (obligation started/finished, pool wall-clock) reads this module, so
+   tests can substitute a deterministic source and the choice of OS
+   clock lives in exactly one place.
+
+   [Unix.gettimeofday] is wall time and may step backwards under NTP;
+   the monotonic clamp below makes the published sequence non-decreasing
+   across domains, which is all the schedule metadata needs. *)
+
+let gettimeofday = Unix.gettimeofday
+
+(* last value handed out; CAS loop so concurrent domains never observe
+   time running backwards *)
+let last = Atomic.make neg_infinity
+
+let rec clamp t =
+  let l = Atomic.get last in
+  if t >= l then if Atomic.compare_and_set last l t then t else clamp t
+  else l
+
+let real () = clamp (gettimeofday ())
+
+let source = Atomic.make real
+
+let now () = (Atomic.get source) ()
+
+let with_source f thunk =
+  let prev = Atomic.get source in
+  Atomic.set source f;
+  Fun.protect ~finally:(fun () -> Atomic.set source prev) thunk

@@ -14,26 +14,107 @@ type exec = {
   finished : float;
 }
 
-(* Shared scheduler state.  Workers take ready obligation ids under the
-   mutex, run them unlocked, then publish the result and release newly
-   ready dependents.  All obligation [run] closures are pure and the
-   layout-keyed memo tables are warmed before the pool starts, so the
-   only cross-domain communication is this scheduler. *)
+(* ------------------------------------------------------------------ *)
+(* Work-stealing deques                                                *)
+
+(* Chase–Lev-shaped deque: the owner pushes and pops at the hot end
+   (LIFO, so freshly released dependents run while their inputs are
+   warm), thieves take from the cold end in batches of half.  A
+   per-deque mutex stands in for the full lock-free protocol — the
+   critical sections move a few words, the owner's lock is almost
+   always uncontended, and thieves only show up when they are out of
+   local work anyway. *)
+module Deque = struct
+  type t = {
+    mu : Mutex.t;
+    mutable buf : string array;
+    mutable head : int;  (* cold end: index of the oldest element *)
+    mutable len : int;
+  }
+
+  let create () = { mu = Mutex.create (); buf = Array.make 64 ""; head = 0; len = 0 }
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let nb = Array.make (2 * cap) "" in
+    for i = 0 to d.len - 1 do
+      nb.(i) <- d.buf.((d.head + i) mod cap)
+    done;
+    d.buf <- nb;
+    d.head <- 0
+
+  (* owner: append a batch of newly ready ids under one lock *)
+  let push_batch d ids =
+    Mutex.lock d.mu;
+    List.iter
+      (fun id ->
+        if d.len = Array.length d.buf then grow d;
+        d.buf.((d.head + d.len) mod Array.length d.buf) <- id;
+        d.len <- d.len + 1)
+      ids;
+    Mutex.unlock d.mu
+
+  (* owner: newest element *)
+  let pop d =
+    Mutex.lock d.mu;
+    let r =
+      if d.len = 0 then None
+      else begin
+        d.len <- d.len - 1;
+        let i = (d.head + d.len) mod Array.length d.buf in
+        let id = d.buf.(i) in
+        d.buf.(i) <- "";
+        Some id
+      end
+    in
+    Mutex.unlock d.mu;
+    r
+
+  (* thief: the oldest half (rounded up), oldest first — batch dequeue
+     so a thief pays the lock once, not once per obligation *)
+  let steal_half d =
+    Mutex.lock d.mu;
+    let n = (d.len + 1) / 2 in
+    let cap = Array.length d.buf in
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      let j = (d.head + i) mod cap in
+      out := d.buf.(j) :: !out;
+      d.buf.(j) <- ""
+    done;
+    d.head <- (d.head + n) mod cap;
+    d.len <- d.len - n;
+    Mutex.unlock d.mu;
+    !out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+
+(* Shared scheduler state.  Obligation flow is deque-local: a worker
+   pushes the dependents it releases onto its own deque and steals only
+   when empty-handed, so the single global lock of the old pool (and
+   its per-completion [Condition.broadcast] stampede) is gone.  The
+   [sleep_*] fields exist purely for parking idle workers: a producer
+   bumps [epoch] and signals at most as many sleepers as it published
+   surplus items; broadcast happens exactly once, at shutdown. *)
 type sched = {
   dag : Dag.t;
   cache : Cache.t option;
-  mutex : Mutex.t;
-  cond : Condition.t;
-  ready : string Queue.t;
-  indeg : (string, int) Hashtbl.t;
-  results : (string, exec) Hashtbl.t;
-  mutable completed : int;
+  deques : Deque.t array;
+  indeg : (string, int Atomic.t) Hashtbl.t;  (* pre-filled, then read-only structure *)
+  completed : int Atomic.t;
   total : int;
+  sleep_mu : Mutex.t;
+  sleep_cond : Condition.t;
+  mutable sleepers : int;  (* guarded by sleep_mu *)
+  mutable epoch : int;  (* guarded by sleep_mu; bumped when work appears *)
+  mutable shutdown : bool;  (* guarded by sleep_mu *)
   t0 : float;
 }
 
-let crash_outcome (o : Obligation.t) exn =
-  let reason = Printf.sprintf "obligation raised: %s" (Printexc.to_string exn) in
+let crash_outcome (o : Obligation.t) reason =
+  let reason = Printf.sprintf "obligation raised: %s" reason in
   Obligation.outcome
     [ Mirverif.Report.add_failure (Mirverif.Report.empty o.Obligation.id) ~case:"exception" ~reason ]
 
@@ -43,7 +124,8 @@ let crash_outcome (o : Obligation.t) exn =
    fingerprinted inputs, so it must never be cached — a warm run would
    otherwise replay the crash forever. *)
 let attempt (o : Obligation.t) =
-  try (o.Obligation.run (), true) with exn -> (crash_outcome o exn, false)
+  try (o.Obligation.run (), true)
+  with exn -> (crash_outcome o (Printexc.to_string exn), false)
 
 let execute sched (o : Obligation.t) =
   match sched.cache with
@@ -53,77 +135,196 @@ let execute sched (o : Obligation.t) =
       | Some outcome -> (outcome, Hit)
       | None ->
           let outcome, ran_ok = attempt o in
-          if ran_ok then Cache.store c o outcome;
+          if ran_ok then Cache.stash c o outcome;
           (outcome, Miss))
 
-let rec worker sched wid =
-  Mutex.lock sched.mutex;
-  let rec take () =
-    if sched.completed = sched.total then None
-    else
-      match Queue.take_opt sched.ready with
-      | Some id -> Some id
-      | None ->
-          Condition.wait sched.cond sched.mutex;
-          take ()
-  in
-  match take () with
-  | None ->
-      Mutex.unlock sched.mutex;
-      ()
-  | Some id ->
-      Mutex.unlock sched.mutex;
-      let o = Option.get (Dag.find sched.dag id) in
-      let started = Unix.gettimeofday () -. sched.t0 in
-      let outcome, cache = execute sched o in
-      let finished = Unix.gettimeofday () -. sched.t0 in
-      Mutex.lock sched.mutex;
-      Hashtbl.replace sched.results id
-        { obligation = o; outcome; cache; worker = wid; started; finished };
-      sched.completed <- sched.completed + 1;
-      List.iter
-        (fun d ->
-          let k = Hashtbl.find sched.indeg d - 1 in
-          Hashtbl.replace sched.indeg d k;
-          if k = 0 then Queue.add d sched.ready)
-        (Dag.dependents_of sched.dag id);
-      Condition.broadcast sched.cond;
-      Mutex.unlock sched.mutex;
-      worker sched wid
+let shutdown sched =
+  Mutex.lock sched.sleep_mu;
+  sched.shutdown <- true;
+  (* the pool's only broadcast *)
+  Condition.broadcast sched.sleep_cond;
+  Mutex.unlock sched.sleep_mu
 
-let run ?cache ~jobs dag =
+(* targeted wakeups: one signal per surplus item, never more than
+   there are sleepers to receive them *)
+let wake sched surplus =
+  if surplus > 0 then begin
+    Mutex.lock sched.sleep_mu;
+    sched.epoch <- sched.epoch + 1;
+    let n = min surplus sched.sleepers in
+    for _ = 1 to n do
+      Condition.signal sched.sleep_cond
+    done;
+    Mutex.unlock sched.sleep_mu
+  end
+
+(* own deque first, then steal half of someone else's *)
+let next_work sched wid =
+  match Deque.pop sched.deques.(wid) with
+  | Some id -> Some id
+  | None ->
+      let jobs = Array.length sched.deques in
+      let rec scan k =
+        if k >= jobs then None
+        else
+          match Deque.steal_half sched.deques.((wid + k) mod jobs) with
+          | [] -> scan (k + 1)
+          | id :: rest ->
+              Deque.push_batch sched.deques.(wid) rest;
+              Some id
+      in
+      scan 1
+
+(* Park until work appears or the pool shuts down.  The epoch read
+   happens before the rescan, so a producer that publishes after the
+   scan necessarily bumps the epoch we compare against — no lost
+   wakeups. *)
+let rec obtain sched wid =
+  match next_work sched wid with
+  | Some id -> Some id
+  | None ->
+      Mutex.lock sched.sleep_mu;
+      if sched.shutdown then begin
+        Mutex.unlock sched.sleep_mu;
+        None
+      end
+      else begin
+        let e = sched.epoch in
+        Mutex.unlock sched.sleep_mu;
+        match next_work sched wid with
+        | Some id -> Some id
+        | None ->
+            Mutex.lock sched.sleep_mu;
+            let rec wait () =
+              if sched.shutdown then begin
+                Mutex.unlock sched.sleep_mu;
+                None
+              end
+              else if sched.epoch <> e then begin
+                Mutex.unlock sched.sleep_mu;
+                obtain sched wid
+              end
+              else begin
+                sched.sleepers <- sched.sleepers + 1;
+                Condition.wait sched.sleep_cond sched.sleep_mu;
+                sched.sleepers <- sched.sleepers - 1;
+                wait ()
+              end
+            in
+            wait ()
+      end
+
+(* Results go to a domain-local buffer — no shared-table lock on the
+   completion path — and are merged after the join. *)
+let worker sched wid buf =
+  let rec loop () =
+    match obtain sched wid with
+    | None -> ()
+    | Some id ->
+        let o =
+          match Dag.find sched.dag id with
+          | Some o -> o
+          | None -> invalid_arg ("Pool: unknown obligation " ^ id)
+        in
+        let started = Clock.now () -. sched.t0 in
+        let outcome, cache = execute sched o in
+        let finished = Clock.now () -. sched.t0 in
+        buf := { obligation = o; outcome; cache; worker = wid; started; finished } :: !buf;
+        let ready =
+          List.filter
+            (fun d -> Atomic.fetch_and_add (Hashtbl.find sched.indeg d) (-1) = 1)
+            (Dag.dependents_of sched.dag id)
+        in
+        if ready <> [] then Deque.push_batch sched.deques.(wid) ready;
+        (* the worker pops one of them next itself; only the surplus
+           needs other hands *)
+        wake sched (List.length ready - 1);
+        if Atomic.fetch_and_add sched.completed 1 + 1 = sched.total then shutdown sched;
+        loop ()
+  in
+  (* a scheduler-level failure (not an obligation crash — those are
+     absorbed by [attempt]) must not strand the other workers in
+     [Condition.wait]: shut the pool down and let the merge synthesize
+     crash outcomes for whatever never ran *)
+  try loop () with _ -> shutdown sched
+
+let run ?cache ?(oversubscribe = false) ~jobs dag =
   let obls = Dag.obligations dag in
   let total = List.length obls in
-  let sched =
-    {
-      dag;
-      cache;
-      mutex = Mutex.create ();
-      cond = Condition.create ();
-      ready = Queue.create ();
-      indeg = Hashtbl.create (max 16 total);
-      results = Hashtbl.create (max 16 total);
-      completed = 0;
-      total;
-      t0 = Unix.gettimeofday ();
-    }
-  in
-  List.iter
-    (fun (o : Obligation.t) ->
-      Hashtbl.replace sched.indeg o.id (List.length o.deps);
-      if o.deps = [] then Queue.add o.id sched.ready)
-    obls;
-  let jobs = max 1 (min jobs (max 1 total)) in
   if total = 0 then []
   else begin
-    if jobs = 1 then worker sched 0
+    let jobs = max 1 (min jobs total) in
+    (* more active domains than cores cannot help CPU-bound work — it
+       only adds stop-the-world GC synchronization across time-sliced
+       domains (the old pool lost 4–5x to this) — so [jobs] caps
+       concurrency and the hardware caps the domain count.
+       [oversubscribe] bypasses the clamp so the stealing path is
+       testable on any machine. *)
+    let jobs =
+      if oversubscribe then jobs else min jobs (Domain.recommended_domain_count ())
+    in
+    let sched =
+      {
+        dag;
+        cache;
+        deques = Array.init jobs (fun _ -> Deque.create ());
+        indeg = Hashtbl.create (max 16 total);
+        completed = Atomic.make 0;
+        total;
+        sleep_mu = Mutex.create ();
+        sleep_cond = Condition.create ();
+        sleepers = 0;
+        epoch = 0;
+        shutdown = false;
+        t0 = Clock.now ();
+      }
+    in
+    List.iter
+      (fun (o : Obligation.t) -> Hashtbl.replace sched.indeg o.id (Atomic.make (List.length o.deps)))
+      obls;
+    (* roots dealt round-robin so workers start with local work instead
+       of a steal storm on worker 0 *)
+    let nroots = ref 0 in
+    List.iter
+      (fun (o : Obligation.t) ->
+        if o.deps = [] then begin
+          Deque.push_batch sched.deques.(!nroots mod jobs) [ o.id ];
+          incr nroots
+        end)
+      obls;
+    let bufs = Array.init jobs (fun _ -> ref []) in
+    if jobs = 1 then
+      (* inline fast path: no domain spawn, no parked workers *)
+      worker sched 0 bufs.(0)
     else begin
-      let domains = List.init jobs (fun wid -> Domain.spawn (fun () -> worker sched wid)) in
-      List.iter Domain.join domains
+      let domains =
+        Array.mapi (fun wid buf -> Domain.spawn (fun () -> worker sched wid buf)) bufs
+      in
+      Array.iter Domain.join domains
     end;
+    Option.iter Cache.flush cache;
+    let results = Hashtbl.create (max 16 total) in
+    Array.iter
+      (fun buf -> List.iter (fun e -> Hashtbl.replace results e.obligation.Obligation.id e) !buf)
+      bufs;
     (* results in DAG insertion order: scheduling cannot influence what
-       the caller sees *)
-    List.map (fun (o : Obligation.t) -> Hashtbl.find sched.results o.id) obls
+       the caller sees.  An obligation a dead worker never published
+       becomes an explicit crash outcome rather than a bare
+       [Not_found]. *)
+    List.map
+      (fun (o : Obligation.t) ->
+        match Hashtbl.find_opt results o.Obligation.id with
+        | Some e -> e
+        | None ->
+            {
+              obligation = o;
+              outcome = crash_outcome o "worker exited before publishing a result";
+              cache = Off;
+              worker = -1;
+              started = 0.0;
+              finished = 0.0;
+            })
+      obls
   end
 
 let wall_of execs =

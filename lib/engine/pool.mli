@@ -1,16 +1,36 @@
-(** OCaml 5 [Domain] worker pool over an obligation DAG.
+(** OCaml 5 [Domain] worker pool over an obligation DAG, with
+    per-worker work-stealing deques.
 
     [run ~jobs dag] executes every obligation, respecting dependency
-    edges, on up to [jobs] domains ([jobs = 1] runs inline on the
-    calling domain).  Results come back in the DAG's insertion order,
-    so the merged output is byte-identical at any job count; only the
-    trace metadata (worker ids, timestamps) reflects the actual
-    schedule.
+    edges, on up to [jobs] domains.  Each worker owns a Chase–Lev-style
+    deque: dependents it releases go to its own deque (hot end), and a
+    worker that runs dry steals the cold half of a victim's deque in
+    one batch.  Idle workers park on a condition variable and are woken
+    by targeted [signal]s — one per surplus item published, never a
+    broadcast until shutdown.
+
+    [jobs] caps concurrency; the pool additionally never spawns more
+    domains than [Domain.recommended_domain_count ()], because active
+    domains beyond the hardware only add stop-the-world GC
+    synchronization to CPU-bound work.  [jobs = 1] (or a one-core
+    clamp) runs inline on the calling domain with no spawn at all.
+    [~oversubscribe:true] bypasses the clamp (tests use it to exercise
+    the stealing path on any machine).
+
+    Results come back in the DAG's insertion order, so the merged
+    output is byte-identical at any job count; only the trace metadata
+    (worker ids, timestamps — all read from {!Clock}) reflects the
+    actual schedule.  Workers accumulate results in domain-local
+    buffers merged after the join; an obligation whose worker died
+    before publishing yields an explicit crash outcome, not an
+    exception.
 
     With [?cache], each obligation is first looked up in the
-    content-addressed proof cache and executed only on a miss (the
-    outcome is then stored).  An obligation that raises is converted
-    into a one-failure report rather than tearing down the pool. *)
+    content-addressed proof cache and executed only on a miss; outcomes
+    are batched ({!Cache.stash}) and written as one pack file per run
+    ({!Cache.flush}, called before [run] returns).  An obligation that
+    raises is converted into a one-failure report rather than tearing
+    down the pool, and is never cached. *)
 
 type cache_status = Hit | Miss | Off
 
@@ -25,7 +45,7 @@ type exec = {
   finished : float;
 }
 
-val run : ?cache:Cache.t -> jobs:int -> Dag.t -> exec list
+val run : ?cache:Cache.t -> ?oversubscribe:bool -> jobs:int -> Dag.t -> exec list
 
 val wall_of : exec list -> float
 (** Latest finish time = the pool's wall-clock. *)

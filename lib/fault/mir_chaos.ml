@@ -2,6 +2,14 @@ open Hyperenclave
 module Interp = Mir.Interp
 module Report = Mirverif.Report
 
+(* Chaos runs execute through the closure-compiled executor, like the
+   code-proof hot path it is meant to stress: a perturbed environment
+   only rewraps primitives (names unchanged), so compiling it against
+   the shared memo in [Layers.compile_memo] reuses every compiled body
+   and only rebuilds the primitive table. *)
+let ccall ?fuel env ~abs ~mem fn args =
+  Mir.Compile.call ?fuel (Mir.Compile.compile ~cache:Layers.compile_memo env) ~abs ~mem fn args
+
 let u64 = Marshal_v.u64
 
 let contains s sub =
@@ -83,9 +91,7 @@ let run ?(seed = 0) layout =
         let env = Layers.env_for layout ~layer in
         (* unperturbed run: count the primitive calls *)
         let counting, count = perturbed_env ~fail_at:(-1) env in
-        let baseline =
-          Interp.call counting ~abs ~mem:Mir.Mem.empty fn args
-        in
+        let baseline = ccall counting ~abs ~mem:Mir.Mem.empty fn args in
         report := graceful ~case:(fn ^ " baseline") !report baseline;
         let prim_calls = !count in
         (* fail each primitive call in turn: the failure must surface
@@ -95,7 +101,7 @@ let run ?(seed = 0) layout =
           incr injections;
           let env, _ = perturbed_env ~fail_at:i env in
           let case = Printf.sprintf "%s prim-fault@%d" fn i in
-          match Interp.call env ~abs ~mem:Mir.Mem.empty fn args with
+          match ccall env ~abs ~mem:Mir.Mem.empty fn args with
           | Ok _ ->
               report :=
                 Report.add_failure !report ~case
@@ -120,7 +126,7 @@ let run ?(seed = 0) layout =
         while !fuel <= fuel_hi do
           incr injections;
           let case = Printf.sprintf "%s fuel=%d" fn !fuel in
-          (match Interp.call ~fuel:!fuel env ~abs ~mem:Mir.Mem.empty fn args with
+          (match ccall ~fuel:!fuel env ~abs ~mem:Mir.Mem.empty fn args with
           | Ok _ | Error Interp.Out_of_fuel -> report := Report.add_pass !report
           | Error (Interp.Fault _ | Interp.Assert_failed _) ->
               report := Report.add_pass !report

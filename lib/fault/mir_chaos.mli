@@ -26,3 +26,26 @@ val run : ?seed:int -> Hyperenclave.Layout.t -> Mirverif.Report.t * outcome list
 (** Exercise a battery of memory-module functions under exhaustive
     single-primitive-failure injection plus a fuel ladder.  One report
     case per perturbed execution. *)
+
+(** {1 Fixtures}
+
+    Exposed for the differential suite in [test/differential], which
+    replays the same perturbed environments under both the reference
+    interpreter and the closure-compiled executor and demands identical
+    results. *)
+
+val perturbed_env :
+  fail_at:int ->
+  Hyperenclave.Absdata.t Mir.Interp.env ->
+  Hyperenclave.Absdata.t Mir.Interp.env * int ref
+(** Wrap every primitive so the [fail_at]th call across the execution
+    fails with a recognizable message ([fail_at < 0] never fires: pure
+    counting).  Returns the wrapped environment and the live call
+    counter. *)
+
+val targets :
+  Hyperenclave.Layout.t ->
+  (string * Hyperenclave.Absdata.t * Hyperenclave.Absdata.t Mir.Value.t list * int)
+  list
+(** The chaos battery: [(function, abstract state, args, fuel cap)]
+    spanning the stack from the allocator to the hypercall layer. *)

@@ -49,6 +49,35 @@ let stack layout =
 
 let env_for layout ~layer = Layer.env_for (stack layout) ~layer
 
+(* Closure-compiled environments for the verification hot path.  One
+   compiled form per (layout, layer), backed by a shared per-body memo
+   so bodies reused across layers compile once.  Guarded by a mutex:
+   [warm] fills the table from a single domain before the pool starts,
+   but chaos batteries and tests may also compile lazily. *)
+let compile_memo : Absdata.t Mir.Compile.cache = Mir.Compile.cache ()
+
+let cenv_mutex = Mutex.create ()
+
+let cenv_cache : (Layout.t * string, Absdata.t Mir.Compile.t) Hashtbl.t =
+  Hashtbl.create 32
+
+let compiled_for layout ~layer =
+  Mutex.lock cenv_mutex;
+  match Hashtbl.find_opt cenv_cache (layout, layer) with
+  | Some ct ->
+      Mutex.unlock cenv_mutex;
+      ct
+  | None ->
+      let ct =
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock cenv_mutex)
+          (fun () ->
+            let ct = Mir.Compile.compile ~cache:compile_memo (env_for layout ~layer) in
+            Hashtbl.add cenv_cache (layout, layer) ct;
+            ct)
+      in
+      ct
+
 let layer_of_function layout name =
   List.find_opt
     (fun (t : Mem_spec.t) -> String.equal t.Mem_spec.spec.Mirverif.Spec.name name)
@@ -76,4 +105,7 @@ let warm layout =
      with reads from worker domains *)
   ignore (compiled layout);
   ignore (stack layout);
-  ignore (Boot.booted layout)
+  ignore (Boot.booted layout);
+  (* pre-compile every layer's closure form so worker domains only
+     read the compiled-env table *)
+  List.iter (fun layer -> ignore (compiled_for layout ~layer)) Mem_spec.layer_names

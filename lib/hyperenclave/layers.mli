@@ -17,6 +17,15 @@ val stack : Layout.t -> Absdata.t Mirverif.Layer.stack
 val env_for : Layout.t -> layer:string -> Absdata.t Mir.Interp.env
 (** Interpreter environment for checking one layer's code. *)
 
+val compile_memo : Absdata.t Mir.Compile.cache
+(** Shared per-body closure-compilation memo: bodies are keyed by
+    MIRlight digest + call-site linkage, so chaos-wrapped copies of an
+    environment (same primitive names) reuse every compiled body. *)
+
+val compiled_for : Layout.t -> layer:string -> Absdata.t Mir.Compile.t
+(** Closure-compiled environment for one layer (memoized per
+    [(layout, layer)], mutex-guarded; pre-filled by {!warm}). *)
+
 val layer_of_function : Layout.t -> string -> string option
 val functions_of_layer : Layout.t -> string -> string list
 
@@ -27,7 +36,8 @@ val stratification_ok : Layout.t -> Mirverif.Layer.stratification_issue list
 (** Syntactic no-upcall check over the stack (empty = ok). *)
 
 val warm : Layout.t -> unit
-(** Force the layout-keyed memo tables ({!compiled}, {!stack}, the boot
-    state) from the calling domain.  The parallel verification engine
+(** Force the layout-keyed memo tables ({!compiled}, {!stack},
+    {!compiled_for} for every layer, the boot state) from the calling
+    domain.  The parallel verification engine
     calls this before spawning workers: afterwards the tables are only
     read, which is safe concurrently. *)

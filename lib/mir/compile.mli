@@ -1,0 +1,51 @@
+(** Closure-compiled MIRlight execution.
+
+    Translates each {!Syntax.body} once into a tree of OCaml closures —
+    temps as integer-indexed slots instead of [StrMap] lookups, basic
+    blocks pre-split into statement arrays, places and rvalues
+    pre-resolved down to their dynamic parts — so the code-proof phase
+    compiles once and executes thousands of generated states against
+    the compiled form.
+
+    {!Interp} remains the reference semantics.  {!call} is
+    observationally identical to {!Interp.call}: same outcome (abs,
+    mem, ret, steps — including frame-id assignment order, which is
+    visible in [mem] through [Path.Local]), same fuel accounting, and
+    the same error classification with identical messages.  The
+    differential suite in [test/differential] pins this equivalence on
+    the full seed stack and the chaos fixtures.
+
+    Primitives are looked up by name at call time from the compiled
+    environment, exactly like {!Interp}; only the {e linkage} of each
+    call site (primitive / body / undefined) is baked in.  A
+    [map_prims]-wrapped environment therefore compiles to the same
+    bodies — fault injection keeps working, and a shared {!cache}
+    makes those compilations near-free. *)
+
+type 'abs t
+(** A compiled environment: every body of the program in closure form,
+    plus the primitive table. *)
+
+type 'abs cache
+(** A shared memo table keyed by body digest + call-site linkage.
+    Thread-safe (mutex-guarded); share one per abstract-state type to
+    compile each body exactly once across environments. *)
+
+val cache : unit -> 'abs cache
+val cache_size : 'abs cache -> int
+
+val compile : ?cache:'abs cache -> 'abs Interp.env -> 'abs t
+(** Compile every body of the environment's program.  With [cache],
+    bodies whose digest and linkage match a previous compilation are
+    reused. *)
+
+val call :
+  ?fuel:int ->
+  'abs t ->
+  abs:'abs ->
+  mem:'abs Mem.t ->
+  string ->
+  'abs Value.t list ->
+  ('abs Interp.outcome, Interp.error) result
+(** Drop-in replacement for {!Interp.call} on a compiled environment.
+    Default fuel is {!Interp.default_fuel}. *)

@@ -47,6 +47,9 @@ type 'abs outcome = {
   steps : int;  (** statements + terminators executed *)
 }
 
+val default_fuel : int
+(** [1_000_000] steps; the default budget of {!call}. *)
+
 val call :
   ?fuel:int ->
   'abs env ->

@@ -85,4 +85,33 @@ echo "ci: wrote BENCH_engine.json"
 dune exec bench/analysis_bench.exe -- --out BENCH_analysis.json > /dev/null
 echo "ci: wrote BENCH_analysis.json"
 
+# --- scaling gate ---------------------------------------------------
+# Adding workers must never cost wall-clock: jobs=4 has to finish within
+# jobs=1 plus measurement headroom (25%).  The old pool lost 4-5x here
+# (per-completion broadcasts + domains oversubscribing the hardware);
+# this pins the fix.
+jobs_wall() {
+  sed -n 's/.*"jobs": '"$1"', "wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json
+}
+jobs_speedup() {
+  sed -n 's/.*"jobs": '"$1"',.*"speedup": \([0-9.eE+-]*\).*/\1/p' BENCH_engine.json
+}
+w1=$(jobs_wall 1); w4=$(jobs_wall 4)
+[ -n "$w1" ] && [ -n "$w4" ] || {
+  echo "ci: missing jobs points in BENCH_engine.json" >&2; exit 1; }
+awk -v w1="$w1" -v w4="$w4" 'BEGIN { exit !(w4 <= w1 * 1.25) }' || {
+  echo "ci: jobs=4 wall ${w4}s exceeds jobs=1 wall ${w1}s + 25% headroom" >&2
+  exit 1; }
+echo "ci: scaling gate ok (jobs=1 ${w1}s, jobs=4 ${w4}s)"
+
+# --- bench trajectory -----------------------------------------------
+# One summary line per CI run, appended so regressions are visible as a
+# series, not a point (kept as a workflow artifact alongside the JSON).
+cold=$(sed -n 's/.*"cold_wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
+warm=$(sed -n 's/.*"warm_speedup": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
+printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s\n' \
+  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$cold" "$warm" \
+  "$(jobs_speedup 2)" "$(jobs_speedup 4)" >> BENCH_trajectory.log
+echo "ci: appended $(tail -1 BENCH_trajectory.log | cut -d' ' -f2-) to BENCH_trajectory.log"
+
 echo "ci: all green"

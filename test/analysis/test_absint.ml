@@ -314,6 +314,30 @@ let test_seed_stack_clean () =
         0 stats.Analysis.Interval_lint.findings)
     sccs
 
+(* Widening-threshold budget: thresholds are harvested only from
+   literals a branch can test against (comparisons, switch cases,
+   asserts) — harvesting every body literal used to cost 8,419 interval
+   iterations over the seed stack.  Pins the trim: the iteration total
+   must stay strictly below the old count while every finding and
+   discharge stays exactly what it was (zero findings, and the same
+   discharge certificates the arith lint relies on). *)
+let test_seed_stack_iteration_budget () =
+  let program = seed_program () in
+  let cg = Analysis.Callgraph.build program in
+  let sccs = Analysis.Callgraph.sccs cg in
+  let iters = ref 0 in
+  let findings = ref 0 in
+  List.iter
+    (fun funcs ->
+      let _, stats = Analysis.Interval_lint.check program ~funcs in
+      iters := !iters + stats.Analysis.Interval_lint.iterations;
+      findings := !findings + stats.Analysis.Interval_lint.findings)
+    sccs;
+  Alcotest.(check int) "still zero findings" 0 !findings;
+  Alcotest.(check bool)
+    (Printf.sprintf "iteration total below the pre-trim 8419 (got %d)" !iters)
+    true (!iters < 8419)
+
 (* ------------------------------------------------------------------ *)
 (* Call graph                                                          *)
 
@@ -402,6 +426,8 @@ let () =
           Alcotest.test_case "policy classification" `Quick test_policy_classification;
           Alcotest.test_case "planted leaks fire" `Quick test_planted_leaks_fire;
           Alcotest.test_case "seed stack clean" `Quick test_seed_stack_clean;
+          Alcotest.test_case "iteration budget" `Quick
+            test_seed_stack_iteration_budget;
         ] );
       ( "engine",
         [

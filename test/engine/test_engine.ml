@@ -139,7 +139,9 @@ let render execs =
 
 let test_jobs_invariant_reports () =
   let r1 = render (Pool.run ~jobs:1 plan.Plan.dag) in
-  let r4 = render (Pool.run ~jobs:4 plan.Plan.dag) in
+  (* oversubscribe past the hardware clamp so the work-stealing domain
+     path is exercised even on a one-core CI machine *)
+  let r4 = render (Pool.run ~oversubscribe:true ~jobs:4 plan.Plan.dag) in
   Alcotest.(check string) "jobs=1 and jobs=4 produce identical reports" r1 r4
 
 let test_stream_seed_deterministic () =
@@ -156,7 +158,7 @@ let test_pool_survives_crash () =
         failwith "deliberate")
   in
   let dag = Dag.build_exn [ boom; pass_obl ~deps:[ "boom" ] "after" ] in
-  let execs = Pool.run ~jobs:2 dag in
+  let execs = Pool.run ~oversubscribe:true ~jobs:2 dag in
   Alcotest.(check int) "both obligations complete" 2 (List.length execs);
   let crash = List.hd execs in
   Alcotest.(check int) "crash becomes one failure" 1
@@ -208,8 +210,8 @@ let test_cache_round_trip () =
 
 let test_cache_warm_real_plan () =
   let cache = Cache.create ~dir:(fresh_dir ()) in
-  let cold = Pool.run ~cache ~jobs:2 plan.Plan.dag in
-  let warm = Pool.run ~cache ~jobs:2 plan.Plan.dag in
+  let cold = Pool.run ~cache ~oversubscribe:true ~jobs:2 plan.Plan.dag in
+  let warm = Pool.run ~cache ~oversubscribe:true ~jobs:2 plan.Plan.dag in
   Alcotest.(check bool)
     "warm run re-executes zero obligations (code proofs included)" true
     (List.for_all (( = ) Pool.Hit) (statuses warm));
@@ -282,6 +284,81 @@ let test_cache_skips_crash_outcomes () =
     (Pool.cache_status_to_string (List.hd third).Pool.cache);
   Alcotest.(check int) "no further execution" 2 !attempts
 
+(* The batched tier: a cold pool run flushes exactly one pack file; a
+   fresh cache on the same directory (a new process, as far as the
+   cache can tell) loads it back and replays; a corrupt pack is evicted
+   wholesale and degrades to a miss. *)
+let test_cache_pack_file_round_trip () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let counter = ref 0 in
+  let dag () =
+    Dag.build_exn
+      [ counted counter ~fingerprint:"p1" "a"; counted counter ~fingerprint:"p2" "b" ]
+  in
+  ignore (Pool.run ~cache ~jobs:1 (dag ()));
+  let packs () =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".pack")
+  in
+  Alcotest.(check int) "cold run writes one pack" 1 (List.length (packs ()));
+  Alcotest.(check int) "no per-entry files" 0
+    (List.length
+       (List.filter
+          (fun f -> Filename.check_suffix f ".proof")
+          (Array.to_list (Sys.readdir dir))));
+  let reloaded = Cache.create ~dir in
+  Alcotest.(check int) "reloaded index sees both entries" 2 (Cache.entry_count reloaded);
+  let warm = Pool.run ~cache:reloaded ~jobs:1 (dag ()) in
+  Alcotest.(check bool) "fresh cache replays from the pack" true
+    (List.for_all (( = ) Pool.Hit) (statuses warm));
+  Alcotest.(check int) "warm run executes nothing" 2 !counter;
+  (* corrupt the pack: the whole file is evicted and everything misses *)
+  let pack = Filename.concat dir (List.hd (packs ())) in
+  let oc = open_out_bin pack in
+  output_string oc "garbage";
+  close_out oc;
+  let after = Cache.create ~dir in
+  Alcotest.(check int) "corrupt pack loads nothing" 0 (Cache.entry_count after);
+  Alcotest.(check bool) "corrupt pack evicted" false (Sys.file_exists pack);
+  let redo = Pool.run ~cache:after ~jobs:1 (dag ()) in
+  Alcotest.(check bool) "post-eviction run misses and re-executes" true
+    (List.for_all (( = ) Pool.Miss) (statuses redo));
+  Alcotest.(check int) "re-executed both" 4 !counter
+
+(* a legacy per-entry file written by [store] is still served *)
+let test_cache_legacy_proof_still_read () =
+  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let o = pass_obl ~fingerprint:"fp-legacy" "z" in
+  Cache.store cache o (o.Obligation.run ());
+  let reloaded = Cache.create ~dir:(fresh_dir ()) in
+  ignore reloaded;
+  Alcotest.(check bool) "legacy entry hits" true (Cache.find cache o <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+(* the pool's timestamps all come from Engine.Clock, so a mocked source
+   makes the schedule metadata fully deterministic *)
+let test_clock_mockable () =
+  let t = ref 0.0 in
+  let fake () =
+    t := !t +. 1.0;
+    !t
+  in
+  let execs =
+    Engine.Clock.with_source fake (fun () ->
+        Pool.run ~jobs:1 (Dag.build_exn [ pass_obl "a"; pass_obl ~deps:[ "a" ] "b" ]))
+  in
+  (* fake clock ticks: t0=1, then started/finished pairs 2,3 and 4,5 *)
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "deterministic timestamps"
+    [ (1.0, 2.0); (3.0, 4.0) ]
+    (List.map (fun (e : Pool.exec) -> (e.started, e.finished)) execs);
+  Alcotest.(check (float 0.0)) "wall_of is the last finish" 4.0 (Pool.wall_of execs);
+  (* and the real source is restored afterwards *)
+  Alcotest.(check bool) "real clock restored" true (Engine.Clock.now () > 1e6)
+
 (* ------------------------------------------------------------------ *)
 (* JSON emission                                                       *)
 
@@ -328,6 +405,11 @@ let () =
           Alcotest.test_case "empty dir rejected" `Quick test_cache_empty_dir_rejected;
           Alcotest.test_case "crash outcomes not cached" `Quick
             test_cache_skips_crash_outcomes;
+          Alcotest.test_case "pack file round trip" `Quick
+            test_cache_pack_file_round_trip;
+          Alcotest.test_case "legacy proof files read" `Quick
+            test_cache_legacy_proof_still_read;
         ] );
+      ("clock", [ Alcotest.test_case "mockable source" `Quick test_clock_mockable ]);
       ("jsonx", [ Alcotest.test_case "emission" `Quick test_jsonx ]);
     ]
