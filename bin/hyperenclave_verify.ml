@@ -311,7 +311,34 @@ let phase_summary execs phase =
       ("wall_s", Float wall);
     ]
 
-let summary_json ~failures ~jobs ~cache_enabled execs =
+let supervision_json (totals : Engine.Supervisor.totals)
+    (stats : Engine.Pool.stats) =
+  Engine.Jsonx.Obj
+    [
+      ("supervised", Engine.Jsonx.Int totals.Engine.Supervisor.supervised);
+      ("retried", Int totals.Engine.Supervisor.retried);
+      ("recovered", Int totals.Engine.Supervisor.recovered);
+      ("fell_back", Int totals.Engine.Supervisor.fell_back);
+      ("quarantined", Int totals.Engine.Supervisor.quarantined);
+      ("timeouts", Int totals.Engine.Supervisor.timeouts);
+      ("crashes", Int totals.Engine.Supervisor.crashes);
+      ("worker_respawns", Int stats.Engine.Pool.respawns);
+      ("workers_lost", Int stats.Engine.Pool.lost_workers);
+    ]
+
+let engine_chaos_json = function
+  | None -> Engine.Jsonx.Null
+  | Some ch ->
+      Engine.Jsonx.Obj
+        (("seed", Engine.Jsonx.Int (Engine.Engine_chaos.seed ch))
+         :: ("injected_total", Int (Engine.Engine_chaos.injected_total ch))
+         :: List.map
+              (fun (k, n) ->
+                (Fault.Plan.engine_kind_to_string k, Engine.Jsonx.Int n))
+              (Engine.Engine_chaos.injected ch))
+
+let summary_json ~failures ~jobs ~cache_enabled ~sup_totals ~stats
+    ~cache_write_failures ~engine_chaos execs =
   let hits = count_cache execs Engine.Pool.Hit in
   let misses = count_cache execs Engine.Pool.Miss in
   let t, p, s, f =
@@ -328,6 +355,9 @@ let summary_json ~failures ~jobs ~cache_enabled execs =
       ("cache_hits", Int hits);
       ("cache_misses", Int misses);
       ("cache", Str (if cache_enabled then "enabled" else "disabled"));
+      ("cache_write_failures", Int cache_write_failures);
+      ("supervision", supervision_json sup_totals stats);
+      ("engine_chaos", engine_chaos_json engine_chaos);
       ("elapsed_s", Float (Engine.Pool.wall_of execs));
       ( "report_totals",
         Obj [ ("cases", Int t); ("passed", Int p); ("skipped", Int s); ("failed", Int f) ]
@@ -347,31 +377,88 @@ let summary_json ~failures ~jobs ~cache_enabled execs =
              (Engine.Pool.worker_stats execs)) );
     ]
 
-let trace_json execs =
-  List.map
-    (fun (e : Engine.Pool.exec) ->
-      Engine.Jsonx.Obj
-        [
-          ("id", Str e.obligation.Engine.Obligation.id);
-          ("phase", Str e.obligation.Engine.Obligation.phase);
-          ("cache", Str (Engine.Pool.cache_status_to_string e.cache));
-          ("worker", Int e.worker);
-          ("started_s", Float e.started);
-          ("finished_s", Float e.finished);
-          ("duration_s", Float (e.finished -. e.started));
-          ("failures", Int (Engine.Obligation.failure_count e.outcome));
-        ])
-    execs
+(* Supervision detail appears in an obligation's trace line only when
+   something happened (retries, faults, a fallback, quarantine): clean
+   runs keep the historical line shape. *)
+let trail_fields (trail : Engine.Supervisor.trail) =
+  if not (Engine.Supervisor.eventful trail) then []
+  else
+    [
+      ( "resolution",
+        Engine.Jsonx.Str
+          (Engine.Supervisor.resolution_to_string trail.Engine.Supervisor.resolution) );
+      ( "attempts",
+        Engine.Jsonx.List
+          (List.map
+             (fun (a : Engine.Supervisor.attempt) ->
+               Engine.Jsonx.Obj
+                 [
+                   ("n", Engine.Jsonx.Int a.Engine.Supervisor.n);
+                   ("status", Str (Engine.Supervisor.status_to_string a.Engine.Supervisor.status));
+                   ( "injected",
+                     match a.Engine.Supervisor.injected with
+                     | Some k -> Str (Fault.Plan.engine_kind_to_string k)
+                     | None -> Null );
+                   ("backoff_s", Float a.Engine.Supervisor.backoff);
+                 ])
+             trail.Engine.Supervisor.attempts) );
+    ]
+
+let trace_json ~cache execs =
+  let exec_lines =
+    List.map
+      (fun (e : Engine.Pool.exec) ->
+        Engine.Jsonx.Obj
+          ([
+             ("id", Engine.Jsonx.Str e.obligation.Engine.Obligation.id);
+             ("phase", Str e.obligation.Engine.Obligation.phase);
+             ("cache", Str (Engine.Pool.cache_status_to_string e.cache));
+             ("worker", Int e.worker);
+             ("started_s", Float e.started);
+             ("finished_s", Float e.finished);
+             ("duration_s", Float (e.finished -. e.started));
+             ("failures", Int (Engine.Obligation.failure_count e.outcome));
+           ]
+          @ trail_fields e.trail))
+      execs
+  in
+  let failure_lines =
+    match cache with
+    | None -> []
+    | Some c ->
+        List.map
+          (fun (op, msg) ->
+            Engine.Jsonx.Obj
+              [
+                ("event", Engine.Jsonx.Str "cache-write-failure");
+                ("op", Str op);
+                ("error", Str msg);
+              ])
+          (Engine.Cache.write_failures c)
+  in
+  exec_lines @ failure_lines
 
 (* ------------------------------------------------------------------ *)
 
 let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
-    chaos_traces faults_spec buggy_tlb lints_spec =
+    chaos_traces faults_spec buggy_tlb lints_spec timeout_ms retries
+    engine_chaos_seed engine_faults_spec =
   match Analysis.Lint.kinds_of_string lints_spec with
   | Error msg ->
       Format.eprintf "hyperenclave-verify: bad --lints: %s@." msg;
       2
   | Ok lints ->
+  match
+    if engine_chaos_seed = None then Ok Fault.Plan.all_engine_kinds
+    else Fault.Plan.engine_kinds_of_string engine_faults_spec
+  with
+  | Error msg ->
+      Format.eprintf "hyperenclave-verify: bad --engine-faults: %s@." msg;
+      2
+  | Ok [] ->
+      Format.eprintf "hyperenclave-verify: bad --engine-faults: empty kind list@.";
+      2
+  | Ok engine_kinds ->
   let geom =
     match geometry with
     | "x86_64" -> Hyperenclave.Geometry.x86_64
@@ -398,7 +485,29 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
   let plan = Engine.Plan.build ~quick ~security ~lints ~seed layout in
   let cache = Option.map (fun dir -> Engine.Cache.create ~dir) cache_dir in
   let jobs = max 1 jobs in
-  let execs = Engine.Pool.run ?cache ~jobs plan.Engine.Plan.dag in
+  let engine_chaos =
+    Option.map
+      (fun cseed -> Engine.Engine_chaos.create ~kinds:engine_kinds ~seed:cseed ())
+      engine_chaos_seed
+  in
+  let sup =
+    {
+      Engine.Supervisor.default with
+      timeout = (if timeout_ms <= 0 then None else Some (float_of_int timeout_ms /. 1000.));
+      retries = max 0 retries;
+      seed;
+      chaos = engine_chaos;
+    }
+  in
+  let run_pool () = Engine.Pool.run_with_stats ?cache ~sup ~jobs plan.Engine.Plan.dag in
+  let execs, stats =
+    (* chaos clock skew perturbs every engine timestamp and deadline
+       read; verification content never reads the clock, so stdout is
+       untouched *)
+    match engine_chaos with
+    | Some ch -> Engine.Clock.with_source (Engine.Engine_chaos.skewed_source ch) run_pool
+    | None -> run_pool ()
+  in
   render_engine_results ~failures ~security execs;
 
   if chaos then begin
@@ -422,13 +531,45 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
     (count_cache execs Engine.Pool.Hit)
     (count_cache execs Engine.Pool.Miss)
     (Engine.Pool.wall_of execs);
+  let sup_totals =
+    Engine.Supervisor.totals (List.map (fun (e : Engine.Pool.exec) -> e.trail) execs)
+  in
+  let cache_write_failures =
+    match cache with None -> 0 | Some c -> Engine.Cache.write_failure_count c
+  in
+  if
+    sup_totals.Engine.Supervisor.supervised > 0
+    || stats.Engine.Pool.respawns > 0 || stats.Engine.Pool.lost_workers > 0
+  then
+    Format.eprintf
+      "engine supervision: %d supervised (%d retried, %d recovered, %d fell back, \
+       %d quarantined), %d crashes, %d timeouts, %d respawns, %d workers lost@."
+      sup_totals.Engine.Supervisor.supervised sup_totals.Engine.Supervisor.retried
+      sup_totals.Engine.Supervisor.recovered sup_totals.Engine.Supervisor.fell_back
+      sup_totals.Engine.Supervisor.quarantined sup_totals.Engine.Supervisor.crashes
+      sup_totals.Engine.Supervisor.timeouts stats.Engine.Pool.respawns
+      stats.Engine.Pool.lost_workers;
+  if cache_write_failures > 0 then
+    Format.eprintf "engine cache: %d write failure(s) — see --trace-out@."
+      cache_write_failures;
+  Option.iter
+    (fun ch ->
+      Format.eprintf "engine chaos: seed=%d, injected %d (%s)@."
+        (Engine.Engine_chaos.seed ch)
+        (Engine.Engine_chaos.injected_total ch)
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "%s=%d" (Fault.Plan.engine_kind_to_string k) n)
+              (Engine.Engine_chaos.injected ch))))
+    engine_chaos;
   Option.iter
     (fun path ->
       Engine.Jsonx.write_file path
         (Engine.Jsonx.to_multiline_string
-           (summary_json ~failures:!failures ~jobs ~cache_enabled:(cache <> None) execs)))
+           (summary_json ~failures:!failures ~jobs ~cache_enabled:(cache <> None)
+              ~sup_totals ~stats ~cache_write_failures ~engine_chaos execs)))
     json_out;
-  Option.iter (fun path -> Engine.Jsonx.write_lines path (trace_json execs)) trace_out;
+  Option.iter (fun path -> Engine.Jsonx.write_lines path (trace_json ~cache execs)) trace_out;
   Option.iter
     (fun path ->
       Engine.Jsonx.write_file path
@@ -525,12 +666,52 @@ let lints =
            move-init, unchecked-arith, unreachable-block, interval-bounds, \
            secret-flow — or 'all'.")
 
+let timeout_ms =
+  Arg.(
+    value & opt int 0
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-attempt obligation deadline in milliseconds (0 = none).  \
+           Cooperative: check batteries poll at case/trial boundaries, so an \
+           attempt is cancelled at the first boundary past the deadline.")
+
+let retries =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Additional attempts for an obligation that crashes or times out, \
+           with deterministic exponential backoff, before the degradation \
+           ladder (reference-interpreter fallback for code proofs) and \
+           quarantine.")
+
+let engine_chaos_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "engine-chaos" ] ~docv:"SEED"
+        ~doc:
+          "Inject deterministic faults into the verification engine itself \
+           (obligation crashes/hangs, worker kills, cache corruption, clock \
+           skew) from SEED.  Verdicts must be byte-identical to a clean run \
+           — CI asserts this.")
+
+let engine_faults =
+  Arg.(
+    value & opt string "all"
+    & info [ "engine-faults" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated engine fault kinds for --engine-chaos: obl-crash, \
+           obl-hang, worker-kill, torn-pack, truncated-proof, clock-skew — \
+           or 'all'.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hyperenclave-verify"
        ~doc:"Run the full HyperEnclave memory-subsystem verification pass")
     Term.(
       const run $ geometry $ seed $ quick $ jobs $ cache_dir $ json_out $ trace_out
-      $ lint_json $ chaos $ chaos_traces $ faults $ buggy_tlb $ lints)
+      $ lint_json $ chaos $ chaos_traces $ faults $ buggy_tlb $ lints $ timeout_ms
+      $ retries $ engine_chaos_seed $ engine_faults)
 
 let () = exit (Cmd.eval' cmd)

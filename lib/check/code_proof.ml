@@ -360,6 +360,16 @@ let run_function ctx fn =
       (lname, Refine.run_compiled (Layers.compiled_for ctx.ctx_layout ~layer:lname) c))
     (check_function ctx fn)
 
+(* Degraded path: the identical case battery under the reference
+   interpreter.  The engine's supervisor runs this when the compiled
+   executor crashes — the battery is memoized in the ctx, so the only
+   extra cost is the (slower) interpreted execution itself. *)
+let run_function_interp ctx fn =
+  Option.map
+    (fun (lname, c) ->
+      (lname, Refine.run_interp (Layers.env_for ctx.ctx_layout ~layer:lname) c))
+    (check_function ctx fn)
+
 let checks ?seed layout =
   let ctx = ctx ?seed layout in
   List.concat_map

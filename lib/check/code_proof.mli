@@ -28,6 +28,12 @@ val run_function : ctx -> string -> (string * Mirverif.Report.t) option
 (** Run the conformance check of a single function — the obligation
     granularity of the parallel engine. *)
 
+val run_function_interp : ctx -> string -> (string * Mirverif.Report.t) option
+(** The same battery under the reference {!Mir.Interp} semantics
+    instead of the compiled executor.  The engine's degradation ladder:
+    when a compiled run crashes, the supervisor retries through this
+    and flags the divergence. *)
+
 val checks :
   ?seed:int -> Hyperenclave.Layout.t ->
   (string * Hyperenclave.Absdata.t Mirverif.Refine.check) list

@@ -36,21 +36,21 @@ type 'abs check = {
 
 let check ?(fuel = 1_000_000) ~fn ~spec ~eq cases = { fn; spec; cases; eq; fuel }
 
-(* The hot path runs against the closure-compiled executor: the check
-   is compiled once and then executed for every generated case.
-   [Mir.Compile.call] is observationally identical to [Mir.Interp.call]
-   (same outcomes, same error classification — pinned by the
-   differential suite), so reports are unchanged. *)
-let run_compiled cenv c =
+(* One case battery, parameterized over the executor.  The fold is the
+   checker's unit of progress, so each case starts with a cooperative
+   {!Cancel.poll} — the boundary where a supervising harness can cancel
+   an obligation that has outrun its deadline. *)
+let run_battery ~call c =
   List.fold_left
     (fun report cs ->
+      Cancel.poll ();
       let spec_args = Option.value ~default:cs.args cs.spec_args in
       match Spec.apply c.spec cs.abs spec_args with
       | Error _ ->
           (* Spec undefined: outside the precondition, nothing claimed. *)
           Report.add_skip report
       | Ok (abs_spec, ret_spec) -> (
-          match Mir.Compile.call ~fuel:c.fuel cenv ~abs:cs.abs ~mem:cs.mem c.fn cs.args with
+          match call ~abs:cs.abs ~mem:cs.mem c.fn cs.args with
           | Error e ->
               Report.add_failure report ~case:cs.label
                 ~reason:
@@ -69,6 +69,25 @@ let run_compiled cenv c =
               else Report.add_pass report))
     (Report.empty (Printf.sprintf "refine %s" c.fn))
     c.cases
+
+(* The hot path runs against the closure-compiled executor: the check
+   is compiled once and then executed for every generated case.
+   [Mir.Compile.call] is observationally identical to [Mir.Interp.call]
+   (same outcomes, same error classification — pinned by the
+   differential suite), so reports are unchanged. *)
+let run_compiled cenv c =
+  run_battery
+    ~call:(fun ~abs ~mem fn args -> Mir.Compile.call ~fuel:c.fuel cenv ~abs ~mem fn args)
+    c
+
+(* The degraded path: the same battery under the reference small-step
+   interpreter.  The engine's supervisor falls back to this when the
+   compiled executor crashes — slower, but with the smaller trusted
+   base of the reference semantics. *)
+let run_interp env c =
+  run_battery
+    ~call:(fun ~abs ~mem fn args -> Mir.Interp.call ~fuel:c.fuel env ~abs ~mem fn args)
+    c
 
 let run ?ccache env c = run_compiled (Mir.Compile.compile ?cache:ccache env) c
 let run_all env cs = List.map (run env) cs

@@ -57,7 +57,14 @@ val run : ?ccache:'abs Mir.Compile.cache -> 'abs Mir.Interp.env -> 'abs check ->
 val run_compiled : 'abs Mir.Compile.t -> 'abs check -> Report.t
 (** The hot path: every case executes against the closure-compiled
     form of the environment.  Observationally identical to running
-    under {!Mir.Interp.call} (pinned by the differential suite). *)
+    under {!Mir.Interp.call} (pinned by the differential suite).  Each
+    case boundary is a {!Cancel.poll} cancellation point. *)
+
+val run_interp : 'abs Mir.Interp.env -> 'abs check -> Report.t
+(** The degraded path: the same battery under the reference
+    interpreter, no compilation.  The engine's supervisor retries a
+    crashed compiled run through this — any verdict difference between
+    the two executors is a divergence worth flagging. *)
 
 val run_all : 'abs Mir.Interp.env -> 'abs check list -> Report.t list
 

@@ -22,7 +22,34 @@ type t = {
   mu : Mutex.t;
   index : (string, Obligation.outcome) Hashtbl.t;  (* from pack files *)
   pending : (string, Obligation.outcome) Hashtbl.t;  (* stashed, not yet flushed *)
+  mutable failures : (string * string) list;  (* (op, message), newest first; guarded by mu *)
+  mutable chaos : Engine_chaos.t option;
 }
+
+(* Write failures degrade the cache (the run stays correct, the next
+   run just recomputes), so they must not kill the run — but they must
+   not vanish either: each one is recorded here and the driver surfaces
+   them as trace events and a summary counter.  Out_of_memory and
+   Stack_overflow are not IO weather and are never absorbed. *)
+let fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
+
+let record_failure_locked t op exn =
+  t.failures <- (op, Printexc.to_string exn) :: t.failures
+
+let record_failure t op exn =
+  Mutex.lock t.mu;
+  record_failure_locked t op exn;
+  Mutex.unlock t.mu
+
+let write_failures t =
+  Mutex.lock t.mu;
+  let fs = List.rev t.failures in
+  Mutex.unlock t.mu;
+  fs
+
+let write_failure_count t = List.length (write_failures t)
+
+let set_chaos t ch = t.chaos <- Some ch
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -61,7 +88,8 @@ let create ~dir =
     (fun f ->
       if Filename.check_suffix f ".pack" then load_pack index (Filename.concat dir f))
     (Sys.readdir dir);
-  { dir; mu = Mutex.create (); index; pending = Hashtbl.create 64 }
+  { dir; mu = Mutex.create (); index; pending = Hashtbl.create 64;
+    failures = []; chaos = None }
 
 let key (o : Obligation.t) =
   Digest.to_hex
@@ -124,8 +152,13 @@ let flush t =
            Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
                output_string oc magic;
                Marshal.to_channel oc entries []);
-           Sys.rename tmp (Filename.concat t.dir (Filename.chop_suffix (Filename.basename tmp) ".tmp" ^ ".pack"))
-         with _ -> ());
+           let pack =
+             Filename.concat t.dir
+               (Filename.chop_suffix (Filename.basename tmp) ".tmp" ^ ".pack")
+           in
+           Sys.rename tmp pack;
+           Option.iter (fun ch -> Engine_chaos.tear_pack ch ~path:pack) t.chaos
+         with e when not (fatal e) -> record_failure_locked t "flush" e);
         Array.iter (fun (k, o) -> Hashtbl.replace t.index k o) entries;
         Hashtbl.reset t.pending
       end)
@@ -140,8 +173,9 @@ let store t (o : Obligation.t) (outcome : Obligation.outcome) =
     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
         output_string oc magic;
         Marshal.to_channel oc outcome []);
-    Sys.rename tmp file
-  with _ -> ()
+    Sys.rename tmp file;
+    Option.iter (fun ch -> Engine_chaos.truncate_proof ch ~path:file) t.chaos
+  with e when not (fatal e) -> record_failure t "store" e
 
 let entry_count t =
   Mutex.lock t.mu;

@@ -57,3 +57,21 @@ val store : t -> Obligation.t -> Obligation.outcome -> unit
 val entry_count : t -> int
 (** Number of distinct keys across the index, the pending buffer, and
     legacy per-entry files (diagnostics). *)
+
+val write_failures : t -> (string * string) list
+(** Every absorbed write failure so far, oldest first, as
+    [(op, message)] with [op] one of ["flush"] / ["store"].  A write
+    failure only degrades the cache (the next run recomputes), so
+    {!flush} and {!store} do not raise — but they record here, and the
+    driver surfaces the records as trace events and a summary counter
+    instead of losing them.  [Out_of_memory] and [Stack_overflow] are
+    never absorbed. *)
+
+val write_failure_count : t -> int
+
+val set_chaos : t -> Engine_chaos.t -> unit
+(** Arm the chaos harness's cache hooks: the first pack written after
+    {!flush}'s rename may be torn, the first legacy [.proof] entry
+    written by {!store} may be truncated (both at the harness's
+    deterministic discretion).  Corruption lands *after* the atomic
+    rename, modelling a torn write that fsync would have caught. *)

@@ -10,10 +10,11 @@ type t = {
   deps : string list;
   fingerprint : string;
   run : unit -> outcome;
+  fallback : (unit -> outcome) option;
 }
 
-let v ~id ~phase ?(deps = []) ~fingerprint run =
-  { id; phase; deps; fingerprint; run }
+let v ~id ~phase ?(deps = []) ~fingerprint ?fallback run =
+  { id; phase; deps; fingerprint; run; fallback }
 
 let outcome ?(log = "") ?(findings = []) reports = { reports; log; findings }
 

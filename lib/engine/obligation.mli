@@ -31,11 +31,18 @@ type t = {
           budgets); the cache key is a digest of this plus the engine
           version *)
   run : unit -> outcome;
+  fallback : (unit -> outcome) option;
+      (** degraded-mode evaluator for the supervisor's ladder: an
+          observationally equivalent but more conservative way to
+          discharge the same obligation (code proofs fall back from the
+          compiled-closure battery to the reference interpreter).  Run
+          once, after every [run] attempt has crashed; must depend on
+          the same fingerprinted inputs, so its outcome is cacheable. *)
 }
 
 val v :
   id:string -> phase:string -> ?deps:string list -> fingerprint:string ->
-  (unit -> outcome) -> t
+  ?fallback:(unit -> outcome) -> (unit -> outcome) -> t
 
 val outcome :
   ?log:string ->

@@ -231,16 +231,24 @@ let code_proof_obligations ?(seed = 2024) layout =
                 let fingerprint =
                   Printf.sprintf "%s;fn=%s;mir<=%s=%s" base_fp fn lname mir_digest
                 in
+                let outcome_of = function
+                  | Some (_, report) -> Obligation.outcome [ report ]
+                  | None ->
+                      Obligation.outcome
+                        [
+                          Report.add_failure (Report.empty fn) ~case:fn
+                            ~reason:"no spec owns this function";
+                        ]
+                in
+                (* degradation ladder: when the compiled-closure battery
+                   crashes, the supervisor re-discharges the obligation
+                   under the reference interpreter — the same cases over
+                   the same fingerprinted inputs, pinned observationally
+                   equivalent by the differential suite *)
                 Obligation.v ~id ~phase:"code-proofs" ~deps:prev_layer_ids ~fingerprint
-                  (fun () ->
-                    match Check.Code_proof.run_function ctx fn with
-                    | Some (_, report) -> Obligation.outcome [ report ]
-                    | None ->
-                        Obligation.outcome
-                          [
-                            Report.add_failure (Report.empty fn) ~case:fn
-                              ~reason:"no spec owns this function";
-                          ]))
+                  ~fallback:(fun () ->
+                    outcome_of (Check.Code_proof.run_function_interp ctx fn))
+                  (fun () -> outcome_of (Check.Code_proof.run_function ctx fn)))
               fns
           in
           (List.map (fun (o : Obligation.t) -> o.Obligation.id) ids, acc @ [ (lname, ids) ])
@@ -275,6 +283,8 @@ let run_refinement_shard layout ~stream ~trials =
   in
   let report = ref (Report.empty "flat/tree simulation (R)") in
   for trial = 1 to trials do
+    (* trial boundaries are this battery's cancellation points *)
+    Mirverif.Cancel.poll ();
     let d = Absdata.create layout in
     match Pt_flat.create_table d with
     | Error msg -> report := Report.add_failure !report ~case:"create" ~reason:msg

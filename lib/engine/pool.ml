@@ -12,7 +12,10 @@ type exec = {
   worker : int;
   started : float;
   finished : float;
+  trail : Supervisor.trail;
 }
+
+type stats = { respawns : int; lost_workers : int }
 
 (* ------------------------------------------------------------------ *)
 (* Work-stealing deques                                                *)
@@ -70,6 +73,12 @@ module Deque = struct
     Mutex.unlock d.mu;
     r
 
+  let length d =
+    Mutex.lock d.mu;
+    let n = d.len in
+    Mutex.unlock d.mu;
+    n
+
   (* thief: the oldest half (rounded up), oldest first — batch dequeue
      so a thief pays the lock once, not once per obligation *)
   let steal_half d =
@@ -101,10 +110,21 @@ end
 type sched = {
   dag : Dag.t;
   cache : Cache.t option;
+  sup : Supervisor.config;
   deques : Deque.t array;
   indeg : (string, int Atomic.t) Hashtbl.t;  (* pre-filled, then read-only structure *)
+  (* per-obligation publish flag: an obligation can execute twice when
+     a chaos kill lands between computing and publishing, but its
+     dependents are released and the completion counter bumped exactly
+     once — the CAS winner does the bookkeeping *)
+  done_flags : (string, bool Atomic.t) Hashtbl.t;
+  inflight : string option array;  (* what each worker is holding, for respawn re-push *)
   completed : int Atomic.t;
   total : int;
+  lives : int Atomic.t;  (* remaining respawn budget, shared by all workers *)
+  alive : int Atomic.t;
+  respawned : int Atomic.t;
+  lost : int Atomic.t;
   sleep_mu : Mutex.t;
   sleep_cond : Condition.t;
   mutable sleepers : int;  (* guarded by sleep_mu *)
@@ -118,25 +138,23 @@ let crash_outcome (o : Obligation.t) reason =
   Obligation.outcome
     [ Mirverif.Report.add_failure (Mirverif.Report.empty o.Obligation.id) ~case:"exception" ~reason ]
 
-(* [snd] is false when the obligation crashed: the synthesized failure
-   outcome describes this run's exception (out of memory, interrupted
-   worker, a transient bug in a checker), not a property of the
-   fingerprinted inputs, so it must never be cached — a warm run would
-   otherwise replay the crash forever. *)
-let attempt (o : Obligation.t) =
-  try (o.Obligation.run (), true)
-  with exn -> (crash_outcome o (Printexc.to_string exn), false)
-
+(* Quarantined outcomes describe this run's misfortune (a crash, a
+   blown deadline), not a property of the fingerprinted inputs, so
+   [cacheable] is false and they are never stashed — a warm run would
+   otherwise replay the failure forever.  Clean and fallback outcomes
+   are stashed as before. *)
 let execute sched (o : Obligation.t) =
   match sched.cache with
-  | None -> (fst (attempt o), Off)
+  | None ->
+      let r = Supervisor.supervise sched.sup o in
+      (r.Supervisor.outcome, Off, r.Supervisor.trail)
   | Some c -> (
       match Cache.find c o with
-      | Some outcome -> (outcome, Hit)
+      | Some outcome -> (outcome, Hit, Supervisor.cached)
       | None ->
-          let outcome, ran_ok = attempt o in
-          if ran_ok then Cache.stash c o outcome;
-          (outcome, Miss))
+          let r = Supervisor.supervise sched.sup o in
+          if r.Supervisor.cacheable then Cache.stash c o r.Supervisor.outcome;
+          (r.Supervisor.outcome, Miss, r.Supervisor.trail))
 
 let shutdown sched =
   Mutex.lock sched.sleep_mu;
@@ -217,6 +235,12 @@ let rec obtain sched wid =
 (* Results go to a domain-local buffer — no shared-table lock on the
    completion path — and are merged after the join. *)
 let worker sched wid buf =
+  let kill_point site id =
+    match sched.sup.Supervisor.chaos with
+    | Some ch when Engine_chaos.kill_worker ch ~site ~id ->
+        raise (Engine_chaos.Worker_killed id)
+    | _ -> ()
+  in
   let rec loop () =
     match obtain sched wid with
     | None -> ()
@@ -226,32 +250,77 @@ let worker sched wid buf =
           | Some o -> o
           | None -> invalid_arg ("Pool: unknown obligation " ^ id)
         in
+        sched.inflight.(wid) <- Some id;
+        kill_point "pre-exec" id;
         let started = Clock.now () -. sched.t0 in
-        let outcome, cache = execute sched o in
+        let outcome, cache, trail = execute sched o in
         let finished = Clock.now () -. sched.t0 in
-        buf := { obligation = o; outcome; cache; worker = wid; started; finished } :: !buf;
-        let ready =
-          List.filter
-            (fun d -> Atomic.fetch_and_add (Hashtbl.find sched.indeg d) (-1) = 1)
-            (Dag.dependents_of sched.dag id)
-        in
-        if ready <> [] then Deque.push_batch sched.deques.(wid) ready;
-        (* the worker pops one of them next itself; only the surplus
-           needs other hands *)
-        wake sched (List.length ready - 1);
-        if Atomic.fetch_and_add sched.completed 1 + 1 = sched.total then shutdown sched;
+        (* the nastier kill: the result is computed but not yet
+           published — the respawned worker must redo the obligation *)
+        kill_point "post-exec" id;
+        buf :=
+          { obligation = o; outcome; cache; worker = wid; started; finished; trail }
+          :: !buf;
+        sched.inflight.(wid) <- None;
+        let flag = Hashtbl.find sched.done_flags id in
+        if Atomic.compare_and_set flag false true then begin
+          let ready =
+            List.filter
+              (fun d -> Atomic.fetch_and_add (Hashtbl.find sched.indeg d) (-1) = 1)
+              (Dag.dependents_of sched.dag id)
+          in
+          if ready <> [] then Deque.push_batch sched.deques.(wid) ready;
+          (* the worker pops one of them next itself; only the surplus
+             needs other hands *)
+          wake sched (List.length ready - 1);
+          if Atomic.fetch_and_add sched.completed 1 + 1 = sched.total then
+            shutdown sched
+        end;
         loop ()
   in
-  (* a scheduler-level failure (not an obligation crash — those are
-     absorbed by [attempt]) must not strand the other workers in
-     [Condition.wait]: shut the pool down and let the merge synthesize
-     crash outcomes for whatever never ran *)
-  try loop () with _ -> shutdown sched
+  loop ()
 
-let run ?cache ?(oversubscribe = false) ~jobs dag =
+(* The worker's survival wrapper.  A chaos kill ([Worker_killed])
+   "kills the domain": the obligation it held goes back on its deque
+   and, while the shared respawn budget lasts, the worker restarts
+   in-domain (equivalent to joining the dead domain and spawning a
+   fresh one, without paying for a real spawn).  Past the budget the
+   worker stays dead — its queued obligations remain visible to
+   thieves, so survivors drain them; we wake enough sleepers to come
+   stealing, and if the last live worker dies the pool shuts down and
+   the merge synthesizes crash outcomes for whatever never ran.  Any
+   other scheduler-level failure (not an obligation crash — the
+   supervisor absorbs those) still shuts the pool down rather than
+   stranding workers in [Condition.wait]. *)
+let worker_supervised sched wid buf =
+  let rec go () =
+    match worker sched wid buf with
+    | () -> ()
+    | exception Engine_chaos.Worker_killed _ ->
+        (match sched.inflight.(wid) with
+        | Some id ->
+            sched.inflight.(wid) <- None;
+            if not (Atomic.get (Hashtbl.find sched.done_flags id)) then
+              Deque.push_batch sched.deques.(wid) [ id ]
+        | None -> ());
+        if Atomic.fetch_and_add sched.lives (-1) > 0 then begin
+          Atomic.incr sched.respawned;
+          go ()
+        end
+        else begin
+          Atomic.incr sched.lost;
+          wake sched (max 1 (Deque.length sched.deques.(wid)));
+          if Atomic.fetch_and_add sched.alive (-1) = 1 then shutdown sched
+        end
+    | exception _ -> shutdown sched
+  in
+  go ()
+
+let run_with_stats ?cache ?(oversubscribe = false) ?(sup = Supervisor.default)
+    ?(max_respawns = 32) ~jobs dag =
   let obls = Dag.obligations dag in
   let total = List.length obls in
-  if total = 0 then []
+  if total = 0 then ([], { respawns = 0; lost_workers = 0 })
   else begin
     let jobs = max 1 (min jobs total) in
     (* more active domains than cores cannot help CPU-bound work — it
@@ -267,10 +336,17 @@ let run ?cache ?(oversubscribe = false) ~jobs dag =
       {
         dag;
         cache;
+        sup;
         deques = Array.init jobs (fun _ -> Deque.create ());
         indeg = Hashtbl.create (max 16 total);
+        done_flags = Hashtbl.create (max 16 total);
+        inflight = Array.make jobs None;
         completed = Atomic.make 0;
         total;
+        lives = Atomic.make (max 0 max_respawns);
+        alive = Atomic.make jobs;
+        respawned = Atomic.make 0;
+        lost = Atomic.make 0;
         sleep_mu = Mutex.create ();
         sleep_cond = Condition.create ();
         sleepers = 0;
@@ -279,8 +355,13 @@ let run ?cache ?(oversubscribe = false) ~jobs dag =
         t0 = Clock.now ();
       }
     in
+    Option.iter
+      (fun c -> Option.iter (Cache.set_chaos c) sup.Supervisor.chaos)
+      cache;
     List.iter
-      (fun (o : Obligation.t) -> Hashtbl.replace sched.indeg o.id (Atomic.make (List.length o.deps)))
+      (fun (o : Obligation.t) ->
+        Hashtbl.replace sched.indeg o.id (Atomic.make (List.length o.deps));
+        Hashtbl.replace sched.done_flags o.id (Atomic.make false))
       obls;
     (* roots dealt round-robin so workers start with local work instead
        of a steal storm on worker 0 *)
@@ -295,10 +376,12 @@ let run ?cache ?(oversubscribe = false) ~jobs dag =
     let bufs = Array.init jobs (fun _ -> ref []) in
     if jobs = 1 then
       (* inline fast path: no domain spawn, no parked workers *)
-      worker sched 0 bufs.(0)
+      worker_supervised sched 0 bufs.(0)
     else begin
       let domains =
-        Array.mapi (fun wid buf -> Domain.spawn (fun () -> worker sched wid buf)) bufs
+        Array.mapi
+          (fun wid buf -> Domain.spawn (fun () -> worker_supervised sched wid buf))
+          bufs
       in
       Array.iter Domain.join domains
     end;
@@ -311,21 +394,29 @@ let run ?cache ?(oversubscribe = false) ~jobs dag =
        the caller sees.  An obligation a dead worker never published
        becomes an explicit crash outcome rather than a bare
        [Not_found]. *)
-    List.map
-      (fun (o : Obligation.t) ->
-        match Hashtbl.find_opt results o.Obligation.id with
-        | Some e -> e
-        | None ->
-            {
-              obligation = o;
-              outcome = crash_outcome o "worker exited before publishing a result";
-              cache = Off;
-              worker = -1;
-              started = 0.0;
-              finished = 0.0;
-            })
-      obls
+    let execs =
+      List.map
+        (fun (o : Obligation.t) ->
+          match Hashtbl.find_opt results o.Obligation.id with
+          | Some e -> e
+          | None ->
+              {
+                obligation = o;
+                outcome = crash_outcome o "worker exited before publishing a result";
+                cache = Off;
+                worker = -1;
+                started = 0.0;
+                finished = 0.0;
+                trail =
+                  { Supervisor.attempts = []; resolution = Supervisor.Quarantined };
+              })
+        obls
+    in
+    (execs, { respawns = Atomic.get sched.respawned; lost_workers = Atomic.get sched.lost })
   end
+
+let run ?cache ?oversubscribe ?sup ?max_respawns ~jobs dag =
+  fst (run_with_stats ?cache ?oversubscribe ?sup ?max_respawns ~jobs dag)
 
 let wall_of execs =
   List.fold_left (fun acc e -> Float.max acc e.finished) 0.0 execs

@@ -28,9 +28,24 @@
     With [?cache], each obligation is first looked up in the
     content-addressed proof cache and executed only on a miss; outcomes
     are batched ({!Cache.stash}) and written as one pack file per run
-    ({!Cache.flush}, called before [run] returns).  An obligation that
-    raises is converted into a one-failure report rather than tearing
-    down the pool, and is never cached. *)
+    ({!Cache.flush}, called before [run] returns).
+
+    Cache misses execute under {!Supervisor.supervise} with [?sup]
+    (default {!Supervisor.default}: one attempt, no deadline — the
+    historical behaviour).  An obligation that raises is converted into
+    a one-failure report rather than tearing down the pool, and
+    quarantined outcomes are never cached; clean and fallback outcomes
+    are.  Each [exec] carries the supervision {!Supervisor.trail}.
+
+    When [sup.chaos] is armed, workers additionally pass kill points
+    before executing and before publishing an obligation; a chaos kill
+    tears the worker down mid-flight.  The obligation it held is
+    re-enqueued and the worker respawns while the shared [?max_respawns]
+    budget (default 32) lasts; past it the worker stays dead and its
+    queued work drains onto the survivors via the stealing path.  A
+    per-obligation publish flag keeps dependent release and completion
+    counting exactly-once even when a kill lands between computing and
+    publishing a result (the obligation simply runs again). *)
 
 type cache_status = Hit | Miss | Off
 
@@ -43,9 +58,23 @@ type exec = {
   worker : int;  (** worker that ran (or replayed) it *)
   started : float;  (** seconds since pool start *)
   finished : float;
+  trail : Supervisor.trail;
+      (** how execution went: attempts, faults injected, resolution
+          ({!Supervisor.cached} for a hit) *)
 }
 
-val run : ?cache:Cache.t -> ?oversubscribe:bool -> jobs:int -> Dag.t -> exec list
+type stats = {
+  respawns : int;  (** workers killed by chaos and restarted *)
+  lost_workers : int;  (** workers dead past the respawn budget *)
+}
+
+val run :
+  ?cache:Cache.t -> ?oversubscribe:bool -> ?sup:Supervisor.config ->
+  ?max_respawns:int -> jobs:int -> Dag.t -> exec list
+
+val run_with_stats :
+  ?cache:Cache.t -> ?oversubscribe:bool -> ?sup:Supervisor.config ->
+  ?max_respawns:int -> jobs:int -> Dag.t -> exec list * stats
 
 val wall_of : exec list -> float
 (** Latest finish time = the pool's wall-clock. *)

@@ -64,6 +64,59 @@ let kinds_of_string s =
        (Ok [])
   |> Result.map List.rev
 
+(* ------------------------------------------------------------------ *)
+(* Engine-level fault vocabulary                                       *)
+
+(* Faults against the checker itself rather than the checked monitor:
+   the engine's chaos harness (lib/engine/engine_chaos.ml) injects
+   these at named hook points in the supervised obligation pool and its
+   cache tier.  The vocabulary lives here so state-level and
+   engine-level chaos share one naming scheme and one CLI syntax. *)
+type engine_kind =
+  | Obl_crash  (** an obligation raises mid-run *)
+  | Obl_hang  (** an obligation stops making progress until its deadline *)
+  | Worker_kill  (** a worker domain dies between obligations or before publishing *)
+  | Torn_pack  (** a cache pack file is truncated mid-write *)
+  | Truncated_proof  (** a legacy [.proof] entry is cut short *)
+  | Clock_skew  (** the engine clock jumps forward in small steps *)
+
+let all_engine_kinds =
+  [ Obl_crash; Obl_hang; Worker_kill; Torn_pack; Truncated_proof; Clock_skew ]
+
+let engine_kind_to_string = function
+  | Obl_crash -> "obl-crash"
+  | Obl_hang -> "obl-hang"
+  | Worker_kill -> "worker-kill"
+  | Torn_pack -> "torn-pack"
+  | Truncated_proof -> "truncated-proof"
+  | Clock_skew -> "clock-skew"
+
+let engine_kind_of_string s =
+  match
+    List.find_opt
+      (fun k -> String.equal (engine_kind_to_string k) s)
+      all_engine_kinds
+  with
+  | Some k -> Ok k
+  | None ->
+      Error
+        (Printf.sprintf "unknown engine fault kind %S (expected one of %s)" s
+           (String.concat ", " (List.map engine_kind_to_string all_engine_kinds)))
+
+let engine_kinds_of_string s =
+  if String.equal (String.trim s) "all" then Ok all_engine_kinds
+  else
+    String.split_on_char ',' s
+    |> List.filter (fun s -> s <> "")
+    |> List.fold_left
+         (fun acc name ->
+           match (acc, engine_kind_of_string (String.trim name)) with
+           | Error _, _ -> acc
+           | Ok _, Error e -> Error e
+           | Ok ks, Ok k -> Ok (k :: ks))
+         (Ok [])
+    |> Result.map List.rev
+
 let corrupts f =
   match kind_of f with
   | Pt_bitflip | Bitmap_bitflip | Epcm_corruption -> true

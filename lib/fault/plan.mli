@@ -55,6 +55,31 @@ val kind_of_string : string -> (kind, string) result
 val kinds_of_string : string -> (kind list, string) result
 (** Comma-separated kind names (the [--faults] CLI syntax). *)
 
+(** {1 Engine-level fault vocabulary}
+
+    Faults against the checker itself (the supervised obligation pool
+    and its proof cache) rather than the checked monitor.  Injected by
+    [Engine.Engine_chaos] at named hook points; named here so both
+    chaos harnesses share one vocabulary and one CLI syntax. *)
+
+type engine_kind =
+  | Obl_crash  (** an obligation raises mid-run *)
+  | Obl_hang  (** an obligation stops making progress until its deadline *)
+  | Worker_kill
+      (** a worker domain dies between obligations or after computing a
+          result but before publishing it *)
+  | Torn_pack  (** a cache pack file is truncated mid-write *)
+  | Truncated_proof  (** a legacy [.proof] entry is cut short *)
+  | Clock_skew  (** the engine clock jumps forward in small steps *)
+
+val all_engine_kinds : engine_kind list
+val engine_kind_to_string : engine_kind -> string
+val engine_kind_of_string : string -> (engine_kind, string) result
+
+val engine_kinds_of_string : string -> (engine_kind list, string) result
+(** Comma-separated engine-kind names, or ["all"] (the
+    [--engine-faults] CLI syntax). *)
+
 val corrupts : t -> bool
 (** Whether the fault puts the monitor state outside the reachable
     set: after a corrupting fault the Sec. 5.2 invariants are no

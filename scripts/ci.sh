@@ -79,11 +79,41 @@ dune exec test/analysis/test_absint.exe > /dev/null || {
   exit 1; }
 echo "ci: lints clean on the seed stack, all negative fixtures fire"
 
+# --- engine-chaos smoke gate ----------------------------------------
+# A fixed-seed chaos run (injected obligation crashes/hangs, worker
+# kills, torn packs, truncated .proof files, clock skew) must
+# terminate with exit code 0 and verdicts byte-identical to the clean
+# run above: the supervisor absorbs every injected fault.  The warm
+# rerun over the chaos-torn cache must also match (corrupt entries are
+# evicted and recomputed, never trusted), and no cache write may have
+# been silently dropped.
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --jobs 4 --engine-chaos 42 \
+  --timeout-ms 200 --retries 2 --cache "$workdir/chaos-cache" \
+  --json-out "$workdir/chaos.json" > "$workdir/chaos.out"
+diff "$workdir/serial.out" "$workdir/chaos.out" || {
+  echo "ci: chaos run verdicts differ from clean run" >&2; exit 1; }
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --jobs 2 --cache "$workdir/chaos-cache" \
+  --json-out "$workdir/chaos-warm.json" > "$workdir/chaos-warm.out"
+diff "$workdir/serial.out" "$workdir/chaos-warm.out" || {
+  echo "ci: rerun over chaos-torn cache differs from clean run" >&2; exit 1; }
+injected=$(sed -n 's/.*"injected_total": *\([0-9][0-9]*\).*/\1/p' "$workdir/chaos.json")
+[ -n "$injected" ] && [ "$injected" -gt 0 ] || {
+  echo "ci: chaos run injected no faults" >&2; exit 1; }
+for f in "$workdir/chaos.json" "$workdir/chaos-warm.json"; do
+  grep -q '"cache_write_failures": 0' "$f" || {
+    echo "ci: $f reports dropped cache writes" >&2; exit 1; }
+done
+echo "ci: chaos smoke ok ($injected faults injected, verdicts identical, 0 dropped cache writes)"
+
 # scaling benchmarks, uploaded as workflow artifacts
 dune exec bench/engine_bench.exe -- --quick --out BENCH_engine.json > /dev/null
 echo "ci: wrote BENCH_engine.json"
 dune exec bench/analysis_bench.exe -- --out BENCH_analysis.json > /dev/null
 echo "ci: wrote BENCH_analysis.json"
+dune exec bench/supervisor_bench.exe -- --quick --out BENCH_supervisor.json > /dev/null
+echo "ci: wrote BENCH_supervisor.json"
 
 # --- scaling gate ---------------------------------------------------
 # Adding workers must never cost wall-clock: jobs=4 has to finish within
