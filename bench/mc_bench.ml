@@ -1,0 +1,90 @@
+(* Model-checker benchmark: raw exploration throughput (states/sec),
+   visited-set dedup ratio, and the sleep-set POR pruning factor on
+   the tiny geometry, emitted as BENCH_mc.json (consumed by CI as an
+   artifact; see EXPERIMENTS.md).  The POR point re-runs the same
+   bound without reduction, so the JSON also double-checks that
+   reduction leaves the reachable state count unchanged.
+
+   Run with: dune exec bench/mc_bench.exe -- [--quick] [--out FILE] *)
+
+open Hyperenclave
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let out = ref "BENCH_mc.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1))
+    Sys.argv;
+  let layout = Layout.default Geometry.tiny in
+  let depth = if quick then 4 else 5 in
+  (* throughput: checks on, POR on — the configuration the engine
+     phase actually runs *)
+  let full, full_s =
+    time (fun () -> Mc.Explore.run (Mc.Explore.config ~depth layout))
+  in
+  (* pruning factor: same bound, checks off to isolate exploration *)
+  let por, por_s =
+    time (fun () ->
+      Mc.Explore.run (Mc.Explore.config ~depth ~checks:false layout))
+  in
+  let nopor, nopor_s =
+    time (fun () ->
+      Mc.Explore.run
+        (Mc.Explore.config ~depth ~checks:false ~por:false layout))
+  in
+  let fs = full.Mc.Explore.stats in
+  let ps = por.Mc.Explore.stats in
+  let ns = nopor.Mc.Explore.stats in
+  let states_per_sec = float_of_int fs.explored /. Float.max 1e-9 full_s in
+  let dedup_ratio =
+    float_of_int ns.deduped /. float_of_int (Int.max 1 ns.transitions)
+  in
+  (* interleaving-level pruning: dedup-free tree walks with and
+     without sleep sets — each skipped expansion cuts a subtree, so
+     per-edge counts on the deduplicated graph undercount the
+     reduction *)
+  let il_por =
+    Mc.Explore.interleavings (Mc.Explore.config ~depth ~checks:false layout)
+  in
+  let il_full =
+    Mc.Explore.interleavings
+      (Mc.Explore.config ~depth ~checks:false ~por:false layout)
+  in
+  let pruning_factor =
+    1. -. (float_of_int il_por /. float_of_int (Int.max 1 il_full))
+  in
+  let oc = open_out !out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"mc\",\n\
+    \  \"geometry\": \"tiny\",\n\
+    \  \"depth\": %d,\n\
+    \  \"universe\": %d,\n\
+    \  \"states\": %d,\n\
+    \  \"transitions\": %d,\n\
+    \  \"checked_wall_s\": %.6f,\n\
+    \  \"states_per_sec\": %.1f,\n\
+    \  \"dedup_ratio\": %.4f,\n\
+    \  \"por\": { \"states\": %d, \"transitions\": %d, \"pruned\": %d, \"wall_s\": %.6f, \"interleavings\": %d },\n\
+    \  \"no_por\": { \"states\": %d, \"transitions\": %d, \"wall_s\": %.6f, \"interleavings\": %d },\n\
+    \  \"pruning_factor\": %.4f,\n\
+    \  \"por_states_match\": %b\n\
+     }\n"
+    depth
+    (List.length (Mc.Universe.events layout))
+    fs.explored fs.transitions full_s states_per_sec dedup_ratio ps.explored
+    ps.transitions ps.pruned por_s il_por ns.explored ns.transitions nopor_s
+    il_full pruning_factor
+    (por.Mc.Explore.keys = nopor.Mc.Explore.keys);
+  close_out oc;
+  Printf.printf
+    "mc bench: depth %d, %d states (%.0f/s), dedup %.2f, POR pruned %.1f%% \
+     (states match: %b)\n"
+    depth fs.explored states_per_sec dedup_ratio (100. *. pruning_factor)
+    (por.Mc.Explore.keys = nopor.Mc.Explore.keys)

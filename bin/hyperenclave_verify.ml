@@ -14,8 +14,12 @@
     10. chaos        — opt-in (--chaos): fault-injected traces with
                        transactionality, invariant and TLB-consistency
                        checks, plus MIRlight-level primitive faults
+    11. model check  — opt-in (--model-check DEPTH): exhaustive bounded
+                       exploration of every event interleaving (lib/mc),
+                       sharded by state-key prefix across the pool, with
+                       partial-order reduction (--mc-por/--no-mc-por)
 
-   Phases 3-9 are reified as an obligation DAG (lib/engine) and run on
+   Phases 3-9 and 11 are reified as an obligation DAG (lib/engine) and run on
    a Domain worker pool (--jobs), optionally against a
    content-addressed proof cache (--cache DIR).  Stdout carries only
    verification content — no job counts, timings or cache statistics —
@@ -289,6 +293,107 @@ let render_engine_results ~failures ~security execs =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Phase 11 (opt-in): bounded model checking                           *)
+
+(* Execs arrive in DAG insertion order (root, then shards in index
+   order), so the folded rollup — and with it every stdout line — is
+   byte-identical at any job count and cache state. *)
+let mc_rollup execs =
+  Mc.Explore.rollup
+    (List.map
+       (fun (e : Engine.Pool.exec) ->
+         Mc.Explore.parse_log e.outcome.Engine.Obligation.log)
+       (of_phase execs "model-check"))
+
+let render_model_check ~failures (req : Engine.Plan.mc_request) execs =
+  phase_header "11. model checking (exhaustive bounded interleavings)";
+  let r = mc_rollup execs in
+  Format.printf "  monitor: %s@."
+    (if req.Engine.Plan.mc_flush then "correct"
+     else "buggy (unmap does not flush the TLB)");
+  Format.printf
+    "  depth %d, %d-event universe, reduction %s: %d states, %d transitions, \
+     %d deduped, %d pruned@."
+    req.Engine.Plan.mc_depth
+    (List.length (Mc.Universe.events req.Engine.Plan.mc_layout))
+    (if req.Engine.Plan.mc_por then "on" else "off")
+    r.Mc.Explore.r_states r.Mc.Explore.r_transitions r.Mc.Explore.r_deduped
+    r.Mc.Explore.r_pruned;
+  List.iter
+    (fun (v : Mc.Explore.parsed_violation) ->
+      Format.printf "  VIOLATION %s at state %s: %s@." v.Mc.Explore.p_kind
+        v.Mc.Explore.p_state v.Mc.Explore.p_detail;
+      Format.printf "    witness (%d events, ddmin spent %d replays):@."
+        (List.length v.Mc.Explore.p_witness)
+        v.Mc.Explore.p_evals;
+      List.iter (Format.printf "      %s@.") v.Mc.Explore.p_witness)
+    r.Mc.Explore.r_violations;
+  match (r.Mc.Explore.r_violations, req.Engine.Plan.mc_flush) with
+  | [], true ->
+      Format.printf
+        "  no violations: every reachable state satisfies the invariants, TLB \
+         consistency and step-indistinguishability@."
+  | [], false ->
+      incr failures;
+      Format.printf
+        "  UNEXPECTED: the buggy monitor survived exhaustive exploration@."
+  | vs, flush ->
+      if flush then incr failures
+      else if
+        List.for_all
+          (fun (v : Mc.Explore.parsed_violation) ->
+            String.equal v.Mc.Explore.p_kind "tlb-consistency")
+          vs
+      then
+        Format.printf
+          "  rediscovered the planted stale-TLB bug exhaustively (minimal \
+           witness: %d events)@."
+          (Option.value ~default:0 (Mc.Explore.min_witness r))
+      else begin
+        incr failures;
+        Format.printf
+          "  UNEXPECTED: violations beyond the planted TLB-consistency bug@."
+      end
+
+let model_check_json model_check execs =
+  match model_check with
+  | None -> Engine.Jsonx.Null
+  | Some (req : Engine.Plan.mc_request) ->
+      let r = mc_rollup execs in
+      Engine.Jsonx.Obj
+        [
+          ("depth", Engine.Jsonx.Int req.Engine.Plan.mc_depth);
+          ("por", Str (if req.Engine.Plan.mc_por then "on" else "off"));
+          ( "monitor",
+            Str (if req.Engine.Plan.mc_flush then "correct" else "buggy-tlb") );
+          ( "universe",
+            Int (List.length (Mc.Universe.events req.Engine.Plan.mc_layout)) );
+          ("states_explored", Int r.Mc.Explore.r_states);
+          ("transitions", Int r.Mc.Explore.r_transitions);
+          ("deduped", Int r.Mc.Explore.r_deduped);
+          ("pruned", Int r.Mc.Explore.r_pruned);
+          ( "min_witness",
+            match Mc.Explore.min_witness r with Some n -> Int n | None -> Null );
+          ( "violations",
+            List
+              (List.map
+                 (fun (v : Mc.Explore.parsed_violation) ->
+                   Engine.Jsonx.Obj
+                     [
+                       ("kind", Engine.Jsonx.Str v.Mc.Explore.p_kind);
+                       ("state", Str v.Mc.Explore.p_state);
+                       ("detail", Str v.Mc.Explore.p_detail);
+                       ("shrink_evals", Int v.Mc.Explore.p_evals);
+                       ( "witness",
+                         List
+                           (List.map
+                              (fun ev -> Engine.Jsonx.Str ev)
+                              v.Mc.Explore.p_witness) );
+                     ])
+                 r.Mc.Explore.r_violations) );
+        ]
+
+(* ------------------------------------------------------------------ *)
 (* Observability: stderr one-liner, --json-out summary, --trace-out    *)
 
 let count_cache execs status =
@@ -338,7 +443,7 @@ let engine_chaos_json = function
               (Engine.Engine_chaos.injected ch))
 
 let summary_json ~failures ~jobs ~cache_enabled ~sup_totals ~stats
-    ~cache_write_failures ~engine_chaos execs =
+    ~cache_write_failures ~engine_chaos ~model_check execs =
   let hits = count_cache execs Engine.Pool.Hit in
   let misses = count_cache execs Engine.Pool.Miss in
   let t, p, s, f =
@@ -358,6 +463,7 @@ let summary_json ~failures ~jobs ~cache_enabled ~sup_totals ~stats
       ("cache_write_failures", Int cache_write_failures);
       ("supervision", supervision_json sup_totals stats);
       ("engine_chaos", engine_chaos_json engine_chaos);
+      ("model_check", model_check_json model_check execs);
       ("elapsed_s", Float (Engine.Pool.wall_of execs));
       ( "report_totals",
         Obj [ ("cases", Int t); ("passed", Int p); ("skipped", Int s); ("failed", Int f) ]
@@ -442,7 +548,7 @@ let trace_json ~cache execs =
 
 let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
     chaos_traces faults_spec buggy_tlb lints_spec timeout_ms retries
-    engine_chaos_seed engine_faults_spec =
+    engine_chaos_seed engine_faults_spec mc_depth mc_geometry mc_por =
   match Analysis.Lint.kinds_of_string lints_spec with
   | Error msg ->
       Format.eprintf "hyperenclave-verify: bad --lints: %s@." msg;
@@ -482,7 +588,34 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
 
   (* phases 3-8: build the obligation DAG and hand it to the pool *)
   let security = geometry <> "x86_64" in
-  let plan = Engine.Plan.build ~quick ~security ~lints ~seed layout in
+  let model_check =
+    Option.map
+      (fun depth ->
+        (* the checker's own small geometry: exhaustive exploration
+           needs an enumerable state space regardless of the geometry
+           the proof phases run on *)
+        let mc_geom =
+          match mc_geometry with
+          | "tiny3" -> (
+              match
+                Hyperenclave.Geometry.make ~levels:3 ~index_bits:2 ~fb_present:0
+                  ~fb_write:1 ~fb_user:2 ~fb_huge:3
+              with
+              | Ok g -> g
+              | Error _ -> Hyperenclave.Geometry.tiny)
+          | _ -> Hyperenclave.Geometry.tiny
+        in
+        {
+          Engine.Plan.mc_depth = max 1 depth;
+          mc_por;
+          mc_flush = not buggy_tlb;
+          mc_layout = Hyperenclave.Layout.default mc_geom;
+        })
+      mc_depth
+  in
+  let plan =
+    Engine.Plan.build ~quick ~security ~lints ?model_check ~seed layout
+  in
   let cache = Option.map (fun dir -> Engine.Cache.create ~dir) cache_dir in
   let jobs = max 1 jobs in
   let engine_chaos =
@@ -519,6 +652,8 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
       run_chaos ~failures ~quick ~seed ~traces:chaos_traces ~faults_spec
         ~buggy_tlb layout
   end;
+
+  Option.iter (fun req -> render_model_check ~failures req execs) model_check;
 
   Format.printf "@.%s@."
     (if !failures = 0 then "VERIFICATION PASS: all checks succeeded"
@@ -567,7 +702,8 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
       Engine.Jsonx.write_file path
         (Engine.Jsonx.to_multiline_string
            (summary_json ~failures:!failures ~jobs ~cache_enabled:(cache <> None)
-              ~sup_totals ~stats ~cache_write_failures ~engine_chaos execs)))
+              ~sup_totals ~stats ~cache_write_failures ~engine_chaos ~model_check
+              execs)))
     json_out;
   Option.iter (fun path -> Engine.Jsonx.write_lines path (trace_json ~cache execs)) trace_out;
   Option.iter
@@ -705,6 +841,48 @@ let engine_faults =
            obl-hang, worker-kill, torn-pack, truncated-proof, clock-skew — \
            or 'all'.")
 
+let mc_depth =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "model-check" ] ~docv:"DEPTH"
+        ~doc:
+          "Also run phase 11: exhaustively explore every interleaving of the \
+           hypercall/access/fault universe up to DEPTH events from boot on \
+           the --mc-geometry layout, deduplicating states by canonical key \
+           and checking invariants, TLB consistency, transactionality and \
+           step-indistinguishability at every reachable state.  With \
+           --buggy-tlb the phase passes only when the stale-TLB bug is \
+           rediscovered and ddmin-shrunk to its minimal witness.")
+
+let mc_geometry =
+  Arg.(
+    value
+    & opt (enum [ ("tiny", "tiny"); ("tiny3", "tiny3") ]) "tiny"
+    & info [ "mc-geometry" ] ~docv:"GEOM"
+        ~doc:
+          "Geometry for the model-checking phase: $(b,tiny) (2 levels) or \
+           $(b,tiny3) (3 levels) — independent of --geometry, since \
+           exhaustive exploration needs an enumerable state space.")
+
+let mc_por =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "mc-por" ]
+              ~doc:
+                "Enable sleep-set partial-order reduction in the \
+                 model-checking phase (the default)." );
+          ( false,
+            info [ "no-mc-por" ]
+              ~doc:
+                "Disable partial-order reduction: explore every interleaving \
+                 order.  The violation set and reachable states are identical \
+                 either way — CI asserts it." );
+        ])
+
 let cmd =
   Cmd.v
     (Cmd.info "hyperenclave-verify"
@@ -712,6 +890,7 @@ let cmd =
     Term.(
       const run $ geometry $ seed $ quick $ jobs $ cache_dir $ json_out $ trace_out
       $ lint_json $ chaos $ chaos_traces $ faults $ buggy_tlb $ lints $ timeout_ms
-      $ retries $ engine_chaos_seed $ engine_faults)
+      $ retries $ engine_chaos_seed $ engine_faults $ mc_depth $ mc_geometry
+      $ mc_por)
 
 let () = exit (Cmd.eval' cmd)

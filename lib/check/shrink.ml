@@ -6,11 +6,11 @@
 let drop_chunk xs ~start ~len =
   List.filteri (fun i _ -> i < start || i >= start + len) xs
 
-let evaluations ~still_fails xs =
+let evaluations ~check xs =
   let evals = ref 0 in
   let fails xs =
     incr evals;
-    still_fails xs
+    check xs
   in
   if not (fails xs) then (xs, !evals)
   else
@@ -32,4 +32,4 @@ let evaluations ~still_fails xs =
     let shrunk = at_size xs (max 1 (List.length xs / 2)) in
     (shrunk, !evals)
 
-let list ~still_fails xs = fst (evaluations ~still_fails xs)
+let list ~check xs = fst (evaluations ~check xs)

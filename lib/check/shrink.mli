@@ -1,19 +1,25 @@
 (** Counterexample shrinking (delta debugging).
 
-    When a randomized check fails, the witness trace is rarely minimal:
-    most of its events are noise the failure does not depend on.
-    {!list} greedily removes contiguous chunks of decreasing size while
-    the caller's predicate still reports failure, yielding a
+    When a check fails on a list of events, the witness is rarely
+    minimal: most of its elements are noise the failure does not depend
+    on.  {!list} greedily removes contiguous chunks of decreasing size
+    while the caller's predicate still reports failure, yielding a
     1-minimal sublist — removing any single remaining element makes the
     failure disappear.  The predicate must be deterministic (all our
-    traces replay from explicit seeds, so it is). *)
+    traces replay from explicit seeds or explicit event lists, so it
+    is).
 
-val list : still_fails:('a list -> bool) -> 'a list -> 'a list
-(** [list ~still_fails xs] assumes [still_fails xs = true] and returns
-    a minimal sublist (element order preserved) on which it still
-    holds.  If the assumption is violated, [xs] is returned
-    unchanged. *)
+    The entry point is generic in the element type: the chaos driver
+    shrinks fault-injected event traces, the model checker shrinks
+    hypercall interleavings, and the test suites shrink plain integer
+    lists — all through the same [~check] predicate. *)
 
-val evaluations : still_fails:('a list -> bool) -> 'a list -> 'a list * int
+val list : check:('a list -> bool) -> 'a list -> 'a list
+(** [list ~check xs] assumes [check xs = true] ("this list still
+    exhibits the failure") and returns a minimal sublist (element order
+    preserved) on which it still holds.  If the assumption is violated,
+    [xs] is returned unchanged. *)
+
+val evaluations : check:('a list -> bool) -> 'a list -> 'a list * int
 (** Like {!list}, also reporting how many predicate evaluations the
     search used (for the reports and benchmarks). *)

@@ -1,6 +1,13 @@
 open Hyperenclave
 module Report = Mirverif.Report
 
+type mc_request = {
+  mc_depth : int;
+  mc_por : bool;
+  mc_flush : bool;
+  mc_layout : Layout.t;
+}
+
 type t = {
   dag : Dag.t;
   layout : Layout.t;
@@ -8,6 +15,7 @@ type t = {
   quick : bool;
   security : bool;
   lints : Analysis.Lint.kind list;
+  model_check : mc_request option;
 }
 
 let phases =
@@ -20,6 +28,7 @@ let phases =
     "noninterference";
     "trace-ni";
     "attacks";
+    "model-check";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -501,10 +510,100 @@ let attack_obligations ~deps scenarios =
     scenarios
 
 (* ------------------------------------------------------------------ *)
+(* Phase 11: bounded model checking, sharded by state-key prefix       *)
+
+let mc_version = "mc-v1"
+
+(* The exploration decomposes into a root run (boot to the split
+   depth, reduction off so the frontier is the exact distance-d0
+   slice) and one independent sub-exploration per frontier shard.  The
+   frontier itself is derived at plan-build time from fingerprinted
+   inputs only (layout, universe, split depth), so it never needs its
+   own cache key; the shard obligations re-explore from their root
+   states with the full depth budget and serialize their outcome into
+   the obligation log, which the driver parses back and folds into one
+   deterministic rollup. *)
+let mc_root_depth = 2
+let mc_nshards = 8
+
+let mc_shard_index key =
+  (* leading byte of the canonical digest *)
+  int_of_string ("0x" ^ String.sub key 0 2) mod mc_nshards
+
+let mc_report ~name (o : Mc.Explore.outcome) =
+  let rep =
+    List.fold_left
+      (fun rep _ -> Report.add_pass rep)
+      (Report.empty name) o.Mc.Explore.keys
+  in
+  List.fold_left
+    (fun rep (v : Mc.Explore.violation) ->
+      Report.add_failure rep
+        ~case:(Printf.sprintf "%s at %s" v.Mc.Explore.v_kind v.Mc.Explore.v_state)
+        ~reason:v.Mc.Explore.v_detail)
+    rep o.Mc.Explore.violations
+
+let mc_obligations ~deps req layout =
+  let full_cfg =
+    Mc.Explore.config ~depth:req.mc_depth ~flush:req.mc_flush ~por:req.mc_por
+      layout
+  in
+  let base_fp =
+    Printf.sprintf "%s;%s;universe=%s;depth=%d;por=%b;flush=%b;d0=%d;shards=%d"
+      mc_version (layout_fp layout)
+      (Mc.Universe.digest full_cfg.Mc.Explore.universe)
+      req.mc_depth req.mc_por req.mc_flush mc_root_depth mc_nshards
+  in
+  let root_cfg =
+    { full_cfg with
+      Mc.Explore.depth = min req.mc_depth mc_root_depth;
+      por = false }
+  in
+  let root =
+    Obligation.v ~id:"mc/root" ~phase:"model-check" ~deps
+      ~fingerprint:(base_fp ^ ";part=root") (fun () ->
+        let o = Mc.Explore.run root_cfg in
+        Obligation.outcome
+          ~log:(Mc.Explore.to_log o)
+          [ mc_report ~name:"model check: root slice" o ])
+  in
+  if req.mc_depth <= mc_root_depth then [ root ]
+  else begin
+    (* checks off: the frontier does not depend on them, and this runs
+       in the plan-building domain *)
+    let frontier =
+      (Mc.Explore.run { root_cfg with Mc.Explore.checks = false })
+        .Mc.Explore.frontier
+    in
+    let shards =
+      List.init mc_nshards (fun s ->
+          let roots =
+            List.filter
+              (fun it -> mc_shard_index (Mc.Explore.item_key it) = s)
+              frontier
+          in
+          let roots_fp =
+            Digest.to_hex
+              (Digest.string
+                 (String.concat "," (List.map Mc.Explore.item_key roots)))
+          in
+          let id = Printf.sprintf "mc/shard-%02d" s in
+          Obligation.v ~id ~phase:"model-check" ~deps
+            ~fingerprint:(Printf.sprintf "%s;part=%d;roots=%s" base_fp s roots_fp)
+            (fun () ->
+              let o = Mc.Explore.run_from full_cfg ~roots in
+              Obligation.outcome
+                ~log:(Mc.Explore.to_log o)
+                [ mc_report ~name:(Printf.sprintf "model check: shard %02d" s) o ]))
+    in
+    root :: shards
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Assembly                                                            *)
 
 let build ?(quick = false) ?(security = true)
-    ?(lints = Analysis.Lint.catalogue) ~seed layout =
+    ?(lints = Analysis.Lint.catalogue) ?model_check ~seed layout =
   Layers.warm layout;
   if security then
     (* forces the attack module's lazily built layout from this domain *)
@@ -534,5 +633,12 @@ let build ?(quick = false) ?(security = true)
   in
   let analysis = analysis_obligations ~lints layout in
   let absint = absint_obligations ~lints layout in
-  let dag = Dag.build_exn (analysis @ absint @ code @ refine @ security_obls) in
-  { dag; layout; seed; quick; security; lints }
+  let mc =
+    match model_check with
+    | None -> []
+    | Some req -> mc_obligations ~deps:[] req layout
+  in
+  let dag =
+    Dag.build_exn (analysis @ absint @ code @ refine @ security_obls @ mc)
+  in
+  { dag; layout; seed; quick; security; lints; model_check }

@@ -16,6 +16,16 @@
     job count and cache entries invalidate exactly when an input
     changes. *)
 
+type mc_request = {
+  mc_depth : int;
+  mc_por : bool;
+  mc_flush : bool;
+  mc_layout : Hyperenclave.Layout.t;
+}
+(** A bounded model-checking run: exploration depth, partial-order
+    reduction on/off, and whether unmaps flush the TLB ([mc_flush =
+    false] is the planted [--buggy-tlb] monitor). *)
+
 type t = {
   dag : Dag.t;
   layout : Hyperenclave.Layout.t;
@@ -23,16 +33,19 @@ type t = {
   quick : bool;
   security : bool;
   lints : Analysis.Lint.kind list;
+  model_check : mc_request option;
 }
 
 val phases : string list
 (** Engine phase names, in pass order: analysis, absint, code-proofs,
-    refinement, invariants, noninterference, trace-ni, attacks. *)
+    refinement, invariants, noninterference, trace-ni, attacks,
+    model-check. *)
 
 val build :
   ?quick:bool ->
   ?security:bool ->
   ?lints:Analysis.Lint.kind list ->
+  ?model_check:mc_request ->
   seed:int ->
   Hyperenclave.Layout.t ->
   t
@@ -70,6 +83,19 @@ val code_proof_obligations :
   ?seed:int -> Hyperenclave.Layout.t -> (string * Obligation.t list) list
 (** Per-layer code-proof obligations, bottom-up; exposed for tests and
     for cache-invalidation experiments. *)
+
+val mc_obligations :
+  deps:string list -> mc_request -> Hyperenclave.Layout.t -> Obligation.t list
+(** The model-checking phase: a root obligation exploring boot to the
+    split depth (reduction off, so its frontier is the exact
+    distance-d0 slice) plus one obligation per frontier shard (sharded
+    by canonical-state-key prefix), each exploring from its root
+    states to the full depth.  Every obligation is fingerprinted on
+    the geometry, the universe digest, the depth bound and the
+    reduction/flush switches, so a warm cache skips completed shards;
+    each serializes its stats, visited keys, and shrunk
+    counterexamples into its outcome log for the driver to roll up
+    (the union is byte-identical at any job count or cache state). *)
 
 val stream_seed : seed:int -> string -> int
 (** The per-obligation RNG stream split: deterministic in (seed, tag),

@@ -274,8 +274,8 @@ let run ?(flush = true) ?(faults = Plan.all_kinds) ?(len = 40) ~seed ~traces
       match replay ~flush layout events with
       | Ok sum -> go (add stats sum) (i + 1)
       | Error failure ->
-          let still_fails evs = Result.is_error (replay ~flush layout evs) in
-          let shrunk, evals = Check.Shrink.evaluations ~still_fails events in
+          let check evs = Result.is_error (replay ~flush layout evs) in
+          let shrunk, evals = Check.Shrink.evaluations ~check events in
           let cx_failure =
             match replay ~flush layout shrunk with
             | Error f -> f

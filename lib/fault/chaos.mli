@@ -67,6 +67,16 @@ val pp_counterexample : Format.formatter -> counterexample -> unit
 val tlb_consistent : Security.State.t -> (unit, string) result
 (** Every cached translation equals the current walked one. *)
 
+val transactional :
+  before:Security.State.t -> after:Security.State.t ->
+  Security.Transition.action -> (unit, string * string) result
+(** Transactionality of one step: a status-reporting hypercall that
+    returns non-[Success] must leave the monitor's abstract state
+    unchanged, and [enter]/[exit] never touch it.  [Error] carries
+    [(check, reason)] where [check] is ["transactionality"] or
+    ["status-code"].  Shared with the model checker, which applies it
+    to every executed transition. *)
+
 val replay :
   ?flush:bool -> Hyperenclave.Layout.t -> event list ->
   (summary, failure) result

@@ -1,0 +1,78 @@
+open Security
+module Chaos = Fault.Chaos
+
+type resource = Reg of int | Va of int64 | AllVa | Mon | Control | Oracle
+
+let all_regs = List.init State.nregs (fun i -> Reg i)
+
+(* Every action's meaning depends on the active principal (registers
+   are the active principal's; address resolution walks its tables),
+   so every action reads [Control].  [Load]/[Store] read the monitor
+   state (the tables that resolve their address) and touch the
+   accessed word and its translation entry; a load may consume the
+   reader's oracle through the marshalling window, so all loads
+   conservatively read and advance [Oracle].  Status hypercalls read
+   and write the monitor and report into register 0; an unmap
+   additionally shoots down (or, buggily, fails to shoot down) TLB
+   entries, a whole-TLB effect.  [Enter]/[Exit] swap whole register
+   contexts and move [Control].  The TLB prefetch reads the monitor
+   (the walk it caches) and writes translation entries for an
+   arbitrary address.  Unknown fault plans conservatively touch
+   everything. *)
+let action_reads = function
+  | Transition.Const _ -> [ Control ]
+  | Transition.Compute { src1; src2; _ } -> [ Control; Reg src1; Reg src2 ]
+  | Transition.Load { va; _ } -> [ Control; Mon; Oracle; Va va ]
+  | Transition.Store { src; va } -> [ Control; Reg src; Mon; Va va ]
+  | Transition.Hc_create _ | Transition.Hc_add_page _
+  | Transition.Hc_remove_page _ | Transition.Hc_init_done _ ->
+      [ Control; Mon ]
+  | Transition.Hc_enter _ -> Control :: Mon :: all_regs
+  | Transition.Hc_exit -> Control :: all_regs
+
+let action_writes = function
+  | Transition.Const { dst; _ } | Transition.Compute { dst; _ } -> [ Reg dst ]
+  | Transition.Load { dst; va } -> [ Reg dst; Oracle; Va va ]
+  | Transition.Store { va; _ } -> [ Va va ]
+  | Transition.Hc_create _ -> [ Mon; Reg 0; Reg 1 ]
+  | Transition.Hc_add_page _ | Transition.Hc_init_done _ -> [ Mon; Reg 0 ]
+  | Transition.Hc_remove_page _ -> [ Mon; Reg 0; AllVa ]
+  | Transition.Hc_enter _ | Transition.Hc_exit -> Control :: all_regs
+
+let everything = AllVa :: Mon :: Control :: Oracle :: all_regs
+
+let reads = function
+  | Chaos.Act a -> action_reads a
+  | Chaos.Inject (Fault.Plan.Tlb_prefetch _) -> [ Mon ]
+  | Chaos.Inject _ -> everything
+
+let writes = function
+  | Chaos.Act a -> action_writes a
+  | Chaos.Inject (Fault.Plan.Tlb_prefetch _) -> [ AllVa ]
+  | Chaos.Inject _ -> everything
+
+let conflicts a b =
+  match (a, b) with
+  | Reg i, Reg j -> i = j
+  | Va x, Va y -> Int64.equal x y
+  | (Va _ | AllVa), (Va _ | AllVa) -> true
+  | Mon, Mon | Control, Control | Oracle, Oracle -> true
+  | _ -> false
+
+let disjoint xs ys = not (List.exists (fun x -> List.exists (conflicts x) ys) xs)
+
+let commutes e1 e2 =
+  let r1 = reads e1 and w1 = writes e1 in
+  let r2 = reads e2 and w2 = writes e2 in
+  disjoint w1 r2 && disjoint w1 w2 && disjoint w2 r1
+
+let commuting_pairs universe =
+  let arr = Array.of_list universe in
+  let n = Array.length arr in
+  let pairs = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i do
+      if commutes arr.(i) arr.(j) then pairs := (arr.(i), arr.(j)) :: !pairs
+    done
+  done;
+  !pairs

@@ -1,0 +1,51 @@
+(** Static transition footprints and the commutation table they
+    derive.
+
+    Partial-order reduction may only prune one order of two adjacent
+    events when executing them in either order from any state reaches
+    the same state {e and} neither can enable or disable the other.
+    Both follow from footprint disjointness: each event is assigned
+    the abstract resources it reads and writes — registers, individual
+    guest-visible memory words together with their translation
+    entries, the TLB as a whole, the monitor's abstract state, the
+    activity control (which principal runs), and the oracle streams —
+    with the read set overapproximating the event's {e enabledness}
+    dependencies as well as its data dependencies.  Two events commute
+    when neither's write set conflicts with the other's read or write
+    set.
+
+    Memory is tracked per accessed word ([Va]): two aligned accesses
+    at distinct virtual addresses touch distinct physical words and
+    make idempotent, same-valued fills into per-page translation
+    entries, so they commute — the address spaces the two events
+    resolve under are the same because anything that switches the
+    active principal writes [Control] and conflicts with everything.
+    Whole-TLB effects (a prefetch, an unmap's shootdown) use [AllVa],
+    which conflicts with every [Va].
+
+    The table is validated dynamically by a property test: for every
+    pair the table marks commuting, both orders from reachable states
+    end in canonically equal states. *)
+
+type resource =
+  | Reg of int  (** register slot [i], live or saved (context swaps touch all) *)
+  | Va of int64  (** the guest word at a virtual address + its translation entry *)
+  | AllVa  (** every address: whole-TLB and whole-memory effects *)
+  | Mon  (** the monitor's abstract state (EPCM, allocator, tables, enclaves) *)
+  | Control  (** the active principal *)
+  | Oracle  (** the declassification streams *)
+
+val reads : Fault.Chaos.event -> resource list
+val writes : Fault.Chaos.event -> resource list
+
+val conflicts : resource -> resource -> bool
+(** [Va]/[Va] conflict iff equal; [AllVa] conflicts with every
+    address; the scalar resources conflict with themselves. *)
+
+val commutes : Fault.Chaos.event -> Fault.Chaos.event -> bool
+(** Footprint disjointness; symmetric. *)
+
+val commuting_pairs :
+  Fault.Chaos.event list -> (Fault.Chaos.event * Fault.Chaos.event) list
+(** All unordered pairs of the universe the table marks commuting
+    (including an event with itself when it commutes with itself). *)

@@ -1,0 +1,50 @@
+open Hyperenclave
+open Security
+module Chaos = Fault.Chaos
+
+let page_va layout i =
+  Int64.mul (Int64.of_int (Geometry.page_size layout.Layout.geom)) (Int64.of_int i)
+
+let vpage_count layout =
+  let g = layout.Layout.geom in
+  1 lsl (Geometry.va_bits g - g.Geometry.page_shift)
+
+(* The same enclave marshalling window {!Check.Gen} uses: halfway
+   through the virtual space, which for the OS is an unmapped GPA
+   (monitor region), so the mbuf load below is the enclave's oracle
+   read. *)
+let mbuf_va_page layout = vpage_count layout / 2
+
+let events layout =
+  let mbuf_va = page_va layout (mbuf_va_page layout) in
+  [
+    Chaos.Act (Transition.Const { dst = 1; value = 5L });
+    Chaos.Act (Transition.Compute { dst = 2; src1 = 1; src2 = 1 });
+    (* ELRANGE page 0 for an entered enclave; normal page 0 for the OS *)
+    Chaos.Act (Transition.Load { dst = 0; va = 0L });
+    Chaos.Act (Transition.Store { src = 1; va = page_va layout 1 });
+    (* the marshalling window: oracle semantics for the enclave *)
+    Chaos.Act (Transition.Load { dst = 3; va = mbuf_va });
+    Chaos.Act
+      (Transition.Hc_create { elrange_base = 0L; elrange_pages = 1; mbuf_va });
+    Chaos.Act (Transition.Hc_add_page { eid = 1; va = 0L });
+    Chaos.Act (Transition.Hc_remove_page { eid = 1; va = 0L });
+    Chaos.Act (Transition.Hc_init_done { eid = 1 });
+    Chaos.Act (Transition.Hc_enter { eid = 1 });
+    Chaos.Act Transition.Hc_exit;
+    Chaos.Inject (Fault.Plan.Tlb_prefetch { pick = 0 });
+  ]
+
+let digest evs =
+  Digest.to_hex
+    (Digest.string (String.concat ";" (List.map Chaos.event_to_string evs)))
+
+let stale_tlb_witness layout =
+  let mbuf_va = page_va layout (mbuf_va_page layout) in
+  [
+    Chaos.Act
+      (Transition.Hc_create { elrange_base = 0L; elrange_pages = 1; mbuf_va });
+    Chaos.Act (Transition.Hc_add_page { eid = 1; va = 0L });
+    Chaos.Inject (Fault.Plan.Tlb_prefetch { pick = 0 });
+    Chaos.Act (Transition.Hc_remove_page { eid = 1; va = 0L });
+  ]

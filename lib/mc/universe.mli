@@ -1,0 +1,26 @@
+(** The event universe the bounded checker interleaves.
+
+    Exhaustive exploration needs a finite move alphabet.  The universe
+    is a curated battery over the layout: register operations, loads
+    and stores into the interesting regions (ELRANGE page, normal
+    memory, the marshalling window), every hypercall with valid
+    arguments for enclave 1, and the TLB-prefetch fault — the hardware
+    behaviour that turns a missing unmap-flush into a stale entry, so
+    the planted [--buggy-tlb] bug is reachable by pure interleaving.
+
+    Events are {!Fault.Chaos.event}s, so violating interleavings
+    replay directly through the chaos driver's {!Fault.Chaos.replay}
+    and shrink with the same ddmin the chaos phase uses. *)
+
+val events : Hyperenclave.Layout.t -> Fault.Chaos.event list
+(** The battery, in the fixed order exploration indexes it by. *)
+
+val digest : Fault.Chaos.event list -> string
+(** Digest of the rendered battery — part of every model-checking
+    obligation's cache fingerprint (the "enabled-hypercall set"). *)
+
+val stale_tlb_witness : Hyperenclave.Layout.t -> Fault.Chaos.event list
+(** The known minimal stale-TLB counterexample (PR 1):
+    create, add page, TLB prefetch, remove page — 4 events.  The
+    [--buggy-tlb] exploration must rediscover it exhaustively and
+    shrink to exactly this length. *)

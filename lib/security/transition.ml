@@ -170,6 +170,90 @@ let step ?(flush = true) (st : State.t) action =
 
 let enabled st action = Result.is_ok (step st action)
 
+(* ------------------------------------------------------------------ *)
+(* Total enabledness enumerator.
+
+   [step] decides enabledness implicitly, by failing somewhere inside
+   the per-action execution.  The model checker needs the question
+   answered without executing — and without the TLB fill [resolve]
+   performs on a successful walk — so the preconditions are factored
+   out here, mirroring [step] exactly.  The agreement is pinned by a
+   property test: for every state and action,
+   [Result.is_ok (precondition st a) = Result.is_ok (step st a)]. *)
+
+(* [resolve] without the TLB fill: same hit/walk/permission decisions,
+   same error strings, no state change. *)
+let probe_resolve (st : State.t) va ~write =
+  let d = st.State.mon in
+  let geom = Absdata.geom d in
+  let va_page = Geometry.page_base geom va in
+  let offset = Geometry.page_offset geom va in
+  match Tlb.lookup st.State.tlb st.State.active ~va_page with
+  | Some entry ->
+      let* () = check_perms ~write entry.Tlb.flags in
+      Ok (Int64.logor entry.Tlb.hpa_page offset)
+  | None -> (
+      let* translated =
+        match st.State.active with
+        | Principal.Os -> Nested.os_translate d ~gpa:va
+        | Principal.Enclave eid ->
+            let* e = Absdata.find_enclave d eid in
+            Nested.enclave_translate d e ~va
+      in
+      match translated with
+      | None -> Error (Printf.sprintf "page fault at %s" (Word.to_hex va))
+      | Some (hpa, flags) ->
+          let* () = check_perms ~write flags in
+          Ok hpa)
+
+let reg_ok i =
+  if i < 0 || i >= State.nregs then
+    Error (Printf.sprintf "register %d out of range" i)
+  else Ok ()
+
+let precondition (st : State.t) action =
+  match action with
+  | Const { dst; _ } -> reg_ok dst
+  | Compute { dst; src1; src2 } ->
+      let* () = reg_ok src1 in
+      let* () = reg_ok src2 in
+      reg_ok dst
+  | Load { dst; va } ->
+      if not (aligned8 va) then Error "unaligned load"
+      else
+        let* hpa = probe_resolve st va ~write:false in
+        if in_mbuf st hpa then reg_ok dst
+        else
+          let* _ = Phys_mem.read64 st.State.mon.Absdata.phys hpa in
+          reg_ok dst
+  | Store { src; va } ->
+      if not (aligned8 va) then Error "unaligned store"
+      else
+        let* hpa = probe_resolve st va ~write:true in
+        if in_mbuf st hpa then Ok () (* declassified: the source is never read *)
+        else
+          let* value = State.reg st src in
+          let* _ = Phys_mem.write64 st.State.mon.Absdata.phys hpa value in
+          Ok ()
+  | Hc_create _ | Hc_add_page _ | Hc_remove_page _ | Hc_init_done _ ->
+      (* status-reporting hypercalls: any failure becomes a status code
+         in reg 0, transactionally, so for the OS they are always
+         enabled *)
+      require_os st
+  | Hc_enter { eid } ->
+      let* () = require_os st in
+      let* e = Absdata.find_enclave st.State.mon eid in
+      if not (Enclave.lifecycle_equal e.Enclave.state Enclave.Initialized) then
+        Error "enter of uninitialized enclave"
+      else Ok ()
+  | Hc_exit -> (
+      match st.State.active with
+      | Principal.Os -> Error "exit outside an enclave"
+      | Principal.Enclave _ -> Ok ())
+
+let enabled_of st actions =
+  List.filter (fun a -> Result.is_ok (precondition st a)) actions
+
 let cpu_local = function
   | Const _ | Compute _ | Load _ | Store _ -> true
   | Hc_create _ | Hc_add_page _ | Hc_remove_page _ | Hc_init_done _ | Hc_enter _

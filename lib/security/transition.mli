@@ -41,6 +41,19 @@ val step : ?flush:bool -> State.t -> action -> (State.t, string) result
 
 val enabled : State.t -> action -> bool
 
+val precondition : State.t -> action -> (unit, string) result
+(** Enabledness decided without executing — and without the TLB fill a
+    successful [step] walk performs.  Mirrors [step]'s failure
+    decisions exactly: [Ok ()] iff [step st a] returns [Ok _] (pinned
+    by a property test over reachable states and the action battery).
+    Status-reporting hypercalls are always enabled for the OS: their
+    failures become status codes, transactionally. *)
+
+val enabled_of : State.t -> action list -> action list
+(** The total enabledness enumerator the model checker expands with:
+    the sublist of [actions] whose {!precondition} holds, in input
+    order. *)
+
 val cpu_local : action -> bool
 (** Register operations, loads and stores — the moves Lemmas 5.2–5.4
     quantify over directly. *)

@@ -23,6 +23,13 @@
 # fixtures (one hand-built MIRlight body per lint, plus planted
 # hypercall-leak programs for secret-flow) assert that every lint
 # actually fires.
+#
+# The model-checking gate exhaustively explores the bounded transition
+# system (depth 4): deterministic across job counts and cache states,
+# zero violations on the clean seed, and the planted stale-TLB bug
+# rediscovered with its four-event shrunk witness under --buggy-tlb;
+# the reduction gate requires partial-order reduction to prune >= 30%
+# of interleavings without changing the reachable state set.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -107,6 +114,40 @@ for f in "$workdir/chaos.json" "$workdir/chaos-warm.json"; do
 done
 echo "ci: chaos smoke ok ($injected faults injected, verdicts identical, 0 dropped cache writes)"
 
+# --- model-checking gate --------------------------------------------
+# Exhaustive bounded exploration must be as deterministic as the rest
+# of the pass: the phase-11 output (states explored, transitions,
+# violations) is diffed byte-for-byte across jobs=1, a cold cache at
+# jobs=4 and the warm cache at jobs=2, and the warm run must re-execute
+# zero model-check shards.  On the clean seed the checker must report
+# zero violations over every reachable state; under --buggy-tlb it must
+# rediscover the planted stale-TLB bug exhaustively and shrink the
+# counterexample to its known four-event witness.
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --model-check 4 --jobs 1 > "$workdir/mc-serial.out"
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --model-check 4 --jobs 4 --cache "$workdir/mc-cache" \
+  > "$workdir/mc-cold.out"
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --model-check 4 --jobs 2 --cache "$workdir/mc-cache" \
+  --json-out "$workdir/mc-warm.json" > "$workdir/mc-warm.out"
+diff "$workdir/mc-serial.out" "$workdir/mc-cold.out"
+diff "$workdir/mc-serial.out" "$workdir/mc-warm.out"
+grep '"phase": "model-check"' "$workdir/mc-warm.json" \
+  | grep -q '"executed": 0' || {
+  echo "ci: warm run re-executed model-check obligations" >&2; exit 1; }
+grep -q 'no violations: every reachable state' "$workdir/mc-serial.out" || {
+  echo "ci: model checker reported violations on the clean seed" >&2; exit 1; }
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --model-check 4 --buggy-tlb --chaos \
+  > "$workdir/mc-buggy.out"
+grep -q 'rediscovered the planted stale-TLB bug exhaustively' \
+  "$workdir/mc-buggy.out" || {
+  echo "ci: model checker missed the planted stale-TLB bug" >&2; exit 1; }
+grep -q 'minimal witness: 4 events' "$workdir/mc-buggy.out" || {
+  echo "ci: stale-TLB counterexample did not shrink to 4 events" >&2; exit 1; }
+echo "ci: model-check gate ok (deterministic, clean seed clean, bug rediscovered)"
+
 # scaling benchmarks, uploaded as workflow artifacts
 dune exec bench/engine_bench.exe -- --quick --out BENCH_engine.json > /dev/null
 echo "ci: wrote BENCH_engine.json"
@@ -114,6 +155,20 @@ dune exec bench/analysis_bench.exe -- --out BENCH_analysis.json > /dev/null
 echo "ci: wrote BENCH_analysis.json"
 dune exec bench/supervisor_bench.exe -- --quick --out BENCH_supervisor.json > /dev/null
 echo "ci: wrote BENCH_supervisor.json"
+dune exec bench/mc_bench.exe -- --quick --out BENCH_mc.json > /dev/null
+echo "ci: wrote BENCH_mc.json"
+
+# --- reduction gate -------------------------------------------------
+# Partial-order reduction must prune at least 30% of the bounded
+# interleavings without changing the reachable state set (the bench
+# recomputes both and records the comparison).
+pf=$(sed -n 's/.*"pruning_factor": \([0-9.eE+-]*\),.*/\1/p' BENCH_mc.json)
+[ -n "$pf" ] || { echo "ci: BENCH_mc.json missing pruning_factor" >&2; exit 1; }
+awk -v pf="$pf" 'BEGIN { exit !(pf >= 0.30) }' || {
+  echo "ci: POR pruning factor $pf below the 30% bar" >&2; exit 1; }
+grep -q '"por_states_match": true' BENCH_mc.json || {
+  echo "ci: POR changed the reachable state set" >&2; exit 1; }
+echo "ci: reduction gate ok (POR pruned ${pf} of interleavings, states unchanged)"
 
 # --- scaling gate ---------------------------------------------------
 # Adding workers must never cost wall-clock: jobs=4 has to finish within
@@ -139,9 +194,10 @@ echo "ci: scaling gate ok (jobs=1 ${w1}s, jobs=4 ${w4}s)"
 # series, not a point (kept as a workflow artifact alongside the JSON).
 cold=$(sed -n 's/.*"cold_wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
 warm=$(sed -n 's/.*"warm_speedup": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
-printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s\n' \
+mcrate=$(sed -n 's/.*"states_per_sec": \([0-9.eE+-]*\),.*/\1/p' BENCH_mc.json)
+printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s mc_states_per_sec=%s mc_pruning=%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$cold" "$warm" \
-  "$(jobs_speedup 2)" "$(jobs_speedup 4)" >> BENCH_trajectory.log
+  "$(jobs_speedup 2)" "$(jobs_speedup 4)" "$mcrate" "$pf" >> BENCH_trajectory.log
 echo "ci: appended $(tail -1 BENCH_trajectory.log | cut -d' ' -f2-) to BENCH_trajectory.log"
 
 echo "ci: all green"

@@ -59,7 +59,11 @@ let test_dag_order_and_reaches () =
 (* ------------------------------------------------------------------ *)
 (* The real plan: shape and stratification                             *)
 
-let plan = Plan.build ~quick:true ~seed:2024 layout
+let plan =
+  let mc =
+    { Plan.mc_depth = 3; mc_por = true; mc_flush = true; mc_layout = layout }
+  in
+  Plan.build ~quick:true ~model_check:mc ~seed:2024 layout
 
 let ids_with_prefix prefix =
   List.filter_map

@@ -49,16 +49,16 @@ let test_shrink_minimal () =
     scan [ 3; 7; 11 ] xs
   in
   let noisy = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ] in
-  let shrunk = Check.Shrink.list ~still_fails noisy in
+  let shrunk = Check.Shrink.list ~check:still_fails noisy in
   Alcotest.(check (list int)) "1-minimal witness" [ 3; 7; 11 ] shrunk
 
 let test_shrink_not_failing () =
   let xs = [ 1; 2; 3 ] in
   Alcotest.(check (list int)) "non-failing input unchanged" xs
-    (Check.Shrink.list ~still_fails:(fun _ -> false) xs)
+    (Check.Shrink.list ~check:(fun _ -> false) xs)
 
 let test_shrink_single () =
-  let shrunk = Check.Shrink.list ~still_fails:(List.mem 5) [ 9; 5; 9; 9; 5 ] in
+  let shrunk = Check.Shrink.list ~check:(List.mem 5) [ 9; 5; 9; 9; 5 ] in
   Alcotest.(check int) "single element survives" 1 (List.length shrunk);
   Alcotest.(check bool) "it is the witness" true (List.mem 5 shrunk)
 

@@ -1,0 +1,319 @@
+(* Tests for the bounded model checker: canonical state keys
+   (idempotence, agreement with [State.equal], commutation with
+   [step]), the static commutation table against the dynamic
+   semantics, POR soundness (same reachable states and the same
+   violation set with and without reduction), rediscovery of the
+   planted stale-TLB bug with its 4-event ddmin witness, determinism
+   of the serialized outcome, and shard-merge equivalence (the
+   engine's root + sharded-frontier decomposition reproduces the
+   monolithic exploration exactly). *)
+
+open Hyperenclave
+open Security
+module Chaos = Fault.Chaos
+module Explore = Mc.Explore
+module State_key = Mc.State_key
+
+let layout = Layout.default Geometry.tiny
+
+let reachable =
+  lazy (Check.Gen.states ~n:25 ~seed:2024 ~steps:18 layout)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization laws                                               *)
+
+let test_canonicalize_idempotent () =
+  List.iter
+    (fun (label, st) ->
+      let c = State_key.canonicalize st in
+      Alcotest.(check string)
+        (label ^ ": canonicalize is idempotent")
+        (State_key.to_string st)
+        (State_key.to_string (State_key.canonicalize c));
+      Alcotest.(check string)
+        (label ^ ": canonicalization preserves the key")
+        (State_key.digest st) (State_key.digest c))
+    (Lazy.force reachable)
+
+let test_equal_states_hash_equal () =
+  (* [State.equal] states must collide; canonically distinct traces
+     that reach equal states are produced by re-running the same
+     trace, and by the canonicalizer itself. *)
+  List.iter
+    (fun (label, st) ->
+      let st' = Check.Gen.trace ~seed:0 ~steps:0 layout in
+      ignore st';
+      let copy = State_key.canonicalize st in
+      if State.equal st copy then
+        Alcotest.(check string)
+          (label ^ ": equal states hash equal")
+          (State_key.digest st) (State_key.digest copy))
+    (Lazy.force reachable);
+  let a = Check.Gen.trace ~seed:7 ~steps:12 layout in
+  let b = Check.Gen.trace ~seed:7 ~steps:12 layout in
+  Alcotest.(check bool) "same trace reaches equal states" true (State.equal a b);
+  Alcotest.(check string) "and they hash equal" (State_key.digest a)
+    (State_key.digest b)
+
+let test_step_commutes_with_canonicalize () =
+  (* canonicalize is semantics-preserving: stepping the canonicalized
+     state reaches the same key as canonicalizing the stepped state *)
+  let actions = Check.Gen.action_battery layout in
+  List.iter
+    (fun (label, st) ->
+      let c = State_key.canonicalize st in
+      List.iter
+        (fun a ->
+          match (Transition.step st a, Transition.step c a) with
+          | Ok st', Ok c' ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: key after %s" label
+                   (Transition.action_to_string a))
+                (State_key.digest st') (State_key.digest c')
+          | Error e1, Error e2 ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: error after %s" label
+                   (Transition.action_to_string a))
+                e1 e2
+          | Ok _, Error e | Error e, Ok _ ->
+              Alcotest.failf "%s: enabledness diverged on %s: %s" label
+                (Transition.action_to_string a) e)
+        actions)
+    (Lazy.force reachable)
+
+(* ------------------------------------------------------------------ *)
+(* The commutation table against the dynamic semantics                 *)
+
+let exec ~flush st = function
+  | Chaos.Act a -> Transition.step ~flush st a
+  | Chaos.Inject f -> Fault.Inject.apply f st
+
+let test_commutation_table_sound () =
+  (* for every pair the static table marks commuting, both orders
+     from reachable states converge to the same canonical state, and
+     neither event disables the other — under the correct monitor and
+     the buggy one (POR runs under [--buggy-tlb] too) *)
+  let pairs = Mc.Footprint.commuting_pairs (Mc.Universe.events layout) in
+  Alcotest.(check bool) "the table marks some pairs commuting" true
+    (List.length pairs > 0);
+  let checked = ref 0 in
+  List.iter
+    (fun flush ->
+      List.iter
+        (fun (label, st) ->
+          List.iter
+            (fun (e1, e2) ->
+              match (exec ~flush st e1, exec ~flush st e2) with
+              | Ok s1, Ok s2 -> (
+                  incr checked;
+                  match (exec ~flush s1 e2, exec ~flush s2 e1) with
+                  | Ok s12, Ok s21 ->
+                      Alcotest.(check string)
+                        (Printf.sprintf "%s: %s / %s converge (flush=%b)" label
+                           (Chaos.event_to_string e1) (Chaos.event_to_string e2)
+                           flush)
+                        (State_key.digest s12) (State_key.digest s21)
+                  | _ ->
+                      Alcotest.failf
+                        "%s: commuting events disabled each other: %s / %s"
+                        label (Chaos.event_to_string e1)
+                        (Chaos.event_to_string e2))
+              | _ -> ())
+            pairs)
+        (Lazy.force reachable))
+    [ true; false ];
+  Alcotest.(check bool) "exercised non-vacuously" true (!checked > 100)
+
+(* ------------------------------------------------------------------ *)
+(* POR soundness on whole explorations                                 *)
+
+let violation_ids (o : Explore.outcome) =
+  List.sort compare
+    (List.map (fun v -> (v.Explore.v_kind, v.Explore.v_state)) o.violations)
+
+let test_por_preserves_outcome () =
+  List.iter
+    (fun flush ->
+      let por = Explore.run (Explore.config ~depth:4 ~flush layout) in
+      let nopor =
+        Explore.run (Explore.config ~depth:4 ~flush ~por:false layout)
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "same reachable states (flush=%b)" flush)
+        nopor.Explore.keys por.Explore.keys;
+      Alcotest.(check bool)
+        (Printf.sprintf "reduction prunes something (flush=%b)" flush)
+        true
+        (por.Explore.stats.Explore.pruned > 0);
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "same violation set (flush=%b)" flush)
+        (violation_ids nopor) (violation_ids por))
+    [ true; false ]
+
+let test_por_prunes_interleavings () =
+  let il_por = Explore.interleavings (Explore.config ~depth:4 ~checks:false layout) in
+  let il_full =
+    Explore.interleavings
+      (Explore.config ~depth:4 ~checks:false ~por:false layout)
+  in
+  let factor = 1. -. (float_of_int il_por /. float_of_int il_full) in
+  if factor < 0.30 then
+    Alcotest.failf "POR pruned only %.1f%% of interleavings (%d of %d)"
+      (100. *. factor) (il_full - il_por) il_full
+
+(* ------------------------------------------------------------------ *)
+(* Clean seed and the planted bug                                      *)
+
+let test_clean_no_violations () =
+  let o = Explore.run (Explore.config ~depth:4 layout) in
+  (match o.Explore.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "clean monitor violated %s at %s: %s" v.Explore.v_kind
+        v.Explore.v_state v.Explore.v_detail);
+  Alcotest.(check bool) "explored a real state space" true
+    (o.Explore.stats.Explore.explored > 100)
+
+let test_buggy_rediscovers_stale_tlb () =
+  let o = Explore.run (Explore.config ~depth:4 ~flush:false layout) in
+  let kinds =
+    List.sort_uniq compare (List.map (fun v -> v.Explore.v_kind) o.Explore.violations)
+  in
+  Alcotest.(check (list string))
+    "the only violated property is TLB consistency" [ "tlb-consistency" ] kinds;
+  match o.Explore.violations with
+  | [] -> Alcotest.fail "buggy monitor: no violation found"
+  | v :: _ ->
+      Alcotest.(check int) "ddmin shrinks to the 4-event witness" 4
+        (List.length v.Explore.v_witness);
+      Alcotest.(check (list string))
+        "and it is the known one"
+        (List.map Chaos.event_to_string (Mc.Universe.stale_tlb_witness layout))
+        (List.map Chaos.event_to_string v.Explore.v_witness);
+      Alcotest.(check bool) "the shrinker did real work" true
+        (v.Explore.v_evals > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and shard-merge equivalence                             *)
+
+let test_outcome_deterministic () =
+  let log () = Explore.to_log (Explore.run (Explore.config ~depth:4 ~flush:false layout)) in
+  Alcotest.(check string) "two runs serialize identically" (log ()) (log ())
+
+let shard_index ~nshards key =
+  (* first byte of the hex digest, as the engine shards the frontier *)
+  int_of_string ("0x" ^ String.sub key 0 2) mod nshards
+
+let test_shard_merge_equivalence () =
+  List.iter
+    (fun flush ->
+      let mono = Explore.run (Explore.config ~depth:4 ~flush ~por:false layout) in
+      (* the engine's decomposition: a root exploration to depth 2
+         (reduction off, so the frontier is exact), then independent
+         shards of the frontier explored to the full depth *)
+      let cfg = Explore.config ~depth:2 ~flush ~por:false layout in
+      let root = Explore.run cfg in
+      let nshards = 4 in
+      let parts =
+        root
+        :: List.filter_map
+             (fun s ->
+               let roots =
+                 List.filter
+                   (fun it -> shard_index ~nshards (Explore.item_key it) = s)
+                   root.Explore.frontier
+               in
+               if roots = [] then None
+               else
+                 Some
+                   (Explore.run_from
+                      (Explore.config ~depth:4 ~flush layout)
+                      ~roots))
+             (List.init nshards Fun.id)
+      in
+      let rolled =
+        Explore.rollup
+          (List.map (fun o -> Explore.parse_log (Explore.to_log o)) parts)
+      in
+      let union =
+        List.sort_uniq String.compare
+          (List.concat_map (fun o -> o.Explore.keys) parts)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "sharded union covers the state space (flush=%b)" flush)
+        (List.length mono.Explore.keys)
+        (List.length union);
+      Alcotest.(check (list string))
+        (Printf.sprintf "exactly (flush=%b)" flush)
+        mono.Explore.keys union;
+      Alcotest.(check int)
+        (Printf.sprintf "rollup agrees (flush=%b)" flush)
+        (List.length mono.Explore.keys)
+        rolled.Explore.r_states;
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "same violations (flush=%b)" flush)
+        (violation_ids mono)
+        (List.sort compare
+           (List.map
+              (fun v -> (v.Explore.p_kind, v.Explore.p_state))
+              rolled.Explore.r_violations)))
+    [ true; false ]
+
+let test_log_roundtrip () =
+  let o = Explore.run (Explore.config ~depth:4 ~flush:false layout) in
+  let p = Explore.parse_log (Explore.to_log o) in
+  Alcotest.(check int) "stats survive" o.Explore.stats.Explore.explored
+    p.Explore.p_stats.Explore.explored;
+  Alcotest.(check (list string)) "keys survive" o.Explore.keys p.Explore.p_keys;
+  Alcotest.(check int) "violations survive"
+    (List.length o.Explore.violations)
+    (List.length p.Explore.p_violations);
+  List.iter2
+    (fun v pv ->
+      Alcotest.(check string) "kind" v.Explore.v_kind pv.Explore.p_kind;
+      Alcotest.(check string) "state" v.Explore.v_state pv.Explore.p_state;
+      Alcotest.(check (list string))
+        "witness"
+        (List.map Chaos.event_to_string v.Explore.v_witness)
+        pv.Explore.p_witness)
+    o.Explore.violations p.Explore.p_violations;
+  let r = Explore.rollup [ p ] in
+  match Explore.min_witness r with
+  | Some 4 -> ()
+  | Some n -> Alcotest.failf "min witness %d, wanted 4" n
+  | None -> Alcotest.fail "no witness in rollup"
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "state-key",
+        [
+          Alcotest.test_case "canonicalize idempotent" `Quick
+            test_canonicalize_idempotent;
+          Alcotest.test_case "equal states hash equal" `Quick
+            test_equal_states_hash_equal;
+          Alcotest.test_case "step commutes with canonicalize" `Quick
+            test_step_commutes_with_canonicalize;
+        ] );
+      ( "por",
+        [
+          Alcotest.test_case "commutation table sound" `Slow
+            test_commutation_table_sound;
+          Alcotest.test_case "preserves states and violations" `Slow
+            test_por_preserves_outcome;
+          Alcotest.test_case "prunes >= 30% of interleavings" `Quick
+            test_por_prunes_interleavings;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "clean seed has no violations" `Slow
+            test_clean_no_violations;
+          Alcotest.test_case "buggy monitor rediscovered, 4-event witness"
+            `Slow test_buggy_rediscovers_stale_tlb;
+          Alcotest.test_case "outcome deterministic" `Slow
+            test_outcome_deterministic;
+          Alcotest.test_case "shard merge equivalent" `Slow
+            test_shard_merge_equivalence;
+          Alcotest.test_case "log roundtrip" `Slow test_log_roundtrip;
+        ] );
+    ]

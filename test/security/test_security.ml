@@ -519,6 +519,25 @@ let prop_tlb_flush_principal_exact =
            (fun (_, va, _) -> Tlb.lookup flushed prin ~va_page:va = None)
            (Tlb.to_list tlb))
 
+(* The total enabledness enumerator must agree with the semantics: an
+   action passes [precondition] exactly when [step] does not return a
+   precondition error.  The model checker trusts this to enumerate
+   enabled moves without executing them, so it is pinned in both
+   directions over reachable states and the whole action battery. *)
+let prop_precondition_agrees_with_step =
+  QCheck2.Test.make ~count:60 ~name:"precondition agrees with step enabledness"
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 10_000) QCheck2.Gen.bool)
+    (fun (seed, flush) ->
+      let st = Check.Gen.trace ~seed ~steps:15 layout in
+      let battery = Check.Gen.action_battery layout in
+      let enabled = Transition.enabled_of st battery in
+      List.for_all
+        (fun a ->
+          let p = Result.is_ok (Transition.precondition st a) in
+          let s = Result.is_ok (Transition.step ~flush st a) in
+          p = s && List.mem a enabled = p)
+        battery)
+
 let prop_tlb_unsigned_va_order =
   QCheck2.Test.make ~count:100
     ~name:"to_list orders VAs by unsigned comparison within a principal"
@@ -627,5 +646,6 @@ let () =
             prop_loads_are_read_only;
             prop_tlb_flush_principal_exact;
             prop_tlb_unsigned_va_order;
+            prop_precondition_agrees_with_step;
           ] );
     ]
