@@ -442,8 +442,25 @@ let engine_chaos_json = function
                 (Fault.Plan.engine_kind_to_string k, Engine.Jsonx.Int n))
               (Engine.Engine_chaos.injected ch))
 
+let overrides_json (plan : Engine.Plan.t) =
+  Engine.Jsonx.Obj
+    [
+      ("enabled", Engine.Jsonx.Bool plan.Engine.Plan.overrides);
+      ( "stubbed_calls_total",
+        Int
+          (List.fold_left
+             (fun n (_, c) -> n + c)
+             0 plan.Engine.Plan.override_counts) );
+      ( "per_function",
+        List
+          (List.map
+             (fun (fn, c) ->
+               Engine.Jsonx.Obj [ ("fn", Engine.Jsonx.Str fn); ("stubs", Int c) ])
+             plan.Engine.Plan.override_counts) );
+    ]
+
 let summary_json ~failures ~jobs ~cache_enabled ~sup_totals ~stats
-    ~cache_write_failures ~engine_chaos ~model_check execs =
+    ~cache_write_failures ~engine_chaos ~model_check ~plan execs =
   let hits = count_cache execs Engine.Pool.Hit in
   let misses = count_cache execs Engine.Pool.Miss in
   let t, p, s, f =
@@ -464,16 +481,15 @@ let summary_json ~failures ~jobs ~cache_enabled ~sup_totals ~stats
       ("supervision", supervision_json sup_totals stats);
       ("engine_chaos", engine_chaos_json engine_chaos);
       ("model_check", model_check_json model_check execs);
+      ("overrides", overrides_json plan);
       ("elapsed_s", Float (Engine.Pool.wall_of execs));
       ( "report_totals",
         Obj [ ("cases", Int t); ("passed", Int p); ("skipped", Int s); ("failed", Int f) ]
       );
-      ( "phases",
-        List
-          (List.filter_map
-             (fun phase ->
-               if of_phase execs phase = [] then None else Some (phase_summary execs phase))
-             Engine.Plan.phases) );
+      (* every phase, zero-obligation ones included: a jq gate keyed on
+         a phase must find its counts (as zeros), never a missing entry
+         that lets the gate vacuously pass *)
+      ("phases", List (List.map (phase_summary execs) Engine.Plan.phases));
       ( "workers",
         List
           (List.map
@@ -548,7 +564,7 @@ let trace_json ~cache execs =
 
 let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
     chaos_traces faults_spec buggy_tlb lints_spec timeout_ms retries
-    engine_chaos_seed engine_faults_spec mc_depth mc_geometry mc_por =
+    engine_chaos_seed engine_faults_spec mc_depth mc_geometry mc_por overrides =
   match Analysis.Lint.kinds_of_string lints_spec with
   | Error msg ->
       Format.eprintf "hyperenclave-verify: bad --lints: %s@." msg;
@@ -614,7 +630,8 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
       mc_depth
   in
   let plan =
-    Engine.Plan.build ~quick ~security ~lints ?model_check ~seed layout
+    Engine.Plan.build ~quick ~security ~lints ?model_check ~overrides ~seed
+      layout
   in
   let cache = Option.map (fun dir -> Engine.Cache.create ~dir) cache_dir in
   let jobs = max 1 jobs in
@@ -703,7 +720,7 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
         (Engine.Jsonx.to_multiline_string
            (summary_json ~failures:!failures ~jobs ~cache_enabled:(cache <> None)
               ~sup_totals ~stats ~cache_write_failures ~engine_chaos ~model_check
-              execs)))
+              ~plan execs)))
     json_out;
   Option.iter (fun path -> Engine.Jsonx.write_lines path (trace_json ~cache execs)) trace_out;
   Option.iter
@@ -883,6 +900,28 @@ let mc_por =
                  either way — CI asserts it." );
         ])
 
+let overrides =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "overrides" ]
+              ~doc:
+                "Compositional code proofs (the default): once a callee is \
+                 proven, its callers execute the callee's specification as a \
+                 compiled stub instead of its body; dependency edges follow \
+                 the call graph and cache fingerprints cover only (own body + \
+                 directly-used callee specs).  Verdicts are identical to \
+                 --no-overrides — CI asserts it." );
+          ( false,
+            info [ "no-overrides" ]
+              ~doc:
+                "Monolithic code proofs: every same-layer callee runs its \
+                 body, layer-barrier dependency edges, reachable-closure \
+                 fingerprints — the pre-composition engine, byte-for-byte." );
+        ])
+
 let cmd =
   Cmd.v
     (Cmd.info "hyperenclave-verify"
@@ -891,6 +930,6 @@ let cmd =
       const run $ geometry $ seed $ quick $ jobs $ cache_dir $ json_out $ trace_out
       $ lint_json $ chaos $ chaos_traces $ faults $ buggy_tlb $ lints $ timeout_ms
       $ retries $ engine_chaos_seed $ engine_faults $ mc_depth $ mc_geometry
-      $ mc_por)
+      $ mc_por $ overrides)
 
 let () = exit (Cmd.eval' cmd)

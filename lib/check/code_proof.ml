@@ -293,6 +293,39 @@ let args_for pool fn (d : Absdata.t) : _ Value.t list list =
 
 let eq : Absdata.t Refine.equiv = Refine.equiv Absdata.equal
 
+(* ------------------------------------------------------------------ *)
+(* Call-graph queries for override composition                         *)
+
+(* Spec-owned callees of [fn], first-call-site order, deduplicated,
+   self-calls excluded.  Only functions that own a spec can ever be
+   stubbed (or depended on) by the engine. *)
+let callees layout fn =
+  let program = (Layers.compiled layout).Rustlite.Pipeline.program in
+  match Mir.Syntax.find_body program fn with
+  | None -> []
+  | Some body ->
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun g ->
+          g <> fn
+          && (not (Hashtbl.mem seen g))
+          && Option.is_some (Mem_spec.find layout g)
+          &&
+          (Hashtbl.add seen g ();
+           true))
+        (Mirverif.Layer.calls_of_body body)
+
+(* Callees living in [fn]'s own layer: exactly the calls the monolithic
+   checker runs as bodies and override composition runs as specs.
+   Lower-layer callees are already primitives in both modes. *)
+let same_layer_callees layout fn =
+  match Layers.layer_of_function layout fn with
+  | None -> []
+  | Some lname ->
+      List.filter
+        (fun g -> Layers.layer_of_function layout g = Some lname)
+        (callees layout fn)
+
 type ctx = {
   ctx_layout : Layout.t;
   ctx_pool : pool;
@@ -302,6 +335,11 @@ type ctx = {
      a single domain) and mutex-guarded for any stragglers, so worker
      domains only ever read it. *)
   ctx_checks : (string, (string * Absdata.t Refine.check) option) Hashtbl.t;
+  (* per-layer override-composed compiled environments: every spec-owned
+     function of the layer is linked as a {!Spec} override, so same-layer
+     calls execute callee contracts instead of callee bodies.  Shares
+     {!Layers.compile_memo}, whose keys include call-site linkage. *)
+  ctx_cenvs : (string, Absdata.t Mir.Compile.t) Hashtbl.t;
   ctx_mu : Mutex.t;
 }
 
@@ -337,6 +375,38 @@ let check_function ctx fn =
           Hashtbl.add ctx.ctx_checks fn r;
           r)
 
+(* Composed environment for one layer: the layer's interpreter
+   environment with every spec-owned function of the layer linked as an
+   override.  The check's entry function still runs its own body
+   ({!Mir.Compile.call} enters via the body table), so a function is
+   never proven against a stub of itself. *)
+let build_composed ctx lname =
+  let layout = ctx.ctx_layout in
+  let overrides =
+    List.filter_map
+      (fun fn ->
+        Option.map
+          (fun s -> Spec.override (Spec.of_spec s))
+          (Mem_spec.find layout fn))
+      (Layers.functions_of_layer layout lname)
+  in
+  Mir.Compile.compile ~cache:Layers.compile_memo ~overrides
+    (Layers.env_for layout ~layer:lname)
+
+let composed_for ctx lname =
+  Mutex.lock ctx.ctx_mu;
+  match Hashtbl.find_opt ctx.ctx_cenvs lname with
+  | Some cenv ->
+      Mutex.unlock ctx.ctx_mu;
+      cenv
+  | None ->
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock ctx.ctx_mu)
+        (fun () ->
+          let cenv = build_composed ctx lname in
+          Hashtbl.add ctx.ctx_cenvs lname cenv;
+          cenv)
+
 let ctx ?(seed = 2024) layout =
   (* building the pool also warms the layout-keyed compile/stack/boot
      caches, so a ctx built up front is safe to share across domains *)
@@ -344,13 +414,16 @@ let ctx ?(seed = 2024) layout =
   ignore (Layers.stack layout);
   let ctx =
     { ctx_layout = layout; ctx_pool = pool;
-      ctx_checks = Hashtbl.create 64; ctx_mu = Mutex.create () }
+      ctx_checks = Hashtbl.create 64;
+      ctx_cenvs = Hashtbl.create 16; ctx_mu = Mutex.create () }
   in
   List.iter
     (fun lname ->
       List.iter
         (fun fn -> ignore (check_function ctx fn))
-        (Layers.functions_of_layer layout lname))
+        (Layers.functions_of_layer layout lname);
+      if Layers.functions_of_layer layout lname <> [] then
+        ignore (composed_for ctx lname))
     Mem_spec.layer_names;
   ctx
 
@@ -358,6 +431,16 @@ let run_function ctx fn =
   Option.map
     (fun (lname, c) ->
       (lname, Refine.run_compiled (Layers.compiled_for ctx.ctx_layout ~layer:lname) c))
+    (check_function ctx fn)
+
+(* Compositional path: the identical case battery against the
+   override-composed environment, so same-layer callees execute their
+   contracts instead of their bodies.  Sound only once those callees
+   are themselves proven — the engine gates this behind the callee
+   obligations' outcomes and falls back to {!run_function}. *)
+let run_function_composed ctx fn =
+  Option.map
+    (fun (lname, c) -> (lname, Refine.run_compiled (composed_for ctx lname) c))
     (check_function ctx fn)
 
 (* Degraded path: the identical case battery under the reference

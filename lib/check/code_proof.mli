@@ -20,6 +20,18 @@ type ctx
 
 val ctx : ?seed:int -> Hyperenclave.Layout.t -> ctx
 
+val callees : Hyperenclave.Layout.t -> string -> string list
+(** Spec-owned functions [fn] calls directly (first-call-site order,
+    deduplicated, self-calls excluded) — the call-graph edges the
+    engine turns into override dependencies and fingerprint
+    ingredients. *)
+
+val same_layer_callees : Hyperenclave.Layout.t -> string -> string list
+(** The subset of {!callees} living in [fn]'s own layer: exactly the
+    calls that the monolithic checker executes as bodies and the
+    override-composed checker executes as contracts.  (Lower-layer
+    callees are primitives in both modes.) *)
+
 val check_function :
   ctx -> string -> (string * Hyperenclave.Absdata.t Mirverif.Refine.check) option
 (** [(layer, check)] for one function; [None] if no spec owns it. *)
@@ -27,6 +39,14 @@ val check_function :
 val run_function : ctx -> string -> (string * Mirverif.Report.t) option
 (** Run the conformance check of a single function — the obligation
     granularity of the parallel engine. *)
+
+val run_function_composed : ctx -> string -> (string * Mirverif.Report.t) option
+(** The identical battery against the override-composed environment:
+    same-layer callees execute their {!Spec} contracts instead of their
+    bodies ({!Mir.Compile.override} linkage).  Sound only once those
+    callees are proven — the engine gates each caller on its callees'
+    obligation outcomes and falls back to {!run_function} while the
+    gate is closed (e.g. a quarantined callee under engine chaos). *)
 
 val run_function_interp : ctx -> string -> (string * Mirverif.Report.t) option
 (** The same battery under the reference {!Mir.Interp} semantics

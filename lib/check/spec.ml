@@ -1,0 +1,188 @@
+(* Per-function specification contracts and override composition.
+
+   The paper's code proofs (Sec. 4.3) are compositional: each function
+   is verified against its own functional specification, assuming only
+   the specifications of its callees.  This module is the executable
+   contract language that makes the callee side of that assumption
+   runnable — the analogue of SAW's [mir_verify]/[mir_points_to]/
+   [mir_precond]/[mir_postcond] builtins for our object-view memory:
+
+   - a contract wraps a functional spec ({!Mirverif.Spec.t}) with
+     executable pre/postcondition predicates and points-to facts
+     checked against {!Mir.Mem};
+   - pointer arguments ([self] of a method call) are resolved through
+     the object-view memory to the pointee value the by-value spec
+     expects — the [mir_points_to] step;
+   - {!override} packages the contract as a {!Mir.Compile.override}, a
+     compiled-linkage stub callers execute instead of the callee's
+     body once the callee is proven;
+   - {!fresh}/{!samples} draw deterministic "symbolic-ish" variables
+     from per-variable streams (the same seed-splitting discipline as
+     the generator's), and {!verify} is the [mir_verify]-shaped
+     sampling check of an executor against a contract.
+
+   Contract violations surface on the [Error] channel — the same
+   channel as "spec undefined", so a battery case outside a
+   precondition is skipped, never silently passed. *)
+
+module Value = Mir.Value
+module Mem = Mir.Mem
+
+type 'abs pre = 'abs -> 'abs Value.t list -> bool
+type 'abs post = 'abs -> 'abs Value.t list -> 'abs * 'abs Value.t -> bool
+
+type 'abs fact = {
+  f_label : string;
+  f_path : Mir.Path.t;
+  f_pred : 'abs Value.t -> bool;
+}
+
+type 'abs t = {
+  c_base : 'abs Mirverif.Spec.t;
+  c_pres : (string * 'abs pre) list; (* declaration order *)
+  c_posts : (string * 'abs post) list;
+  c_facts : 'abs fact list;
+}
+
+let of_spec base = { c_base = base; c_pres = []; c_posts = []; c_facts = [] }
+let make ~name exec = of_spec { Mirverif.Spec.name; exec }
+let name c = c.c_base.Mirverif.Spec.name
+let base c = c.c_base
+
+let requires ?label pred c =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "pre#%d" (List.length c.c_pres + 1)
+  in
+  { c with c_pres = c.c_pres @ [ (label, pred) ] }
+
+let ensures ?label pred c =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "post#%d" (List.length c.c_posts + 1)
+  in
+  { c with c_posts = c.c_posts @ [ (label, pred) ] }
+
+let points_to ?label path pred c =
+  let f_label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "points-to#%d" (List.length c.c_facts + 1)
+  in
+  { c with c_facts = c.c_facts @ [ { f_label; f_path = path; f_pred = pred } ] }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* Object-view argument resolution: a concrete pointer dereferences
+   through the memory, a trusted pointer loads from the abstract
+   state, and everything else (plain data, RData handles — whose
+   pointees are deliberately opaque) passes through unchanged. *)
+let resolve_arg abs mem (v : 'abs Value.t) =
+  match v with
+  | Value.Ptr (Value.Concrete path) -> (
+      match Mem.read mem path with
+      | Ok pointee -> Ok pointee
+      | Error msg -> Error (Printf.sprintf "points-to resolution: %s" msg))
+  | Value.Ptr (Value.Trusted t) -> (
+      match t.Value.tp_load abs with
+      | Ok pointee -> Ok pointee
+      | Error msg -> Error (Printf.sprintf "trusted pointee load: %s" msg))
+  | v -> Ok v
+
+let resolve_args abs ~mem args =
+  List.fold_right
+    (fun v acc ->
+      let* rest = acc in
+      let* v = resolve_arg abs mem v in
+      Ok (v :: rest))
+    args (Ok [])
+
+let check_facts c mem =
+  List.fold_left
+    (fun acc f ->
+      let* () = acc in
+      match Mem.read mem f.f_path with
+      | Error msg -> Error (Printf.sprintf "fact %s: %s" f.f_label msg)
+      | Ok v ->
+          if f.f_pred v then Ok ()
+          else Error (Printf.sprintf "fact %s does not hold" f.f_label))
+    (Ok ()) c.c_facts
+
+let check_pres c abs args =
+  List.fold_left
+    (fun acc (label, pred) ->
+      let* () = acc in
+      if pred abs args then Ok ()
+      else Error (Printf.sprintf "precondition %s violated" label))
+    (Ok ()) c.c_pres
+
+let check_posts c abs args result =
+  List.fold_left
+    (fun acc (label, pred) ->
+      let* () = acc in
+      if pred abs args result then Ok ()
+      else Error (Printf.sprintf "postcondition %s violated" label))
+    (Ok ()) c.c_posts
+
+let apply c abs ~mem args =
+  let* () = check_facts c mem in
+  let* args = resolve_args abs ~mem args in
+  let* () = check_pres c abs args in
+  let* result = Mirverif.Spec.apply c.c_base abs args in
+  let* () = check_posts c abs args result in
+  Ok result
+
+let to_spec ?(mem = Mem.empty) c =
+  { Mirverif.Spec.name = name c; exec = (fun abs args -> apply c abs ~mem args) }
+
+let override c =
+  { Mir.Compile.ov_name = name c; ov_exec = (fun abs mem args -> apply c abs ~mem args) }
+
+(* ------------------------------------------------------------------ *)
+(* Fresh symbolic-ish variables                                        *)
+
+type kind = Ku64 | Kbelow of int64
+
+type var = { v_name : string; v_kind : kind }
+
+let fresh v_name = { v_name; v_kind = Ku64 }
+
+let fresh_below v_name bound =
+  if Int64.compare bound 1L < 0 then
+    invalid_arg "Spec.fresh_below: bound must be >= 1";
+  { v_name; v_kind = Kbelow bound }
+
+(* One deterministic stream per (seed, variable name): the same
+   split-by-stable-tag discipline the engine uses for per-obligation
+   streams, so samples never depend on evaluation order. *)
+let var_stream ~seed v =
+  let h = ref seed in
+  String.iter (fun c -> h := (!h * 131) + Char.code c) v.v_name;
+  Rng.make !h
+
+let sample_var ~seed v i : 'abs Value.t =
+  let rec nth rng k =
+    let w, rng = Rng.next rng in
+    if k <= 0 then w else nth rng (k - 1)
+  in
+  let w = nth (var_stream ~seed v) i in
+  match v.v_kind with
+  | Ku64 -> Value.u64 w
+  | Kbelow b -> Value.u64 (Int64.unsigned_rem w b)
+
+let samples ~seed ~n vars =
+  List.init n (fun i -> List.map (fun v -> sample_var ~seed v i) vars)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling verification (the mir_verify shape)                        *)
+
+let verify ?fuel ~eq ~seed ~n ~abs ?(mem = Mem.empty) ~vars c cenv =
+  let cases =
+    List.map (fun args -> Mirverif.Refine.case ~mem abs args) (samples ~seed ~n vars)
+  in
+  let check =
+    Mirverif.Refine.check ?fuel ~fn:(name c) ~spec:(to_spec ~mem c) ~eq cases
+  in
+  Mirverif.Refine.run_compiled cenv check

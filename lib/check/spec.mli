@@ -1,0 +1,103 @@
+(** Per-function specification contracts and override composition.
+
+    The executable analogue of SAW's MIR contract builtins
+    ([mir_precond] / [mir_postcond] / [mir_points_to] / [mir_verify])
+    for this stack's object-view memory.  A contract wraps a functional
+    specification ({!Mirverif.Spec.t}) with executable pre- and
+    postcondition predicates and points-to facts over {!Mir.Mem}, and
+    can be packaged as a {!Mir.Compile.override} — the compiled-linkage
+    stub a caller executes {e instead of} the callee's body once the
+    callee has been proven against the contract.
+
+    Contract violations are reported on the [Error] channel, the same
+    channel {!Mirverif.Refine} treats as "specification undefined": a
+    battery case that falls outside a precondition is skipped, never
+    silently passed, and an override call outside its contract faults
+    the caller rather than fabricating a result. *)
+
+type 'abs pre = 'abs -> 'abs Mir.Value.t list -> bool
+(** Precondition over (abstract state, resolved arguments). *)
+
+type 'abs post = 'abs -> 'abs Mir.Value.t list -> 'abs * 'abs Mir.Value.t -> bool
+(** Postcondition over the pre-state, the resolved arguments, and the
+    (post-state, return value) the base specification produced. *)
+
+type 'abs t
+(** A contract: base functional spec + preconditions + postconditions
+    + points-to facts, applied in that order by {!apply}. *)
+
+val of_spec : 'abs Mirverif.Spec.t -> 'abs t
+(** The trivial contract: exactly the base specification. *)
+
+val make :
+  name:string ->
+  ('abs -> 'abs Mir.Value.t list -> ('abs * 'abs Mir.Value.t, string) result) ->
+  'abs t
+
+val name : 'abs t -> string
+val base : 'abs t -> 'abs Mirverif.Spec.t
+
+val requires : ?label:string -> 'abs pre -> 'abs t -> 'abs t
+(** Add a precondition (checked after argument resolution, before the
+    base spec).  A violated precondition makes the contract undefined
+    with a message naming [label]. *)
+
+val ensures : ?label:string -> 'abs post -> 'abs t -> 'abs t
+(** Add a postcondition over the base specification's result. *)
+
+val points_to : ?label:string -> Mir.Path.t -> ('abs Mir.Value.t -> bool) -> 'abs t -> 'abs t
+(** Require that [path] is allocated in the object-view memory and its
+    value satisfies the predicate — the [mir_points_to] fact. *)
+
+val resolve_args :
+  'abs -> mem:'abs Mir.Mem.t -> 'abs Mir.Value.t list ->
+  ('abs Mir.Value.t list, string) result
+(** Resolve pointer arguments to the pointee values a by-value
+    specification expects: concrete pointers read through [mem],
+    trusted pointers load from the abstract state, RData handles and
+    plain data pass through unchanged. *)
+
+val apply :
+  'abs t -> 'abs -> mem:'abs Mir.Mem.t -> 'abs Mir.Value.t list ->
+  ('abs * 'abs Mir.Value.t, string) result
+(** Facts → resolve → preconditions → base spec → postconditions.  Any
+    violation is [Error] (contract undefined). *)
+
+val to_spec : ?mem:'abs Mir.Mem.t -> 'abs t -> 'abs Mirverif.Spec.t
+(** The contract as a plain functional spec, with [mem] (default
+    empty) fixed for fact checking and pointer resolution. *)
+
+val override : 'abs t -> 'abs Mir.Compile.override
+(** The contract as a compiled call-site stub.  Receives the caller's
+    live object-view memory, so pointer arguments resolve against the
+    state at the call site. *)
+
+(** {1 Fresh symbolic-ish variables}
+
+    Deterministic stand-ins for the symbolic variables of a real
+    [mir_verify]: each variable owns an independent stream derived by
+    hashing its name into the seed (the generator's split discipline),
+    so adding a variable never perturbs the samples of another. *)
+
+type var
+
+val fresh : string -> var
+(** An unconstrained 64-bit variable. *)
+
+val fresh_below : string -> int64 -> var
+(** A variable sampled in [[0, bound)] (unsigned); [bound >= 1]. *)
+
+val samples : seed:int -> n:int -> var list -> 'abs Mir.Value.t list list
+(** [n] instantiations of the variable list, row [i] giving each
+    variable its [i]-th draw. *)
+
+val verify :
+  ?fuel:int ->
+  eq:'abs Mirverif.Refine.equiv ->
+  seed:int -> n:int -> abs:'abs -> ?mem:'abs Mir.Mem.t ->
+  vars:var list ->
+  'abs t -> 'abs Mir.Compile.t -> Mirverif.Report.t
+(** Sampling verification of the compiled environment's function named
+    [name contract] against the contract: draws [n] instantiations of
+    [vars], runs code and contract from [abs]/[mem], and reports
+    pass / skip / fail exactly like {!Mirverif.Refine.run_battery}. *)

@@ -44,6 +44,11 @@ val env_on_top : 'abs stack -> 'abs Mir.Interp.env
 val all_code : 'abs stack -> Mir.Syntax.body list
 val spec_names : 'abs stack -> string list
 
+val calls_of_body : Mir.Syntax.body -> string list
+(** Callee names of every [Call] terminator in the body, in block
+    order (with duplicates).  The syntactic call-graph edge set used by
+    {!check_stratified} and by the engine's override-composition DAG. *)
+
 type stratification_issue = {
   layer : string;
   body : string;

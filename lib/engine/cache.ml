@@ -128,7 +128,17 @@ let find t (o : Obligation.t) : Obligation.outcome option =
     | None -> Hashtbl.find_opt t.index k
   in
   Mutex.unlock t.mu;
-  match packed with Some _ as r -> r | None -> find_legacy t k
+  match packed with
+  | Some _ as r ->
+      (* defined tier precedence: the pack always wins.  A key present
+         in both tiers means a legacy [.proof] file survived a later
+         packed write of the same (version+fingerprint) outcome — it
+         can only be equal or staler, so evict it rather than let a
+         future pack loss resurrect it *)
+      let file = path t k in
+      if Sys.file_exists file then (try Sys.remove file with Sys_error _ -> ());
+      r
+  | None -> find_legacy t k
 
 let stash t (o : Obligation.t) (outcome : Obligation.outcome) =
   Mutex.lock t.mu;

@@ -40,7 +40,10 @@ val key : Obligation.t -> string
 (** Hex digest naming the obligation's cache entry. *)
 
 val find : t -> Obligation.t -> Obligation.outcome option
-(** Pending buffer, then pack index, then legacy per-entry file. *)
+(** Pending buffer, then pack index, then legacy per-entry file —
+    defined tier precedence, so a stale legacy [.proof] can never
+    shadow a fresher pack entry.  When the pack tier wins, any legacy
+    file under the same key is evicted on the way out. *)
 
 val stash : t -> Obligation.t -> Obligation.outcome -> unit
 (** Buffer an outcome for the next {!flush}.  Visible to {!find}

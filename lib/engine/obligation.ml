@@ -11,10 +11,11 @@ type t = {
   fingerprint : string;
   run : unit -> outcome;
   fallback : (unit -> outcome) option;
+  on_outcome : (outcome -> unit) option;
 }
 
-let v ~id ~phase ?(deps = []) ~fingerprint ?fallback run =
-  { id; phase; deps; fingerprint; run; fallback }
+let v ~id ~phase ?(deps = []) ~fingerprint ?fallback ?on_outcome run =
+  { id; phase; deps; fingerprint; run; fallback; on_outcome }
 
 let outcome ?(log = "") ?(findings = []) reports = { reports; log; findings }
 

@@ -38,11 +38,21 @@ type t = {
           compiled-closure battery to the reference interpreter).  Run
           once, after every [run] attempt has crashed; must depend on
           the same fingerprinted inputs, so its outcome is cacheable. *)
+  on_outcome : (outcome -> unit) option;
+      (** invoked by the pool with the obligation's outcome on {e every}
+          completion path — live execution, crash placeholder, and cache
+          hit alike — before dependents are released.  The hook behind
+          the override-composition proven gate: a callee marks itself
+          proven here, so its callers (DAG dependents) observe the mark
+          no matter how the callee's outcome was obtained.  Must be
+          thread-safe and idempotent: under engine chaos a respawned
+          worker can re-execute an obligation whose hook already ran. *)
 }
 
 val v :
   id:string -> phase:string -> ?deps:string list -> fingerprint:string ->
-  ?fallback:(unit -> outcome) -> (unit -> outcome) -> t
+  ?fallback:(unit -> outcome) -> ?on_outcome:(outcome -> unit) ->
+  (unit -> outcome) -> t
 
 val outcome :
   ?log:string ->

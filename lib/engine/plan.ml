@@ -16,6 +16,8 @@ type t = {
   security : bool;
   lints : Analysis.Lint.kind list;
   model_check : mc_request option;
+  overrides : bool;
+  override_counts : (string * int) list;
 }
 
 let phases =
@@ -209,8 +211,12 @@ let absint_obligations ?(lints = Analysis.Lint.catalogue) layout =
 (* Phase 4: per-function code proofs                                   *)
 
 let code_proof_id ~layer fn = Printf.sprintf "code-proof/%s/%s" layer fn
+let code_proof_version = "code-proof-compose-v1"
 
-let code_proof_obligations ?(seed = 2024) layout =
+(* Legacy monolithic plan shape, preserved byte-for-byte behind
+   [--no-overrides]: layer-barrier dependency edges, and fingerprints
+   digesting the whole MIR closure at and below the function's layer. *)
+let monolithic_code_proof_obligations ?(seed = 2024) layout =
   let ctx = Check.Code_proof.ctx ~seed layout in
   let out = Layers.compiled layout in
   let base_fp = Printf.sprintf "%s;seed=%d" (layout_fp layout) seed in
@@ -265,6 +271,111 @@ let code_proof_obligations ?(seed = 2024) layout =
       ([], []) Mem_spec.layer_names
   in
   obls
+
+(* Override-composed plan shape.  Dependency edges follow the call
+   graph instead of layer barriers — a caller waits on exactly the
+   spec-owned functions it calls directly, because those are the specs
+   its composed run executes — and fingerprints shrink from the
+   reachable-closure digest to (own body + directly-used callee
+   specs), so editing one function invalidates exactly itself and its
+   direct callers.  The composed executor is gated on the callees
+   actually being proven: each callee obligation marks itself in the
+   [proven] set from the pool's [on_outcome] hook (which fires on
+   live, crashed, and cached completion paths alike, before dependents
+   are released), and a caller whose gate is closed — e.g. a callee
+   quarantined by engine chaos — falls back to the monolithic battery
+   rather than assuming an unproven spec.  Both executors produce
+   identical verdicts (pinned by the differential suite), so the
+   choice is invisible to reports, stdout, and the cache. *)
+let composed_code_proof_obligations ?(seed = 2024) layout =
+  let ctx = Check.Code_proof.ctx ~seed layout in
+  let program = (Layers.compiled layout).Rustlite.Pipeline.program in
+  let base_fp = Printf.sprintf "%s;seed=%d" (layout_fp layout) seed in
+  let digest_of fn =
+    match Mir.Syntax.find_body program fn with
+    | Some body -> Digest.to_hex (Digest.string (Mir.Pp.body_to_string body))
+    | None -> "missing"
+  in
+  let proven : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let proven_mu = Mutex.create () in
+  let mark fn (o : Obligation.outcome) =
+    if Obligation.failure_count o = 0 then begin
+      Mutex.lock proven_mu;
+      if not (Hashtbl.mem proven fn) then Hashtbl.add proven fn ();
+      Mutex.unlock proven_mu
+    end
+  in
+  let is_proven fn =
+    Mutex.lock proven_mu;
+    let r = Hashtbl.mem proven fn in
+    Mutex.unlock proven_mu;
+    r
+  in
+  List.filter_map
+    (fun lname ->
+      let fns = Layers.functions_of_layer layout lname in
+      if fns = [] then None
+      else
+        Some
+          ( lname,
+            List.map
+              (fun fn ->
+                let id = code_proof_id ~layer:lname fn in
+                let callees = Check.Code_proof.callees layout fn in
+                let stubs = Check.Code_proof.same_layer_callees layout fn in
+                let uses =
+                  String.concat ","
+                    (List.map
+                       (fun g -> g ^ "=" ^ digest_of g)
+                       (List.sort String.compare callees))
+                in
+                let fingerprint =
+                  Printf.sprintf "%s;%s;fn=%s;own=%s;uses=%s" code_proof_version
+                    base_fp fn (digest_of fn) uses
+                in
+                let deps =
+                  List.filter_map
+                    (fun g ->
+                      Option.map
+                        (fun gl -> code_proof_id ~layer:gl g)
+                        (Layers.layer_of_function layout g))
+                    callees
+                in
+                let outcome_of = function
+                  | Some (_, report) -> Obligation.outcome [ report ]
+                  | None ->
+                      Obligation.outcome
+                        [
+                          Report.add_failure (Report.empty fn) ~case:fn
+                            ~reason:"no spec owns this function";
+                        ]
+                in
+                Obligation.v ~id ~phase:"code-proofs" ~deps ~fingerprint
+                  ~fallback:(fun () ->
+                    outcome_of (Check.Code_proof.run_function_interp ctx fn))
+                  ~on_outcome:(mark fn)
+                  (fun () ->
+                    if stubs <> [] && List.for_all is_proven stubs then
+                      outcome_of (Check.Code_proof.run_function_composed ctx fn)
+                    else outcome_of (Check.Code_proof.run_function ctx fn)))
+              fns ))
+    Mem_spec.layer_names
+
+let code_proof_obligations ?(seed = 2024) ?(overrides = true) layout =
+  if overrides then composed_code_proof_obligations ~seed layout
+  else monolithic_code_proof_obligations ~seed layout
+
+(* Per-function same-layer stub counts: the number of call-graph edges
+   override composition replaces with contract stubs.  Deterministic
+   in the layout alone, reported through [--json-out]. *)
+let override_counts layout =
+  List.concat_map
+    (fun lname ->
+      List.map
+        (fun fn ->
+          (fn, List.length (Check.Code_proof.same_layer_callees layout fn)))
+        (Layers.functions_of_layer layout lname))
+    Mem_spec.layer_names
 
 let function_layer_ids obls_by_layer lname =
   match List.assoc_opt lname obls_by_layer with
@@ -603,12 +714,13 @@ let mc_obligations ~deps req layout =
 (* Assembly                                                            *)
 
 let build ?(quick = false) ?(security = true)
-    ?(lints = Analysis.Lint.catalogue) ?model_check ~seed layout =
+    ?(lints = Analysis.Lint.catalogue) ?model_check ?(overrides = true) ~seed
+    layout =
   Layers.warm layout;
   if security then
     (* forces the attack module's lazily built layout from this domain *)
     ignore (Security.Attacks.run Security.Attacks.healthy);
-  let by_layer = code_proof_obligations ~seed layout in
+  let by_layer = code_proof_obligations ~seed ~overrides layout in
   let code = List.concat_map snd by_layer in
   let top_ids = last_layer_ids by_layer in
   let pt_ids =
@@ -641,4 +753,5 @@ let build ?(quick = false) ?(security = true)
   let dag =
     Dag.build_exn (analysis @ absint @ code @ refine @ security_obls @ mc)
   in
-  { dag; layout; seed; quick; security; lints; model_check }
+  { dag; layout; seed; quick; security; lints; model_check; overrides;
+    override_counts = override_counts layout }

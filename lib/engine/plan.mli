@@ -34,6 +34,15 @@ type t = {
   security : bool;
   lints : Analysis.Lint.kind list;
   model_check : mc_request option;
+  overrides : bool;
+      (** code proofs use override composition (callee contracts as
+          compiled stubs, call-graph dependency edges, shrunk
+          fingerprints); [false] restores the legacy monolithic plan
+          shape exactly ([--no-overrides]) *)
+  override_counts : (string * int) list;
+      (** per spec-owned function, bottom-up: how many same-layer
+          call-graph edges override composition replaces with contract
+          stubs (zeros included, so rollup keys are stable) *)
 }
 
 val phases : string list
@@ -46,6 +55,7 @@ val build :
   ?security:bool ->
   ?lints:Analysis.Lint.kind list ->
   ?model_check:mc_request ->
+  ?overrides:bool ->
   seed:int ->
   Hyperenclave.Layout.t ->
   t
@@ -80,9 +90,29 @@ val absint_obligations :
     function invalidates exactly its SCC and the SCCs above it. *)
 
 val code_proof_obligations :
-  ?seed:int -> Hyperenclave.Layout.t -> (string * Obligation.t list) list
+  ?seed:int -> ?overrides:bool -> Hyperenclave.Layout.t ->
+  (string * Obligation.t list) list
 (** Per-layer code-proof obligations, bottom-up; exposed for tests and
-    for cache-invalidation experiments. *)
+    for cache-invalidation experiments.
+
+    With [~overrides:true] (the default), dependency edges follow the
+    call graph — a caller waits on exactly the spec-owned functions it
+    calls directly — and each fingerprint digests only the function's
+    own body plus its directly-used callee specs, so editing one
+    function invalidates exactly itself and its direct callers.  The
+    obligation thunk runs the override-composed battery (same-layer
+    callees as contract stubs) once every stubbed callee has completed
+    without failures, observed through the pool's [on_outcome] hook;
+    otherwise — no stubs, or a callee crashed/was quarantined — it
+    falls back to the monolithic battery, whose verdicts are identical
+    (pinned by the differential suite).
+
+    With [~overrides:false], the legacy shape: layer-barrier edges and
+    reachable-closure fingerprints, byte-for-byte. *)
+
+val override_counts : Hyperenclave.Layout.t -> (string * int) list
+(** Per spec-owned function (bottom-up, zeros included): the number of
+    same-layer call-graph edges override composition stubs. *)
 
 val mc_obligations :
   deps:string list -> mc_request -> Hyperenclave.Layout.t -> Obligation.t list

@@ -144,17 +144,24 @@ let crash_outcome (o : Obligation.t) reason =
    otherwise replay the failure forever.  Clean and fallback outcomes
    are stashed as before. *)
 let execute sched (o : Obligation.t) =
-  match sched.cache with
-  | None ->
-      let r = Supervisor.supervise sched.sup o in
-      (r.Supervisor.outcome, Off, r.Supervisor.trail)
-  | Some c -> (
-      match Cache.find c o with
-      | Some outcome -> (outcome, Hit, Supervisor.cached)
-      | None ->
-          let r = Supervisor.supervise sched.sup o in
-          if r.Supervisor.cacheable then Cache.stash c o r.Supervisor.outcome;
-          (r.Supervisor.outcome, Miss, r.Supervisor.trail))
+  let ((outcome, _, _) as result) =
+    match sched.cache with
+    | None ->
+        let r = Supervisor.supervise sched.sup o in
+        (r.Supervisor.outcome, Off, r.Supervisor.trail)
+    | Some c -> (
+        match Cache.find c o with
+        | Some outcome -> (outcome, Hit, Supervisor.cached)
+        | None ->
+            let r = Supervisor.supervise sched.sup o in
+            if r.Supervisor.cacheable then Cache.stash c o r.Supervisor.outcome;
+            (r.Supervisor.outcome, Miss, r.Supervisor.trail))
+  in
+  (* every completion path — live, crashed, cached — feeds the hook
+     before dependents are released, so gates driven by it (the
+     override-composition proven set) are schedule-independent *)
+  (match o.Obligation.on_outcome with None -> () | Some f -> f outcome);
+  result
 
 let shutdown sched =
   Mutex.lock sched.sleep_mu;

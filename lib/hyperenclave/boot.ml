@@ -22,7 +22,10 @@ let map_identity d ~root ~base ~pages ~flags =
   let rec go d va =
     if not (Word.lt_u va limit) then Ok d
     else
-      let remaining = Int64.to_int (Int64.div (Int64.sub limit va) page) in
+      (* unsigned: with an identity-map limit in the upper half of the
+         address space (>= 0x8000_0000_0000_0000) the byte distance can
+         exceed [Int64.max_int], and signed division would go negative *)
+      let remaining = Int64.to_int (Int64.unsigned_div (Int64.sub limit va) page) in
       let level = best_level va remaining g.Geometry.levels in
       let* d =
         if level = 1 then Pt_flat.map_page d ~root ~va ~pa:va flags

@@ -93,7 +93,7 @@ let frame_addr l i =
 
 let frame_index l addr =
   if within l.frame_base l.frame_count l addr && Geometry.page_aligned l.geom addr
-  then Some (Int64.to_int (Int64.div (Int64.sub addr l.frame_base) (page_bytes l)))
+  then Some (Int64.to_int (Int64.unsigned_div (Int64.sub addr l.frame_base) (page_bytes l)))
   else None
 
 let epc_page_addr l i =
@@ -103,7 +103,7 @@ let epc_page_addr l i =
 
 let epc_page_index l addr =
   if within l.epc_base l.epc_pages l addr && Geometry.page_aligned l.geom addr then
-    Some (Int64.to_int (Int64.div (Int64.sub addr l.epc_base) (page_bytes l)))
+    Some (Int64.to_int (Int64.unsigned_div (Int64.sub addr l.epc_base) (page_bytes l)))
   else None
 
 let in_secure l addr =

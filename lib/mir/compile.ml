@@ -54,6 +54,7 @@ and 'abs rframe = {
 and 'abs rt = {
   rt_prims : 'abs Interp.prim StrMap.t;
   rt_bodies : 'abs cbody StrMap.t;
+  rt_overrides : 'abs override StrMap.t;
   mutable rt_mem : 'abs Mem.t;
   mutable rt_abs : 'abs;
   mutable rt_steps : int;
@@ -61,7 +62,22 @@ and 'abs rt = {
   mutable rt_next_frame : int;
 }
 
-type 'abs t = { ct_prims : 'abs Interp.prim StrMap.t; ct_bodies : 'abs cbody StrMap.t }
+(* A specification stub installed over a body: call sites that resolve
+   to an override execute [ov_exec] instead of entering the callee's
+   body.  Unlike a primitive, the stub sees the object-view memory, so
+   it can resolve pointer arguments (e.g. a method's [self]) to the
+   pointee value the callee's by-value specification expects. *)
+and 'abs override = {
+  ov_name : string;
+  ov_exec :
+    'abs -> 'abs Mem.t -> 'abs Value.t list -> ('abs * 'abs Value.t, string) result;
+}
+
+type 'abs t = {
+  ct_prims : 'abs Interp.prim StrMap.t;
+  ct_bodies : 'abs cbody StrMap.t;
+  ct_overrides : 'abs override StrMap.t;
+}
 
 (* A shared memo table: bodies compile once per digest+linkage key and
    are reused across environments (and across chaos-perturbed copies
@@ -410,11 +426,14 @@ and enter_body (st : 'abs rt) (cb : 'abs cbody) args : 'abs Value.t =
 (* Terminators                                                         *)
 
 (* Call-site linkage, decided at compile time from the environment's
-   primitive-name set and body-name set; the actual closure/body is
-   fetched from the runtime state, so a memoized body works under any
-   environment with the same linkage shape (chaos-wrapped primitives
-   keep their names, so they hit the same cache entry). *)
-type linkage = Lprim | Lbody | Lundef
+   override-name set, primitive-name set and body-name set; the actual
+   closure/body is fetched from the runtime state, so a memoized body
+   works under any environment with the same linkage shape
+   (chaos-wrapped primitives keep their names, so they hit the same
+   cache entry).  Overrides shadow both primitives and bodies: a call
+   site compiled with [Loverride] executes the callee's specification
+   stub instead of its body. *)
+type linkage = Lprim | Lbody | Loverride | Lundef
 
 let compile_return denv : 'abs rt -> 'abs rframe -> 'abs jump =
   (* a body that never assigns _0 (or leaves it undefined) returns () *)
@@ -484,6 +503,24 @@ let compile_terminator denv ~linkage_of ~fn ~blk (term : Syntax.terminator) :
               | Ok (abs, ret) -> (
                   match target with
                   | None -> raise (Emsg "call of primitive with no return target")
+                  | Some l ->
+                      st.rt_abs <- abs;
+                      store_result st fr ret;
+                      Jgoto l)
+            with Emsg msg -> fault fn blk msg)
+      | Loverride ->
+          (* like a primitive call (one terminator tick, no callee
+             frame), but the stub additionally reads the object-view
+             memory so pointer arguments resolve to pointee values *)
+          fun st fr -> (
+            try
+              let argv = cargs st fr in
+              let ov = StrMap.find func st.rt_overrides in
+              match ov.ov_exec st.rt_abs st.rt_mem argv with
+              | Error msg -> raise (Emsg (Printf.sprintf "override %s: %s" func msg))
+              | Ok (abs, ret) -> (
+                  match target with
+                  | None -> raise (Emsg "call of override with no return target")
                   | Some l ->
                       st.rt_abs <- abs;
                       store_result st fr ret;
@@ -566,7 +603,7 @@ let compile_bind (body : Syntax.body) denv =
    depend on: the MIR text of the body and the linkage of each call
    site (whether the callee resolves to a primitive, a body, or
    nothing in this environment). *)
-let linkage_char = function Lprim -> 'p' | Lbody -> 'b' | Lundef -> 'u'
+let linkage_char = function Lprim -> 'p' | Lbody -> 'b' | Loverride -> 'o' | Lundef -> 'u'
 
 let body_key (body : Syntax.body) ~linkage_of =
   let buf = Buffer.create 256 in
@@ -607,15 +644,21 @@ let compile_body ~linkage_of (body : Syntax.body) ~key : 'abs cbody =
       body.Syntax.blocks;
   cb
 
-let compile ?cache (env : 'abs Interp.env) : 'abs t =
+let compile ?cache ?(overrides = []) (env : 'abs Interp.env) : 'abs t =
   let prog = Interp.env_program env in
   let prims =
     List.fold_left
       (fun m (p : 'abs Interp.prim) -> StrMap.add p.Interp.prim_name p m)
       StrMap.empty (Interp.env_prims env)
   in
+  let ovs =
+    List.fold_left
+      (fun m (ov : 'abs override) -> StrMap.add ov.ov_name ov m)
+      StrMap.empty overrides
+  in
   let linkage_of func =
-    if StrMap.mem func prims then Lprim (* primitives shadow bodies *)
+    if StrMap.mem func ovs then Loverride (* spec stubs shadow everything *)
+    else if StrMap.mem func prims then Lprim (* primitives shadow bodies *)
     else if Option.is_some (Syntax.find_body prog func) then Lbody
     else Lundef
   in
@@ -641,7 +684,7 @@ let compile ?cache (env : 'abs Interp.env) : 'abs t =
     Syntax.fold_bodies (fun name body m -> StrMap.add name (compile_one body) m) prog
       StrMap.empty
   in
-  { ct_prims = prims; ct_bodies = bodies }
+  { ct_prims = prims; ct_bodies = bodies; ct_overrides = ovs }
 
 let cache_size c =
   Mutex.lock c.mu;
@@ -661,6 +704,7 @@ let call ?(fuel = Interp.default_fuel) (ct : 'abs t) ~abs ~mem fn args :
         {
           rt_prims = ct.ct_prims;
           rt_bodies = ct.ct_bodies;
+          rt_overrides = ct.ct_overrides;
           rt_mem = mem;
           rt_abs = abs;
           rt_steps = 0;

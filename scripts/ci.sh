@@ -59,6 +59,27 @@ diff "$workdir/serial.out" "$workdir/cold.out"
 diff "$workdir/serial.out" "$workdir/warm.out"
 echo "ci: engine output identical across jobs 1/4 and warm cache"
 
+# --- override-composition gate --------------------------------------
+# Verdict invariance: disabling callee-spec overrides (--no-overrides,
+# the monolithic executor) must leave the verification output
+# byte-identical — composition may never show up in verdicts.  The
+# default composed run must actually stub same-layer calls, and the
+# engine 'overrides' unit group pins the rest: the proven gate opens
+# only after callee spec-proofs, a quarantined callee falls the caller
+# back to the body (never a vacuous pass), and fingerprints digest own
+# body + direct callee specs only, so editing one mid-stack function
+# invalidates exactly itself and its direct callers.
+dune exec bin/hyperenclave_verify.exe -- \
+  --quick --seed 2024 --jobs 1 --no-overrides > "$workdir/mono.out"
+diff "$workdir/serial.out" "$workdir/mono.out" || {
+  echo "ci: override-composed verdicts differ from monolithic" >&2; exit 1; }
+stubs=$(sed -n 's/.*"stubbed_calls_total": *\([0-9][0-9]*\).*/\1/p' "$workdir/cold.json")
+[ -n "$stubs" ] && [ "$stubs" -gt 0 ] || {
+  echo "ci: composed run stubbed no callee calls" >&2; exit 1; }
+dune exec test/engine/test_engine.exe -- test overrides > /dev/null || {
+  echo "ci: override gate/fingerprint unit group failed" >&2; exit 1; }
+echo "ci: override gate ok (verdicts invariant, $stubs call sites stubbed)"
+
 hits=$(sed -n 's/^  "cache_hits": *\([0-9][0-9]*\).*/\1/p' "$workdir/warm.json")
 [ -n "$hits" ] && [ "$hits" -gt 0 ] || {
   echo "ci: warm run reported no cache hits" >&2; exit 1; }
@@ -189,15 +210,32 @@ awk -v w1="$w1" -v w4="$w4" 'BEGIN { exit !(w4 <= w1 * 1.25) }' || {
   exit 1; }
 echo "ci: scaling gate ok (jobs=1 ${w1}s, jobs=4 ${w4}s)"
 
+# --- override cost gate ---------------------------------------------
+# Stubbing proven callees with their contracts must never cost cold
+# wall-clock: the composed code-proof pass has to finish within the
+# monolithic pass plus measurement headroom (10%; both walls are
+# best-of-three, interleaved).  The per-function ratio on the deepest
+# call tree is reported alongside as the headline compositional win.
+ov_on=$(sed -n 's/.*"override_on_code_proof_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
+ov_off=$(sed -n 's/.*"override_off_code_proof_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
+ov_sp=$(sed -n 's/.*"override_speedup": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
+ov_deep=$(sed -n 's/.*"override_deepest_speedup": \([0-9.eE+-]*\).*/\1/p' BENCH_engine.json)
+[ -n "$ov_on" ] && [ -n "$ov_off" ] || {
+  echo "ci: BENCH_engine.json missing override walls" >&2; exit 1; }
+awk -v on="$ov_on" -v off="$ov_off" 'BEGIN { exit !(on <= off * 1.10) }' || {
+  echo "ci: override-on code proofs ${ov_on}s exceed override-off ${ov_off}s + 10% headroom" >&2
+  exit 1; }
+echo "ci: override cost gate ok (on ${ov_on}s vs off ${ov_off}s, deepest tree ${ov_deep}x)"
+
 # --- bench trajectory -----------------------------------------------
 # One summary line per CI run, appended so regressions are visible as a
 # series, not a point (kept as a workflow artifact alongside the JSON).
 cold=$(sed -n 's/.*"cold_wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
 warm=$(sed -n 's/.*"warm_speedup": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
 mcrate=$(sed -n 's/.*"states_per_sec": \([0-9.eE+-]*\),.*/\1/p' BENCH_mc.json)
-printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s mc_states_per_sec=%s mc_pruning=%s\n' \
+printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s mc_states_per_sec=%s mc_pruning=%s override_speedup=%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$cold" "$warm" \
-  "$(jobs_speedup 2)" "$(jobs_speedup 4)" "$mcrate" "$pf" >> BENCH_trajectory.log
+  "$(jobs_speedup 2)" "$(jobs_speedup 4)" "$mcrate" "$pf" "$ov_sp" >> BENCH_trajectory.log
 echo "ci: appended $(tail -1 BENCH_trajectory.log | cut -d' ' -f2-) to BENCH_trajectory.log"
 
 echo "ci: all green"

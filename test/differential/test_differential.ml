@@ -150,6 +150,46 @@ let test_fuel_ladder_equivalence () =
       done)
     (Fault.Mir_chaos.targets layout)
 
+(* ------------------------------------------------------------------ *)
+(* Override composition vs monolithic                                  *)
+
+(* Verdict invariance of compositional verification: for every one of
+   the 49+1 functions, the full code-proof battery with same-layer
+   callees stubbed by their contracts ({!Check.Code_proof.
+   run_function_composed}) must render the identical report —
+   pass/skip/fail per case, reasons included — as the monolithic run
+   that executes callee bodies.  This is the equivalence that lets the
+   engine pick either executor (and cache either's outcome) without it
+   ever being visible in verdicts or stdout. *)
+let test_override_composition_verdicts () =
+  let ctx = Check.Code_proof.ctx layout in
+  let fns =
+    List.concat_map (Layers.functions_of_layer layout) Mem_spec.layer_names
+  in
+  let stubbed = ref 0 in
+  List.iter
+    (fun fn ->
+      match
+        (Check.Code_proof.run_function ctx fn,
+         Check.Code_proof.run_function_composed ctx fn)
+      with
+      | None, None -> ()
+      | Some (l1, mono), Some (l2, composed) ->
+          Alcotest.(check string) (fn ^ ": same owning layer") l1 l2;
+          if Check.Code_proof.same_layer_callees layout fn <> [] then
+            incr stubbed;
+          Alcotest.(check string)
+            (Printf.sprintf "%s: composed report equals monolithic" fn)
+            (Mirverif.Report.to_string mono)
+            (Mirverif.Report.to_string composed)
+      | _ ->
+          Alcotest.failf "%s: one mode produced a report, the other did not" fn)
+    fns;
+  (* the equivalence must have been exercised, not vacuous *)
+  Alcotest.(check bool)
+    (Printf.sprintf "functions with same-layer stubs covered (%d)" !stubbed)
+    true (!stubbed > 0)
+
 let () =
   Alcotest.run "differential"
     [
@@ -160,5 +200,10 @@ let () =
             test_unknown_function_equivalence;
           Alcotest.test_case "chaos prim faults" `Quick test_prim_fault_equivalence;
           Alcotest.test_case "fuel ladder" `Quick test_fuel_ladder_equivalence;
+        ] );
+      ( "override-vs-monolithic",
+        [
+          Alcotest.test_case "all functions, full battery" `Quick
+            test_override_composition_verdicts;
         ] );
     ]

@@ -91,8 +91,11 @@ let test_plan_one_obligation_per_function () =
   Alcotest.(check int) "code-proof obligations" 50
     (List.length (ids_with_prefix "code-proof/"))
 
+(* Legacy shape (--no-overrides): layer-barrier edges, byte-for-byte
+   the pre-composition plan. *)
 let test_code_proofs_respect_stratification () =
-  let by_layer = Plan.code_proof_obligations ~seed:2024 layout in
+  let by_layer = Plan.code_proof_obligations ~seed:2024 ~overrides:false layout in
+  let legacy_dag = Dag.build_exn (List.concat_map snd by_layer) in
   match (by_layer, List.rev by_layer) with
   | (bottom, b_obls) :: _, (top, t_obls) :: _ when bottom <> top ->
       let b = (List.hd b_obls : Obligation.t).id in
@@ -100,12 +103,53 @@ let test_code_proofs_respect_stratification () =
       Alcotest.(check bool)
         (Printf.sprintf "%s reaches %s" t b)
         true
-        (Dag.reaches plan.Plan.dag ~src:t ~dst:b);
+        (Dag.reaches legacy_dag ~src:t ~dst:b);
       Alcotest.(check bool)
         (Printf.sprintf "%s does not reach %s" b t)
         false
-        (Dag.reaches plan.Plan.dag ~src:b ~dst:t)
+        (Dag.reaches legacy_dag ~src:b ~dst:t)
   | _ -> Alcotest.fail "expected at least two function-bearing layers"
+
+(* Composed shape (the default): one dependency edge per direct
+   spec-owned callee — no more, no less — and never a back edge. *)
+let test_code_proofs_follow_call_graph () =
+  let fn_of id =
+    match String.split_on_char '/' id with
+    | [ _; _; fn ] -> fn
+    | _ -> Alcotest.failf "unexpected code-proof id %s" id
+  in
+  let id_of g =
+    match Layers.layer_of_function layout g with
+    | Some gl -> Printf.sprintf "code-proof/%s/%s" gl g
+    | None -> Alcotest.failf "callee %s owns no layer" g
+  in
+  let obls =
+    List.filter
+      (fun (o : Obligation.t) -> o.phase = "code-proofs")
+      (Dag.obligations plan.Plan.dag)
+  in
+  let some_deps = ref false in
+  List.iter
+    (fun (o : Obligation.t) ->
+      let fn = fn_of o.id in
+      let expected = List.map id_of (Check.Code_proof.callees layout fn) in
+      Alcotest.(check (slist string compare))
+        (Printf.sprintf "%s deps are its callee obligations" o.id)
+        expected o.deps;
+      List.iter
+        (fun d ->
+          some_deps := true;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s reaches %s" o.id d)
+            true
+            (Dag.reaches plan.Plan.dag ~src:o.id ~dst:d);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s does not reach %s" d o.id)
+            false
+            (Dag.reaches plan.Plan.dag ~src:d ~dst:o.id))
+        expected)
+    obls;
+  Alcotest.(check bool) "call graph has edges" true !some_deps
 
 let test_phase_dependencies () =
   let first = function
@@ -117,15 +161,19 @@ let test_phase_dependencies () =
   let ni = first (ids_with_prefix "noninterference/") in
   let tni = first (ids_with_prefix "trace-ni/") in
   let att = first (ids_with_prefix "attacks/") in
-  let code = first (ids_with_prefix "code-proof/") in
+  (* refinement waits on the page-table layer's proofs, invariants on
+     the top function-bearing layer's — the anchors the plan actually
+     wires now that code-proof edges follow the call graph *)
+  let code_pt = first (ids_with_prefix "code-proof/PtQuery/") in
+  let code_top = first (ids_with_prefix "code-proof/Hypercalls/") in
   let check src dst =
     Alcotest.(check bool)
       (Printf.sprintf "%s reaches %s" src dst)
       true
       (Dag.reaches plan.Plan.dag ~src ~dst)
   in
-  check refine code;
-  check inv code;
+  check refine code_pt;
+  check inv code_top;
   check ni inv;
   check tni ni;
   check att inv
@@ -339,6 +387,175 @@ let test_cache_legacy_proof_still_read () =
   ignore reloaded;
   Alcotest.(check bool) "legacy entry hits" true (Cache.find cache o <> None)
 
+(* a legacy per-entry file and a pack entry under the same key: the
+   pack tier must win with defined precedence, and the stale legacy
+   loser must be evicted so it can never resurface *)
+let test_cache_pack_wins_over_legacy () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let o = pass_obl ~fingerprint:"fp-tier" "t" in
+  let tagged log = Obligation.outcome ~log [ Report.add_pass (Report.empty "t") ] in
+  Cache.store cache o (tagged "legacy");
+  Cache.stash cache o (tagged "packed");
+  Cache.flush cache;
+  let proof_files () =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".proof")
+  in
+  Alcotest.(check int) "both tiers populated" 1 (List.length (proof_files ()));
+  (match Cache.find cache o with
+  | Some out -> Alcotest.(check string) "pack tier wins" "packed" out.Obligation.log
+  | None -> Alcotest.fail "entry vanished");
+  Alcotest.(check int) "legacy loser evicted" 0 (List.length (proof_files ()));
+  let reloaded = Cache.create ~dir in
+  match Cache.find reloaded o with
+  | Some out ->
+      Alcotest.(check string) "reload still serves the pack" "packed"
+        out.Obligation.log
+  | None -> Alcotest.fail "pack entry lost after reload"
+
+(* ------------------------------------------------------------------ *)
+(* Override composition: proven gate and shrunk fingerprints           *)
+
+let code_proof_fn_of id =
+  match String.split_on_char '/' id with
+  | [ _; _; fn ] -> fn
+  | _ -> Alcotest.failf "unexpected code-proof id %s" id
+
+let code_proof_id_of fn =
+  match Layers.layer_of_function layout fn with
+  | Some l -> Printf.sprintf "code-proof/%s/%s" l fn
+  | None -> Alcotest.failf "%s owns no layer" fn
+
+(* a caller whose same-layer callees exist — the deepest one available,
+   so the gate actually matters *)
+let caller_with_stubs () =
+  let fns =
+    List.concat_map (Layers.functions_of_layer layout) Mem_spec.layer_names
+  in
+  match
+    List.find_opt
+      (fun fn -> Check.Code_proof.same_layer_callees layout fn <> [])
+      (List.rev fns)
+  with
+  | Some fn -> (fn, Check.Code_proof.same_layer_callees layout fn)
+  | None -> Alcotest.fail "no function with same-layer callees"
+
+let report_text (out : Obligation.outcome) =
+  String.concat "\n" (List.map Report.to_string out.Obligation.reports)
+
+(* the proven gate, driven by hand the way the pool drives it: before
+   the callees complete, the caller falls back to the monolithic
+   battery; after run + on_outcome, the composed battery — and both
+   render the identical, non-vacuous report *)
+let test_override_gate_opens_after_callees () =
+  let obls = List.concat_map snd (Plan.code_proof_obligations ~seed:2024 layout) in
+  let find id = List.find (fun (o : Obligation.t) -> o.id = id) obls in
+  let caller_fn, stub_fns = caller_with_stubs () in
+  let caller = find (code_proof_id_of caller_fn) in
+  let closed = caller.Obligation.run () in
+  Alcotest.(check bool) "closed-gate outcome is not vacuous" true
+    (List.exists
+       (fun (r : Report.t) -> r.Report.total > 0)
+       closed.Obligation.reports);
+  List.iter
+    (fun g ->
+      let o = find (code_proof_id_of g) in
+      let out = o.Obligation.run () in
+      Alcotest.(check int) (g ^ " proves clean") 0 (Obligation.failure_count out);
+      match o.Obligation.on_outcome with
+      | Some f -> f out
+      | None -> Alcotest.failf "%s has no on_outcome hook" g)
+    stub_fns;
+  let opened = caller.Obligation.run () in
+  Alcotest.(check string)
+    "composed run renders the identical report"
+    (report_text closed) (report_text opened)
+
+(* a quarantined callee publishes a crash-shaped (failing) outcome; the
+   pool still fires the hook, but the caller's gate must stay closed —
+   monolithic fallback, never a vacuous pass on an unproven spec *)
+let test_override_gate_quarantined_callee () =
+  let obls = List.concat_map snd (Plan.code_proof_obligations ~seed:2024 layout) in
+  let find id = List.find (fun (o : Obligation.t) -> o.id = id) obls in
+  let caller_fn, stub_fns = caller_with_stubs () in
+  List.iter
+    (fun g ->
+      let o = find (code_proof_id_of g) in
+      let crash =
+        Obligation.outcome
+          [ Report.add_failure (Report.empty g) ~case:g
+              ~reason:"obligation raised: simulated quarantine" ]
+      in
+      match o.Obligation.on_outcome with
+      | Some f -> f crash
+      | None -> Alcotest.failf "%s has no on_outcome hook" g)
+    stub_fns;
+  let caller = find (code_proof_id_of caller_fn) in
+  let out = caller.Obligation.run () in
+  let mono =
+    let legacy =
+      List.concat_map snd
+        (Plan.code_proof_obligations ~seed:2024 ~overrides:false layout)
+    in
+    (List.find
+       (fun (o : Obligation.t) -> o.id = code_proof_id_of caller_fn)
+       legacy)
+      .Obligation.run ()
+  in
+  Alcotest.(check bool) "quarantine fallback is not vacuous" true
+    (List.exists (fun (r : Report.t) -> r.Report.total > 0) out.Obligation.reports);
+  Alcotest.(check string)
+    "fallback equals the monolithic verdict"
+    (report_text mono) (report_text out)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* invalidation scope: a function's fingerprint mentions its own body
+   digest and its direct callees' — and no other function's.  Editing
+   one mid-stack function therefore invalidates exactly itself and its
+   direct callers; everything two or more steps up keeps running the
+   unchanged callee *specs* and stays warm *)
+let test_override_fingerprints_shrink () =
+  let obls = List.concat_map snd (Plan.code_proof_obligations ~seed:2024 layout) in
+  let program = (Layers.compiled layout).Rustlite.Pipeline.program in
+  let digest_of fn =
+    match Mir.Syntax.find_body program fn with
+    | Some b -> Digest.to_hex (Digest.string (Mir.Pp.body_to_string b))
+    | None -> "missing"
+  in
+  let fns =
+    List.concat_map (Layers.functions_of_layer layout) Mem_spec.layer_names
+  in
+  List.iter
+    (fun (o : Obligation.t) ->
+      let fn = code_proof_fn_of o.id in
+      let fp = o.Obligation.fingerprint in
+      Alcotest.(check bool)
+        (fn ^ ": fingerprint digests its own body")
+        true
+        (contains fp ("own=" ^ digest_of fn));
+      let callees = Check.Code_proof.callees layout fn in
+      List.iter
+        (fun g ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: fingerprint digests callee %s's spec source" fn g)
+            true
+            (contains fp (g ^ "=" ^ digest_of g)))
+        callees;
+      List.iter
+        (fun g ->
+          if g <> fn && not (List.mem g callees) then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: fingerprint independent of %s" fn g)
+              false
+              (contains fp (digest_of g)))
+        fns)
+    obls
+
 (* ------------------------------------------------------------------ *)
 (* Clock                                                               *)
 
@@ -392,6 +609,8 @@ let () =
             test_plan_one_obligation_per_function;
           Alcotest.test_case "stratification edges" `Quick
             test_code_proofs_respect_stratification;
+          Alcotest.test_case "call-graph edges" `Quick
+            test_code_proofs_follow_call_graph;
           Alcotest.test_case "phase dependencies" `Quick test_phase_dependencies;
         ] );
       ( "pool",
@@ -413,6 +632,17 @@ let () =
             test_cache_pack_file_round_trip;
           Alcotest.test_case "legacy proof files read" `Quick
             test_cache_legacy_proof_still_read;
+          Alcotest.test_case "pack tier wins over legacy" `Quick
+            test_cache_pack_wins_over_legacy;
+        ] );
+      ( "overrides",
+        [
+          Alcotest.test_case "gate opens after callees" `Quick
+            test_override_gate_opens_after_callees;
+          Alcotest.test_case "quarantined callee falls back" `Quick
+            test_override_gate_quarantined_callee;
+          Alcotest.test_case "fingerprints shrink to direct callees" `Quick
+            test_override_fingerprints_shrink;
         ] );
       ("clock", [ Alcotest.test_case "mockable source" `Quick test_clock_mockable ]);
       ("jsonx", [ Alcotest.test_case "emission" `Quick test_jsonx ]);

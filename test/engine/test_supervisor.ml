@@ -392,6 +392,48 @@ let test_chaos_pool_verdicts_clean_and_deterministic () =
      List.exists (fun (_, res, _, _) -> res <> "completed") (decisions c1));
   ignore s1
 
+(* the satellite property behind --engine-chaos + overrides: the real
+   composed code-proof DAG, run under fault injection, must render the
+   byte-identical verdicts of a clean monolithic run.  A chaos-crashed
+   callee is absorbed by the supervisor (retry / interpreter fallback)
+   or leaves the caller's proven gate closed — body fallback — so no
+   injection can ever turn a verdict vacuous or divergent. *)
+let test_chaos_composed_verdicts_match_monolithic () =
+  let layout = Hyperenclave.Layout.default Hyperenclave.Geometry.tiny in
+  let composed () =
+    Dag.build_exn
+      (List.concat_map snd (Engine.Plan.code_proof_obligations ~seed:2024 layout))
+  in
+  let mono =
+    Dag.build_exn
+      (List.concat_map snd
+         (Engine.Plan.code_proof_obligations ~seed:2024 ~overrides:false layout))
+  in
+  let cfg seed =
+    {
+      Supervisor.default with
+      retries = 2;
+      sleep = (fun _ -> ());
+      chaos =
+        Some (Chaos.create ~kinds:[ Plan.Obl_crash; Plan.Worker_kill ] ~seed ());
+    }
+  in
+  let clean = Pool.run ~jobs:1 mono in
+  let chaotic1 = Pool.run ~sup:(cfg 7) ~jobs:1 (composed ()) in
+  let chaotic4 =
+    Pool.run ~sup:(cfg 7) ~oversubscribe:true ~jobs:4 (composed ())
+  in
+  Alcotest.(check string) "chaos composed verdicts = clean monolithic"
+    (render clean) (render chaotic1);
+  Alcotest.(check string) "jobs=1 and jobs=4 agree under chaos"
+    (render chaotic1) (render chaotic4);
+  Alcotest.(check bool) "chaos actually injected" true
+    (List.exists
+       (fun (e : Pool.exec) ->
+         Supervisor.resolution_to_string e.trail.Supervisor.resolution
+         <> "completed")
+       chaotic1)
+
 (* ------------------------------------------------------------------ *)
 (* Worker kills: respawn, exactly-once, and the synthesized-crash path *)
 
@@ -639,6 +681,8 @@ let () =
             test_chaos_clamped_by_retry_budget;
           Alcotest.test_case "pool verdicts clean + schedule-independent" `Quick
             test_chaos_pool_verdicts_clean_and_deterministic;
+          Alcotest.test_case "composed verdicts survive chaos" `Quick
+            test_chaos_composed_verdicts_match_monolithic;
         ] );
       ( "workers",
         [

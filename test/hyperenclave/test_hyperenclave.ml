@@ -120,6 +120,37 @@ let test_layout_frame_index_inverse () =
   Alcotest.(check (option int)) "unaligned rejected" None
     (Layout.frame_index l (Int64.add l.Layout.frame_base 8L))
 
+(* Sign-boundary regression: addresses at and above
+   0x8000_0000_0000_0000 have the Int64 sign bit set.  A signed
+   comparison or division anywhere under [region_of] /
+   [frame_index] / [epc_page_index] would order the upper half of the
+   address space below every region base (or produce a negative
+   index); unsigned arithmetic must classify them as far outside. *)
+let test_layout_sign_boundary () =
+  let l = tiny_layout in
+  List.iter
+    (fun addr ->
+      Alcotest.(check bool)
+        (Printf.sprintf "0x%Lx is outside every region" addr)
+        true
+        (Layout.region_equal (Layout.region_of l addr) Layout.Outside);
+      Alcotest.(check (option int))
+        (Printf.sprintf "0x%Lx has no frame index" addr)
+        None (Layout.frame_index l addr);
+      Alcotest.(check (option int))
+        (Printf.sprintf "0x%Lx has no epc index" addr)
+        None (Layout.epc_page_index l addr);
+      Alcotest.(check bool)
+        (Printf.sprintf "0x%Lx is not secure" addr)
+        false (Layout.in_secure l addr))
+    [ 0x8000_0000_0000_0000L; 0xFFFF_FFFF_FFFF_F000L; 0xFFFF_FFFF_FFFF_FFFFL ];
+  (* and the epc index arithmetic round-trips end-to-end, last page
+     included, mirroring the frame-area check above *)
+  for i = 0 to l.Layout.epc_pages - 1 do
+    Alcotest.(check (option int)) "epc roundtrip" (Some i)
+      (Layout.epc_page_index l (Layout.epc_page_addr l i))
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Phys_mem                                                            *)
 
@@ -663,6 +694,7 @@ let () =
         [
           Alcotest.test_case "regions" `Quick test_layout_regions;
           Alcotest.test_case "frame index inverse" `Quick test_layout_frame_index_inverse;
+          Alcotest.test_case "sign boundary" `Quick test_layout_sign_boundary;
         ] );
       ( "phys-mem",
         [

@@ -41,6 +41,30 @@ let test_word_unsigned_div () =
   Alcotest.(check (option int64)) "div by zero" None (Mir.Word.div Mir.Word.W64 1L 0L);
   Alcotest.(check bool) "unsigned lt" true (Mir.Word.lt_u 1L big)
 
+(* Sign-boundary regression for the address path: addresses at and
+   above 0x8000_0000_0000_0000 set the Int64 sign bit, so any signed
+   compare or division slip orders the upper half of the address space
+   below the lower half (or yields a negative page count). *)
+let test_word_sign_boundary () =
+  let half = 0x8000_0000_0000_0000L in
+  let below = 0x7FFF_FFFF_FFFF_FFFFL in
+  let top = 0xFFFF_FFFF_FFFF_FFFFL in
+  Alcotest.(check bool) "last low address below first high address" true
+    (Mir.Word.lt_u below half);
+  Alcotest.(check bool) "no wraparound ordering" false (Mir.Word.lt_u half below);
+  Alcotest.(check bool) "le_u reflexive at the boundary" true (Mir.Word.le_u half half);
+  Alcotest.(check bool) "top address is the maximum" true (Mir.Word.le_u half top);
+  Alcotest.(check bool) "nothing exceeds the top address" false (Mir.Word.lt_u top half);
+  (* the page-count idiom of the boot identity mapper: a byte distance
+     past [Int64.max_int] must still divide to the exact page count *)
+  Alcotest.(check (option int64))
+    "page count across the boundary"
+    (Some 0x8_0000_0000_0001L)
+    (Mir.Word.div Mir.Word.W64 0x8000_0000_0000_1000L 0x1000L);
+  Alcotest.(check int64) "unsigned_div agrees with Word.div"
+    0x8_0000_0000_0001L
+    (Int64.unsigned_div 0x8000_0000_0000_1000L 0x1000L)
+
 let prop_insert_extract =
   QCheck2.Test.make ~count:500 ~name:"word insert/extract roundtrip"
     QCheck2.Gen.(triple (int_bound 56) (int_range 1 8) ui64)
@@ -522,6 +546,7 @@ let () =
           Alcotest.test_case "normalization" `Quick test_word_norm;
           Alcotest.test_case "bitfields" `Quick test_word_bitfields;
           Alcotest.test_case "unsigned division" `Quick test_word_unsigned_div;
+          Alcotest.test_case "sign boundary" `Quick test_word_sign_boundary;
         ] );
       qsuite "word-props" [ prop_insert_extract ];
       ( "value",
