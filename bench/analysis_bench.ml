@@ -78,6 +78,64 @@ let () =
       0 (List.map snd taint)
   in
 
+  (* borrow checking: per-function loans + findings *)
+  let borrow, borrow_s =
+    time (fun () ->
+        Mir.Syntax.fold_bodies
+          (fun fn body acc ->
+            let _, findings, stats = Analysis.Borrow_lint.check ~name:fn body in
+            (fn, findings, stats) :: acc)
+          program [])
+  in
+  dump "borrow"
+    (List.concat_map
+       (fun (fn, fs, _) -> List.map (fun f -> (fn, f)) fs)
+       borrow);
+  let bw_loans =
+    List.fold_left
+      (fun n (_, _, (s : Analysis.Borrow_lint.stats)) -> n + s.loans)
+      0 borrow
+  and bw_findings =
+    List.fold_left (fun n (_, fs, _) -> n + List.length fs) 0 borrow
+  in
+
+  (* alias analysis: per-SCC Andersen footprints + the aliased-frame
+     lint, with the same trusted-primitive model the engine uses *)
+  let trusted =
+    List.map
+      (fun (s : Absdata.t Mirverif.Spec.t) -> s.Mirverif.Spec.name)
+      Trusted.all
+  in
+  let alias_cfg =
+    {
+      Analysis.Alias_lint.program;
+      prim = Check.Code_proof.prim_summary;
+      fn_layer = Layers.layer_of_function layout;
+      accessor =
+        (fun ~owner ~callee ->
+          List.mem callee trusted
+          || Layers.layer_of_function layout callee = Some owner);
+    }
+  in
+  let alias, alias_s =
+    time (fun () ->
+        List.map (fun funcs -> Analysis.Alias_lint.check alias_cfg ~funcs) sccs)
+  in
+  dump "alias" (List.concat_map fst alias);
+  let al_exact =
+    List.fold_left
+      (fun n (s : Analysis.Alias_lint.stats) -> n + s.footprints)
+      0 (List.map snd alias)
+  and al_findings =
+    List.fold_left
+      (fun n (s : Analysis.Alias_lint.stats) -> n + s.findings)
+      0 (List.map snd alias)
+  and al_discharged =
+    List.fold_left
+      (fun n (s : Analysis.Alias_lint.stats) -> n + s.discharged)
+      0 (List.map snd alias)
+  in
+
   let functions =
     List.fold_left (fun n scc -> n + List.length scc) 0 sccs
   in
@@ -105,6 +163,21 @@ let () =
               ("findings", Int sf_count);
               ("iterations", Int sf_iters);
               ("summaries", Int sf_summaries);
+            ] );
+        ( "borrow",
+          Obj
+            [
+              ("wall_s", Float borrow_s);
+              ("loans", Int bw_loans);
+              ("findings", Int bw_findings);
+            ] );
+        ( "alias",
+          Obj
+            [
+              ("wall_s", Float alias_s);
+              ("exact_footprints", Int al_exact);
+              ("findings", Int al_findings);
+              ("discharged", Int al_discharged);
             ] );
       ]
   in

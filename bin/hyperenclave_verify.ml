@@ -124,7 +124,10 @@ let lint_findings execs =
       (fun m (fn, f) ->
         M.update fn (fun l -> Some (f :: Option.value ~default:[] l)) m)
       M.empty
-      (findings_of (of_phase execs "analysis") @ findings_of (of_phase execs "absint"))
+      (findings_of (of_phase execs "analysis")
+      @ findings_of (of_phase execs "absint")
+      @ findings_of (of_phase execs "borrow")
+      @ findings_of (of_phase execs "alias"))
   in
   M.bindings by_fn
   |> List.concat_map (fun (fn, fs) ->
@@ -143,6 +146,21 @@ let severity_to_string = function
   | Analysis.Lint.Error -> "error"
   | Analysis.Lint.Info -> "info"
 
+(* Numeric program-point key: [where] strings are "bbN[M]" /
+   "bbN[term]" / "bbN", and a plain string compare puts bb10 before
+   bb2.  Parsing the block/statement indices makes the JSON order
+   positional and byte-stable across --jobs and scheduler timing. *)
+let where_key w =
+  match Scanf.sscanf_opt w "bb%d[%d]" (fun b s -> (b, s)) with
+  | Some k -> k
+  | None -> (
+      match Scanf.sscanf_opt w "bb%d[term" (fun b -> (b, max_int)) with
+      | Some k -> k
+      | None -> (
+          match Scanf.sscanf_opt w "bb%d" (fun b -> (b, -1)) with
+          | Some k -> k
+          | None -> (max_int, max_int)))
+
 let lint_json_of findings =
   let sorted =
     List.sort
@@ -150,16 +168,19 @@ let lint_json_of findings =
         let c = String.compare fn1 fn2 in
         if c <> 0 then c
         else
-          let c =
-            String.compare
-              (Analysis.Lint.to_string a.Analysis.Lint.kind)
-              (Analysis.Lint.to_string b.Analysis.Lint.kind)
-          in
+          let c = compare (where_key a.Analysis.Lint.where) (where_key b.Analysis.Lint.where) in
           if c <> 0 then c
           else
-            let c = String.compare a.Analysis.Lint.where b.Analysis.Lint.where in
+            let c =
+              String.compare
+                (Analysis.Lint.to_string a.Analysis.Lint.kind)
+                (Analysis.Lint.to_string b.Analysis.Lint.kind)
+            in
             if c <> 0 then c
-            else String.compare a.Analysis.Lint.detail b.Analysis.Lint.detail)
+            else
+              let c = String.compare a.Analysis.Lint.where b.Analysis.Lint.where in
+              if c <> 0 then c
+              else String.compare a.Analysis.Lint.detail b.Analysis.Lint.detail)
       findings
   in
   Engine.Jsonx.List
@@ -242,12 +263,61 @@ let render_engine_results ~failures ~security execs =
     (List.length ab)
     (count Analysis.Lint.Secret_flow)
     (count Analysis.Lint.Interval_bounds)
-    (List.length (List.filter (fun (_, f) -> is_discharge f) findings));
+    (List.length
+       (List.filter
+          (fun (_, (f : Analysis.Lint.finding)) ->
+            is_discharge f
+            && f.Analysis.Lint.discharged_by
+               = Some (Analysis.Lint.to_string Analysis.Lint.Interval_bounds))
+          findings));
   List.iter
     (fun (fn, f) ->
       incr failures;
       Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
     absint_errors;
+
+  phase_header "3c. borrow checking (NLL liveness regions + loan dataflow)";
+  let bw = of_phase execs "borrow" in
+  let borrow_errors =
+    List.filter
+      (fun (_, (f : Analysis.Lint.finding)) ->
+        is_error f && List.mem f.Analysis.Lint.kind Analysis.Lint.borrow)
+      findings
+  in
+  let bt, bp, _, _ =
+    Engine.Obligation.case_totals
+      (List.map (fun (e : Engine.Pool.exec) -> e.outcome) bw)
+  in
+  Format.printf "  %d functions, %d borrow checks: %d passed, %d findings@."
+    (List.length bw) bt bp (List.length borrow_errors);
+  List.iter
+    (fun (fn, f) ->
+      incr failures;
+      Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
+    borrow_errors;
+
+  phase_header "3d. alias analysis (Andersen points-to footprints)";
+  let al = of_phase execs "alias" in
+  let alias_errors =
+    List.filter
+      (fun (_, (f : Analysis.Lint.finding)) ->
+        is_error f && List.mem f.Analysis.Lint.kind Analysis.Lint.alias)
+      findings
+  in
+  Format.printf "  %d SCC obligations: %d alias findings, %d warnings discharged@."
+    (List.length al)
+    (List.length alias_errors)
+    (List.length
+       (List.filter
+          (fun (_, (f : Analysis.Lint.finding)) ->
+            f.Analysis.Lint.discharged_by
+            = Some (Analysis.Lint.to_string Analysis.Lint.Alias_footprint))
+          findings));
+  List.iter
+    (fun (fn, f) ->
+      incr failures;
+      Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
+    alias_errors;
 
   phase_header "4. code proofs (code conforms to low specs)";
   let cp = of_phase execs "code-proofs" in
@@ -563,13 +633,8 @@ let trace_json ~cache execs =
 (* ------------------------------------------------------------------ *)
 
 let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
-    chaos_traces faults_spec buggy_tlb lints_spec timeout_ms retries
+    chaos_traces faults_spec buggy_tlb lints timeout_ms retries
     engine_chaos_seed engine_faults_spec mc_depth mc_geometry mc_por overrides =
-  match Analysis.Lint.kinds_of_string lints_spec with
-  | Error msg ->
-      Format.eprintf "hyperenclave-verify: bad --lints: %s@." msg;
-      2
-  | Ok lints ->
   match
     if engine_chaos_seed = None then Ok Fault.Plan.all_engine_kinds
     else Fault.Plan.engine_kinds_of_string engine_faults_spec
@@ -811,13 +876,29 @@ let buggy_tlb =
            and shrunk to a minimal witness.")
 
 let lints =
+  (* parse-time validation, like --geometry's enum: an unknown lint
+     name or group selector is a usage error before any phase runs,
+     not a silently-empty selection *)
+  let lints_conv =
+    Arg.conv
+      ( (fun s ->
+          match Analysis.Lint.kinds_of_string s with
+          | Ok ks -> Ok ks
+          | Error msg -> Error (`Msg msg)),
+        fun fmt ks ->
+          Format.pp_print_string fmt
+            (String.concat "," (List.map Analysis.Lint.to_string ks)) )
+  in
   Arg.(
-    value & opt string "all"
+    value
+    & opt lints_conv Analysis.Lint.catalogue
     & info [ "lints" ] ~docv:"KINDS"
         ~doc:
           "Comma-separated static-analysis lints to run: layer-encapsulation, \
-           move-init, unchecked-arith, unreachable-block, interval-bounds, \
-           secret-flow — or 'all'.")
+           move-init, unchecked-arith, unreachable-block, conflicting-borrow, \
+           dangling-handle, move-while-borrowed, interval-bounds, secret-flow, \
+           alias-footprint — or a group selector: $(b,all), $(b,body), \
+           $(b,borrow), $(b,interprocedural), $(b,alias).")
 
 let timeout_ms =
   Arg.(

@@ -1,0 +1,34 @@
+(** Alias-footprint lint (kind {!Lint.Alias_footprint}), one engine
+    obligation per call-graph SCC.
+
+    Error findings fire when a call passes two definitely-may-alias
+    arguments (common witness location, never unknown) to a callee
+    whose {!Alias} footprint writes through both parameters.  The same
+    pass emits [Info] discharge certificates
+    ([discharged_by "alias-footprint"]) for per-body
+    [Encapsulation]/[Move_init] findings: handle arguments provably
+    opaque to the callee, and findings at abstractly-unreachable
+    program points.  Policy closures are injected like
+    {!Secret_flow.config} so this library stays independent of the
+    hyperenclave layer stack. *)
+
+type config = {
+  program : Mir.Syntax.program;
+  prim : string -> Alias.summary option;
+      (** Footprint models of the trusted primitives; [None] makes the
+          caller's footprint inexact. *)
+  fn_layer : string -> string option;
+  accessor : owner:string -> callee:string -> bool;
+}
+
+type stats = {
+  functions : int;
+  footprints : int;  (** exact footprints among the SCC's functions *)
+  findings : int;  (** Error findings *)
+  discharged : int;  (** certificates emitted *)
+}
+
+val check :
+  config -> funcs:string list -> (string * Lint.finding) list * stats
+(** Analyze the given functions (one SCC); findings are tagged with
+    the containing function's name. *)

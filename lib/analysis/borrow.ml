@@ -1,0 +1,280 @@
+(* NLL-style loan dataflow.
+
+   A loan is created whenever a reference is taken ([Ref] = shared,
+   [Address_of] = mutable — MIRlight erases [&mut] so the raw-pointer
+   operator is the mutable-borrow marker) and is tracked together with
+   the variable holding it.  The loan set flows forward; a loan is
+   {e live} at a program point when its holder is live there
+   ({!Regions}), which is the NLL approximation of its region.
+
+   Checks, all judged against live loans only:
+
+   - [Conflicting_borrow]: creating a mutable loan while any live loan
+     overlaps the borrowed place, or a shared loan while a live
+     mutable loan overlaps it.
+   - [Move_while_borrowed]: a [Move] operand overlapping a live loan.
+   - [Dangling_handle]: [Storage_dead]/[Drop] of a variable some live
+     loan still borrows from, or a reference to a non-parameter local
+     escaping through the return value.
+
+   Deliberate approximations (documented in the lint catalogue): plain
+   writes to a borrowed place are not flagged (two-phase-borrow-like
+   tolerance, and Rustlite lowers field updates through them), and
+   references returned by callees introduce no loan (intraprocedural
+   analysis; the alias phase covers callee footprints). *)
+
+module Syn = Mir.Syntax
+module StrSet = Regions.StrSet
+
+type loan = {
+  l_place : Syn.place;  (** the borrowed place *)
+  l_mut : bool;  (** [Address_of] = mutable, [Ref] = shared *)
+  l_holder : string;  (** variable the reference was stored into *)
+  l_where : string;  (** introduction site, ["bbN[M]"] *)
+}
+
+module LoanSet = Set.Make (struct
+  type t = loan
+
+  let compare = compare
+end)
+
+module L = struct
+  type t = LoanSet.t
+
+  let equal = LoanSet.equal
+  let join = LoanSet.union
+end
+
+module Solver = Dataflow.Make (L)
+
+(* May the two places address overlapping storage?  Same base variable
+   and projection-wise compatible prefixes; a variable index may equal
+   any index. *)
+let elem_may_eq a b =
+  match (a, b) with
+  | Syn.Deref, Syn.Deref -> true
+  | Syn.Pfield i, Syn.Pfield j | Syn.Downcast i, Syn.Downcast j -> i = j
+  | Syn.Pconst_index i, Syn.Pconst_index j -> i = j
+  | Syn.Pindex _, (Syn.Pindex _ | Syn.Pconst_index _)
+  | Syn.Pconst_index _, Syn.Pindex _ ->
+      true
+  | _ -> false
+
+let rec elems_overlap es fs =
+  match (es, fs) with
+  | [], _ | _, [] -> true
+  | e :: es', f :: fs' -> elem_may_eq e f && elems_overlap es' fs'
+
+let places_overlap (p : Syn.place) (q : Syn.place) =
+  String.equal p.Syn.var q.Syn.var && elems_overlap p.Syn.elems q.Syn.elems
+
+let place_str (p : Syn.place) =
+  let proj = function
+    | Syn.Deref -> "*"
+    | Syn.Pfield i -> Printf.sprintf ".%d" i
+    | Syn.Pindex v -> Printf.sprintf "[%s]" v
+    | Syn.Pconst_index i -> Printf.sprintf "[%d]" i
+    | Syn.Downcast i -> Printf.sprintf "@%d" i
+  in
+  let rec render base = function
+    | [] -> base
+    | Syn.Deref :: rest -> render (Printf.sprintf "(*%s)" base) rest
+    | e :: rest -> render (base ^ proj e) rest
+  in
+  render p.Syn.var p.Syn.elems
+
+let kill_holder st v =
+  LoanSet.filter (fun l -> not (String.equal l.l_holder v)) st
+
+(* Live loans at a point: the holder must still be live there. *)
+let live_loans st live = LoanSet.filter (fun l -> StrSet.mem l.l_holder live) st
+
+(* One interpretation step, shared by the silent fixpoint and the
+   recording pass.  [live] is the live-variable set immediately AFTER
+   the instruction (for statements) or before it (for terminators,
+   whose argument uses are part of the instruction itself). *)
+let step ~locals_set ~report =
+  let conflict ~where ~live st mut p =
+    let rivals =
+      LoanSet.filter
+        (fun l -> (mut || l.l_mut) && places_overlap l.l_place p)
+        (live_loans st live)
+    in
+    LoanSet.iter
+      (fun l ->
+        report ~kind:Lint.Conflicting_borrow ~where
+          (Printf.sprintf "%s borrow of %s overlaps %s borrow of %s (from %s, held by %s)"
+             (if mut then "mutable" else "shared")
+             (place_str p)
+             (if l.l_mut then "mutable" else "shared")
+             (place_str l.l_place) l.l_where l.l_holder))
+      rivals
+  in
+  let moved ~where ~live st (p : Syn.place) =
+    LoanSet.iter
+      (fun l ->
+        if places_overlap l.l_place p then
+          report ~kind:Lint.Move_while_borrowed ~where
+            (Printf.sprintf "%s moved while %s borrow of %s (from %s) is live"
+               (place_str p)
+               (if l.l_mut then "mutable" else "shared")
+               (place_str l.l_place) l.l_where))
+      (live_loans st live)
+  in
+  let operand ~where ~live st = function
+    | Syn.Const _ | Syn.Copy _ -> ()
+    | Syn.Move p -> moved ~where ~live st p
+  in
+  let rvalue_moves ~where ~live st = function
+    | Syn.Use op | Syn.Repeat (op, _) | Syn.Cast (op, _) | Syn.Unary (_, op)
+      ->
+        operand ~where ~live st op
+    | Syn.Binary (_, a, b) | Syn.Checked_binary (_, a, b) ->
+        operand ~where ~live st a;
+        operand ~where ~live st b
+    | Syn.Ref _ | Syn.Address_of _ | Syn.Len _ | Syn.Discriminant _ -> ()
+    | Syn.Aggregate (_, ops) -> List.iter (operand ~where ~live st) ops
+  in
+  let storage_dead ~where ~live st v =
+    LoanSet.iter
+      (fun l ->
+        if String.equal l.l_place.Syn.var v then
+          report ~kind:Lint.Dangling_handle ~where
+            (Printf.sprintf
+               "%s borrow of %s (from %s, held by %s) outlives its storage"
+               (if l.l_mut then "mutable" else "shared")
+               (place_str l.l_place) l.l_where l.l_holder))
+      (live_loans st live);
+    (* the dead storage can no longer be borrowed from, and anything
+       the variable held is gone *)
+    LoanSet.filter
+      (fun l ->
+        (not (String.equal l.l_holder v))
+        && not (String.equal l.l_place.Syn.var v))
+      st
+  in
+  let assign_dest st (dest : Syn.place) =
+    if dest.Syn.elems = [] then kill_holder st dest.Syn.var else st
+  in
+  (* reference copies propagate loanship: [dest = copy h] makes [dest]
+     a holder of every loan [h] holds, which is what lets the
+     return-escape check see [_0 = copy tmp_ref] *)
+  let copy_loans st (dest : Syn.place) (src : Syn.place) =
+    if dest.Syn.elems <> [] || src.Syn.elems <> [] then st
+    else
+      LoanSet.fold
+        (fun l acc ->
+          if String.equal l.l_holder src.Syn.var then
+            LoanSet.add { l with l_holder = dest.Syn.var } acc
+          else acc)
+        st st
+  in
+  let stmt ~where ~live st = function
+    | Syn.Assign (dest, Syn.Ref p) ->
+        conflict ~where ~live st false p;
+        let st = assign_dest st dest in
+        LoanSet.add
+          { l_place = p; l_mut = false; l_holder = dest.Syn.var; l_where = where }
+          st
+    | Syn.Assign (dest, Syn.Address_of p) ->
+        conflict ~where ~live st true p;
+        let st = assign_dest st dest in
+        LoanSet.add
+          { l_place = p; l_mut = true; l_holder = dest.Syn.var; l_where = where }
+          st
+    | Syn.Assign (dest, rv) ->
+        rvalue_moves ~where ~live st rv;
+        let st = assign_dest st dest in
+        let st =
+          match rv with
+          | Syn.Use (Syn.Copy src | Syn.Move src) -> copy_loans st dest src
+          | _ -> st
+        in
+        st
+    | Syn.Set_discriminant _ | Syn.Nop -> st
+    | Syn.Storage_live v -> kill_holder st v
+    | Syn.Storage_dead v -> storage_dead ~where ~live st v
+  in
+  let term ~where ~live st = function
+    | Syn.Goto _ | Syn.Unreachable -> st
+    | Syn.Switch_int (op, _, _) ->
+        operand ~where ~live st op;
+        st
+    | Syn.Assert { cond; _ } ->
+        operand ~where ~live st cond;
+        st
+    | Syn.Drop (p, _) ->
+        if p.Syn.elems = [] then storage_dead ~where ~live st p.Syn.var else st
+    | Syn.Call { dest; args; _ } ->
+        List.iter (operand ~where ~live st) args;
+        assign_dest st dest
+    | Syn.Return ->
+        LoanSet.iter
+          (fun l ->
+            if
+              String.equal l.l_holder Syn.return_var
+              && StrSet.mem l.l_place.Syn.var locals_set
+            then
+              report ~kind:Lint.Dangling_handle ~where
+                (Printf.sprintf
+                   "reference to local %s (from %s) escapes through the return value"
+                   (place_str l.l_place) l.l_where))
+          st;
+        st
+  in
+  (stmt, term)
+
+let locals_set (body : Syn.body) =
+  List.fold_left
+    (fun acc (d : Syn.local_decl) ->
+      if List.mem d.Syn.lname body.Syn.params then acc
+      else StrSet.add d.Syn.lname acc)
+    StrSet.empty body.Syn.locals
+
+let transfer_block ~locals_set ~report ~points (body : Syn.body) i st =
+  let blk = body.Syn.blocks.(i) in
+  let pts : StrSet.t array = points.(i) in
+  let n = List.length blk.Syn.stmts in
+  let stmt, term = step ~locals_set ~report in
+  let st, _ =
+    List.fold_left
+      (fun (st, k) s ->
+        (stmt ~where:(Printf.sprintf "bb%d[%d]" i k) ~live:pts.(k + 1) st s, k + 1))
+      (st, 0) blk.Syn.stmts
+  in
+  term ~where:(Printf.sprintf "bb%d[term]" i) ~live:pts.(n) st blk.Syn.term
+
+(* Number of loan-introduction sites, for stats/bench. *)
+let loan_sites (body : Syn.body) =
+  Array.fold_left
+    (fun acc (blk : Syn.block) ->
+      List.fold_left
+        (fun acc -> function
+          | Syn.Assign (_, (Syn.Ref _ | Syn.Address_of _)) -> acc + 1
+          | _ -> acc)
+        acc blk.Syn.stmts)
+    0 body.Syn.blocks
+
+let check (body : Syn.body) =
+  let locals_set = locals_set body in
+  let points = Regions.points body in
+  let silent ~kind:_ ~where:_ _ = () in
+  let result =
+    Solver.solve ~init:LoanSet.empty ~bottom:LoanSet.empty
+      ~transfer:(transfer_block ~locals_set ~report:silent ~points body)
+      body
+  in
+  let reach = Cfg.reachable body in
+  let findings = ref [] in
+  let report ~kind ~where detail =
+    findings := Lint.v kind ~where detail :: !findings
+  in
+  Array.iteri
+    (fun i _ ->
+      if reach.(i) then
+        ignore
+          (transfer_block ~locals_set ~report ~points body i
+             result.Solver.before.(i)))
+    body.Syn.blocks;
+  Lint.sort (List.rev !findings)

@@ -1,0 +1,27 @@
+(** NLL-style borrow checker over one MIRlight body.
+
+    Loans ([Ref] = shared, [Address_of] = mutable) flow forward
+    through the CFG; a loan is live where its holder variable is live
+    ({!Regions}).  [check] reports [Conflicting_borrow],
+    [Move_while_borrowed] and [Dangling_handle] findings (see
+    {!Lint}). *)
+
+type loan = {
+  l_place : Mir.Syntax.place;
+  l_mut : bool;
+  l_holder : string;
+  l_where : string;
+}
+
+val places_overlap : Mir.Syntax.place -> Mir.Syntax.place -> bool
+(** May the two places address overlapping storage?  Same base
+    variable with projection-wise compatible prefixes; a variable
+    index may equal any index. *)
+
+val place_str : Mir.Syntax.place -> string
+
+val loan_sites : Mir.Syntax.body -> int
+(** Number of loan-introduction sites ([Ref]/[Address_of] assigns). *)
+
+val check : Mir.Syntax.body -> Lint.finding list
+(** All borrow findings of the body, {!Lint.sort} order. *)

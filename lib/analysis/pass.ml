@@ -21,9 +21,12 @@ let run_lint cfg (body : Syn.body) = function
   | Lint.Move_init -> Init_lint.run body
   | Lint.Unchecked_arith -> Arith_lint.run body
   | Lint.Unreachable_block -> Reach_lint.run body
-  (* The interprocedural lints need the whole program and are
-     scheduled per call-graph SCC by the engine, not per body. *)
-  | Lint.Interval_bounds | Lint.Secret_flow -> []
+  (* The borrow-checker kinds run in the engine's "borrow" phase (see
+     {!Borrow_lint}); the interprocedural lints need the whole program
+     and are scheduled per call-graph SCC ("absint"/"alias" phases). *)
+  | Lint.Conflicting_borrow | Lint.Dangling_handle | Lint.Move_while_borrowed
+  | Lint.Interval_bounds | Lint.Secret_flow | Lint.Alias_footprint ->
+      []
 
 (* Restrict a selection to the per-body kinds: a config naming the
    interprocedural lints scores no per-body passes for them. *)

@@ -1,0 +1,101 @@
+(* Liveness-based region inference (NLL style).
+
+   A borrow's region is approximated by the liveness of the variable
+   holding it: the loan is "in region" exactly at the program points
+   where the holder may still be used.  This module computes classic
+   backward may-liveness with the shared {!Dataflow} solver and then
+   re-expands the block-level fixpoint into per-instruction live sets,
+   which is the granularity {!Borrow} needs. *)
+
+module Syn = Mir.Syntax
+module StrSet = Set.Make (String)
+
+module L = struct
+  type t = StrSet.t
+
+  let equal = StrSet.equal
+  let join = StrSet.union
+end
+
+module Solver = Dataflow.Make (L)
+
+(* Variables read by a place: the base plus any variable indices. *)
+let place_uses acc (p : Syn.place) =
+  List.fold_left
+    (fun acc e -> match e with Syn.Pindex v -> StrSet.add v acc | _ -> acc)
+    (StrSet.add p.Syn.var acc)
+    p.Syn.elems
+
+let operand_uses acc = function
+  | Syn.Const _ -> acc
+  | Syn.Copy p | Syn.Move p -> place_uses acc p
+
+let rvalue_uses acc = function
+  | Syn.Use op | Syn.Repeat (op, _) | Syn.Cast (op, _) | Syn.Unary (_, op) ->
+      operand_uses acc op
+  | Syn.Binary (_, a, b) | Syn.Checked_binary (_, a, b) ->
+      operand_uses (operand_uses acc a) b
+  | Syn.Ref p | Syn.Address_of p | Syn.Len p | Syn.Discriminant p ->
+      place_uses acc p
+  | Syn.Aggregate (_, ops) -> List.fold_left operand_uses acc ops
+
+(* Backward transfer of one instruction: live_before = (live_after \
+   defs) ∪ uses.  A projected write reads its own base, so only a
+   whole-variable assignment is a kill. *)
+let stmt_live (live : StrSet.t) = function
+  | Syn.Assign (dest, rv) ->
+      let live =
+        if dest.Syn.elems = [] then StrSet.remove dest.Syn.var live
+        else place_uses live dest
+      in
+      rvalue_uses live rv
+  | Syn.Set_discriminant (p, _) -> place_uses live p
+  | Syn.Storage_live v | Syn.Storage_dead v ->
+      (* storage boundaries end the previous value's region *)
+      StrSet.remove v live
+  | Syn.Nop -> live
+
+let term_live (live : StrSet.t) = function
+  | Syn.Goto _ | Syn.Unreachable -> live
+  | Syn.Return -> place_uses live (Syn.place_of_var Syn.return_var)
+  | Syn.Switch_int (op, _, _) -> operand_uses live op
+  | Syn.Drop (p, _) -> place_uses live p
+  | Syn.Call { dest; args; _ } ->
+      let live =
+        if dest.Syn.elems = [] then StrSet.remove dest.Syn.var live
+        else place_uses live dest
+      in
+      List.fold_left operand_uses live args
+  | Syn.Assert { cond; _ } -> operand_uses live cond
+
+let transfer_block (body : Syn.body) i live_out =
+  let blk = body.Syn.blocks.(i) in
+  let live = term_live live_out blk.Syn.term in
+  List.fold_right (fun s live -> stmt_live live s) blk.Syn.stmts live
+
+(* points body = one array per block; [arr.(k)] is the set of live
+   variables immediately before statement [k], [arr.(n)] (n = number
+   of statements) the set before the terminator, and [arr.(n+1)] the
+   block's live-out. *)
+let points (body : Syn.body) =
+  let result =
+    Solver.solve ~direction:Dataflow.Backward ~init:StrSet.empty
+      ~bottom:StrSet.empty
+      ~transfer:(fun i live_out -> transfer_block body i live_out)
+      body
+  in
+  Array.mapi
+    (fun i (blk : Syn.block) ->
+      (* [before] in a backward solve is the join of successor live-ins,
+         i.e. this block's live-out *)
+      let live_out = result.Solver.before.(i) in
+      let n = List.length blk.Syn.stmts in
+      let pts = Array.make (n + 2) StrSet.empty in
+      pts.(n + 1) <- live_out;
+      pts.(n) <- term_live live_out blk.Syn.term;
+      let stmts = Array.of_list blk.Syn.stmts in
+      for k = n - 1 downto 0 do
+        pts.(k) <- stmt_live pts.(k + 1) stmts.(k)
+      done;
+      pts)
+    body.Syn.blocks

@@ -1,0 +1,20 @@
+(** Liveness-based region inference for the borrow checker.
+
+    NLL-style regions: a loan is alive exactly where the variable
+    holding the reference is live, so borrow conflicts are judged
+    against backward may-liveness rather than lexical scopes.  The
+    block-level fixpoint comes from {!Dataflow.Make} run backward; this
+    module re-expands it to per-instruction granularity. *)
+
+module StrSet : Set.S with type elt = string
+
+val points : Mir.Syntax.body -> StrSet.t array array
+(** [points body] has one entry per block.  For a block with [n]
+    statements the entry has [n + 2] points: index [k < n] is the live
+    set immediately before statement [k], index [n] the live set
+    before the terminator, and index [n + 1] the block's live-out. *)
+
+(**/**)
+
+val place_uses : StrSet.t -> Mir.Syntax.place -> StrSet.t
+val operand_uses : StrSet.t -> Mir.Syntax.operand -> StrSet.t

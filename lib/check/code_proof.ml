@@ -326,6 +326,12 @@ let same_layer_callees layout fn =
         (fun g -> Layers.layer_of_function layout g = Some lname)
         (callees layout fn)
 
+(* A user-authored refinement of a function's generated oracle spec:
+   [Installed] once its declared frame certified against the alias
+   footprints, [Refused] (with the reason) otherwise — a refused
+   function gets {e no} override at all, so callers run its body. *)
+type contract_entry = Installed of Absdata.t Spec.t | Refused of string
+
 type ctx = {
   ctx_layout : Layout.t;
   ctx_pool : pool;
@@ -340,8 +346,81 @@ type ctx = {
      calls execute callee contracts instead of callee bodies.  Shares
      {!Layers.compile_memo}, whose keys include call-site linkage. *)
   ctx_cenvs : (string, Absdata.t Mir.Compile.t) Hashtbl.t;
+  (* refined contracts, keyed by function ({!refine_contract}) *)
+  ctx_contracts : (string, contract_entry) Hashtbl.t;
+  (* Andersen summaries of the whole memory module, shared by every
+     certification query; forced once, on first use *)
+  ctx_alias : Analysis.Alias.info Analysis.Alias.StrMap.t Lazy.t;
   ctx_mu : Mutex.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Alias footprints and frame certification                            *)
+
+let trusted_prims =
+  List.map (fun (s : Absdata.t Mirverif.Spec.t) -> s.Mirverif.Spec.name) Trusted.all
+
+(* The trusted primitives only touch the axiomatized abstract state —
+   that is their definition — so their footprint is the [Labs]
+   location and caller footprints through them stay exact. *)
+let prim_summary g =
+  if List.mem g trusted_prims then
+    Some
+      {
+        Analysis.Alias.fp =
+          {
+            Analysis.Alias.reads = Analysis.Alias.LocSet.singleton Analysis.Alias.Labs;
+            writes = Analysis.Alias.LocSet.singleton Analysis.Alias.Labs;
+          };
+        ret = Analysis.Alias.LocSet.empty;
+        esc = Analysis.Alias.IntSet.empty;
+      }
+  else None
+
+let alias_infos ctx = Lazy.force ctx.ctx_alias
+
+let footprint ctx fn = Analysis.Alias.footprint (alias_infos ctx) fn
+
+(* Is [fn] checked through a battery that allocates object memory?
+   Method batteries define the [self_obj] global and pass a pointer to
+   it (see {!method_cases}), so the caller retains that path across
+   every same-layer call. *)
+let battery_paths fn =
+  if String.contains fn ':' then [ Mir.Path.global "self_obj" ] else []
+
+(* Everything the same-layer callers of [fn] retain: the globals of
+   their own certified footprints plus the object memory their case
+   batteries allocate. *)
+let retained_paths ctx fn =
+  let layout = ctx.ctx_layout in
+  let callers =
+    match Layers.layer_of_function layout fn with
+    | None -> []
+    | Some lname ->
+        List.filter
+          (fun g -> g <> fn && List.mem fn (same_layer_callees layout g))
+          (Layers.functions_of_layer layout lname)
+  in
+  let infos = alias_infos ctx in
+  let global_paths fn' =
+    let fp = Analysis.Alias.footprint infos fn' in
+    Analysis.Alias.LocSet.fold
+      (fun l acc ->
+        match l with
+        | Analysis.Alias.Lglobal g -> Mir.Path.global g :: acc
+        | _ -> acc)
+      (Analysis.Alias.LocSet.union fp.Analysis.Alias.reads
+         fp.Analysis.Alias.writes)
+      []
+  in
+  List.sort_uniq Mir.Path.compare
+    (List.concat_map (fun g -> battery_paths g @ global_paths g) callers)
+
+let certify_frames ctx fn ~frames =
+  if frames = [] then Ok ()
+  else
+    Analysis.Alias.certify ~callee_fp:(footprint ctx fn) ~frames
+      ~retained:(retained_paths ctx fn)
 
 let build_check ctx fn =
   match Layers.layer_of_function ctx.ctx_layout fn with
@@ -385,9 +464,17 @@ let build_composed ctx lname =
   let overrides =
     List.filter_map
       (fun fn ->
-        Option.map
-          (fun s -> Spec.override (Spec.of_spec s))
-          (Mem_spec.find layout fn))
+        match Mem_spec.find layout fn with
+        | None -> None
+        | Some s -> (
+            match Hashtbl.find_opt ctx.ctx_contracts fn with
+            | Some (Installed c) -> Some (Spec.override c)
+            | Some (Refused _) ->
+                (* certification refused the refined contract: no
+                   override at all, callers run the body (the linkage
+                   flips o→b, which re-keys the compile memo) *)
+                None
+            | None -> Some (Spec.override (Spec.of_spec s))))
       (Layers.functions_of_layer layout lname)
   in
   Mir.Compile.compile ~cache:Layers.compile_memo ~overrides
@@ -407,6 +494,34 @@ let composed_for ctx lname =
           Hashtbl.add ctx.ctx_cenvs lname cenv;
           cenv)
 
+(* Install a user-authored refinement of [fn]'s contract, gated by
+   frame certification: the contract's declared frame (its [points_to]
+   paths, or an explicit [Spec.override ~frames] choice re-declared
+   here via the facts) must certify against the callee's footprint and
+   the callers' retained paths.  On refusal the function is stripped
+   of its override entirely — callers fall back to its body, mirroring
+   the quarantine path — and the [Error] carries the reason.  Either
+   way the layer's composed environment is rebuilt on next use. *)
+let refine_contract ctx fn contract =
+  let frames = Spec.frames contract in
+  let decision = certify_frames ctx fn ~frames in
+  Mutex.lock ctx.ctx_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ctx.ctx_mu)
+    (fun () ->
+      (match decision with
+      | Ok () -> Hashtbl.replace ctx.ctx_contracts fn (Installed contract)
+      | Error reason -> Hashtbl.replace ctx.ctx_contracts fn (Refused reason));
+      (match Layers.layer_of_function ctx.ctx_layout fn with
+      | Some lname -> Hashtbl.remove ctx.ctx_cenvs lname
+      | None -> ());
+      decision)
+
+let refusal ctx fn =
+  match Hashtbl.find_opt ctx.ctx_contracts fn with
+  | Some (Refused reason) -> Some reason
+  | _ -> None
+
 let ctx ?(seed = 2024) layout =
   (* building the pool also warms the layout-keyed compile/stack/boot
      caches, so a ctx built up front is safe to share across domains *)
@@ -415,7 +530,13 @@ let ctx ?(seed = 2024) layout =
   let ctx =
     { ctx_layout = layout; ctx_pool = pool;
       ctx_checks = Hashtbl.create 64;
-      ctx_cenvs = Hashtbl.create 16; ctx_mu = Mutex.create () }
+      ctx_cenvs = Hashtbl.create 16;
+      ctx_contracts = Hashtbl.create 8;
+      ctx_alias =
+        lazy
+          (Analysis.Alias.analyze ~prim:prim_summary
+             (Layers.compiled layout).Rustlite.Pipeline.program);
+      ctx_mu = Mutex.create () }
   in
   List.iter
     (fun lname ->

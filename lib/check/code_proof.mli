@@ -36,6 +36,49 @@ val check_function :
   ctx -> string -> (string * Hyperenclave.Absdata.t Mirverif.Refine.check) option
 (** [(layer, check)] for one function; [None] if no spec owns it. *)
 
+(** {1 Alias footprints and contract refinement}
+
+    The interprocedural alias analysis ({!Analysis.Alias}) runs once
+    per ctx over the whole memory module, with the trusted primitives
+    modelled as abstract-state effects.  Its certified footprints gate
+    user-authored spec refinements: a [points_to]-bearing contract is
+    only compiled to an override when its declared frame certifies. *)
+
+val prim_summary : string -> Analysis.Alias.summary option
+(** The footprint model of the trusted primitives: every primitive
+    reads and writes the abstract state ({!Analysis.Alias.Labs}) and
+    nothing else.  [None] for non-primitives.  The engine's alias
+    phase uses the same model so its footprints agree with the ones
+    gating contract refinement here. *)
+
+val footprint : ctx -> string -> Analysis.Alias.fp
+(** The function's certified may-read/may-write footprint. *)
+
+val retained_paths : ctx -> string -> Mir.Path.t list
+(** Object-memory paths the same-layer callers of [fn] retain: the
+    globals of their own footprints plus the paths their case
+    batteries allocate ([self_obj] for method batteries).  Frames must
+    be disjoint from all of these. *)
+
+val certify_frames :
+  ctx -> string -> frames:Mir.Path.t list -> (unit, string) result
+(** {!Analysis.Alias.certify} against [fn]'s footprint and its
+    callers' retained paths; an empty frame list certifies trivially
+    (the oracle contracts declare no facts). *)
+
+val refine_contract :
+  ctx -> string -> Hyperenclave.Absdata.t Spec.t -> (unit, string) result
+(** Install a user-authored refinement of [fn]'s contract, gated by
+    frame certification.  [Ok]: subsequent composed runs execute the
+    refined contract at call sites of [fn].  [Error reason]: the
+    override is {e refused} and [fn] is stripped of any override, so
+    callers run its body — the composed report stays identical to the
+    monolithic one rather than trusting an uncertified frame.  Either
+    way the layer's composed environment is rebuilt on next use. *)
+
+val refusal : ctx -> string -> string option
+(** The refusal reason recorded by {!refine_contract}, if any. *)
+
 val run_function : ctx -> string -> (string * Mirverif.Report.t) option
 (** Run the conformance check of a single function — the obligation
     granularity of the parallel engine. *)

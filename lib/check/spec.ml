@@ -137,8 +137,14 @@ let apply c abs ~mem args =
 let to_spec ?(mem = Mem.empty) c =
   { Mirverif.Spec.name = name c; exec = (fun abs args -> apply c abs ~mem args) }
 
-let override c =
-  { Mir.Compile.ov_name = name c; ov_exec = (fun abs mem args -> apply c abs ~mem args) }
+let frames c = List.map (fun f -> f.f_path) c.c_facts
+
+let override ?frames:fr c =
+  {
+    Mir.Compile.ov_name = name c;
+    ov_exec = (fun abs mem args -> apply c abs ~mem args);
+    ov_frames = (match fr with Some fs -> fs | None -> frames c);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Fresh symbolic-ish variables                                        *)

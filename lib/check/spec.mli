@@ -67,10 +67,47 @@ val to_spec : ?mem:'abs Mir.Mem.t -> 'abs t -> 'abs Mirverif.Spec.t
 (** The contract as a plain functional spec, with [mem] (default
     empty) fixed for fact checking and pointer resolution. *)
 
-val override : 'abs t -> 'abs Mir.Compile.override
+val frames : 'abs t -> Mir.Path.t list
+(** The contract's declared frame: the object-memory paths of its
+    [points_to] facts, in declaration order.  This is what the alias
+    analysis certifies before the override is installed. *)
+
+val override : ?frames:Mir.Path.t list -> 'abs t -> 'abs Mir.Compile.override
 (** The contract as a compiled call-site stub.  Receives the caller's
     live object-view memory, so pointer arguments resolve against the
-    state at the call site. *)
+    state at the call site.
+
+    [frames] (default {!frames}[ c], the [points_to] paths) declares
+    the object-memory paths the stub claims as its write frame.  The
+    declaration is {e checked, not trusted}: before installing the
+    override, {!Code_proof} asks the interprocedural alias analysis
+    ({!Analysis.Alias.certify}) to prove (1) the callee's footprint is
+    exact, (2) every global the callee writes lies inside a declared
+    frame, and (3) every frame is disjoint from every object-memory
+    path the callers retain.  A refused override falls the callers
+    back to the callee's {e body} — never a vacuous stub — mirroring
+    the quarantine path for failed callee proofs.
+
+    Template for a user-authored spec refinement (ROADMAP item 2
+    follow-on): tighten the generated oracle spec with executable
+    clauses, declare the frame, and let certification gate it:
+    {[
+      let refined oracle =
+        Spec.of_spec oracle
+        |> Spec.requires ~label:"vaddr-in-elrange"
+             (fun _abs args -> match args with
+                | _self :: Mir.Value.Data (Mir.Value.Vint va) :: _ ->
+                    in_elrange va
+                | _ -> false)
+        |> Spec.points_to ~label:"self-invariant"
+             (Mir.Path.global "self_obj")
+             enclave_invariant
+      in
+      (* installed only if {self_obj} certifies disjoint from every
+         caller-retained path; otherwise callers run the body *)
+      Check.Code_proof.refine_contract ctx "Enclave::add_page"
+        (refined oracle)
+    ]} *)
 
 (** {1 Fresh symbolic-ish variables}
 

@@ -24,6 +24,8 @@ let phases =
   [
     "analysis";
     "absint";
+    "borrow";
+    "alias";
     "code-proofs";
     "refinement";
     "invariants";
@@ -118,6 +120,55 @@ let analysis_obligations ?(lints = Analysis.Lint.all) layout =
     Mem_spec.layer_names
 
 (* ------------------------------------------------------------------ *)
+(* Phase 3c: NLL-style borrow checking, per function                   *)
+
+let borrow_version = "mirlight-borrow-v1"
+let borrow_id ~layer fn = Printf.sprintf "borrow/%s/%s" layer fn
+
+let borrow_obligations ?(lints = Analysis.Lint.catalogue) layout =
+  let selected = List.filter (fun k -> List.mem k Analysis.Lint.borrow) lints in
+  if selected = [] then []
+  else begin
+    let out = Layers.compiled layout in
+    let lint_tags = String.concat "," (List.map Analysis.Lint.to_string selected) in
+    List.concat_map
+      (fun lname ->
+        List.map
+          (fun fn ->
+            let id = borrow_id ~layer:lname fn in
+            (* intraprocedural like the analysis phase: the regions and
+               loans of one body never see another, so the fingerprint
+               is the function's own MIRlight digest and nothing else *)
+            let fingerprint =
+              let mir =
+                match Mir.Syntax.find_body out.Rustlite.Pipeline.program fn with
+                | Some body ->
+                    Digest.to_hex (Digest.string (Mir.Pp.body_to_string body))
+                | None -> "missing"
+              in
+              Printf.sprintf "%s;lints=%s;layer=%s;fn=%s;mir=%s" borrow_version
+                lint_tags lname fn mir
+            in
+            Obligation.v ~id ~phase:"borrow" ~deps:[] ~fingerprint (fun () ->
+                match Mir.Syntax.find_body out.Rustlite.Pipeline.program fn with
+                | Some body ->
+                    let report, findings, _stats =
+                      Analysis.Borrow_lint.check ~lints:selected ~name:fn body
+                    in
+                    Obligation.outcome
+                      ~findings:(List.map (fun f -> (fn, f)) findings)
+                      [ report ]
+                | None ->
+                    Obligation.outcome
+                      [
+                        Report.add_failure (Report.empty fn) ~case:fn
+                          ~reason:"layer lists a function with no MIRlight body";
+                      ]))
+          (Layers.functions_of_layer layout lname))
+      Mem_spec.layer_names
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Phase 3b: interprocedural abstract interpretation, per SCC          *)
 
 let absint_version = "mirlight-absint-v1"
@@ -205,6 +256,66 @@ let absint_obligations ?(lints = Analysis.Lint.catalogue) layout =
                   [ absint_report ~name:id ~functions:members findings ]))
           (Array.to_list sccs))
       domains
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3d: Andersen points-to footprints, per SCC                    *)
+
+let alias_version = "mirlight-alias-v1"
+let alias_id scc = Printf.sprintf "alias/points-to/%s" scc
+
+let alias_obligations ?(lints = Analysis.Lint.catalogue) layout =
+  if not (List.mem Analysis.Lint.Alias_footprint lints) then []
+  else begin
+    let out = Layers.compiled layout in
+    let program = out.Rustlite.Pipeline.program in
+    let cg = Analysis.Callgraph.build program in
+    let sccs = Array.of_list (Analysis.Callgraph.sccs cg) in
+    let scc_name members = String.concat "+" members in
+    let digest_of fn =
+      match Mir.Syntax.find_body program fn with
+      | Some body -> Digest.to_hex (Digest.string (Mir.Pp.body_to_string body))
+      | None -> "missing"
+    in
+    let cfg =
+      {
+        Analysis.Alias_lint.program;
+        prim = Check.Code_proof.prim_summary;
+        fn_layer = Layers.layer_of_function layout;
+        accessor = handle_accessor layout;
+      }
+    in
+    List.map
+      (fun members ->
+        let name = scc_name members in
+        let id = alias_id name in
+        (* footprints substitute callee summaries actual-for-formal, so
+           like absint the verdict waits on the callee SCCs *)
+        let deps =
+          List.map
+            (fun i -> alias_id (scc_name sccs.(i)))
+            (Analysis.Callgraph.callee_sccs cg members)
+        in
+        let mir =
+          String.concat ","
+            (List.map
+               (fun fn -> fn ^ "=" ^ digest_of fn)
+               (Analysis.Callgraph.reachable cg members))
+        in
+        (* the discharge side consults the layer map and interval
+           reachability, both layout-derived, so the layout is a
+           fingerprint ingredient like secret-flow's *)
+        let fingerprint =
+          Printf.sprintf "%s;%s;scc=%s;mir=%s" alias_version (layout_fp layout)
+            name mir
+        in
+        Obligation.v ~id ~phase:"alias" ~deps ~fingerprint (fun () ->
+            let findings, _stats =
+              Analysis.Alias_lint.check cfg ~funcs:members
+            in
+            Obligation.outcome ~findings
+              [ absint_report ~name:id ~functions:members findings ]))
+      (Array.to_list sccs)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -745,13 +856,16 @@ let build ?(quick = false) ?(security = true)
   in
   let analysis = analysis_obligations ~lints layout in
   let absint = absint_obligations ~lints layout in
+  let borrow = borrow_obligations ~lints layout in
+  let alias = alias_obligations ~lints layout in
   let mc =
     match model_check with
     | None -> []
     | Some req -> mc_obligations ~deps:[] req layout
   in
   let dag =
-    Dag.build_exn (analysis @ absint @ code @ refine @ security_obls @ mc)
+    Dag.build_exn
+      (analysis @ absint @ borrow @ alias @ code @ refine @ security_obls @ mc)
   in
   { dag; layout; seed; quick; security; lints; model_check; overrides;
     override_counts = override_counts layout }

@@ -89,6 +89,27 @@ val absint_obligations :
     derived from it): a warm cache re-executes nothing, and editing a
     function invalidates exactly its SCC and the SCCs above it. *)
 
+val borrow_obligations :
+  ?lints:Analysis.Lint.kind list ->
+  Hyperenclave.Layout.t ->
+  Obligation.t list
+(** One dependency-free obligation per function per layer, running the
+    NLL-style borrow checker ({!Analysis.Borrow_lint}) when any
+    {!Analysis.Lint.borrow} kind is selected (empty otherwise).
+    Strictly intraprocedural: fingerprinted on the selection and the
+    function's own MIRlight digest, like {!analysis_obligations}. *)
+
+val alias_obligations :
+  ?lints:Analysis.Lint.kind list ->
+  Hyperenclave.Layout.t ->
+  Obligation.t list
+(** One obligation per call-graph SCC running the Andersen points-to
+    footprint lint ({!Analysis.Alias_lint}) when
+    {!Analysis.Lint.Alias_footprint} is selected (empty otherwise).
+    Depends on its callee SCCs' alias obligations and is fingerprinted
+    on the layout plus the MIRlight digests of the SCC's transitive
+    callee closure, like {!absint_obligations}'s secret-flow domain. *)
+
 val code_proof_obligations :
   ?seed:int -> ?overrides:bool -> Hyperenclave.Layout.t ->
   (string * Obligation.t list) list

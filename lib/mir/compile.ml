@@ -71,6 +71,11 @@ and 'abs override = {
   ov_name : string;
   ov_exec :
     'abs -> 'abs Mem.t -> 'abs Value.t list -> ('abs * 'abs Value.t, string) result;
+  ov_frames : Path.t list;
+      (* object-memory paths the stub claims as its write frame;
+         metadata for footprint certification, not consulted at call
+         time (and so deliberately outside the linkage memo key — a
+         refused override changes linkage o→b, which re-keys) *)
 }
 
 type 'abs t = {

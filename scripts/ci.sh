@@ -16,13 +16,19 @@
 # report cache hits, and it must re-execute zero code-proof and zero
 # static-analysis obligations.
 #
-# The static-analysis gate additionally requires the lint phase AND
-# the abstract-interpretation phase (interval bounds + secret-flow
-# taint, per call-graph SCC) to report zero findings on the seed
-# 15-layer stack, and re-runs the analysis test suites, whose negative
-# fixtures (one hand-built MIRlight body per lint, plus planted
-# hypercall-leak programs for secret-flow) assert that every lint
-# actually fires.
+# The static-analysis gate additionally requires the lint phase, the
+# abstract-interpretation phase (interval bounds + secret-flow taint,
+# per call-graph SCC), the borrow-check phase (NLL liveness regions +
+# loan dataflow, per function) and the alias phase (Andersen
+# points-to footprints, per SCC) to report zero findings on the seed
+# 15-layer stack, rejects unknown --lints names at argument parse
+# time, requires the --lint-json artifact to be byte-identical across
+# job counts, and re-runs the analysis test suites, whose negative
+# fixtures (one hand-built MIRlight body per lint, planted
+# hypercall-leak programs for secret-flow, an aliased frame-handle
+# leak, a dangling EPCM borrow, and a footprint-violating points_to
+# override that must be refused) assert that every lint actually
+# fires.
 #
 # The model-checking gate exhaustively explores the bounded transition
 # system (depth 4): deterministic across job counts and cache states,
@@ -46,9 +52,11 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
 dune exec bin/hyperenclave_verify.exe -- \
-  --quick --seed 2024 --jobs 1 > "$workdir/serial.out"
+  --quick --seed 2024 --jobs 1 \
+  --lint-json "$workdir/serial-lints.json" > "$workdir/serial.out"
 dune exec bin/hyperenclave_verify.exe -- \
   --quick --seed 2024 --jobs 4 --cache "$workdir/pcache" \
+  --lint-json "$workdir/cold-lints.json" \
   --json-out "$workdir/cold.json" > "$workdir/cold.out"
 dune exec bin/hyperenclave_verify.exe -- \
   --quick --seed 2024 --jobs 2 --cache "$workdir/pcache" \
@@ -57,6 +65,8 @@ dune exec bin/hyperenclave_verify.exe -- \
 
 diff "$workdir/serial.out" "$workdir/cold.out"
 diff "$workdir/serial.out" "$workdir/warm.out"
+diff "$workdir/serial-lints.json" "$workdir/cold-lints.json" || {
+  echo "ci: --lint-json output depends on job count / scheduling" >&2; exit 1; }
 echo "ci: engine output identical across jobs 1/4 and warm cache"
 
 # --- override-composition gate --------------------------------------
@@ -68,7 +78,11 @@ echo "ci: engine output identical across jobs 1/4 and warm cache"
 # only after callee spec-proofs, a quarantined callee falls the caller
 # back to the body (never a vacuous pass), and fingerprints digest own
 # body + direct callee specs only, so editing one mid-stack function
-# invalidates exactly itself and its direct callers.
+# invalidates exactly itself and its direct callers.  The same group
+# pins the alias-certification path: a fact-free contract refinement
+# certifies and installs, while a points_to override whose frame
+# overlaps a caller-retained path is refused and the caller's composed
+# run stays byte-identical to the monolithic verdict.
 dune exec bin/hyperenclave_verify.exe -- \
   --quick --seed 2024 --jobs 1 --no-overrides > "$workdir/mono.out"
 diff "$workdir/serial.out" "$workdir/mono.out" || {
@@ -89,6 +103,10 @@ grep '"phase": "analysis"' "$workdir/warm.json" | grep -q '"executed": 0' || {
   echo "ci: warm run re-executed static-analysis obligations" >&2; exit 1; }
 grep '"phase": "absint"' "$workdir/warm.json" | grep -q '"executed": 0' || {
   echo "ci: warm run re-executed abstract-interpretation obligations" >&2; exit 1; }
+grep '"phase": "borrow"' "$workdir/warm.json" | grep -q '"executed": 0' || {
+  echo "ci: warm run re-executed borrow-check obligations" >&2; exit 1; }
+grep '"phase": "alias"' "$workdir/warm.json" | grep -q '"executed": 0' || {
+  echo "ci: warm run re-executed alias-analysis obligations" >&2; exit 1; }
 grep -q '"verdict": "pass"' "$workdir/warm.json" || {
   echo "ci: warm run verdict is not pass" >&2; exit 1; }
 echo "ci: warm cache replayed $hits obligations, zero code proofs or lints re-executed"
@@ -100,12 +118,24 @@ grep -E -q 'SCC obligations: 0 secret-flow findings, 0 interval findings' \
   "$workdir/serial.out" || {
   echo "ci: abstract interpretation reported findings on the seed stack" >&2
   exit 1; }
+grep -E -q 'borrow checks: [0-9]+ passed, 0 findings' "$workdir/serial.out" || {
+  echo "ci: borrow checker reported findings on the seed stack" >&2; exit 1; }
+grep -E -q 'SCC obligations: 0 alias findings' "$workdir/serial.out" || {
+  echo "ci: alias analysis reported findings on the seed stack" >&2; exit 1; }
+# an unknown lint name or group selector must be rejected at argument
+# parse time, loudly, like --geometry's enum
+if dune exec bin/hyperenclave_verify.exe -- --quick --lints bogus \
+    > /dev/null 2> "$workdir/lints.err"; then
+  echo "ci: unknown --lints name was accepted" >&2; exit 1
+fi
+grep -q 'unknown lint' "$workdir/lints.err" || {
+  echo "ci: unknown --lints rejection does not name the lint" >&2; exit 1; }
 dune exec test/analysis/test_analysis.exe > /dev/null || {
   echo "ci: analysis suite (negative lint fixtures) failed" >&2; exit 1; }
 dune exec test/analysis/test_absint.exe > /dev/null || {
   echo "ci: absint suite (planted-leak fixtures, lattice laws) failed" >&2
   exit 1; }
-echo "ci: lints clean on the seed stack, all negative fixtures fire"
+echo "ci: lints clean on the seed stack (incl. borrow + alias), all negative fixtures fire, bad --lints rejected"
 
 # --- engine-chaos smoke gate ----------------------------------------
 # A fixed-seed chaos run (injected obligation crashes/hangs, worker
@@ -233,9 +263,13 @@ echo "ci: override cost gate ok (on ${ov_on}s vs off ${ov_off}s, deepest tree ${
 cold=$(sed -n 's/.*"cold_wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
 warm=$(sed -n 's/.*"warm_speedup": \([0-9.eE+-]*\),.*/\1/p' BENCH_engine.json)
 mcrate=$(sed -n 's/.*"states_per_sec": \([0-9.eE+-]*\),.*/\1/p' BENCH_mc.json)
-printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s mc_states_per_sec=%s mc_pruning=%s override_speedup=%s\n' \
+bw_wall=$(sed -n 's/.*"borrow": {"wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_analysis.json)
+al_wall=$(sed -n 's/.*"alias": {"wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_analysis.json)
+al_exact=$(sed -n 's/.*"exact_footprints": \([0-9]*\),.*/\1/p' BENCH_analysis.json)
+printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s mc_states_per_sec=%s mc_pruning=%s override_speedup=%s borrow_wall_s=%s alias_wall_s=%s alias_exact_footprints=%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$cold" "$warm" \
-  "$(jobs_speedup 2)" "$(jobs_speedup 4)" "$mcrate" "$pf" "$ov_sp" >> BENCH_trajectory.log
+  "$(jobs_speedup 2)" "$(jobs_speedup 4)" "$mcrate" "$pf" "$ov_sp" \
+  "$bw_wall" "$al_wall" "$al_exact" >> BENCH_trajectory.log
 echo "ci: appended $(tail -1 BENCH_trajectory.log | cut -d' ' -f2-) to BENCH_trajectory.log"
 
 echo "ci: all green"

@@ -12,6 +12,11 @@ let u64 = Mir.Ty.Int Mir.Ty.U64
 
 let kinds_of findings = List.map (fun (f : Lint.finding) -> f.Lint.kind) findings
 
+let has_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let analyze ?fn_layer ?(accessor = fun ~owner:_ ~callee:_ -> false)
     ?(lints = Lint.all) body =
   Pass.analyze { Pass.fn_layer; accessor; lints } body
@@ -243,7 +248,7 @@ let test_clean_body () =
 
 let test_kinds_of_string () =
   (match Lint.kinds_of_string "all" with
-  | Ok ks -> Alcotest.(check int) "all = catalogue" 6 (List.length ks)
+  | Ok ks -> Alcotest.(check int) "all = catalogue" 10 (List.length ks)
   | Error e -> Alcotest.fail e);
   (match Lint.kinds_of_string "unchecked-arith, move-init" with
   | Ok ks ->
@@ -260,6 +265,30 @@ let test_kinds_of_string () =
       Alcotest.(check bool) "error names the lint" true
         (String.length msg > 0)
 
+let test_group_selectors () =
+  (match Lint.kinds_of_string "borrow" with
+  | Ok ks ->
+      Alcotest.(check (list string)) "borrow group"
+        [ "conflicting-borrow"; "dangling-handle"; "move-while-borrowed" ]
+        (List.map Lint.to_string ks)
+  | Error e -> Alcotest.fail e);
+  (match Lint.kinds_of_string "alias" with
+  | Ok ks ->
+      Alcotest.(check (list string)) "alias group" [ "alias-footprint" ]
+        (List.map Lint.to_string ks)
+  | Error e -> Alcotest.fail e);
+  (match Lint.kinds_of_string "borrow,alias,move-init" with
+  | Ok ks -> Alcotest.(check int) "groups and names mix" 5 (List.length ks)
+  | Error e -> Alcotest.fail e);
+  (match Lint.kinds_of_string "body,all" with
+  | Ok ks -> Alcotest.(check int) "overlapping groups dedup" 10 (List.length ks)
+  | Error e -> Alcotest.fail e);
+  match Lint.kinds_of_string "borrows" with
+  | Ok _ -> Alcotest.fail "near-miss group accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error lists the group selectors" true
+        (has_substring msg "group selectors")
+
 let test_suppression () =
   let body = fix_uninit () in
   Alcotest.(check bool) "fires with full catalogue" true
@@ -275,6 +304,393 @@ let test_report_shape () =
     r.Mirverif.Report.total;
   let r = Pass.check Pass.default_config ~name:"dirty" (fix_uninit ()) in
   Alcotest.(check bool) "dirty report fails" false (Mirverif.Report.ok r)
+
+(* ------------------------------------------------------------------ *)
+(* Borrow checking: loans, regions, the three borrow lints             *)
+
+let uref = Mir.Ty.Ref u64
+
+(* Two mutable borrows of x, both alive across the second creation. *)
+let fix_conflicting_borrow () =
+  let b = B.create ~name:"fix_conflict" ~params:[] ~ret_ty:u64 in
+  let x = B.local b ~name:"x" u64 in
+  let p = B.temp b uref in
+  let q = B.temp b uref in
+  B.assign_var b x (Syn.Use (B.cu64 1));
+  B.assign_var b p (Syn.Address_of (B.pvar x));
+  B.assign_var b q (Syn.Address_of (B.pvar x));
+  B.assign_var b Syn.return_var
+    (Syn.Binary
+       ( Syn.Add,
+         B.copy_place (B.pderef (B.pvar p)),
+         B.copy_place (B.pderef (B.pvar q)) ));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* Same shape with shared borrows: reading through two shared refs is
+   fine. *)
+let fix_shared_borrows () =
+  let b = B.create ~name:"fix_shared" ~params:[] ~ret_ty:u64 in
+  let x = B.local b ~name:"x" u64 in
+  let p = B.temp b uref in
+  let q = B.temp b uref in
+  B.assign_var b x (Syn.Use (B.cu64 1));
+  B.assign_var b p (Syn.Ref (B.pvar x));
+  B.assign_var b q (Syn.Ref (B.pvar x));
+  B.assign_var b Syn.return_var
+    (Syn.Binary
+       ( Syn.Add,
+         B.copy_place (B.pderef (B.pvar p)),
+         B.copy_place (B.pderef (B.pvar q)) ));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* The planted "dangling EPCM borrow": a handle borrows an EPCM entry
+   local, the local's storage dies, the handle is read afterwards. *)
+let fix_dangling_epcm () =
+  let b = B.create ~name:"fix_dangling" ~params:[] ~ret_ty:u64 in
+  let e = B.local b ~name:"epcm_entry" u64 in
+  let h = B.temp b uref in
+  B.assign_var b e (Syn.Use (B.cu64 0));
+  B.assign_var b h (Syn.Ref (B.pvar e));
+  B.push b (Syn.Storage_dead e);
+  B.assign_var b Syn.return_var (Syn.Use (B.copy_place (B.pderef (B.pvar h))));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* Returning a reference to a local: the loan escapes its region. *)
+let fix_escaping_ref () =
+  let b = B.create ~name:"fix_escape" ~params:[] ~ret_ty:uref in
+  let v = B.local b ~name:"v" u64 in
+  B.assign_var b v (Syn.Use (B.cu64 3));
+  B.assign_var b Syn.return_var (Syn.Ref (B.pvar v));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* x is moved into y while a live loan still borrows it. *)
+let fix_move_while_borrowed () =
+  let b = B.create ~name:"fix_move_borrowed" ~params:[] ~ret_ty:u64 in
+  let x = B.local b ~name:"x" u64 in
+  let y = B.temp b u64 in
+  let r = B.temp b uref in
+  B.assign_var b x (Syn.Use (B.cu64 1));
+  B.assign_var b r (Syn.Ref (B.pvar x));
+  B.assign_var b y (Syn.Use (B.move x));
+  B.assign_var b Syn.return_var (Syn.Use (B.copy_place (B.pderef (B.pvar r))));
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* The last use of the first borrow precedes the second borrow: with
+   liveness-based (NLL) regions the loans never overlap. *)
+let fix_nll_disjoint () =
+  let b = B.create ~name:"fix_nll" ~params:[] ~ret_ty:u64 in
+  let x = B.local b ~name:"x" u64 in
+  let p = B.temp b uref in
+  let q = B.temp b uref in
+  let t = B.temp b u64 in
+  B.assign_var b x (Syn.Use (B.cu64 1));
+  B.assign_var b p (Syn.Address_of (B.pvar x));
+  B.assign_var b t (Syn.Use (B.copy_place (B.pderef (B.pvar p))));
+  B.assign_var b q (Syn.Address_of (B.pvar x));
+  B.assign_var b Syn.return_var
+    (Syn.Binary (Syn.Add, B.copy t, B.copy_place (B.pderef (B.pvar q))));
+  B.terminate b Syn.Return;
+  B.finish b
+
+let borrow_kinds body =
+  List.map (fun (f : Lint.finding) -> f.Lint.kind) (Analysis.Borrow.check body)
+
+let test_conflicting_borrow () =
+  Alcotest.(check bool) "mut/mut overlap fires" true
+    (List.mem Lint.Conflicting_borrow (borrow_kinds (fix_conflicting_borrow ())));
+  Alcotest.(check bool) "shared/shared is clean" false
+    (List.mem Lint.Conflicting_borrow (borrow_kinds (fix_shared_borrows ())));
+  Alcotest.(check bool) "NLL-disjoint regions are clean" false
+    (List.mem Lint.Conflicting_borrow (borrow_kinds (fix_nll_disjoint ())))
+
+let test_dangling_handle () =
+  Alcotest.(check bool) "storage-dead under live loan fires" true
+    (List.mem Lint.Dangling_handle (borrow_kinds (fix_dangling_epcm ())));
+  Alcotest.(check bool) "returned borrow of a local fires" true
+    (List.mem Lint.Dangling_handle (borrow_kinds (fix_escaping_ref ())))
+
+let test_move_while_borrowed () =
+  Alcotest.(check bool) "move under live loan fires" true
+    (List.mem Lint.Move_while_borrowed (borrow_kinds (fix_move_while_borrowed ())));
+  Alcotest.(check bool) "clean body has no borrow findings"
+    true
+    (borrow_kinds (clean_body ()) = [])
+
+let test_borrow_lint_report () =
+  let report, findings, stats =
+    Analysis.Borrow_lint.check ~name:"fix_dangling" (fix_dangling_epcm ())
+  in
+  Alcotest.(check bool) "report fails" false (Mirverif.Report.ok report);
+  Alcotest.(check bool) "findings nonempty" true (findings <> []);
+  Alcotest.(check bool) "loan sites counted" true (stats.Analysis.Borrow_lint.loans >= 1);
+  (* selection: deselecting the kind silences it *)
+  let _, fs, _ =
+    Analysis.Borrow_lint.check
+      ~lints:[ Lint.Conflicting_borrow ]
+      ~name:"fix_dangling" (fix_dangling_epcm ())
+  in
+  Alcotest.(check int) "deselected kind suppressed" 0 (List.length fs)
+
+(* ------------------------------------------------------------------ *)
+(* Alias analysis: footprints, the aliased-frame lint, certify         *)
+
+module Alias = Analysis.Alias
+
+(* writer(p, q) writes through both parameters. *)
+let fix_writer () =
+  let b =
+    B.create ~name:"writer"
+      ~params:[ ("p", uref, Syn.Klocal); ("q", uref, Syn.Klocal) ]
+      ~ret_ty:Mir.Ty.Unit
+  in
+  B.assign b (B.pderef (B.pvar "p")) (Syn.Use (B.cu64 1));
+  B.assign b (B.pderef (B.pvar "q")) (Syn.Use (B.cu64 2));
+  B.terminate b Syn.Return;
+  B.finish b
+
+let call_writer b a1 a2 =
+  let ret = B.fresh_block b in
+  B.terminate b
+    (Syn.Call
+       {
+         dest = B.pvar Syn.return_var;
+         func = "writer";
+         args = [ B.move a1; B.move a2 ];
+         target = Some ret;
+       });
+  B.switch_to b ret;
+  B.terminate b Syn.Return
+
+(* caller_aliased passes two pointers to the SAME local — the planted
+   aliased frame-handle leak. *)
+let fix_caller_aliased () =
+  let b = B.create ~name:"caller_aliased" ~params:[] ~ret_ty:Mir.Ty.Unit in
+  let x = B.local b ~name:"x" u64 in
+  let a = B.temp b uref in
+  let c = B.temp b uref in
+  B.assign_var b x (Syn.Use (B.cu64 0));
+  B.assign_var b a (Syn.Address_of (B.pvar x));
+  B.assign_var b c (Syn.Address_of (B.pvar x));
+  call_writer b a c;
+  B.finish b
+
+(* caller_disjoint passes pointers to two different locals. *)
+let fix_caller_disjoint () =
+  let b = B.create ~name:"caller_disjoint" ~params:[] ~ret_ty:Mir.Ty.Unit in
+  let x = B.local b ~name:"x" u64 in
+  let y = B.local b ~name:"y" u64 in
+  let a = B.temp b uref in
+  let c = B.temp b uref in
+  B.assign_var b x (Syn.Use (B.cu64 0));
+  B.assign_var b y (Syn.Use (B.cu64 0));
+  B.assign_var b a (Syn.Address_of (B.pvar x));
+  B.assign_var b c (Syn.Address_of (B.pvar y));
+  call_writer b a c;
+  B.finish b
+
+let alias_cfg program =
+  {
+    Analysis.Alias_lint.program;
+    prim = (fun _ -> None);
+    fn_layer = (fun _ -> None);
+    accessor = (fun ~owner:_ ~callee:_ -> false);
+  }
+
+let test_alias_footprint_fires () =
+  let program =
+    Syn.program_of_bodies
+      [ fix_writer (); fix_caller_aliased (); fix_caller_disjoint () ]
+  in
+  let cfg = alias_cfg program in
+  let findings, stats = Analysis.Alias_lint.check cfg ~funcs:[ "caller_aliased" ] in
+  let errors =
+    List.filter
+      (fun (_, (f : Lint.finding)) ->
+        f.Lint.severity = Lint.Error && f.Lint.kind = Lint.Alias_footprint)
+      findings
+  in
+  Alcotest.(check int) "aliased arguments fire once" 1 (List.length errors);
+  Alcotest.(check bool) "stats count the finding" true
+    (stats.Analysis.Alias_lint.findings >= 1);
+  let findings, _ = Analysis.Alias_lint.check cfg ~funcs:[ "caller_disjoint" ] in
+  Alcotest.(check int) "disjoint arguments are clean" 0
+    (List.length
+       (List.filter
+          (fun (_, (f : Lint.finding)) -> f.Lint.severity = Lint.Error)
+          findings))
+
+let test_alias_footprints_exact () =
+  let program =
+    Syn.program_of_bodies [ fix_writer (); fix_caller_disjoint () ]
+  in
+  let infos = Alias.analyze program in
+  let fp = Alias.footprint infos "writer" in
+  Alcotest.(check bool) "writer's footprint is exact" true (Alias.exact fp);
+  Alcotest.(check bool) "writer writes both params" true
+    (Alias.LocSet.mem (Alias.Lparam 0) fp.Alias.writes
+    && Alias.LocSet.mem (Alias.Lparam 1) fp.Alias.writes);
+  (* an unanalyzed name is fully unknown, never falsely exact *)
+  let fp = Alias.footprint infos "no_such_fn" in
+  Alcotest.(check bool) "missing function is inexact" false (Alias.exact fp)
+
+let test_alias_certify () =
+  let set locs = Alias.LocSet.of_list locs in
+  let fp_exact =
+    { Alias.reads = set [ Alias.Lglobal "g" ]; writes = set [ Alias.Lglobal "g" ] }
+  in
+  (match
+     Alias.certify ~callee_fp:fp_exact
+       ~frames:[ Mir.Path.global "g" ]
+       ~retained:[ Mir.Path.global "other" ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exact disjoint frame refused: %s" e);
+  (* empty frames certify trivially whatever the footprint *)
+  let fp_unknown =
+    { Alias.reads = set [ Alias.Lunknown ]; writes = set [ Alias.Lunknown ] }
+  in
+  (match Alias.certify ~callee_fp:fp_unknown ~frames:[] ~retained:[] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fact-free contract refused: %s" e);
+  (* refusal 1: inexact footprint *)
+  (match
+     Alias.certify ~callee_fp:fp_unknown
+       ~frames:[ Mir.Path.global "g" ]
+       ~retained:[]
+   with
+  | Ok () -> Alcotest.fail "inexact footprint certified"
+  | Error e ->
+      Alcotest.(check bool) "reason says inexact" true (has_substring e "inexact"));
+  (* refusal 2: a written global outside every declared frame *)
+  (match
+     Alias.certify ~callee_fp:fp_exact
+       ~frames:[ Mir.Path.global "h" ]
+       ~retained:[]
+   with
+  | Ok () -> Alcotest.fail "out-of-frame write certified"
+  | Error e ->
+      Alcotest.(check bool) "reason names the frames" true
+        (has_substring e "frame"));
+  (* refusal 3: a frame overlapping a caller-retained path *)
+  match
+    Alias.certify ~callee_fp:fp_exact
+      ~frames:[ Mir.Path.global "g" ]
+      ~retained:[ Mir.Path.global "g" ]
+  with
+  | Ok () -> Alcotest.fail "retained overlap certified"
+  | Error e ->
+      Alcotest.(check bool) "reason says overlap" true
+        (has_substring e "overlap")
+
+(* ------------------------------------------------------------------ *)
+(* Callgraph SCC properties (Tarjan)                                   *)
+
+let body_calling ~name callees =
+  let b = B.create ~name ~params:[] ~ret_ty:Mir.Ty.Unit in
+  List.iter
+    (fun callee ->
+      let ret = B.fresh_block b in
+      B.terminate b
+        (Syn.Call
+           {
+             dest = B.pvar Syn.return_var;
+             func = callee;
+             args = [];
+             target = Some ret;
+           });
+      B.switch_to b ret)
+    callees;
+  B.terminate b Syn.Return;
+  B.finish b
+
+(* a <-> b cycle; both call c; c calls itself; d is isolated. *)
+let scc_program () =
+  Syn.program_of_bodies
+    [
+      body_calling ~name:"a" [ "b"; "c" ];
+      body_calling ~name:"b" [ "a"; "c" ];
+      body_calling ~name:"c" [ "c" ];
+      body_calling ~name:"d" [];
+    ]
+
+let test_scc_self_loop () =
+  let cg = Analysis.Callgraph.build (scc_program ()) in
+  let sccs = Analysis.Callgraph.sccs cg in
+  let scc_of_c = List.find (fun m -> List.mem "c" m) sccs in
+  Alcotest.(check (list string)) "self-loop is its own SCC" [ "c" ] scc_of_c;
+  (* callee_sccs never includes the SCC itself, even on a self-loop *)
+  let sccs_arr = Array.of_list sccs in
+  List.iteri
+    (fun i members ->
+      let callee_is = Analysis.Callgraph.callee_sccs cg members in
+      Alcotest.(check bool)
+        (Printf.sprintf "scc %d excludes itself" i)
+        false (List.mem i callee_is);
+      List.iter
+        (fun j ->
+          Alcotest.(check bool) "callee index in range" true
+            (j >= 0 && j < Array.length sccs_arr))
+        callee_is)
+    sccs;
+  let ab = List.find (fun m -> List.mem "a" m) sccs in
+  Alcotest.(check (list string)) "mutual recursion is one SCC" [ "a"; "b" ]
+    (List.sort compare ab)
+
+let test_scc_determinism () =
+  let p = scc_program () in
+  let s1 = Analysis.Callgraph.sccs (Analysis.Callgraph.build p) in
+  let s2 = Analysis.Callgraph.sccs (Analysis.Callgraph.build p) in
+  Alcotest.(check bool) "SCC order reproducible" true (s1 = s2);
+  let layout = Hyperenclave.Layout.default Hyperenclave.Geometry.tiny in
+  let prog = (Hyperenclave.Layers.compiled layout).Rustlite.Pipeline.program in
+  let t1 = Analysis.Callgraph.sccs (Analysis.Callgraph.build prog) in
+  let t2 = Analysis.Callgraph.sccs (Analysis.Callgraph.build prog) in
+  Alcotest.(check bool) "seed-stack SCC order reproducible" true (t1 = t2)
+
+(* The condensation edges and the direct call edges must tell the same
+   story: g in callees(f) with scc(g) <> scc(f) iff scc(g) is in
+   callee_sccs of f's SCC. *)
+let test_scc_condensation_agrees () =
+  let p = scc_program () in
+  let cg = Analysis.Callgraph.build p in
+  let sccs = Array.of_list (Analysis.Callgraph.sccs cg) in
+  Array.iteri
+    (fun i members ->
+      let callee_is = Analysis.Callgraph.callee_sccs cg members in
+      let direct =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun f ->
+               List.filter_map
+                 (fun g ->
+                   match Analysis.Callgraph.scc_of cg g with
+                   | Some j when j <> i -> Some j
+                   | _ -> None)
+                 (Analysis.Callgraph.callees cg f))
+             members)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "condensation edges of scc %d" i)
+        direct
+        (List.sort_uniq compare callee_is);
+      (* reachability includes the members and every direct callee *)
+      let reach = Analysis.Callgraph.reachable cg members in
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) (f ^ " reaches itself") true (List.mem f reach);
+          List.iter
+            (fun g ->
+              if Analysis.Callgraph.scc_of cg g <> None then
+                Alcotest.(check bool) (f ^ " reaches " ^ g) true
+                  (List.mem g reach))
+            (Analysis.Callgraph.callees cg f))
+        members)
+    sccs
 
 (* ------------------------------------------------------------------ *)
 (* The seed stack: all 50 functions, all lints, zero findings          *)
@@ -296,6 +712,36 @@ let test_seed_stack_clean () =
               (Mirverif.Report.to_string r))
         outcome.Engine.Obligation.reports)
     obls
+
+(* Borrow and alias phases over the seed stack: every obligation runs
+   clean, and the obligation shapes match their phase conventions. *)
+let test_seed_stack_borrow_alias_clean () =
+  let layout = Hyperenclave.Layout.default Hyperenclave.Geometry.tiny in
+  let run_all ~phase obls =
+    Alcotest.(check bool) (phase ^ " nonempty") true (obls <> []);
+    List.iter
+      (fun (o : Engine.Obligation.t) ->
+        Alcotest.(check bool) (phase ^ " phase") true
+          (String.equal o.Engine.Obligation.phase phase);
+        let outcome = o.Engine.Obligation.run () in
+        List.iter
+          (fun r ->
+            if not (Mirverif.Report.ok r) then
+              Alcotest.failf "findings in %s: %s" o.Engine.Obligation.id
+                (Mirverif.Report.to_string r))
+          outcome.Engine.Obligation.reports)
+      obls
+  in
+  let borrow = Engine.Plan.borrow_obligations layout in
+  Alcotest.(check int) "one borrow obligation per function" 50
+    (List.length borrow);
+  run_all ~phase:"borrow" borrow;
+  run_all ~phase:"alias" (Engine.Plan.alias_obligations layout);
+  (* deselecting the kinds empties the phases *)
+  Alcotest.(check int) "borrow deselected" 0
+    (List.length (Engine.Plan.borrow_obligations ~lints:Lint.all layout));
+  Alcotest.(check int) "alias deselected" 0
+    (List.length (Engine.Plan.alias_obligations ~lints:Lint.all layout))
 
 let test_fingerprints_stable () =
   let layout = Hyperenclave.Layout.default Hyperenclave.Geometry.tiny in
@@ -337,12 +783,34 @@ let () =
       ( "selection",
         [
           Alcotest.test_case "kinds_of_string" `Quick test_kinds_of_string;
+          Alcotest.test_case "group selectors" `Quick test_group_selectors;
           Alcotest.test_case "per-lint suppression" `Quick test_suppression;
           Alcotest.test_case "report shape" `Quick test_report_shape;
+        ] );
+      ( "borrow",
+        [
+          Alcotest.test_case "conflicting-borrow" `Quick test_conflicting_borrow;
+          Alcotest.test_case "dangling-handle" `Quick test_dangling_handle;
+          Alcotest.test_case "move-while-borrowed" `Quick test_move_while_borrowed;
+          Alcotest.test_case "borrow-lint report" `Quick test_borrow_lint_report;
+        ] );
+      ( "alias",
+        [
+          Alcotest.test_case "alias-footprint fires" `Quick test_alias_footprint_fires;
+          Alcotest.test_case "footprints exact" `Quick test_alias_footprints_exact;
+          Alcotest.test_case "certify" `Quick test_alias_certify;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "self-loop SCC" `Quick test_scc_self_loop;
+          Alcotest.test_case "SCC determinism" `Quick test_scc_determinism;
+          Alcotest.test_case "condensation agrees" `Quick test_scc_condensation_agrees;
         ] );
       ( "seed",
         [
           Alcotest.test_case "seed stack clean" `Quick test_seed_stack_clean;
+          Alcotest.test_case "borrow+alias clean" `Quick
+            test_seed_stack_borrow_alias_clean;
           Alcotest.test_case "fingerprints" `Quick test_fingerprints_stable;
         ] );
     ]

@@ -556,6 +556,97 @@ let test_override_fingerprints_shrink () =
         fns)
     obls
 
+(* a fact-free refinement (frames = []) certifies trivially, installs,
+   and leaves the composed verdicts untouched: the refined contract is
+   the oracle spec plus an always-true postcondition *)
+let test_refine_contract_certified () =
+  let ctx = Check.Code_proof.ctx ~seed:2024 layout in
+  let caller_fn, stub_fns = caller_with_stubs () in
+  let callee = List.hd stub_fns in
+  let composed_report fn =
+    match Check.Code_proof.run_function_composed ctx fn with
+    | Some (_, r) -> Report.to_string r
+    | None -> Alcotest.failf "%s owns no spec" fn
+  in
+  let baseline = composed_report caller_fn in
+  let spec =
+    match Mem_spec.find layout callee with
+    | Some s -> s
+    | None -> Alcotest.failf "no spec for %s" callee
+  in
+  let refined =
+    Check.Spec.ensures ~label:"noop" (fun _ _ _ -> true) (Check.Spec.of_spec spec)
+  in
+  (match Check.Code_proof.refine_contract ctx callee refined with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fact-free refinement refused: %s" e);
+  Alcotest.(check bool) "no refusal recorded" true
+    (Check.Code_proof.refusal ctx callee = None);
+  Alcotest.(check string) "composed verdicts unchanged" baseline
+    (composed_report caller_fn)
+
+(* the planted footprint-violating override: a [points_to] fact on
+   [self_obj], the very path the method callers' batteries retain.
+   Certification must refuse it, and the caller's composed run must
+   execute the callee's body — byte-identical to the monolithic
+   verdict, never a stub trusted on an uncertified frame *)
+let test_refine_contract_refused () =
+  let ctx = Check.Code_proof.ctx ~seed:2024 layout in
+  let callee = "Enclave::in_elrange" in
+  let caller = "Enclave::add_page" in
+  (* the refusal is real on the seed stack: the method callers retain
+     self_obj, so the frame below cannot be disjoint from it *)
+  Alcotest.(check bool) "method callers retain self_obj" true
+    (List.exists
+       (fun p -> Mir.Path.equal p (Mir.Path.global "self_obj"))
+       (Check.Code_proof.retained_paths ctx callee));
+  let mono =
+    match Check.Code_proof.run_function ctx caller with
+    | Some (_, r) -> Report.to_string r
+    | None -> Alcotest.failf "%s owns no spec" caller
+  in
+  let spec =
+    match Mem_spec.find layout callee with
+    | Some s -> s
+    | None -> Alcotest.failf "no spec for %s" callee
+  in
+  let refined =
+    Check.Spec.points_to ~label:"self-invariant" (Mir.Path.global "self_obj")
+      (fun _ -> true)
+      (Check.Spec.of_spec spec)
+  in
+  (match Check.Code_proof.refine_contract ctx callee refined with
+  | Ok () -> Alcotest.fail "uncertified points_to override was installed"
+  | Error _ -> ());
+  (match Check.Code_proof.refusal ctx callee with
+  | Some _ -> ()
+  | None -> Alcotest.fail "refusal not recorded");
+  let composed_r =
+    match Check.Code_proof.run_function_composed ctx caller with
+    | Some (_, r) -> r
+    | None -> Alcotest.failf "%s owns no spec" caller
+  in
+  Alcotest.(check string) "refused override falls back to the body" mono
+    (Report.to_string composed_r);
+  Alcotest.(check bool) "composed run is not vacuous" true
+    (composed_r.Report.total > 0)
+
+(* certify_frames end-to-end on the real stack: an in-frame write-free
+   callee certifies against a frame disjoint from everything retained *)
+let test_certify_frames_disjoint () =
+  let ctx = Check.Code_proof.ctx ~seed:2024 layout in
+  let callee = "Enclave::in_elrange" in
+  match
+    Check.Code_proof.certify_frames ctx callee
+      ~frames:[ Mir.Path.global "nonexistent_scratch" ]
+  with
+  | Ok () -> ()
+  | Error e ->
+      (* acceptable only if the refusal is about footprint exactness,
+         never about the (provably disjoint) frame *)
+      Alcotest.(check bool) ("unexpected refusal: " ^ e) true
+        (contains e "inexact")
+
 (* ------------------------------------------------------------------ *)
 (* Clock                                                               *)
 
@@ -641,6 +732,12 @@ let () =
             test_override_gate_opens_after_callees;
           Alcotest.test_case "quarantined callee falls back" `Quick
             test_override_gate_quarantined_callee;
+          Alcotest.test_case "refinement certified" `Quick
+            test_refine_contract_certified;
+          Alcotest.test_case "refinement refused" `Quick
+            test_refine_contract_refused;
+          Alcotest.test_case "certify disjoint frame" `Quick
+            test_certify_frames_disjoint;
           Alcotest.test_case "fingerprints shrink to direct callees" `Quick
             test_override_fingerprints_shrink;
         ] );
