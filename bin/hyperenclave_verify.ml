@@ -24,21 +24,23 @@
    content-addressed proof cache (--cache DIR).  Stdout carries only
    verification content — no job counts, timings or cache statistics —
    so the output is byte-identical at any job count and cache state;
-   scheduling metadata goes to stderr, --json-out and --trace-out. *)
+   scheduling metadata goes to stderr, --json-out and --trace-out.
+   Rendering and summary construction live in lib/serve, shared with
+   the --serve daemon, so a daemon response is byte-identical to a
+   one-shot run of the same request.
+
+   Serving (lib/serve): --serve SOCKET runs the long-lived daemon — a
+   dispatcher in front of --fleet N forked workers with resident plan
+   memos, admission batching (--batch-window-ms) and a shared proof
+   cache; --client SOCKET submits the flag-selected request to a
+   running daemon and renders the response exactly like a local run. *)
 
 open Cmdliner
 module Report = Mirverif.Report
 
 let phase_header name = Format.printf "@.=== %s ===@." name
 
-let check_reports ~failures reports =
-  List.iter
-    (fun r ->
-      Format.printf "  %s@." (Report.to_string r);
-      if not (Report.ok r) then incr failures)
-    reports
-
-(* Phase 9 (opt-in): chaos.  On the correct monitor the phase passes
+(* Phase 10 (opt-in): chaos.  On the correct monitor the phase passes
    when [traces] fault-injected traces survive every per-step check; on
    the --buggy-tlb monitor it passes when the planted stale-TLB bug is
    found and shrunk to a minimal witness.  Stays sequential: its value
@@ -96,545 +98,62 @@ let run_chaos ~failures ~quick ~seed ~traces ~faults_spec ~buggy_tlb layout =
       if not (Report.ok mreport) then incr failures
 
 (* ------------------------------------------------------------------ *)
-(* Engine result rendering                                             *)
+(* Serve / client modes                                                *)
 
-let of_phase execs phase =
-  List.filter
-    (fun (e : Engine.Pool.exec) -> String.equal e.obligation.Engine.Obligation.phase phase)
-    execs
-
-let reports_of execs =
-  List.concat_map
-    (fun (e : Engine.Pool.exec) -> e.outcome.Engine.Obligation.reports)
-    execs
-
-let findings_of execs =
-  List.concat_map
-    (fun (e : Engine.Pool.exec) -> e.outcome.Engine.Obligation.findings)
-    execs
-
-(* All lint findings of the run — per-body dataflow plus per-SCC
-   abstract interpretation — with the discharge certificates applied:
-   an [Info] certificate cancels the [Error] twin at the same site of
-   the same function. *)
-let lint_findings execs =
-  let module M = Map.Make (String) in
-  let by_fn =
-    List.fold_left
-      (fun m (fn, f) ->
-        M.update fn (fun l -> Some (f :: Option.value ~default:[] l)) m)
-      M.empty
-      (findings_of (of_phase execs "analysis")
-      @ findings_of (of_phase execs "absint")
-      @ findings_of (of_phase execs "borrow")
-      @ findings_of (of_phase execs "alias"))
+let run_serve ~socket ~fleet ~batch_window_ms ~cache_dir ~jobs ~retries
+    ~timeout_ms =
+  let cfg =
+    {
+      (Serve.Server.default_config ~socket) with
+      Serve.Server.fleet = max 0 fleet;
+      batch_window_ms = Float.max 0.0 batch_window_ms;
+      cache_dir;
+      jobs = max 1 jobs;
+      retries = max 0 retries;
+      timeout_ms;
+    }
   in
-  M.bindings by_fn
-  |> List.concat_map (fun (fn, fs) ->
-         List.map
-           (fun f -> (fn, f))
-           (Analysis.Lint.reconcile (Analysis.Lint.sort (List.rev fs))))
+  Serve.Server.serve cfg;
+  0
 
-let is_error (f : Analysis.Lint.finding) =
-  f.Analysis.Lint.severity = Analysis.Lint.Error
-
-let is_discharge (f : Analysis.Lint.finding) =
-  f.Analysis.Lint.severity = Analysis.Lint.Info
-  && f.Analysis.Lint.discharged_by <> None
-
-let severity_to_string = function
-  | Analysis.Lint.Error -> "error"
-  | Analysis.Lint.Info -> "info"
-
-(* Numeric program-point key: [where] strings are "bbN[M]" /
-   "bbN[term]" / "bbN", and a plain string compare puts bb10 before
-   bb2.  Parsing the block/statement indices makes the JSON order
-   positional and byte-stable across --jobs and scheduler timing. *)
-let where_key w =
-  match Scanf.sscanf_opt w "bb%d[%d]" (fun b s -> (b, s)) with
-  | Some k -> k
-  | None -> (
-      match Scanf.sscanf_opt w "bb%d[term" (fun b -> (b, max_int)) with
-      | Some k -> k
-      | None -> (
-          match Scanf.sscanf_opt w "bb%d" (fun b -> (b, -1)) with
-          | Some k -> k
-          | None -> (max_int, max_int)))
-
-let lint_json_of findings =
-  let sorted =
-    List.sort
-      (fun (fn1, (a : Analysis.Lint.finding)) (fn2, (b : Analysis.Lint.finding)) ->
-        let c = String.compare fn1 fn2 in
-        if c <> 0 then c
-        else
-          let c = compare (where_key a.Analysis.Lint.where) (where_key b.Analysis.Lint.where) in
-          if c <> 0 then c
-          else
-            let c =
-              String.compare
-                (Analysis.Lint.to_string a.Analysis.Lint.kind)
-                (Analysis.Lint.to_string b.Analysis.Lint.kind)
-            in
-            if c <> 0 then c
-            else
-              let c = String.compare a.Analysis.Lint.where b.Analysis.Lint.where in
-              if c <> 0 then c
-              else String.compare a.Analysis.Lint.detail b.Analysis.Lint.detail)
-      findings
-  in
-  Engine.Jsonx.List
-    (List.map
-       (fun (fn, (f : Analysis.Lint.finding)) ->
-         Engine.Jsonx.Obj
-           [
-             ("function", Engine.Jsonx.Str fn);
-             ("kind", Str (Analysis.Lint.to_string f.Analysis.Lint.kind));
-             ("where", Str f.Analysis.Lint.where);
-             ("severity", Str (severity_to_string f.Analysis.Lint.severity));
-             ( "discharged_by",
-               match f.Analysis.Lint.discharged_by with
-               | Some d -> Str d
-               | None -> Null );
-             ("detail", Str f.Analysis.Lint.detail);
-           ])
-       sorted)
-
-let layer_of_code_proof_id id =
-  match String.split_on_char '/' id with _ :: layer :: _ -> layer | _ -> "?"
-
-(* Print the per-phase sections exactly as the sequential pass did,
-   from the execs (which arrive in DAG insertion order, independent of
-   scheduling). *)
-let render_engine_results ~failures ~security execs =
-  phase_header "3. static analysis (MIRlight dataflow lints)";
-  let an = of_phase execs "analysis" in
-  let findings = lint_findings execs in
-  let body_errors =
-    List.filter
-      (fun (_, (f : Analysis.Lint.finding)) ->
-        is_error f && List.mem f.Analysis.Lint.kind Analysis.Lint.all)
-      findings
-  in
-  let at, ap, _, _ =
-    Engine.Obligation.case_totals
-      (List.map (fun (e : Engine.Pool.exec) -> e.outcome) an)
-  in
-  Format.printf "  %d functions, %d lint checks: %d passed, %d findings@."
-    (List.length an) at ap (List.length body_errors);
-  (* a per-body failure without a finding is an engine-level problem
-     (e.g. a layer listing a function with no MIRlight body) *)
-  List.iter
-    (fun (e : Engine.Pool.exec) ->
-      if e.outcome.Engine.Obligation.findings = [] then
-        List.iter
-          (fun r ->
-            if not (Report.ok r) then begin
-              incr failures;
-              Format.printf "  FAIL [%s] %s@."
-                (layer_of_code_proof_id e.obligation.Engine.Obligation.id)
-                (Report.to_string r)
-            end)
-          e.outcome.Engine.Obligation.reports)
-    an;
-  List.iter
-    (fun (fn, f) ->
-      incr failures;
-      Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
-    body_errors;
-
-  phase_header "3b. abstract interpretation (interval bounds + secret flow)";
-  let ab = of_phase execs "absint" in
-  let absint_errors =
-    List.filter
-      (fun (_, (f : Analysis.Lint.finding)) ->
-        is_error f && List.mem f.Analysis.Lint.kind Analysis.Lint.interprocedural)
-      findings
-  in
-  let count kind =
-    List.length
-      (List.filter
-         (fun (_, (f : Analysis.Lint.finding)) -> f.Analysis.Lint.kind = kind)
-         absint_errors)
-  in
-  Format.printf
-    "  %d SCC obligations: %d secret-flow findings, %d interval findings, %d \
-     arith sites discharged@."
-    (List.length ab)
-    (count Analysis.Lint.Secret_flow)
-    (count Analysis.Lint.Interval_bounds)
-    (List.length
-       (List.filter
-          (fun (_, (f : Analysis.Lint.finding)) ->
-            is_discharge f
-            && f.Analysis.Lint.discharged_by
-               = Some (Analysis.Lint.to_string Analysis.Lint.Interval_bounds))
-          findings));
-  List.iter
-    (fun (fn, f) ->
-      incr failures;
-      Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
-    absint_errors;
-
-  phase_header "3c. borrow checking (NLL liveness regions + loan dataflow)";
-  let bw = of_phase execs "borrow" in
-  let borrow_errors =
-    List.filter
-      (fun (_, (f : Analysis.Lint.finding)) ->
-        is_error f && List.mem f.Analysis.Lint.kind Analysis.Lint.borrow)
-      findings
-  in
-  let bt, bp, _, _ =
-    Engine.Obligation.case_totals
-      (List.map (fun (e : Engine.Pool.exec) -> e.outcome) bw)
-  in
-  Format.printf "  %d functions, %d borrow checks: %d passed, %d findings@."
-    (List.length bw) bt bp (List.length borrow_errors);
-  List.iter
-    (fun (fn, f) ->
-      incr failures;
-      Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
-    borrow_errors;
-
-  phase_header "3d. alias analysis (Andersen points-to footprints)";
-  let al = of_phase execs "alias" in
-  let alias_errors =
-    List.filter
-      (fun (_, (f : Analysis.Lint.finding)) ->
-        is_error f && List.mem f.Analysis.Lint.kind Analysis.Lint.alias)
-      findings
-  in
-  Format.printf "  %d SCC obligations: %d alias findings, %d warnings discharged@."
-    (List.length al)
-    (List.length alias_errors)
-    (List.length
-       (List.filter
-          (fun (_, (f : Analysis.Lint.finding)) ->
-            f.Analysis.Lint.discharged_by
-            = Some (Analysis.Lint.to_string Analysis.Lint.Alias_footprint))
-          findings));
-  List.iter
-    (fun (fn, f) ->
-      incr failures;
-      Format.printf "  FAIL [%s] %s@." fn (Analysis.Lint.finding_to_string f))
-    alias_errors;
-
-  phase_header "4. code proofs (code conforms to low specs)";
-  let cp = of_phase execs "code-proofs" in
-  let t, p, s, f =
-    Engine.Obligation.case_totals
-      (List.map (fun (e : Engine.Pool.exec) -> e.outcome) cp)
-  in
-  Format.printf "  %d functions, %d cases: %d passed, %d skipped, %d failed@."
-    (List.length cp) t p s f;
-  List.iter
-    (fun (e : Engine.Pool.exec) ->
-      List.iter
-        (fun r ->
-          if not (Report.ok r) then begin
-            incr failures;
-            Format.printf "  FAIL [%s] %s@."
-              (layer_of_code_proof_id e.obligation.Engine.Obligation.id)
-              (Report.to_string r)
-          end)
-        e.outcome.Engine.Obligation.reports)
-    cp;
-
-  phase_header "5. page-table refinement (flat <-> tree, Sec. 4.1)";
-  check_reports ~failures (Report.merge_by_name (reports_of (of_phase execs "refinement")));
-
-  if security then begin
-    phase_header "6. invariants (Sec. 5.2) on reachable states";
-    check_reports ~failures
-      (Report.merge_by_name (reports_of (of_phase execs "invariants")));
-
-    phase_header "7. noninterference (Lemmas 5.2-5.4, Sec. 5.3)";
-    check_reports ~failures (reports_of (of_phase execs "noninterference"));
-
-    phase_header "8. trace noninterference (Theorem 5.1)";
-    check_reports ~failures (reports_of (of_phase execs "trace-ni"));
-
-    phase_header "9. attack scenarios (Fig. 5 + Sec. 4.1 shallow copy)";
-    List.iter
-      (fun (e : Engine.Pool.exec) ->
-        Format.printf "  %s@." e.outcome.Engine.Obligation.log;
-        if Engine.Obligation.failure_count e.outcome > 0 then incr failures)
-      (of_phase execs "attacks")
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Phase 11 (opt-in): bounded model checking                           *)
-
-(* Execs arrive in DAG insertion order (root, then shards in index
-   order), so the folded rollup — and with it every stdout line — is
-   byte-identical at any job count and cache state. *)
-let mc_rollup execs =
-  Mc.Explore.rollup
-    (List.map
-       (fun (e : Engine.Pool.exec) ->
-         Mc.Explore.parse_log e.outcome.Engine.Obligation.log)
-       (of_phase execs "model-check"))
-
-let render_model_check ~failures (req : Engine.Plan.mc_request) execs =
-  phase_header "11. model checking (exhaustive bounded interleavings)";
-  let r = mc_rollup execs in
-  Format.printf "  monitor: %s@."
-    (if req.Engine.Plan.mc_flush then "correct"
-     else "buggy (unmap does not flush the TLB)");
-  Format.printf
-    "  depth %d, %d-event universe, reduction %s: %d states, %d transitions, \
-     %d deduped, %d pruned@."
-    req.Engine.Plan.mc_depth
-    (List.length (Mc.Universe.events req.Engine.Plan.mc_layout))
-    (if req.Engine.Plan.mc_por then "on" else "off")
-    r.Mc.Explore.r_states r.Mc.Explore.r_transitions r.Mc.Explore.r_deduped
-    r.Mc.Explore.r_pruned;
-  List.iter
-    (fun (v : Mc.Explore.parsed_violation) ->
-      Format.printf "  VIOLATION %s at state %s: %s@." v.Mc.Explore.p_kind
-        v.Mc.Explore.p_state v.Mc.Explore.p_detail;
-      Format.printf "    witness (%d events, ddmin spent %d replays):@."
-        (List.length v.Mc.Explore.p_witness)
-        v.Mc.Explore.p_evals;
-      List.iter (Format.printf "      %s@.") v.Mc.Explore.p_witness)
-    r.Mc.Explore.r_violations;
-  match (r.Mc.Explore.r_violations, req.Engine.Plan.mc_flush) with
-  | [], true ->
-      Format.printf
-        "  no violations: every reachable state satisfies the invariants, TLB \
-         consistency and step-indistinguishability@."
-  | [], false ->
-      incr failures;
-      Format.printf
-        "  UNEXPECTED: the buggy monitor survived exhaustive exploration@."
-  | vs, flush ->
-      if flush then incr failures
-      else if
-        List.for_all
-          (fun (v : Mc.Explore.parsed_violation) ->
-            String.equal v.Mc.Explore.p_kind "tlb-consistency")
-          vs
-      then
-        Format.printf
-          "  rediscovered the planted stale-TLB bug exhaustively (minimal \
-           witness: %d events)@."
-          (Option.value ~default:0 (Mc.Explore.min_witness r))
-      else begin
-        incr failures;
-        Format.printf
-          "  UNEXPECTED: violations beyond the planted TLB-consistency bug@."
-      end
-
-let model_check_json model_check execs =
-  match model_check with
-  | None -> Engine.Jsonx.Null
-  | Some (req : Engine.Plan.mc_request) ->
-      let r = mc_rollup execs in
-      Engine.Jsonx.Obj
-        [
-          ("depth", Engine.Jsonx.Int req.Engine.Plan.mc_depth);
-          ("por", Str (if req.Engine.Plan.mc_por then "on" else "off"));
-          ( "monitor",
-            Str (if req.Engine.Plan.mc_flush then "correct" else "buggy-tlb") );
-          ( "universe",
-            Int (List.length (Mc.Universe.events req.Engine.Plan.mc_layout)) );
-          ("states_explored", Int r.Mc.Explore.r_states);
-          ("transitions", Int r.Mc.Explore.r_transitions);
-          ("deduped", Int r.Mc.Explore.r_deduped);
-          ("pruned", Int r.Mc.Explore.r_pruned);
-          ( "min_witness",
-            match Mc.Explore.min_witness r with Some n -> Int n | None -> Null );
-          ( "violations",
-            List
-              (List.map
-                 (fun (v : Mc.Explore.parsed_violation) ->
-                   Engine.Jsonx.Obj
-                     [
-                       ("kind", Engine.Jsonx.Str v.Mc.Explore.p_kind);
-                       ("state", Str v.Mc.Explore.p_state);
-                       ("detail", Str v.Mc.Explore.p_detail);
-                       ("shrink_evals", Int v.Mc.Explore.p_evals);
-                       ( "witness",
-                         List
-                           (List.map
-                              (fun ev -> Engine.Jsonx.Str ev)
-                              v.Mc.Explore.p_witness) );
-                     ])
-                 r.Mc.Explore.r_violations) );
-        ]
-
-(* ------------------------------------------------------------------ *)
-(* Observability: stderr one-liner, --json-out summary, --trace-out    *)
-
-let count_cache execs status =
-  List.length (List.filter (fun (e : Engine.Pool.exec) -> e.cache = status) execs)
-
-let phase_summary execs phase =
-  let es = of_phase execs phase in
-  let executed = List.length es - count_cache es Engine.Pool.Hit in
-  let wall =
-    List.fold_left
-      (fun acc (e : Engine.Pool.exec) -> acc +. (e.finished -. e.started))
-      0.0 es
-  in
-  Engine.Jsonx.Obj
-    [
-      ("phase", Str phase);
-      ("obligations", Int (List.length es));
-      ("executed", Int executed);
-      ("cache_hits", Int (count_cache es Engine.Pool.Hit));
-      ("wall_s", Float wall);
-    ]
-
-let supervision_json (totals : Engine.Supervisor.totals)
-    (stats : Engine.Pool.stats) =
-  Engine.Jsonx.Obj
-    [
-      ("supervised", Engine.Jsonx.Int totals.Engine.Supervisor.supervised);
-      ("retried", Int totals.Engine.Supervisor.retried);
-      ("recovered", Int totals.Engine.Supervisor.recovered);
-      ("fell_back", Int totals.Engine.Supervisor.fell_back);
-      ("quarantined", Int totals.Engine.Supervisor.quarantined);
-      ("timeouts", Int totals.Engine.Supervisor.timeouts);
-      ("crashes", Int totals.Engine.Supervisor.crashes);
-      ("worker_respawns", Int stats.Engine.Pool.respawns);
-      ("workers_lost", Int stats.Engine.Pool.lost_workers);
-    ]
-
-let engine_chaos_json = function
-  | None -> Engine.Jsonx.Null
-  | Some ch ->
-      Engine.Jsonx.Obj
-        (("seed", Engine.Jsonx.Int (Engine.Engine_chaos.seed ch))
-         :: ("injected_total", Int (Engine.Engine_chaos.injected_total ch))
-         :: List.map
-              (fun (k, n) ->
-                (Fault.Plan.engine_kind_to_string k, Engine.Jsonx.Int n))
-              (Engine.Engine_chaos.injected ch))
-
-let overrides_json (plan : Engine.Plan.t) =
-  Engine.Jsonx.Obj
-    [
-      ("enabled", Engine.Jsonx.Bool plan.Engine.Plan.overrides);
-      ( "stubbed_calls_total",
-        Int
-          (List.fold_left
-             (fun n (_, c) -> n + c)
-             0 plan.Engine.Plan.override_counts) );
-      ( "per_function",
-        List
-          (List.map
-             (fun (fn, c) ->
-               Engine.Jsonx.Obj [ ("fn", Engine.Jsonx.Str fn); ("stubs", Int c) ])
-             plan.Engine.Plan.override_counts) );
-    ]
-
-let summary_json ~failures ~jobs ~cache_enabled ~sup_totals ~stats
-    ~cache_write_failures ~engine_chaos ~model_check ~plan execs =
-  let hits = count_cache execs Engine.Pool.Hit in
-  let misses = count_cache execs Engine.Pool.Miss in
-  let t, p, s, f =
-    Engine.Obligation.case_totals
-      (List.map (fun (e : Engine.Pool.exec) -> e.outcome) execs)
-  in
-  Engine.Jsonx.Obj
-    [
-      ("verdict", Str (if failures = 0 then "pass" else "fail"));
-      ("failures", Int failures);
-      ("jobs", Int jobs);
-      ("obligations", Int (List.length execs));
-      ("executed", Int (List.length execs - hits));
-      ("cache_hits", Int hits);
-      ("cache_misses", Int misses);
-      ("cache", Str (if cache_enabled then "enabled" else "disabled"));
-      ("cache_write_failures", Int cache_write_failures);
-      ("supervision", supervision_json sup_totals stats);
-      ("engine_chaos", engine_chaos_json engine_chaos);
-      ("model_check", model_check_json model_check execs);
-      ("overrides", overrides_json plan);
-      ("elapsed_s", Float (Engine.Pool.wall_of execs));
-      ( "report_totals",
-        Obj [ ("cases", Int t); ("passed", Int p); ("skipped", Int s); ("failed", Int f) ]
-      );
-      (* every phase, zero-obligation ones included: a jq gate keyed on
-         a phase must find its counts (as zeros), never a missing entry
-         that lets the gate vacuously pass *)
-      ("phases", List (List.map (phase_summary execs) Engine.Plan.phases));
-      ( "workers",
-        List
-          (List.map
-             (fun (w, busy, n) ->
-               Engine.Jsonx.Obj
-                 [ ("worker", Int w); ("busy_s", Float busy); ("obligations", Int n) ])
-             (Engine.Pool.worker_stats execs)) );
-    ]
-
-(* Supervision detail appears in an obligation's trace line only when
-   something happened (retries, faults, a fallback, quarantine): clean
-   runs keep the historical line shape. *)
-let trail_fields (trail : Engine.Supervisor.trail) =
-  if not (Engine.Supervisor.eventful trail) then []
-  else
-    [
-      ( "resolution",
-        Engine.Jsonx.Str
-          (Engine.Supervisor.resolution_to_string trail.Engine.Supervisor.resolution) );
-      ( "attempts",
-        Engine.Jsonx.List
-          (List.map
-             (fun (a : Engine.Supervisor.attempt) ->
-               Engine.Jsonx.Obj
-                 [
-                   ("n", Engine.Jsonx.Int a.Engine.Supervisor.n);
-                   ("status", Str (Engine.Supervisor.status_to_string a.Engine.Supervisor.status));
-                   ( "injected",
-                     match a.Engine.Supervisor.injected with
-                     | Some k -> Str (Fault.Plan.engine_kind_to_string k)
-                     | None -> Null );
-                   ("backoff_s", Float a.Engine.Supervisor.backoff);
-                 ])
-             trail.Engine.Supervisor.attempts) );
-    ]
-
-let trace_json ~cache execs =
-  let exec_lines =
-    List.map
-      (fun (e : Engine.Pool.exec) ->
-        Engine.Jsonx.Obj
-          ([
-             ("id", Engine.Jsonx.Str e.obligation.Engine.Obligation.id);
-             ("phase", Str e.obligation.Engine.Obligation.phase);
-             ("cache", Str (Engine.Pool.cache_status_to_string e.cache));
-             ("worker", Int e.worker);
-             ("started_s", Float e.started);
-             ("finished_s", Float e.finished);
-             ("duration_s", Float (e.finished -. e.started));
-             ("failures", Int (Engine.Obligation.failure_count e.outcome));
-           ]
-          @ trail_fields e.trail))
-      execs
-  in
-  let failure_lines =
-    match cache with
-    | None -> []
-    | Some c ->
-        List.map
-          (fun (op, msg) ->
-            Engine.Jsonx.Obj
-              [
-                ("event", Engine.Jsonx.Str "cache-write-failure");
-                ("op", Str op);
-                ("error", Str msg);
-              ])
-          (Engine.Cache.write_failures c)
-  in
-  exec_lines @ failure_lines
+let run_client ~socket ~scrub_summary ~json_out (req : Serve.Driver.request) =
+  let module Jsonx = Engine.Jsonx in
+  match Serve.Client.request_json ~socket (Serve.Driver.json_of_request req) with
+  | Error msg ->
+      Format.eprintf "hyperenclave-verify: %s@." msg;
+      2
+  | Ok resp -> (
+      match Jsonx.member "ok" resp with
+      | Some (Jsonx.Bool true) ->
+          Option.iter print_string
+            (Option.bind (Jsonx.member "stdout" resp) Jsonx.to_string_opt);
+          flush stdout;
+          Option.iter
+            (fun path ->
+              match Jsonx.member "summary" resp with
+              | Some summary ->
+                  let summary =
+                    if scrub_summary then Serve.Summary.scrub summary else summary
+                  in
+                  Jsonx.write_file path (Jsonx.to_multiline_string summary)
+              | None -> ())
+            json_out;
+          Option.value ~default:1
+            (Option.bind (Jsonx.member "status" resp) Jsonx.to_int_opt)
+      | _ ->
+          let err =
+            Option.value ~default:"malformed response"
+              (Option.bind (Jsonx.member "error" resp) Jsonx.to_string_opt)
+          in
+          Format.eprintf "hyperenclave-verify: daemon error: %s@." err;
+          2)
 
 (* ------------------------------------------------------------------ *)
 
 let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
     chaos_traces faults_spec buggy_tlb lints timeout_ms retries
-    engine_chaos_seed engine_faults_spec mc_depth mc_geometry mc_por overrides =
+    engine_chaos_seed engine_faults_spec mc_depth mc_geometry mc_por overrides
+    serve_socket client_socket fleet batch_window_ms scrub_summary =
   match
     if engine_chaos_seed = None then Ok Fault.Plan.all_engine_kinds
     else Fault.Plan.engine_kinds_of_string engine_faults_spec
@@ -646,6 +165,42 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
       Format.eprintf "hyperenclave-verify: bad --engine-faults: empty kind list@.";
       2
   | Ok engine_kinds ->
+  match serve_socket with
+  | Some socket ->
+      run_serve ~socket ~fleet ~batch_window_ms ~cache_dir ~jobs ~retries
+        ~timeout_ms
+  | None ->
+  match client_socket with
+  | Some socket ->
+      if chaos || engine_chaos_seed <> None then begin
+        Format.eprintf
+          "hyperenclave-verify: --chaos / --engine-chaos are not served over \
+           the wire (run them one-shot)@.";
+        2
+      end
+      else
+        let req =
+          {
+            Serve.Driver.geometry;
+            seed;
+            quick;
+            lints;
+            overrides;
+            mc =
+              Option.map
+                (fun depth ->
+                  {
+                    Serve.Driver.mc_depth = max 1 depth;
+                    mc_por;
+                    mc_geometry;
+                    mc_buggy_tlb = buggy_tlb;
+                  })
+                mc_depth;
+            source_digest = None;
+          }
+        in
+        run_client ~socket ~scrub_summary ~json_out req
+  | None ->
   let geom =
     match geometry with
     | "x86_64" -> Hyperenclave.Geometry.x86_64
@@ -653,19 +208,10 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
   in
   let layout = Hyperenclave.Layout.default geom in
   let failures = ref 0 in
+  let ppf = Format.std_formatter in
 
-  phase_header "1. mirlightgen (Rustlite -> MIRlight)";
-  let out = Hyperenclave.Layers.compiled layout in
-  Format.printf "  functions: %d, source lines: %d, mirlight lines: %d@."
-    (List.length out.Rustlite.Pipeline.function_names)
-    out.Rustlite.Pipeline.source_lines out.Rustlite.Pipeline.mir_lines;
-
-  phase_header "2. layer stack";
-  let issues = Hyperenclave.Layers.stratification_ok layout in
-  Format.printf "  %d layers, stratification issues: %d@."
-    Hyperenclave.Layers.layer_count (List.length issues);
-  List.iter (fun i -> Format.printf "  %a@." Mirverif.Layer.pp_stratification_issue i) issues;
-  if issues <> [] then incr failures;
+  (* phases 1-2 *)
+  Serve.Render.prelude ppf ~failures layout;
 
   (* phases 3-8: build the obligation DAG and hand it to the pool *)
   let security = geometry <> "x86_64" in
@@ -675,27 +221,16 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
         (* the checker's own small geometry: exhaustive exploration
            needs an enumerable state space regardless of the geometry
            the proof phases run on *)
-        let mc_geom =
-          match mc_geometry with
-          | "tiny3" -> (
-              match
-                Hyperenclave.Geometry.make ~levels:3 ~index_bits:2 ~fb_present:0
-                  ~fb_write:1 ~fb_user:2 ~fb_huge:3
-              with
-              | Ok g -> g
-              | Error _ -> Hyperenclave.Geometry.tiny)
-          | _ -> Hyperenclave.Geometry.tiny
-        in
         {
           Engine.Plan.mc_depth = max 1 depth;
           mc_por;
           mc_flush = not buggy_tlb;
-          mc_layout = Hyperenclave.Layout.default mc_geom;
+          mc_layout = Serve.Driver.mc_layout_of_geometry mc_geometry;
         })
       mc_depth
   in
-  let plan =
-    Engine.Plan.build ~quick ~security ~lints ?model_check ~overrides ~seed
+  let plan, plan_cache_hit, plan_build_s =
+    Engine.Plan.build_memo ~quick ~security ~lints ?model_check ~overrides ~seed
       layout
   in
   let cache = Option.map (fun dir -> Engine.Cache.create ~dir) cache_dir in
@@ -723,7 +258,7 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
     | Some ch -> Engine.Clock.with_source (Engine.Engine_chaos.skewed_source ch) run_pool
     | None -> run_pool ()
   in
-  render_engine_results ~failures ~security execs;
+  Serve.Render.engine_results ppf ~failures ~security execs;
 
   if chaos then begin
     phase_header "10. chaos (fault injection, transactionality, shrinking)";
@@ -735,13 +270,12 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
         ~buggy_tlb layout
   end;
 
-  Option.iter (fun req -> render_model_check ~failures req execs) model_check;
+  Option.iter (fun req -> Serve.Render.model_check ppf ~failures req execs) model_check;
 
-  Format.printf "@.%s@."
-    (if !failures = 0 then "VERIFICATION PASS: all checks succeeded"
-     else Printf.sprintf "VERIFICATION FAILED: %d phase(s) reported failures" !failures);
+  Serve.Render.verdict ppf !failures;
 
   (* scheduling metadata: never on stdout, so runs diff clean *)
+  let count_cache = Serve.Summary.count_cache in
   Format.eprintf "engine: %d obligations, jobs=%d, cache %s, %d hits, %d misses, %.3fs@."
     (List.length execs) jobs
     (if cache = None then "off" else "on")
@@ -781,17 +315,22 @@ let run geometry seed quick jobs cache_dir json_out trace_out lint_json chaos
     engine_chaos;
   Option.iter
     (fun path ->
-      Engine.Jsonx.write_file path
-        (Engine.Jsonx.to_multiline_string
-           (summary_json ~failures:!failures ~jobs ~cache_enabled:(cache <> None)
-              ~sup_totals ~stats ~cache_write_failures ~engine_chaos ~model_check
-              ~plan execs)))
+      let summary =
+        Serve.Summary.summary_json ~failures:!failures ~jobs
+          ~cache_enabled:(cache <> None) ~sup_totals ~stats ~cache_write_failures
+          ~engine_chaos ~model_check ~plan ~plan_build_s ~plan_cache_hit execs
+      in
+      let summary = if scrub_summary then Serve.Summary.scrub summary else summary in
+      Engine.Jsonx.write_file path (Engine.Jsonx.to_multiline_string summary))
     json_out;
-  Option.iter (fun path -> Engine.Jsonx.write_lines path (trace_json ~cache execs)) trace_out;
+  Option.iter
+    (fun path -> Engine.Jsonx.write_lines path (Serve.Summary.trace_json ~cache execs))
+    trace_out;
   Option.iter
     (fun path ->
       Engine.Jsonx.write_file path
-        (Engine.Jsonx.to_multiline_string (lint_json_of (lint_findings execs))))
+        (Engine.Jsonx.to_multiline_string
+           (Serve.Summary.lint_json_of (Serve.Summary.lint_findings execs))))
     lint_json;
   if !failures = 0 then 0 else 1
 
@@ -1003,6 +542,57 @@ let overrides =
                  fingerprints — the pre-composition engine, byte-for-byte." );
         ])
 
+let serve_socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"SOCKET"
+        ~doc:
+          "Run as a long-lived verification daemon on a Unix socket: a \
+           dispatcher in front of --fleet forked worker processes with \
+           resident plan memos, admission batching (--batch-window-ms) and a \
+           shared --cache directory.  Submit requests with --client.")
+
+let client_socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "client" ] ~docv:"SOCKET"
+        ~doc:
+          "Submit one verification request — built from the same flags a \
+           local run would use — to a daemon started with --serve, print the \
+           response exactly like a local run, and exit with its verdict.")
+
+let fleet =
+  Arg.(
+    value & opt int 2
+    & info [ "fleet" ] ~docv:"N"
+        ~doc:
+          "Worker processes for --serve (each with its own OCaml runtime and \
+           resident memos; 0 = serve in-process).  Workers share the --cache \
+           directory: a proof computed by one is a warm hit for all.")
+
+let batch_window_ms =
+  Arg.(
+    value & opt float 2.0
+    & info [ "batch-window-ms" ] ~docv:"MS"
+        ~doc:
+          "Admission-batching window for --serve: requests arriving within \
+           MS of each other coalesce into one merged DAG submission (up to \
+           32), giving the worker pool real parallelism across requests.")
+
+let scrub_summary =
+  Arg.(
+    value & flag
+    & info [ "scrub-summary" ]
+        ~doc:
+          "Write --json-out through the deterministic projection: drop every \
+           scheduling-dependent field (job counts, cache statistics, wall \
+           clocks, worker utilization), leaving only verification content — \
+           byte-identical for the same request at any job count, fleet size, \
+           cache state or batching window.  CI diffs daemon responses against \
+           one-shot runs through this projection.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hyperenclave-verify"
@@ -1011,6 +601,7 @@ let cmd =
       const run $ geometry $ seed $ quick $ jobs $ cache_dir $ json_out $ trace_out
       $ lint_json $ chaos $ chaos_traces $ faults $ buggy_tlb $ lints $ timeout_ms
       $ retries $ engine_chaos_seed $ engine_faults $ mc_depth $ mc_geometry
-      $ mc_por $ overrides)
+      $ mc_por $ overrides $ serve_socket $ client_socket $ fleet
+      $ batch_window_ms $ scrub_summary)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,6 +22,10 @@ type t = {
   mu : Mutex.t;
   index : (string, Obligation.outcome) Hashtbl.t;  (* from pack files *)
   pending : (string, Obligation.outcome) Hashtbl.t;  (* stashed, not yet flushed *)
+  packs : (string, unit) Hashtbl.t;
+      (* pack basenames already merged into [index] (our own flushes
+         included), so {!refresh} loads only packs other processes
+         wrote since; guarded by mu *)
   mutable failures : (string * string) list;  (* (op, message), newest first; guarded by mu *)
   mutable chaos : Engine_chaos.t option;
 }
@@ -57,10 +61,16 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let load_pack index file =
-  (* a pack that fails to parse can never become valid again (keys
-     inside it encode version and fingerprint), so evict it whole *)
-  let evict () = try Sys.remove file with Sys_error _ -> () in
+(* Read a pack wholesale.  A pack that fails to parse can never become
+   valid again (keys inside it encode version and fingerprint), so it
+   is evicted whole; a pack that vanished between readdir and open —
+   another process evicting concurrently — is a plain miss.  Renames
+   into place are atomic, so any pack we do open is complete. *)
+let read_pack file : (string * Obligation.outcome) array option =
+  let evict () =
+    (try Sys.remove file with Sys_error _ -> ());
+    None
+  in
   match
     let ic = open_in_bin file in
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
@@ -70,9 +80,15 @@ let load_pack index file =
           let (entries : (string * Obligation.outcome) array) = Marshal.from_channel ic in
           Some entries)
   with
-  | Some entries -> Array.iter (fun (k, o) -> Hashtbl.replace index k o) entries
+  | Some entries -> Some entries
   | None -> evict ()
+  | exception Sys_error _ -> None  (* vanished mid-scan: concurrent eviction *)
   | exception _ -> evict ()
+
+let pack_basenames dir =
+  match Sys.readdir dir with
+  | files -> List.filter (fun f -> Filename.check_suffix f ".pack") (Array.to_list files)
+  | exception Sys_error _ -> []
 
 let create ~dir =
   if String.trim dir = "" then
@@ -84,17 +100,50 @@ let create ~dir =
         (Printf.sprintf "Cache.create: cannot create %S (%s: %s)" dir
            (Unix.error_message e) arg));
   let index = Hashtbl.create 256 in
-  Array.iter
+  let packs = Hashtbl.create 16 in
+  List.iter
     (fun f ->
-      if Filename.check_suffix f ".pack" then load_pack index (Filename.concat dir f))
-    (Sys.readdir dir);
-  { dir; mu = Mutex.create (); index; pending = Hashtbl.create 64;
+      match read_pack (Filename.concat dir f) with
+      | Some entries ->
+          Array.iter (fun (k, o) -> Hashtbl.replace index k o) entries;
+          Hashtbl.replace packs f ()
+      | None -> ())
+    (pack_basenames dir);
+  { dir; mu = Mutex.create (); index; pending = Hashtbl.create 64; packs;
     failures = []; chaos = None }
+
+(* Pick up packs flushed by other processes since [create] (or the last
+   refresh): the fleet's warm-sharing path.  Pack reads happen outside
+   the mutex (pure IO on immutable files); only the merge is locked.
+   Returns the number of new packs merged. *)
+let refresh t =
+  Mutex.lock t.mu;
+  let seen = Hashtbl.copy t.packs in
+  Mutex.unlock t.mu;
+  let fresh =
+    List.filter_map
+      (fun f ->
+        if Hashtbl.mem seen f then None
+        else
+          match read_pack (Filename.concat t.dir f) with
+          | Some entries -> Some (f, entries)
+          | None -> None)
+      (pack_basenames t.dir)
+  in
+  Mutex.lock t.mu;
+  List.iter
+    (fun (f, entries) ->
+      Array.iter (fun (k, o) -> Hashtbl.replace t.index k o) entries;
+      Hashtbl.replace t.packs f ())
+    fresh;
+  Mutex.unlock t.mu;
+  List.length fresh
 
 let key (o : Obligation.t) =
   Digest.to_hex
     (Digest.string
-       (String.concat "\x00" [ version; o.Obligation.phase; o.Obligation.id; o.Obligation.fingerprint ]))
+       (String.concat "\x00"
+          [ version; o.Obligation.phase; o.Obligation.cache_id; o.Obligation.fingerprint ]))
 
 let path t k = Filename.concat t.dir (k ^ ".proof")
 
@@ -145,6 +194,34 @@ let stash t (o : Obligation.t) (outcome : Obligation.outcome) =
   Hashtbl.replace t.pending (key o) outcome;
   Mutex.unlock t.mu
 
+(* Serialize pack flushes across processes sharing the directory with
+   an advisory [lockf] on [<dir>/.lock].  Readers never take it — the
+   rename into place is atomic, so a pack is whole or absent from their
+   view — but writers do, so two workers flushing at once cannot
+   interleave their temp-file creation and chaos-teardown windows.  A
+   lock failure (e.g. a filesystem without lockf) degrades to the
+   unlocked-but-still-atomic path rather than losing the flush. *)
+let with_flush_lock t f =
+  match
+    Unix.openfile (Filename.concat t.dir ".lock")
+      [ Unix.O_CREAT; Unix.O_WRONLY; Unix.O_CLOEXEC ] 0o644
+  with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let locked =
+            match Unix.lockf fd Unix.F_LOCK 0 with
+            | () -> true
+            | exception Unix.Unix_error _ -> false
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              if locked then
+                try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+            f)
+
 let flush t =
   Mutex.lock t.mu;
   Fun.protect
@@ -155,19 +232,21 @@ let flush t =
           Array.of_seq (Seq.map (fun (k, o) -> (k, o)) (Hashtbl.to_seq t.pending))
         in
         (try
-           (* write-then-rename under a per-run unique name: concurrent
-              runs each produce their own pack, readers see whole files *)
-           let tmp = Filename.temp_file ~temp_dir:t.dir "pack-" ".tmp" in
-           let oc = open_out_bin tmp in
-           Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-               output_string oc magic;
-               Marshal.to_channel oc entries []);
-           let pack =
-             Filename.concat t.dir
-               (Filename.chop_suffix (Filename.basename tmp) ".tmp" ^ ".pack")
-           in
-           Sys.rename tmp pack;
-           Option.iter (fun ch -> Engine_chaos.tear_pack ch ~path:pack) t.chaos
+           with_flush_lock t (fun () ->
+               (* write-then-rename under a per-run unique name: concurrent
+                  runs each produce their own pack, readers see whole files *)
+               let tmp = Filename.temp_file ~temp_dir:t.dir "pack-" ".tmp" in
+               let oc = open_out_bin tmp in
+               Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+                   output_string oc magic;
+                   Marshal.to_channel oc entries []);
+               let pack_base =
+                 Filename.chop_suffix (Filename.basename tmp) ".tmp" ^ ".pack"
+               in
+               let pack = Filename.concat t.dir pack_base in
+               Sys.rename tmp pack;
+               Hashtbl.replace t.packs pack_base ();
+               Option.iter (fun ch -> Engine_chaos.tear_pack ch ~path:pack) t.chaos)
          with e when not (fatal e) -> record_failure_locked t "flush" e);
         Array.iter (fun (k, o) -> Hashtbl.replace t.index k o) entries;
         Hashtbl.reset t.pending

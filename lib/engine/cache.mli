@@ -37,7 +37,17 @@ val create : dir:string -> t
     readable message when [dir] is empty or cannot be created. *)
 
 val key : Obligation.t -> string
-(** Hex digest naming the obligation's cache entry. *)
+(** Hex digest naming the obligation's cache entry — computed over
+    (engine version, phase, [cache_id], fingerprint), so batch-re-id'd
+    obligations (serve) share entries with their one-shot twins. *)
+
+val refresh : t -> int
+(** Merge packs that appeared in the directory since {!create} (or the
+    last refresh) into the index — the fleet's warm-sharing path: a
+    proof flushed by one worker process becomes a hit for all.  Safe
+    against packs appearing or being evicted mid-scan (renames are
+    atomic; a vanished pack is a miss).  Returns the number of new
+    packs merged. *)
 
 val find : t -> Obligation.t -> Obligation.outcome option
 (** Pending buffer, then pack index, then legacy per-entry file —
@@ -52,7 +62,9 @@ val stash : t -> Obligation.t -> Obligation.outcome -> unit
 val flush : t -> unit
 (** Write all stashed outcomes as one new pack file and merge them into
     the index.  A no-op when nothing is pending.  [Pool.run] calls this
-    once per run. *)
+    once per run.  The pack write holds an advisory [lockf] on
+    [<dir>/.lock], serializing flushes across processes sharing the
+    directory; readers never take the lock (renames are atomic). *)
 
 val store : t -> Obligation.t -> Obligation.outcome -> unit
 (** Legacy write-through path: one [<key>.proof] file per entry. *)

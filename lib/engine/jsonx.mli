@@ -1,10 +1,10 @@
-(** Minimal JSON emission (no external dependency).
+(** Minimal JSON emission and parsing (no external dependency).
 
     The engine's observability outputs — the per-obligation JSONL trace
     and the machine-readable run summary — are plain JSON consumed by
-    the bench harness and the CI gate.  Emission only; nothing in the
-    engine parses JSON back (the proof cache uses [Marshal] keyed by a
-    content digest instead). *)
+    the bench harness and the CI gate.  The serve wire protocol
+    (lib/serve) additionally reads JSON back with {!parse}.  (The proof
+    cache still uses [Marshal] keyed by a content digest instead.) *)
 
 type t =
   | Null
@@ -21,6 +21,21 @@ val to_string : t -> string
 val to_multiline_string : t -> string
 (** Top-level object with one field per line (scalars) and one list
     element per line — greppable by the CI shell gate. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON value spanning the whole string (trailing
+    content is an error).  Numbers without a fraction or exponent parse
+    as [Int] (falling back to [Float] on overflow); [\uXXXX] escapes —
+    surrogate pairs included — decode to UTF-8 bytes.  Never raises:
+    malformed input yields [Error] with the byte offset. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on a missing field or a non-object. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option
 
 val write_file : string -> string -> unit
 val write_lines : string -> t list -> unit

@@ -6,6 +6,7 @@ type outcome = {
 
 type t = {
   id : string;
+  cache_id : string;
   phase : string;
   deps : string list;
   fingerprint : string;
@@ -14,8 +15,9 @@ type t = {
   on_outcome : (outcome -> unit) option;
 }
 
-let v ~id ~phase ?(deps = []) ~fingerprint ?fallback ?on_outcome run =
-  { id; phase; deps; fingerprint; run; fallback; on_outcome }
+let v ~id ?cache_id ~phase ?(deps = []) ~fingerprint ?fallback ?on_outcome run =
+  let cache_id = Option.value cache_id ~default:id in
+  { id; cache_id; phase; deps; fingerprint; run; fallback; on_outcome }
 
 let outcome ?(log = "") ?(findings = []) reports = { reports; log; findings }
 

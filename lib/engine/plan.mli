@@ -67,6 +67,28 @@ val build :
     [~lints] selects the static-analysis lints (default: the whole
     catalogue). *)
 
+val build_memo :
+  ?quick:bool ->
+  ?security:bool ->
+  ?lints:Analysis.Lint.kind list ->
+  ?model_check:mc_request ->
+  ?overrides:bool ->
+  seed:int ->
+  Hyperenclave.Layout.t ->
+  t * bool * float
+(** Memoized {!build}: [(plan, hit, build_s)].  The key digests every
+    input [build] reads — module source, layout, seed, and all phase
+    switches — so a hit returns the previously built plan ([build_s] =
+    0); a miss builds and records it ([hit = false], [build_s] = the
+    construction wall time).  Reusing a plan across runs is sound: the
+    DAG is immutable and the override hooks are idempotent.  The memo
+    is process-global, mutex-guarded, and FIFO-bounded (32 entries) —
+    the daemon's resident warm path, but equally usable by embedders of
+    the engine API. *)
+
+val reset_memo : unit -> unit
+(** Drop every memoized plan (tests). *)
+
 val analysis_obligations :
   ?lints:Analysis.Lint.kind list ->
   Hyperenclave.Layout.t ->

@@ -1,0 +1,62 @@
+(* Minimal blocking client for the serve protocol: one connection, one
+   request frame, one response frame.  Used by the CLI's --client mode,
+   the CI serve gate, and the tests; the throughput bench pipelines
+   frames itself over raw {!Protocol} calls. *)
+
+module Jsonx = Engine.Jsonx
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+
+let request ~socket payload : (string, string) result =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match
+            Protocol.write_frame fd payload;
+            Protocol.read_frame fd
+          with
+          | Ok (Some response) -> Ok response
+          | Ok None -> Error "daemon closed the connection without responding"
+          | Error msg -> Error msg
+          | exception Protocol.Closed -> Error "connection closed mid-frame"
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let request_json ~socket j : (Jsonx.t, string) result =
+  match request ~socket (Jsonx.to_string j) with
+  | Error _ as e -> e
+  | Ok payload -> (
+      match Jsonx.parse payload with
+      | Ok j -> Ok j
+      | Error msg -> Error ("bad response: " ^ msg))
+
+let ping ~socket =
+  match request_json ~socket (Jsonx.Obj [ ("op", Jsonx.Str "ping") ]) with
+  | Ok j -> Jsonx.member "ok" j = Some (Jsonx.Bool true)
+  | Error _ -> false
+
+let shutdown ~socket =
+  match request_json ~socket (Jsonx.Obj [ ("op", Jsonx.Str "shutdown") ]) with
+  | Ok _ -> Ok ()
+  | Error _ as e -> Result.map (fun _ -> ()) e
+
+(* Block until the daemon answers pings (bounded), for scripts that
+   just forked it. *)
+let wait_ready ?(attempts = 100) ?(interval_s = 0.05) ~socket () =
+  let rec go n =
+    if n = 0 then false
+    else if Sys.file_exists socket && ping ~socket then true
+    else begin
+      Unix.sleepf interval_s;
+      go (n - 1)
+    end
+  in
+  go attempts

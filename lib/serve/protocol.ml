@@ -1,0 +1,151 @@
+(* Length-prefixed JSON frames over a Unix-domain stream socket.
+
+   A frame is a 4-byte big-endian payload length followed by the
+   payload bytes.  The length field is bounded by [max_frame]: a peer
+   announcing more is protocol abuse (or a desynchronized stream) and
+   is rejected before any allocation — the daemon answers with an error
+   response and closes the connection instead of crashing or buffering
+   unboundedly. *)
+
+let max_frame = 8 * 1024 * 1024
+
+exception Closed
+(* peer hung up mid-frame (EOF or EPIPE); connection-level, not fatal
+   to the process *)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking path (clients, fleet workers)                              *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Closed
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let header n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.unsafe_to_string b
+
+let decode_header s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Protocol.frame: %d bytes exceeds max_frame" n);
+  header n ^ payload
+
+let write_frame fd payload =
+  let f = frame payload in
+  write_all fd f 0 (String.length f)
+
+(* [Some s] on a whole read, [None] on EOF at a frame boundary
+   (n = 0 consumed), [Closed] on EOF mid-read. *)
+let read_exactly fd n =
+  if n = 0 then Some ""
+  else begin
+    let b = Bytes.create n in
+    let rec go off =
+      if off = n then Some (Bytes.unsafe_to_string b)
+      else
+        match Unix.read fd b off (n - off) with
+        | 0 -> if off = 0 then None else raise Closed
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+            if off = 0 then None else raise Closed
+    in
+    go 0
+  end
+
+let read_frame fd : (string option, string) result =
+  match read_exactly fd 4 with
+  | None -> Ok None
+  | Some hdr ->
+      let n = decode_header hdr 0 in
+      if n > max_frame then
+        Error (Printf.sprintf "oversized frame: %d bytes (max %d)" n max_frame)
+      else (
+        match read_exactly fd n with
+        | Some payload -> Ok (Some payload)
+        | None -> raise Closed)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental path (the server's select loop)                         *)
+
+module Reader = struct
+  (* Buffered deframer: [feed] appends raw bytes as they arrive,
+     [next] yields complete frames.  Torn reads — a header split
+     across two reads, a payload arriving byte by byte — are the
+     normal case here, not an error. *)
+  type t = { mutable buf : string }
+
+  let create () = { buf = "" }
+  let feed t s = t.buf <- t.buf ^ s
+  let buffered t = String.length t.buf
+
+  let next t : [ `Frame of string | `More | `Oversized of int ] =
+    let len = String.length t.buf in
+    if len < 4 then `More
+    else begin
+      let n = decode_header t.buf 0 in
+      if n > max_frame then `Oversized n
+      else if len < 4 + n then `More
+      else begin
+        let payload = String.sub t.buf 4 n in
+        t.buf <- String.sub t.buf (4 + n) (len - 4 - n);
+        `Frame payload
+      end
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Tagged-item packing (dispatcher <-> fleet worker)                   *)
+
+(* The dispatcher forwards client request payloads to workers verbatim
+   — no re-serialization — so a worker frame carries a sequence of
+   (tag, payload) items, each length-prefixed: the admission batch on
+   the way in, the response set on the way out. *)
+
+let pack_items items =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (tag, payload) ->
+      Buffer.add_string buf (header (String.length tag));
+      Buffer.add_string buf tag;
+      Buffer.add_string buf (header (String.length payload));
+      Buffer.add_string buf payload)
+    items;
+  Buffer.contents buf
+
+let unpack_items s : ((string * string) list, string) result =
+  let len = String.length s in
+  let rec go off acc =
+    if off = len then Ok (List.rev acc)
+    else if off + 4 > len then Error "truncated item tag length"
+    else begin
+      let tn = decode_header s off in
+      let off = off + 4 in
+      if tn < 0 || off + tn + 4 > len then Error "truncated item tag"
+      else begin
+        let tag = String.sub s off tn in
+        let off = off + tn in
+        let pn = decode_header s off in
+        let off = off + 4 in
+        if pn < 0 || off + pn > len then Error "truncated item payload"
+        else go (off + pn) ((tag, String.sub s off pn) :: acc)
+      end
+    end
+  in
+  go 0 []

@@ -1,0 +1,414 @@
+(* The --serve daemon: a Unix-socket dispatcher in front of a fleet of
+   forked verification workers.
+
+   Topology:
+
+     clients ──frames──▶ dispatcher (select loop, no verification)
+                            │  admission batch: up to [batch_max]
+                            │  pending requests, or whatever arrived
+                            │  within [batch_window_ms]
+                            ▼
+               worker 0 … worker N-1   (forked processes, own OCaml
+                            │           runtime and GC, resident
+                            │           session memos)
+                            ▼
+               shared --cache directory (pack files, advisory-locked
+               flushes; Cache.refresh before each batch)
+
+   The dispatcher owns every client connection and never blocks on
+   verification, so a worker death cannot drop a response: the victim's
+   in-flight batch is re-queued at the front and a replacement worker
+   is forked (the process-level analogue of the pool's worker-respawn
+   supervision).  Request payloads cross the dispatcher verbatim
+   ({!Protocol.pack_items}); only the tiny control envelope (op field)
+   is parsed here.
+
+   [fleet = 0] serves in-process instead — no forks, the dispatcher
+   itself runs the driver between select rounds.  Simpler for tests;
+   same protocol, byte-identical responses. *)
+
+module Jsonx = Engine.Jsonx
+
+type config = {
+  socket : string;
+  fleet : int;  (* worker processes; 0 = in-process *)
+  batch_window_ms : float;
+  batch_max : int;
+  cache_dir : string option;
+  jobs : int;  (* pool domains per worker *)
+  retries : int;
+  timeout_ms : int;
+  prewarm : bool;  (* build the default-geometry plan at worker start *)
+}
+
+let default_config ~socket =
+  {
+    socket;
+    fleet = 2;
+    batch_window_ms = 2.0;
+    batch_max = 32;
+    cache_dir = None;
+    jobs = 1;
+    retries = 2;
+    timeout_ms = 0;
+    prewarm = true;
+  }
+
+let log fmt = Format.eprintf ("serve: " ^^ fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Worker process                                                      *)
+
+let make_session cfg =
+  Driver.session ?cache_dir:cfg.cache_dir ~jobs:cfg.jobs ~retries:cfg.retries
+    ~timeout_ms:cfg.timeout_ms ()
+
+let prewarm_session cfg =
+  if cfg.prewarm then
+    ignore
+      (Engine.Plan.build_memo ~seed:Driver.default_request.Driver.seed
+         (Driver.layout_of_geometry Driver.default_request.Driver.geometry))
+
+(* Blocking loop over the dispatcher socketpair: one frame in = one
+   admission batch, one frame out = its responses.  EOF = dispatcher
+   shut us down.  A driver exception turns into per-item error
+   responses — the worker survives to take the next batch. *)
+let worker_loop cfg fd =
+  let session = make_session cfg in
+  prewarm_session cfg;
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | Ok None -> ()
+    | Error _ -> ()
+    | exception Protocol.Closed -> ()
+    | Ok (Some payload) -> (
+        match Protocol.unpack_items payload with
+        | Error _ -> ()
+        | Ok items ->
+            let responses =
+              try Driver.handle_batch session items
+              with e ->
+                let msg = "worker error: " ^ Printexc.to_string e in
+                List.map (fun (tag, _) -> (tag, Driver.error_response msg)) items
+            in
+            (match Protocol.write_frame fd (Protocol.pack_items responses) with
+            | () -> loop ()
+            | exception Protocol.Closed -> ()))
+  in
+  loop ()
+
+let fork_worker cfg ~index ~other_fds ~listen_fd =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      (* child: drop every dispatcher-side fd, restore default signal
+         dispositions, serve batches until EOF.  [_exit] skips at_exit
+         handlers inherited from the parent binary. *)
+      Unix.close parent_fd;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) other_fds;
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      Sys.set_signal Sys.sigint Sys.Signal_default;
+      (try worker_loop cfg child_fd with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close child_fd;
+      log "fleet worker %d started (pid %d)" index pid;
+      (pid, parent_fd)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                          *)
+
+type worker = {
+  w_index : int;
+  mutable w_pid : int;
+  mutable w_fd : Unix.file_descr;
+  mutable w_reader : Protocol.Reader.t;
+  mutable w_inflight : (string * string) list;  (* dispatched batch, [] = idle *)
+}
+
+type client = { c_reader : Protocol.Reader.t }
+
+type state = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  clients : (Unix.file_descr, client) Hashtbl.t;
+  workers : worker array;  (* empty when fleet = 0 *)
+  inproc : Driver.session option;  (* fleet = 0 *)
+  mutable tag_owner : (string * Unix.file_descr) list;  (* tag -> client *)
+  mutable next_tag : int;
+  pending : (string * string) Queue.t;  (* (tag, payload) admission queue *)
+  mutable pending_since : float;  (* enqueue time of the oldest pending item *)
+  mutable stop : bool;
+}
+
+let owner_of st tag = List.assoc_opt tag st.tag_owner
+let forget_tag st tag = st.tag_owner <- List.remove_assoc tag st.tag_owner
+
+let forget_client st fd =
+  (match Hashtbl.find_opt st.clients fd with
+  | Some _ ->
+      Hashtbl.remove st.clients fd;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  st.tag_owner <- List.filter (fun (_, c) -> c <> fd) st.tag_owner
+
+let send_to_client st fd payload =
+  match Protocol.write_frame fd payload with
+  | () -> ()
+  | exception Protocol.Closed -> forget_client st fd
+  | exception Unix.Unix_error _ -> forget_client st fd
+
+(* Control envelope: the dispatcher parses each client frame only far
+   enough to route it.  Verify payloads are enqueued verbatim; ping and
+   shutdown are answered here; a frame that is not JSON at all is
+   answered with an error response (the connection survives — framing
+   is still intact). *)
+let admit st fd payload =
+  match Jsonx.parse payload with
+  | Error msg -> send_to_client st fd (Driver.error_response ("bad request: " ^ msg))
+  | Ok j -> (
+      match Option.bind (Jsonx.member "op" j) Jsonx.to_string_opt with
+      | Some "ping" ->
+          send_to_client st fd
+            (Jsonx.to_string
+               (Jsonx.Obj
+                  [
+                    ("ok", Jsonx.Bool true);
+                    ("op", Str "pong");
+                    ("fleet", Int (Array.length st.workers));
+                  ]))
+      | Some "shutdown" ->
+          st.stop <- true;
+          send_to_client st fd
+            (Jsonx.to_string
+               (Jsonx.Obj [ ("ok", Jsonx.Bool true); ("stopping", Bool true) ]))
+      | Some "verify" | None ->
+          let tag = string_of_int st.next_tag in
+          st.next_tag <- st.next_tag + 1;
+          st.tag_owner <- (tag, fd) :: st.tag_owner;
+          if Queue.is_empty st.pending then st.pending_since <- Unix.gettimeofday ();
+          Queue.add (tag, payload) st.pending
+      | Some op ->
+          send_to_client st fd (Driver.error_response ("unknown op " ^ op)))
+
+let deliver st (tag, response) =
+  match owner_of st tag with
+  | None -> ()  (* client went away; drop the payload *)
+  | Some fd ->
+      forget_tag st tag;
+      send_to_client st fd response
+
+let take_batch st =
+  let n = min st.cfg.batch_max (Queue.length st.pending) in
+  let items = List.init n (fun _ -> Queue.take st.pending) in
+  if not (Queue.is_empty st.pending) then st.pending_since <- Unix.gettimeofday ();
+  items
+
+let idle_worker st =
+  let found = ref None in
+  Array.iter
+    (fun w -> if !found = None && w.w_inflight = [] then found := Some w)
+    st.workers;
+  !found
+
+let respawn st w =
+  (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
+  log "fleet worker %d (pid %d) died; respawning" w.w_index w.w_pid;
+  (* the in-flight batch is re-queued at the front: a worker death
+     never drops a response *)
+  List.iter (fun item -> Queue.push item st.pending) (List.rev w.w_inflight);
+  if not (Queue.is_empty st.pending) then st.pending_since <- Unix.gettimeofday ();
+  w.w_inflight <- [];
+  let other_fds =
+    Array.to_list st.workers
+    |> List.filter_map (fun o -> if o.w_index = w.w_index then None else Some o.w_fd)
+  in
+  let pid, fd = fork_worker st.cfg ~index:w.w_index ~other_fds ~listen_fd:st.listen_fd in
+  w.w_pid <- pid;
+  w.w_fd <- fd;
+  w.w_reader <- Protocol.Reader.create ()
+
+let dispatch_to st w items =
+  w.w_inflight <- items;
+  match Protocol.write_frame w.w_fd (Protocol.pack_items items) with
+  | () -> ()
+  | exception Protocol.Closed -> respawn st w
+  | exception Unix.Unix_error _ -> respawn st w
+
+(* Admission batching: dispatch when a worker is idle and either the
+   batch is full, the oldest pending request has waited out the window,
+   or we are draining for shutdown. *)
+let window_expired st now =
+  Queue.length st.pending >= st.cfg.batch_max
+  || now -. st.pending_since >= st.cfg.batch_window_ms /. 1000.
+  || st.stop
+
+let rec dispatch_ready st now =
+  if not (Queue.is_empty st.pending) && window_expired st now then
+    match idle_worker st with
+    | Some w ->
+        dispatch_to st w (take_batch st);
+        dispatch_ready st now
+    | None -> ()
+
+(* In-process service (fleet = 0): drain the admission queue between
+   select rounds.  Requests that arrive while a batch is being verified
+   pile up and form the next batch — the same coalescing, without the
+   fleet. *)
+let serve_inproc_pending st session =
+  while not (Queue.is_empty st.pending) do
+    let items = take_batch st in
+    List.iter (deliver st) (Driver.handle_batch session items)
+  done
+
+let read_chunk = Bytes.create 65536
+
+let on_client_readable st fd =
+  match Hashtbl.find_opt st.clients fd with
+  | None -> ()
+  | Some c -> (
+      match Unix.read fd read_chunk 0 (Bytes.length read_chunk) with
+      | 0 -> forget_client st fd
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          forget_client st fd
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | n ->
+          Protocol.Reader.feed c.c_reader (Bytes.sub_string read_chunk 0 n);
+          let rec drain () =
+            match Protocol.Reader.next c.c_reader with
+            | `Frame payload ->
+                admit st fd payload;
+                drain ()
+            | `More -> ()
+            | `Oversized bytes ->
+                (* unrecoverable desync: answer, then drop the stream *)
+                send_to_client st fd
+                  (Driver.error_response
+                     (Printf.sprintf "oversized frame: %d bytes (max %d)" bytes
+                        Protocol.max_frame));
+                forget_client st fd
+          in
+          drain ())
+
+let on_worker_readable st w =
+  match Unix.read w.w_fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> respawn st w
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> respawn st w
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | n ->
+      Protocol.Reader.feed w.w_reader (Bytes.sub_string read_chunk 0 n);
+      let rec drain () =
+        match Protocol.Reader.next w.w_reader with
+        | `Frame payload ->
+            (match Protocol.unpack_items payload with
+            | Ok responses ->
+                w.w_inflight <- [];
+                List.iter (deliver st) responses
+            | Error _ -> ());
+            drain ()
+        | `More -> ()
+        | `Oversized _ -> respawn st w
+      in
+      drain ()
+
+let select_timeout st =
+  if st.stop then 0.05
+  else if Queue.is_empty st.pending then 0.5
+  else
+    let age = Unix.gettimeofday () -. st.pending_since in
+    Float.max 0.001 ((st.cfg.batch_window_ms /. 1000.) -. age)
+
+let serve cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if Sys.file_exists cfg.socket then (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen_fd 64;
+  let fleet = max 0 cfg.fleet in
+  (* fork the whole fleet before anything can spawn a Domain: a forked
+     multicore runtime must be single-domain *)
+  let workers =
+    let acc = ref [] in
+    for i = 0 to fleet - 1 do
+      let other_fds = List.map (fun w -> w.w_fd) !acc in
+      let pid, fd = fork_worker cfg ~index:i ~other_fds ~listen_fd in
+      acc :=
+        { w_index = i; w_pid = pid; w_fd = fd;
+          w_reader = Protocol.Reader.create (); w_inflight = [] }
+        :: !acc
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let inproc = if fleet = 0 then Some (make_session cfg) else None in
+  (match inproc with
+  | Some _ -> prewarm_session cfg
+  | None -> ());
+  let st =
+    {
+      cfg;
+      listen_fd;
+      clients = Hashtbl.create 16;
+      workers;
+      inproc;
+      tag_owner = [];
+      next_tag = 0;
+      pending = Queue.create ();
+      pending_since = 0.0;
+      stop = false;
+    }
+  in
+  let stop_signal _ = st.stop <- true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  log "listening on %s (fleet %d, jobs %d, window %.1fms, batch %d, cache %s)"
+    cfg.socket fleet cfg.jobs cfg.batch_window_ms cfg.batch_max
+    (match cfg.cache_dir with Some d -> d | None -> "off");
+  let all_idle () = Array.for_all (fun w -> w.w_inflight = []) st.workers in
+  let running () =
+    not (st.stop && Queue.is_empty st.pending && all_idle ())
+  in
+  while running () do
+    let client_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.clients [] in
+    let worker_fds = Array.to_list (Array.map (fun w -> w.w_fd) st.workers) in
+    let readable =
+      match
+        Unix.select (st.listen_fd :: (client_fds @ worker_fds)) [] []
+          (select_timeout st)
+      with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> []
+    in
+    if List.mem st.listen_fd readable then begin
+      match Unix.accept st.listen_fd with
+      | fd, _ ->
+          Hashtbl.replace st.clients fd { c_reader = Protocol.Reader.create () }
+      | exception Unix.Unix_error _ -> ()
+    end;
+    List.iter
+      (fun fd ->
+        if fd <> st.listen_fd then
+          if Hashtbl.mem st.clients fd then on_client_readable st fd
+          else
+            match Array.find_opt (fun w -> w.w_fd = fd) st.workers with
+            | Some w -> on_worker_readable st w
+            | None -> ())
+      readable;
+    (match st.inproc with
+    | Some session -> serve_inproc_pending st session
+    | None -> dispatch_ready st (Unix.gettimeofday ()));
+    ()
+  done;
+  (* graceful teardown: close the worker pipes (workers see EOF and
+     exit), reap, unlink the socket *)
+  Array.iter
+    (fun w ->
+      (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ())
+    st.workers;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.clients;
+  (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  log "stopped"

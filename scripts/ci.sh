@@ -36,6 +36,15 @@
 # rediscovered with its four-event shrunk witness under --buggy-tlb;
 # the reduction gate requires partial-order reduction to prune >= 30%
 # of interleavings without changing the reachable state set.
+#
+# The serving gate starts a --serve daemon with a 2-process fleet,
+# pushes 50 mixed requests through --client (killing a fleet worker
+# halfway), and requires every response byte-identical to a one-shot
+# run of the same flags, the warm path to re-execute nothing, and the
+# killed worker respawned without a dropped response; the throughput
+# gate holds BENCH_serve.json to >= 1000 warm responses/s from the
+# 4-process fleet, with fleet scaling judged against the cores the
+# machine actually has.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -199,6 +208,77 @@ grep -q 'minimal witness: 4 events' "$workdir/mc-buggy.out" || {
   echo "ci: stale-TLB counterexample did not shrink to 4 events" >&2; exit 1; }
 echo "ci: model-check gate ok (deterministic, clean seed clean, bug rediscovered)"
 
+# --- serving gate ---------------------------------------------------
+# The --serve daemon must be a drop-in evaluation vector: every
+# response byte-identical to a one-shot run of the same request
+# (stdout verbatim; summaries compared through the deterministic
+# --scrub-summary projection, which both sides write), the warm path
+# must re-execute nothing (the unscrubbed client summary reports
+# executed 0 and zero code-proof re-executions), and a fleet worker
+# killed mid-run must be respawned without dropping or corrupting a
+# single response.
+exe=_build/default/bin/hyperenclave_verify.exe
+serve_args() {
+  case $1 in
+    0) echo "--quick --seed 2024" ;;
+    1) echo "--quick --seed 2024 --lints body" ;;
+    2) echo "--quick --seed 2024 --no-overrides" ;;
+    3) echo "--quick --seed 2024 --model-check 4" ;;
+    4) echo "--quick --geometry x86_64 --lints body" ;;
+  esac
+}
+for c in 0 1 2 3 4; do
+  # shellcheck disable=SC2046
+  "$exe" $(serve_args "$c") --scrub-summary \
+    --json-out "$workdir/serve-ref-$c.json" > "$workdir/serve-ref-$c.out"
+done
+sock="$workdir/serve.sock"
+"$exe" --serve "$sock" --fleet 2 --cache "$workdir/serve-cache" \
+  2> "$workdir/serve.err" &
+serve_pid=$!
+i=0
+while [ "$i" -lt 100 ] && ! [ -S "$sock" ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$sock" ] || { echo "ci: serve daemon did not come up" >&2; exit 1; }
+w0=""
+i=0
+while [ "$i" -lt 50 ]; do
+  c=$((i % 5))
+  # shellcheck disable=SC2046
+  "$exe" --client "$sock" $(serve_args "$c") --scrub-summary \
+    --json-out "$workdir/serve-cli.json" > "$workdir/serve-cli.out"
+  diff "$workdir/serve-ref-$c.out" "$workdir/serve-cli.out" || {
+    echo "ci: daemon stdout differs from one-shot (config $c, request $i)" >&2
+    exit 1; }
+  diff "$workdir/serve-ref-$c.json" "$workdir/serve-cli.json" || {
+    echo "ci: daemon summary differs from one-shot (config $c, request $i)" >&2
+    exit 1; }
+  if [ "$i" -eq 24 ]; then
+    # kill a fleet worker mid-run: the remaining 25 requests must still
+    # come back, byte-identical
+    w0=$(sed -n 's/.*fleet worker 0 started (pid \([0-9]*\)).*/\1/p' \
+      "$workdir/serve.err" | head -1)
+    [ -n "$w0" ] || { echo "ci: no worker pid in daemon log" >&2; exit 1; }
+    kill -9 "$w0"
+  fi
+  i=$((i + 1))
+done
+for c in 0 1 2 3 4; do
+  # shellcheck disable=SC2046
+  "$exe" --client "$sock" $(serve_args "$c") \
+    --json-out "$workdir/serve-warm-$c.json" > /dev/null
+  grep -q '^  "executed": 0,' "$workdir/serve-warm-$c.json" || {
+    echo "ci: daemon warm path re-executed obligations (config $c)" >&2
+    exit 1; }
+done
+grep '"phase": "code-proofs"' "$workdir/serve-warm-0.json" \
+  | grep -q '"executed": 0' || {
+  echo "ci: daemon warm path re-executed code-proof obligations" >&2; exit 1; }
+kill "$serve_pid"
+wait "$serve_pid" 2> /dev/null || true
+grep -q 'respawning' "$workdir/serve.err" || {
+  echo "ci: worker kill did not trigger a respawn" >&2; exit 1; }
+echo "ci: serve gate ok (50 daemon responses byte-identical to one-shot across 5 configs, warm path executed 0, killed worker respawned)"
+
 # scaling benchmarks, uploaded as workflow artifacts
 dune exec bench/engine_bench.exe -- --quick --out BENCH_engine.json > /dev/null
 echo "ci: wrote BENCH_engine.json"
@@ -208,6 +288,35 @@ dune exec bench/supervisor_bench.exe -- --quick --out BENCH_supervisor.json > /d
 echo "ci: wrote BENCH_supervisor.json"
 dune exec bench/mc_bench.exe -- --quick --out BENCH_mc.json > /dev/null
 echo "ci: wrote BENCH_mc.json"
+dune exec bench/serve_bench.exe -- --out BENCH_serve.json > /dev/null
+echo "ci: wrote BENCH_serve.json"
+
+# --- serving throughput gate ----------------------------------------
+# The 4-process fleet must sustain >= 1000 warm responses/s through the
+# full wire path (framing, dispatch, admission batching, L0 replay,
+# response delivery).  Fleet scaling on execute-bound work (distinct
+# never-seen requests) is measured honestly against the cores this
+# machine actually has: below 4 cores, 4 workers cannot multiply
+# wall-clock — the gate then only rejects pathological slowdowns and
+# records the single-core ratio; on >= 4 cores it demands the 2.5x.
+s_cores=$(sed -n 's/.*"cores": \([0-9]*\),.*/\1/p' BENCH_serve.json)
+s_f4rps=$(sed -n 's/.*"fleet": 4,.*"warm_rps": \([0-9.eE+-]*\),.*/\1/p' BENCH_serve.json | head -1)
+s_scale=$(sed -n 's/.*"fleet4_vs_fleet1_distinct_cold": \([0-9.eE+-]*\),.*/\1/p' BENCH_serve.json)
+[ -n "$s_cores" ] && [ -n "$s_f4rps" ] && [ -n "$s_scale" ] || {
+  echo "ci: BENCH_serve.json missing fleet points" >&2; exit 1; }
+awk -v r="$s_f4rps" 'BEGIN { exit !(r >= 1000) }' || {
+  echo "ci: fleet-4 warm throughput ${s_f4rps} req/s below the 1000 req/s bar" >&2
+  exit 1; }
+if [ "$s_cores" -ge 4 ]; then
+  awk -v s="$s_scale" 'BEGIN { exit !(s >= 2.5) }' || {
+    echo "ci: fleet-4 execute-bound scaling ${s_scale}x below 2.5x on $s_cores cores" >&2
+    exit 1; }
+else
+  awk -v s="$s_scale" 'BEGIN { exit !(s >= 0.6) }' || {
+    echo "ci: fleet-4 pathologically slower than fleet-1 (${s_scale}x) even for $s_cores core(s)" >&2
+    exit 1; }
+fi
+echo "ci: serve throughput gate ok (fleet-4 warm ${s_f4rps} req/s, execute-bound f4/f1 ${s_scale}x on ${s_cores} core(s))"
 
 # --- reduction gate -------------------------------------------------
 # Partial-order reduction must prune at least 30% of the bounded
@@ -266,10 +375,11 @@ mcrate=$(sed -n 's/.*"states_per_sec": \([0-9.eE+-]*\),.*/\1/p' BENCH_mc.json)
 bw_wall=$(sed -n 's/.*"borrow": {"wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_analysis.json)
 al_wall=$(sed -n 's/.*"alias": {"wall_s": \([0-9.eE+-]*\),.*/\1/p' BENCH_analysis.json)
 al_exact=$(sed -n 's/.*"exact_footprints": \([0-9]*\),.*/\1/p' BENCH_analysis.json)
-printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s mc_states_per_sec=%s mc_pruning=%s override_speedup=%s borrow_wall_s=%s alias_wall_s=%s alias_exact_footprints=%s\n' \
+printf '%s cold_wall_s=%s warm_speedup=%s jobs2_speedup=%s jobs4_speedup=%s mc_states_per_sec=%s mc_pruning=%s override_speedup=%s borrow_wall_s=%s alias_wall_s=%s alias_exact_footprints=%s serve_warm_rps_fleet4=%s serve_f4_vs_f1_cold=%s serve_cores=%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$cold" "$warm" \
   "$(jobs_speedup 2)" "$(jobs_speedup 4)" "$mcrate" "$pf" "$ov_sp" \
-  "$bw_wall" "$al_wall" "$al_exact" >> BENCH_trajectory.log
+  "$bw_wall" "$al_wall" "$al_exact" \
+  "$s_f4rps" "$s_scale" "$s_cores" >> BENCH_trajectory.log
 echo "ci: appended $(tail -1 BENCH_trajectory.log | cut -d' ' -f2-) to BENCH_trajectory.log"
 
 echo "ci: all green"

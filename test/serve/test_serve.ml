@@ -1,0 +1,592 @@
+(* Tests of the verification service (lib/serve): wire framing
+   round-trips under torn and oversized input, the Jsonx parser the
+   protocol rides on, request decoding and validation, determinism of
+   daemon responses against repeat and batched evaluation (stdout
+   byte-identical, summaries identical through the deterministic
+   projection), the L0 response-replay lifecycle, the plan memo, the
+   cross-process proof-cache sharing path (packs appearing mid-scan,
+   advisory-locked concurrent flushes), and an end-to-end daemon
+   round-trip over a real Unix socket. *)
+
+module Jsonx = Engine.Jsonx
+module Protocol = Serve.Protocol
+module Driver = Serve.Driver
+module Summary = Serve.Summary
+module Server = Serve.Server
+module Client = Serve.Client
+module Obligation = Engine.Obligation
+module Cache = Engine.Cache
+module Plan = Engine.Plan
+module Report = Mirverif.Report
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mirverif-serve-test-%d-%d" (Unix.getpid ()) !n)
+
+let pass_obl ?(phase = "test") ?(deps = []) ?(fingerprint = "fp") id =
+  Obligation.v ~id ~phase ~deps ~fingerprint (fun () ->
+      Obligation.outcome [ Report.add_pass (Report.empty id) ])
+
+(* ------------------------------------------------------------------ *)
+(* Protocol framing                                                    *)
+
+let drain_frames reader =
+  let rec go acc =
+    match Protocol.Reader.next reader with
+    | `Frame p -> go (p :: acc)
+    | `More -> List.rev acc
+    | `Oversized n -> Alcotest.failf "unexpected oversized (%d)" n
+  in
+  go []
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; String.make 255 'a'; String.make 70_000 '\x00'; "{\"op\":\"ping\"}" ] in
+  let wire = String.concat "" (List.map Protocol.frame payloads) in
+  let reader = Protocol.Reader.create () in
+  Protocol.Reader.feed reader wire;
+  Alcotest.(check (list string)) "all frames recovered in order" payloads
+    (drain_frames reader)
+
+let test_frame_torn_feed () =
+  (* one byte at a time: every prefix is a legal torn read *)
+  let payloads = [ "alpha"; ""; "beta{}" ] in
+  let wire = String.concat "" (List.map Protocol.frame payloads) in
+  let reader = Protocol.Reader.create () in
+  let out = ref [] in
+  String.iter
+    (fun c ->
+      Protocol.Reader.feed reader (String.make 1 c);
+      out := !out @ drain_frames reader)
+    wire;
+  Alcotest.(check (list string)) "torn feed reassembles" payloads !out
+
+let test_frame_oversized () =
+  let n = Protocol.max_frame + 1 in
+  let hdr =
+    String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff))
+  in
+  let reader = Protocol.Reader.create () in
+  Protocol.Reader.feed reader hdr;
+  (match Protocol.Reader.next reader with
+  | `Oversized m -> Alcotest.(check int) "announced size" n m
+  | `Frame _ | `More -> Alcotest.fail "oversized header not rejected");
+  match Protocol.frame (String.make 1 'x') with
+  | (_ : string) -> (
+      match Protocol.frame (String.make (Protocol.max_frame + 1) 'x') with
+      | (_ : string) -> Alcotest.fail "frame accepted an oversized payload"
+      | exception Invalid_argument _ -> ())
+
+let test_blocking_read_frame () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Protocol.write_frame a "hello";
+  (match Protocol.read_frame b with
+  | Ok (Some p) -> Alcotest.(check string) "payload" "hello" p
+  | Ok None | Error _ -> Alcotest.fail "expected a frame");
+  (* EOF exactly at a frame boundary is a clean close *)
+  Unix.close a;
+  (match Protocol.read_frame b with
+  | Ok None -> ()
+  | Ok (Some _) | Error _ -> Alcotest.fail "expected clean EOF");
+  Unix.close b;
+  (* EOF mid-frame is Closed *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let partial = String.sub (Protocol.frame "payload") 0 6 in
+  let n = Unix.write_substring a partial 0 (String.length partial) in
+  Alcotest.(check int) "partial written" 6 n;
+  Unix.close a;
+  (match Protocol.read_frame b with
+  | exception Protocol.Closed -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Closed mid-frame");
+  Unix.close b
+
+let test_pack_items_roundtrip () =
+  let items =
+    [ ("0", "{\"op\":\"verify\"}"); ("17", ""); ("t\x00ag", String.make 4096 '\xff') ]
+  in
+  (match Protocol.unpack_items (Protocol.pack_items items) with
+  | Ok back -> Alcotest.(check (list (pair string string))) "items" items back
+  | Error msg -> Alcotest.fail msg);
+  (match Protocol.unpack_items "" with
+  | Ok [] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty pack should be empty list");
+  match Protocol.unpack_items "\x00\x00\x00\x09x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated pack accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx parsing                                                       *)
+
+let test_jsonx_roundtrip () =
+  let j =
+    Jsonx.Obj
+      [
+        ("s", Jsonx.Str "a\"b\\c\nd\te\x01");
+        ("i", Jsonx.Int (-42));
+        ("big", Jsonx.Int max_int);
+        ("f", Jsonx.Float 1.5);
+        ("b", Jsonx.Bool true);
+        ("n", Jsonx.Null);
+        ("l", Jsonx.List [ Jsonx.Int 1; Jsonx.Str ""; Jsonx.Obj []; Jsonx.List [] ]);
+      ]
+  in
+  match Jsonx.parse (Jsonx.to_string j) with
+  | Ok back -> Alcotest.(check bool) "structurally equal" true (j = back)
+  | Error msg -> Alcotest.fail msg
+
+let test_jsonx_escapes () =
+  (match Jsonx.parse {|"A\n\"\\\/ é"|} with
+  | Ok (Jsonx.Str s) -> Alcotest.(check string) "escapes" "A\n\"\\/ \xc3\xa9" s
+  | _ -> Alcotest.fail "escape parse failed");
+  match Jsonx.parse {|"😀"|} with
+  | Ok (Jsonx.Str s) -> Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate parse failed"
+
+let test_jsonx_numbers () =
+  (match Jsonx.parse "3" with
+  | Ok (Jsonx.Int 3) -> ()
+  | _ -> Alcotest.fail "int");
+  (match Jsonx.parse "3.5" with
+  | Ok (Jsonx.Float f) -> Alcotest.(check (float 0.0)) "float" 3.5 f
+  | _ -> Alcotest.fail "float");
+  match Jsonx.parse "1e3" with
+  | Ok (Jsonx.Float f) -> Alcotest.(check (float 0.0)) "exponent" 1000.0 f
+  | _ -> Alcotest.fail "exponent"
+
+let test_jsonx_errors () =
+  List.iter
+    (fun s ->
+      match Jsonx.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s)
+    [ "{"; "[1,]"; "\"unterminated"; "nul"; "{} trailing"; "{\"a\" 1}"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Request decode                                                      *)
+
+let test_request_defaults () =
+  match Driver.request_of_string "{}" with
+  | Ok r -> Alcotest.(check bool) "defaults" true (r = Driver.default_request)
+  | Error msg -> Alcotest.fail msg
+
+let test_request_roundtrip () =
+  let r =
+    {
+      Driver.default_request with
+      Driver.geometry = "x86_64";
+      seed = 7;
+      quick = true;
+      overrides = false;
+      mc =
+        Some
+          {
+            Driver.mc_depth = 4;
+            mc_por = false;
+            mc_geometry = "tiny3";
+            mc_buggy_tlb = true;
+          };
+      source_digest = Some "abc";
+    }
+  in
+  match Driver.request_of_string (Jsonx.to_string (Driver.json_of_request r)) with
+  | Ok back -> Alcotest.(check bool) "round trips" true (r = back)
+  | Error msg -> Alcotest.fail msg
+
+let test_request_validation () =
+  List.iter
+    (fun s ->
+      match Driver.request_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid request %s" s)
+    [
+      {|{"op":"frobnicate"}|};
+      {|{"geometry":"riscv"}|};
+      {|{"lints":"no-such-lint"}|};
+      {|{"seed":"high"}|};
+      {|{"model_check":{"depth":0}}|};
+      {|{"model_check":{"depth":3,"geometry":"x86_64"}}|};
+      "not json at all";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver determinism                                                  *)
+
+let parse_response r =
+  match Jsonx.parse r with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "unparseable response: %s" msg
+
+let rfield j k =
+  match Jsonx.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks field %S" k
+
+let assert_ok j =
+  if Jsonx.member "ok" j <> Some (Jsonx.Bool true) then
+    Alcotest.failf "response not ok: %s" (Jsonx.to_string j)
+
+let stdout_of j = Option.get (Jsonx.to_string_opt (rfield j "stdout"))
+let scrubbed_of j = Jsonx.to_string (Summary.scrub (rfield j "summary"))
+let status_of j = Option.get (Jsonx.to_int_opt (rfield j "status"))
+
+let executed_of j =
+  Option.get (Jsonx.to_int_opt (rfield (rfield j "summary") "executed"))
+
+(* The phase-selection matrix: lint subsets, overrides off, model
+   checking on (with and without POR, on both mc geometries), the big
+   geometry.  Every request is --quick-sized. *)
+let matrix =
+  [
+    {|{"op":"verify","quick":true,"seed":11,"lints":"body"}|};
+    {|{"op":"verify","quick":true,"seed":12,"lints":"all","overrides":false}|};
+    {|{"op":"verify","quick":true,"seed":13,"lints":"borrow","model_check":{"depth":3}}|};
+    {|{"op":"verify","quick":true,"seed":14,"geometry":"x86_64","lints":"body"}|};
+    {|{"op":"verify","quick":true,"seed":15,"lints":"interprocedural",
+       "model_check":{"depth":3,"por":false,"geometry":"tiny3"}}|};
+  ]
+
+(* Two independent sessions must produce the same verification content:
+   stdout byte-identical, summaries identical through the deterministic
+   projection.  (The sessions share the process-global plan memo — so
+   this also checks that plan reuse never changes content.) *)
+let test_repeat_determinism () =
+  List.iter
+    (fun payload ->
+      let a = parse_response (Driver.handle_one (Driver.session ()) payload) in
+      let b = parse_response (Driver.handle_one (Driver.session ()) payload) in
+      assert_ok a;
+      assert_ok b;
+      Alcotest.(check string) "stdout byte-identical" (stdout_of a) (stdout_of b);
+      Alcotest.(check string) "scrubbed summary identical" (scrubbed_of a)
+        (scrubbed_of b);
+      Alcotest.(check int) "status identical" (status_of a) (status_of b);
+      Alcotest.(check int) "clean verdict" 0 (status_of a))
+    matrix
+
+(* A merged-DAG batch must be byte-identical to unbatched evaluation of
+   the same requests. *)
+let test_batch_equals_singletons () =
+  let payloads =
+    [
+      {|{"op":"verify","quick":true,"seed":21,"lints":"body"}|};
+      {|{"op":"verify","quick":true,"seed":22,"lints":"borrow"}|};
+      {|{"op":"verify","quick":true,"seed":23,"lints":"body","overrides":false}|};
+    ]
+  in
+  let batched =
+    Driver.handle_batch (Driver.session ())
+      (List.mapi (fun i p -> (string_of_int i, p)) payloads)
+  in
+  Alcotest.(check int) "one response per request" (List.length payloads)
+    (List.length batched);
+  List.iteri
+    (fun i payload ->
+      let b = parse_response (List.assoc (string_of_int i) batched) in
+      let s = parse_response (Driver.handle_one (Driver.session ()) payload) in
+      assert_ok b;
+      assert_ok s;
+      Alcotest.(check string) "stdout batched = singleton" (stdout_of s) (stdout_of b);
+      Alcotest.(check string) "scrubbed summary batched = singleton" (scrubbed_of s)
+        (scrubbed_of b))
+    payloads
+
+(* Duplicate requests inside one batch deduplicate to one evaluation
+   but still answer every tag. *)
+let test_batch_dedup () =
+  let p = {|{"op":"verify","quick":true,"seed":24,"lints":"body"}|} in
+  let responses =
+    Driver.handle_batch (Driver.session ()) [ ("a", p); ("b", p); ("c", p) ]
+  in
+  Alcotest.(check int) "three responses" 3 (List.length responses);
+  match List.map snd responses with
+  | [ x; y; z ] ->
+      Alcotest.(check string) "identical bytes a/b" x y;
+      Alcotest.(check string) "identical bytes b/c" y z;
+      assert_ok (parse_response x)
+  | _ -> Alcotest.fail "batch shape"
+
+(* Malformed payloads get per-tag error responses; the good requests in
+   the same batch still verify. *)
+let test_batch_bad_payloads () =
+  let responses =
+    Driver.handle_batch (Driver.session ())
+      [
+        ("good", {|{"op":"verify","quick":true,"seed":25,"lints":"body"}|});
+        ("bad-json", "{");
+        ("bad-req", {|{"geometry":"riscv"}|});
+      ]
+  in
+  let by_tag tag = parse_response (List.assoc tag responses) in
+  assert_ok (by_tag "good");
+  Alcotest.(check bool) "bad json refused" true
+    (Jsonx.member "ok" (by_tag "bad-json") = Some (Jsonx.Bool false));
+  Alcotest.(check bool) "bad request refused" true
+    (Jsonx.member "ok" (by_tag "bad-req") = Some (Jsonx.Bool false))
+
+let test_source_digest_gate () =
+  let ok_payload =
+    Printf.sprintf
+      {|{"op":"verify","quick":true,"seed":26,"lints":"body","source_digest":"%s"}|}
+      (Driver.source_digest_of "tiny")
+  in
+  assert_ok (parse_response (Driver.handle_one (Driver.session ()) ok_payload));
+  let bad =
+    parse_response
+      (Driver.handle_one (Driver.session ())
+         {|{"op":"verify","quick":true,"source_digest":"deadbeef"}|})
+  in
+  Alcotest.(check bool) "mismatched digest refused" true
+    (Jsonx.member "ok" bad = Some (Jsonx.Bool false))
+
+(* The L0 replay lifecycle: a response is memoized only once its run
+   re-executed nothing, and replayed bytes are identical. *)
+let test_replay_lifecycle () =
+  let session = Driver.session ~cache_dir:(fresh_dir ()) () in
+  let p = {|{"op":"verify","quick":true,"seed":777,"lints":"body"}|} in
+  let r1 = Driver.handle_one session p in
+  let j1 = parse_response r1 in
+  assert_ok j1;
+  Alcotest.(check bool) "cold run executed work" true (executed_of j1 > 0);
+  Alcotest.(check int) "cold response not memoized" 0 (Hashtbl.length session.Driver.replay);
+  let r2 = Driver.handle_one session p in
+  let j2 = parse_response r2 in
+  Alcotest.(check int) "warm run pure cache replay" 0 (executed_of j2);
+  Alcotest.(check int) "warm response memoized" 1 (Hashtbl.length session.Driver.replay);
+  Alcotest.(check int) "not served from L0 yet" 0 session.Driver.replays;
+  Alcotest.(check string) "stdout cold = warm" (stdout_of j1) (stdout_of j2);
+  let r3 = Driver.handle_one session p in
+  Alcotest.(check int) "third response served from L0" 1 session.Driver.replays;
+  Alcotest.(check string) "replayed bytes identical" r2 r3
+
+let test_plan_memo () =
+  Plan.reset_memo ();
+  let layout = Hyperenclave.Layout.default Hyperenclave.Geometry.tiny in
+  let p1, hit1, _ = Plan.build_memo ~quick:true ~seed:31 layout in
+  let p2, hit2, _ = Plan.build_memo ~quick:true ~seed:31 layout in
+  let _, hit3, _ = Plan.build_memo ~quick:true ~seed:32 layout in
+  Alcotest.(check bool) "first build misses" false hit1;
+  Alcotest.(check bool) "repeat hits" true hit2;
+  Alcotest.(check bool) "memo returns the same plan" true (p1 == p2);
+  Alcotest.(check bool) "different seed misses" false hit3
+
+(* plan_build_s / plan_cache_hit surface in the summary, and the hit
+   flag flips on the repeat request. *)
+let test_plan_fields_in_summary () =
+  Plan.reset_memo ();
+  let p = {|{"op":"verify","quick":true,"seed":888,"lints":"body"}|} in
+  let j1 = parse_response (Driver.handle_one (Driver.session ()) p) in
+  let j2 = parse_response (Driver.handle_one (Driver.session ()) p) in
+  let hit j =
+    match Jsonx.member "plan_cache_hit" (rfield j "summary") with
+    | Some (Jsonx.Bool b) -> b
+    | _ -> Alcotest.fail "summary lacks plan_cache_hit"
+  in
+  (match Jsonx.member "plan_build_s" (rfield j1 "summary") with
+  | Some (Jsonx.Float _) -> ()
+  | _ -> Alcotest.fail "summary lacks plan_build_s");
+  Alcotest.(check bool) "first request builds the plan" false (hit j1);
+  Alcotest.(check bool) "repeat request hits the plan memo" true (hit j2)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process proof-cache sharing                                   *)
+
+(* A writer process interleaves stash/flush on a shared directory while
+   this process interleaves its own flushes (contending for the
+   advisory lock) and refresh/find loops (packs appear mid-scan).
+   Every entry the child wrote must become visible here, and nothing
+   may crash or corrupt. *)
+let test_cache_two_process () =
+  let dir = fresh_dir () in
+  let total = 40 in
+  let obl i = pass_obl ~fingerprint:(Printf.sprintf "fp%d" i) (Printf.sprintf "mp/%d" i) in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         let c = Cache.create ~dir in
+         for i = 0 to total - 1 do
+           let o = obl i in
+           Cache.stash c o (o.Obligation.run ());
+           if i mod 4 = 3 then Cache.flush c;
+           ignore (Cache.refresh c)
+         done;
+         Cache.flush c
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      let c = Cache.create ~dir in
+      (* contend for the flush lock while the child writes *)
+      for i = 0 to 9 do
+        let o = pass_obl ~fingerprint:"pfp" (Printf.sprintf "parent/%d" i) in
+        Cache.stash c o (o.Obligation.run ());
+        Cache.flush c
+      done;
+      let deadline = Unix.gettimeofday () +. 30. in
+      let visible () =
+        ignore (Cache.refresh c);
+        List.length
+          (List.filter (fun i -> Cache.find c (obl i) <> None) (List.init total Fun.id))
+      in
+      let rec wait_all () =
+        let n = visible () in
+        if n = total then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.failf "only %d/%d child entries visible" n total
+        else begin
+          Unix.sleepf 0.01;
+          wait_all ()
+        end
+      in
+      wait_all ();
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "writer process failed");
+      (* and the parent's own entries survived the interleaving *)
+      List.iter
+        (fun i ->
+          let o = pass_obl ~fingerprint:"pfp" (Printf.sprintf "parent/%d" i) in
+          Alcotest.(check bool) "parent entry present" true (Cache.find c o <> None))
+        (List.init 10 Fun.id)
+
+(* Batched execution shares proof-cache entries with one-shot runs: the
+   re-id'd [b<i>/] obligations keep their canonical cache_id, so a
+   batch warms the cache for singletons and vice versa. *)
+let test_batch_shares_cache_entries () =
+  let dir = fresh_dir () in
+  let payloads =
+    [
+      {|{"op":"verify","quick":true,"seed":41,"lints":"body"}|};
+      {|{"op":"verify","quick":true,"seed":42,"lints":"body"}|};
+    ]
+  in
+  let batch_session = Driver.session ~cache_dir:dir () in
+  let batched =
+    Driver.handle_batch batch_session
+      (List.mapi (fun i p -> (string_of_int i, p)) payloads)
+  in
+  List.iter (fun (_, r) -> assert_ok (parse_response r)) batched;
+  (* a fresh session on the same directory replays everything *)
+  let warm_session = Driver.session ~cache_dir:dir () in
+  List.iter
+    (fun p ->
+      let j = parse_response (Driver.handle_one warm_session p) in
+      assert_ok j;
+      Alcotest.(check int) "batch warmed the one-shot path" 0 (executed_of j))
+    payloads
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end daemon round trip                                        *)
+
+let test_daemon_end_to_end () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mirverif-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Server.serve
+           {
+             (Server.default_config ~socket) with
+             Server.fleet = 0;
+             prewarm = false;
+             batch_window_ms = 1.0;
+           }
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try ignore (Client.shutdown ~socket) with _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          Alcotest.(check bool) "daemon ready" true (Client.wait_ready ~socket ());
+          let req =
+            {|{"op":"verify","quick":true,"seed":4242,"lints":"body"}|}
+          in
+          (match Client.request ~socket req with
+          | Error msg -> Alcotest.fail msg
+          | Ok r ->
+              let daemon = parse_response r in
+              assert_ok daemon;
+              Alcotest.(check int) "clean verdict over the wire" 0 (status_of daemon);
+              (* byte-identical to local evaluation of the same request *)
+              let local = parse_response (Driver.handle_one (Driver.session ()) req) in
+              Alcotest.(check string) "daemon stdout = local stdout"
+                (stdout_of local) (stdout_of daemon);
+              Alcotest.(check string) "daemon summary = local summary (scrubbed)"
+                (scrubbed_of local) (scrubbed_of daemon));
+          (* malformed JSON is answered, not fatal *)
+          (match Client.request ~socket "{definitely not json" with
+          | Ok r ->
+              Alcotest.(check bool) "malformed payload refused" true
+                (Jsonx.member "ok" (parse_response r) = Some (Jsonx.Bool false))
+          | Error msg -> Alcotest.fail msg);
+          (* an oversized frame announcement gets an error response and
+             a closed connection, and the daemon survives *)
+          (match Client.connect socket with
+          | Error msg -> Alcotest.fail msg
+          | Ok fd ->
+              let n = Protocol.max_frame + 1 in
+              let hdr =
+                String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff))
+              in
+              let w = Unix.write_substring fd hdr 0 4 in
+              Alcotest.(check int) "header written" 4 w;
+              (match Protocol.read_frame fd with
+              | Ok (Some r) ->
+                  Alcotest.(check bool) "oversized refused" true
+                    (Jsonx.member "ok" (parse_response r) = Some (Jsonx.Bool false))
+              | Ok None | Error _ -> Alcotest.fail "expected an error response");
+              Unix.close fd);
+          Alcotest.(check bool) "daemon still answers pings" true (Client.ping ~socket))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "frame round trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "torn feed" `Quick test_frame_torn_feed;
+          Alcotest.test_case "oversized" `Quick test_frame_oversized;
+          Alcotest.test_case "blocking read" `Quick test_blocking_read_frame;
+          Alcotest.test_case "pack items" `Quick test_pack_items_roundtrip;
+        ] );
+      ( "jsonx-parse",
+        [
+          Alcotest.test_case "round trip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_jsonx_escapes;
+          Alcotest.test_case "numbers" `Quick test_jsonx_numbers;
+          Alcotest.test_case "errors" `Quick test_jsonx_errors;
+        ] );
+      ( "request",
+        [
+          Alcotest.test_case "defaults" `Quick test_request_defaults;
+          Alcotest.test_case "round trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "validation" `Quick test_request_validation;
+        ] );
+      ( "cache-multiprocess",
+        [
+          Alcotest.test_case "two-process stress" `Quick test_cache_two_process;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "repeat determinism" `Slow test_repeat_determinism;
+          Alcotest.test_case "batch = singletons" `Slow test_batch_equals_singletons;
+          Alcotest.test_case "batch dedup" `Quick test_batch_dedup;
+          Alcotest.test_case "batch bad payloads" `Quick test_batch_bad_payloads;
+          Alcotest.test_case "source digest gate" `Quick test_source_digest_gate;
+          Alcotest.test_case "replay lifecycle" `Quick test_replay_lifecycle;
+          Alcotest.test_case "plan memo" `Quick test_plan_memo;
+          Alcotest.test_case "plan fields in summary" `Quick test_plan_fields_in_summary;
+          Alcotest.test_case "batch shares cache entries" `Quick
+            test_batch_shares_cache_entries;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "end to end" `Slow test_daemon_end_to_end ] );
+    ]
