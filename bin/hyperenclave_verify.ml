@@ -113,8 +113,12 @@ let run_serve ~socket ~fleet ~batch_window_ms ~cache_dir ~jobs ~retries
       timeout_ms;
     }
   in
-  Serve.Server.serve cfg;
-  0
+  match Serve.Server.serve cfg with
+  | () -> 0
+  | exception Failure msg ->
+      (* e.g. a daemon already listening on the requested socket *)
+      Format.eprintf "hyperenclave-verify: %s@." msg;
+      2
 
 let run_client ~socket ~scrub_summary ~json_out (req : Serve.Driver.request) =
   let module Jsonx = Engine.Jsonx in

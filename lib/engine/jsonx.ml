@@ -99,6 +99,13 @@ exception Parse_error of int * string
 
 let parse_error pos msg = raise (Parse_error (pos, msg))
 
+(* Nesting bound: the parser recurses once per container level, so an
+   adversarial payload of a few hundred KB of '[' would otherwise turn
+   into a [Stack_overflow] — which is not a [Parse_error] and would
+   escape the daemon's per-request error handling.  No legitimate
+   request comes anywhere near this deep. *)
+let max_depth = 512
+
 let parse (s : string) : (t, string) result =
   let n = String.length s in
   let pos = ref 0 in
@@ -218,7 +225,8 @@ let parse (s : string) : (t, string) result =
           | Some f -> Float f
           | None -> parse_error start "bad number")
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then parse_error !pos "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> parse_error !pos "unexpected end of input"
@@ -235,7 +243,7 @@ let parse (s : string) : (t, string) result =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -257,7 +265,7 @@ let parse (s : string) : (t, string) result =
         end
         else begin
           let rec elements acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -278,7 +286,7 @@ let parse (s : string) : (t, string) result =
     | Some c -> parse_error !pos (Printf.sprintf "unexpected %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then parse_error !pos "trailing content";
     v
@@ -286,6 +294,10 @@ let parse (s : string) : (t, string) result =
   | v -> Ok v
   | exception Parse_error (p, msg) ->
       Error (Printf.sprintf "json parse error at byte %d: %s" p msg)
+  | exception Stack_overflow ->
+      (* defense in depth behind [max_depth]: a parser bug must never
+         take down a daemon that feeds it untrusted frames *)
+      Error "json parse error: nesting too deep"
 
 (* ------------------------------------------------------------------ *)
 (* Accessors: shallow, total — protocol decoding reads fields through

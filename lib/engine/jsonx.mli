@@ -26,8 +26,11 @@ val parse : string -> (t, string) result
 (** Strict parse of one JSON value spanning the whole string (trailing
     content is an error).  Numbers without a fraction or exponent parse
     as [Int] (falling back to [Float] on overflow); [\uXXXX] escapes —
-    surrogate pairs included — decode to UTF-8 bytes.  Never raises:
-    malformed input yields [Error] with the byte offset. *)
+    surrogate pairs included — decode to UTF-8 bytes.  Container
+    nesting is bounded (512 levels): deeper input is an [Error], never
+    a [Stack_overflow] — the serve daemon feeds this untrusted frames.
+    Never raises: malformed input yields [Error] with the byte
+    offset. *)
 
 val member : string -> t -> t option
 (** Field of an [Obj]; [None] on a missing field or a non-object. *)

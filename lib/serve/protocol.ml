@@ -13,6 +13,10 @@ exception Closed
 (* peer hung up mid-frame (EOF or EPIPE); connection-level, not fatal
    to the process *)
 
+exception Timeout
+(* a nonblocking peer stopped draining its socket buffer before the
+   write deadline; connection-level, like [Closed] *)
+
 (* ------------------------------------------------------------------ *)
 (* Blocking path (clients, fleet workers)                              *)
 
@@ -49,6 +53,36 @@ let frame payload =
 let write_frame fd payload =
   let f = frame payload in
   write_all fd f 0 (String.length f)
+
+(* Bounded framed write for the dispatcher's client sockets, which are
+   in nonblocking mode: a stalled peer (full socket buffer) must not
+   head-of-line block the select loop forever.  Waits for writability
+   with the remaining budget between partial writes; raises [Timeout]
+   when [timeout_s] elapses without progress. *)
+let write_frame_deadline fd payload ~timeout_s =
+  let f = frame payload in
+  let len = String.length f in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let wait_writable () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then raise Timeout;
+    match Unix.select [] [ fd ] [] remaining with
+    | _, [], _ -> raise Timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd f off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          wait_writable ();
+          go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          raise Closed
+  in
+  go 0
 
 (* [Some s] on a whole read, [None] on EOF at a frame boundary
    (n = 0 consumed), [Closed] on EOF mid-read. *)
@@ -117,6 +151,12 @@ end
    — no re-serialization — so a worker frame carries a sequence of
    (tag, payload) items, each length-prefixed: the admission batch on
    the way in, the response set on the way out. *)
+
+(* Exact packed footprint of one item: two 4-byte length headers plus
+   the tag and payload bytes.  [String.length (pack_items items)] is
+   the sum of the items' sizes — the admission batcher uses this to
+   keep a batch frameable under [max_frame]. *)
+let item_size (tag, payload) = 8 + String.length tag + String.length payload
 
 let pack_items items =
   let buf = Buffer.create 256 in

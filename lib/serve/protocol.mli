@@ -16,12 +16,24 @@ exception Closed
 (** Peer hung up mid-frame (EOF inside a frame, EPIPE on write).
     Connection-level: callers drop the connection, never the process. *)
 
+exception Timeout
+(** A nonblocking peer stopped draining its socket buffer before the
+    deadline of {!write_frame_deadline}.  Connection-level, like
+    {!Closed}. *)
+
 val frame : string -> string
 (** [frame payload] is the on-wire encoding (header ^ payload).
     Raises [Invalid_argument] past {!max_frame}. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Blocking framed write; raises {!Closed} on a hung-up peer. *)
+
+val write_frame_deadline : Unix.file_descr -> string -> timeout_s:float -> unit
+(** Framed write to a {e nonblocking} fd, waiting for writability
+    between partial writes.  Raises {!Timeout} after [timeout_s]
+    without completing, {!Closed} on a hung-up peer.  The dispatcher
+    uses this for client sockets so one stalled client cannot block
+    the select loop. *)
 
 val read_frame : Unix.file_descr -> (string option, string) result
 (** Blocking framed read: [Ok (Some payload)], [Ok None] on EOF at a
@@ -44,6 +56,12 @@ module Reader : sig
       header announces more than {!max_frame}; the stream cannot be
       resynchronized and must be closed. *)
 end
+
+val item_size : string * string -> int
+(** Exact packed footprint of one (tag, payload) item;
+    [String.length (pack_items items)] is the sum of the items'
+    sizes.  The admission batcher bounds batches with this so a
+    dispatcher→worker frame stays under {!max_frame}. *)
 
 val pack_items : (string * string) list -> string
 (** Dispatcher/worker framing: a sequence of (tag, payload) items,

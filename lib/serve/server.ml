@@ -91,9 +91,29 @@ let worker_loop cfg fd =
                 let msg = "worker error: " ^ Printexc.to_string e in
                 List.map (fun (tag, _) -> (tag, Driver.error_response msg)) items
             in
-            (match Protocol.write_frame fd (Protocol.pack_items responses) with
-            | () -> loop ()
-            | exception Protocol.Closed -> ()))
+            (* If the packed responses exceed max_frame, [frame] raises
+               Invalid_argument; dying on it would make the dispatcher
+               requeue the very batch that killed us — an infinite
+               crash/respawn livelock.  Answer each tag with a small
+               error instead and keep serving. *)
+            let send rs =
+              match Protocol.write_frame fd (Protocol.pack_items rs) with
+              | () -> true
+              | exception Protocol.Closed -> false
+              | exception Invalid_argument _ -> (
+                  let errs =
+                    List.map
+                      (fun (tag, _) ->
+                        ( tag,
+                          Driver.error_response
+                            "batch responses exceed the frame limit" ))
+                      rs
+                  in
+                  match Protocol.write_frame fd (Protocol.pack_items errs) with
+                  | () -> true
+                  | exception Protocol.Closed -> false)
+            in
+            if send responses then loop ())
   in
   loop ()
 
@@ -140,6 +160,11 @@ type state = {
   pending : (string * string) Queue.t;  (* (tag, payload) admission queue *)
   mutable pending_since : float;  (* enqueue time of the oldest pending item *)
   mutable stop : bool;
+  mutable dead_fds : Unix.file_descr list;
+      (* fds closed during the current select pass: a stale entry still
+         in the readable set must be skipped, because the kernel may
+         already have reused the number for a respawned worker's pipe —
+         reading through the alias would block the dispatcher *)
 }
 
 let owner_of st tag = List.assoc_opt tag st.tag_owner
@@ -149,14 +174,28 @@ let forget_client st fd =
   (match Hashtbl.find_opt st.clients fd with
   | Some _ ->
       Hashtbl.remove st.clients fd;
+      st.dead_fds <- fd :: st.dead_fds;
       (try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
   st.tag_owner <- List.filter (fun (_, c) -> c <> fd) st.tag_owner
 
+(* Client fds are nonblocking and writes carry a deadline: one stalled
+   client (full socket buffer) must not head-of-line block every other
+   client and worker behind the select loop. *)
+let client_send_timeout_s = 10.0
+
 let send_to_client st fd payload =
-  match Protocol.write_frame fd payload with
+  let payload =
+    if String.length payload > Protocol.max_frame then
+      Driver.error_response "response exceeds the frame limit"
+    else payload
+  in
+  match Protocol.write_frame_deadline fd payload ~timeout_s:client_send_timeout_s with
   | () -> ()
   | exception Protocol.Closed -> forget_client st fd
+  | exception Protocol.Timeout ->
+      log "client stalled for %.0fs; dropping it" client_send_timeout_s;
+      forget_client st fd
   | exception Unix.Unix_error _ -> forget_client st fd
 
 (* Control envelope: the dispatcher parses each client frame only far
@@ -199,9 +238,26 @@ let deliver st (tag, response) =
       forget_tag st tag;
       send_to_client st fd response
 
+(* A batch is bounded by count AND by packed bytes: every client may
+   legally send a payload up to max_frame, so a count-only bound could
+   make [Protocol.pack_items] of a full batch exceed the single
+   dispatcher→worker frame and crash the daemon in [Protocol.frame].
+   The head item is always taken — if even alone it cannot be framed
+   (a payload within a few bytes of max_frame), [dispatch_to] fails it
+   with an error response instead of crashing. *)
 let take_batch st =
-  let n = min st.cfg.batch_max (Queue.length st.pending) in
-  let items = List.init n (fun _ -> Queue.take st.pending) in
+  let rec take acc n bytes =
+    if n >= st.cfg.batch_max || Queue.is_empty st.pending then List.rev acc
+    else
+      let item = Queue.peek st.pending in
+      let bytes = bytes + Protocol.item_size item in
+      if acc <> [] && bytes > Protocol.max_frame then List.rev acc
+      else begin
+        ignore (Queue.take st.pending);
+        take (item :: acc) (n + 1) bytes
+      end
+  in
+  let items = take [] 0 0 in
   if not (Queue.is_empty st.pending) then st.pending_since <- Unix.gettimeofday ();
   items
 
@@ -213,6 +269,7 @@ let idle_worker st =
   !found
 
 let respawn st w =
+  st.dead_fds <- w.w_fd :: st.dead_fds;
   (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
   (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
   log "fleet worker %d (pid %d) died; respawning" w.w_index w.w_pid;
@@ -230,10 +287,19 @@ let respawn st w =
   w.w_fd <- fd;
   w.w_reader <- Protocol.Reader.create ()
 
+let fail_batch st items msg =
+  List.iter (fun (tag, _) -> deliver st (tag, Driver.error_response msg)) items
+
 let dispatch_to st w items =
   w.w_inflight <- items;
   match Protocol.write_frame w.w_fd (Protocol.pack_items items) with
   | () -> ()
+  | exception Invalid_argument _ ->
+      (* a single admitted payload so close to max_frame that even a
+         one-item batch cannot be framed: answer it with an error —
+         requeueing would retry the same unframeable batch forever *)
+      w.w_inflight <- [];
+      fail_batch st items "request exceeds the worker frame limit"
   | exception Protocol.Closed -> respawn st w
   | exception Unix.Unix_error _ -> respawn st w
 
@@ -274,6 +340,9 @@ let on_client_readable st fd =
       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
           forget_client st fd
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* nonblocking client fd, spurious readability *)
+          ()
       | n ->
           Protocol.Reader.feed c.c_reader (Bytes.sub_string read_chunk 0 n);
           let rec drain () =
@@ -320,9 +389,28 @@ let select_timeout st =
     let age = Unix.gettimeofday () -. st.pending_since in
     Float.max 0.001 ((st.cfg.batch_window_ms /. 1000.) -. age)
 
+(* Is a daemon already answering on [path]?  A successful connect means
+   a live listener; ECONNREFUSED (or any other failure) means the
+   socket file is a stale leftover from a dead process. *)
+let socket_live path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false)
+
 let serve cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  if Sys.file_exists cfg.socket then (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  if Sys.file_exists cfg.socket then
+    if socket_live cfg.socket then
+      failwith
+        (Printf.sprintf
+           "%s: a daemon is already listening on this socket (shut it down \
+            first, or pick another --serve path)"
+           cfg.socket)
+    else (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
   Unix.listen listen_fd 64;
@@ -357,6 +445,7 @@ let serve cfg =
       pending = Queue.create ();
       pending_since = 0.0;
       stop = false;
+      dead_fds = [];
     }
   in
   let stop_signal _ = st.stop <- true in
@@ -370,6 +459,7 @@ let serve cfg =
     not (st.stop && Queue.is_empty st.pending && all_idle ())
   in
   while running () do
+    st.dead_fds <- [];
     let client_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.clients [] in
     let worker_fds = Array.to_list (Array.map (fun w -> w.w_fd) st.workers) in
     let readable =
@@ -384,12 +474,18 @@ let serve cfg =
     if List.mem st.listen_fd readable then begin
       match Unix.accept st.listen_fd with
       | fd, _ ->
+          Unix.set_nonblock fd;
           Hashtbl.replace st.clients fd { c_reader = Protocol.Reader.create () }
       | exception Unix.Unix_error _ -> ()
     end;
+    (* handlers can close fds mid-pass (forget_client, respawn) and the
+       kernel may hand the same number straight back for a respawned
+       worker's pipe — a later stale entry in [readable] would then
+       alias the fresh fd, so anything recorded dead this pass is
+       skipped *)
     List.iter
       (fun fd ->
-        if fd <> st.listen_fd then
+        if fd <> st.listen_fd && not (List.memq fd st.dead_fds) then
           if Hashtbl.mem st.clients fd then on_client_readable st fd
           else
             match Array.find_opt (fun w -> w.w_fd = fd) st.workers with

@@ -117,6 +117,71 @@ let test_pack_items_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated pack accepted"
 
+let test_item_size_accounting () =
+  (* the admission batcher's byte bound is only sound if item_size is
+     exactly the packed footprint *)
+  let items =
+    [ ("0", ""); ("123", "payload"); ("t", String.make 9_000 'x') ]
+  in
+  List.iteri
+    (fun i _ ->
+      let prefix = List.filteri (fun j _ -> j <= i) items in
+      Alcotest.(check int)
+        (Printf.sprintf "pack of %d items" (i + 1))
+        (List.fold_left (fun acc it -> acc + Protocol.item_size it) 0 prefix)
+        (String.length (Protocol.pack_items prefix)))
+    items
+
+(* take_batch must bound batches by packed bytes as well as count:
+   clients may each legally send close to max_frame, and a count-only
+   bound would make pack_items of a full batch unframeable (a daemon
+   crash, pre-fix). *)
+let test_take_batch_byte_bound () =
+  let mk_state batch_max =
+    {
+      Server.cfg =
+        { (Server.default_config ~socket:"unused") with Server.batch_max };
+      listen_fd = Unix.stdin;
+      clients = Hashtbl.create 1;
+      workers = [||];
+      inproc = None;
+      tag_owner = [];
+      next_tag = 0;
+      pending = Queue.create ();
+      pending_since = 0.0;
+      stop = false;
+      dead_fds = [];
+    }
+  in
+  let frameable items =
+    String.length (Protocol.pack_items items) <= Protocol.max_frame
+  in
+  (* count bound still applies to small items *)
+  let st = mk_state 4 in
+  for i = 0 to 9 do
+    Queue.add (string_of_int i, "tiny") st.Server.pending
+  done;
+  Alcotest.(check int) "count-bounded" 4 (List.length (Server.take_batch st));
+  (* 3 MiB payloads: two fit under max_frame, the third must wait *)
+  let st = mk_state 32 in
+  let big = String.make (3 * 1024 * 1024) 'p' in
+  for i = 0 to 3 do
+    Queue.add (string_of_int i, big) st.Server.pending
+  done;
+  let batch = Server.take_batch st in
+  Alcotest.(check int) "byte-bounded" 2 (List.length batch);
+  Alcotest.(check bool) "batch frameable" true (frameable batch);
+  let batch2 = Server.take_batch st in
+  Alcotest.(check int) "remainder drains" 2 (List.length batch2);
+  Alcotest.(check bool) "second batch frameable" true (frameable batch2);
+  (* the head item is always taken, even when it alone cannot meet the
+     bound (dispatch_to turns that into an error response, not a crash) *)
+  let st = mk_state 32 in
+  Queue.add ("0", String.make Protocol.max_frame 'q') st.Server.pending;
+  Queue.add ("1", "tiny") st.Server.pending;
+  Alcotest.(check int) "oversized head taken alone" 1
+    (List.length (Server.take_batch st))
+
 (* ------------------------------------------------------------------ *)
 (* Jsonx parsing                                                       *)
 
@@ -163,6 +228,26 @@ let test_jsonx_errors () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted malformed %S" s)
     [ "{"; "[1,]"; "\"unterminated"; "nul"; "{} trailing"; "{\"a\" 1}"; "" ]
+
+let test_jsonx_depth () =
+  (* realistic nesting parses... *)
+  let nested d = String.make d '[' ^ "0" ^ String.make d ']' in
+  (match Jsonx.parse (nested 100) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "rejected 100-deep nesting: %s" msg);
+  (* ...but adversarial depth is an Error, not a Stack_overflow that
+     would escape the daemon's per-request handling and kill it *)
+  List.iter
+    (fun s ->
+      match Jsonx.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted pathological nesting"
+      | exception _ -> Alcotest.fail "pathological nesting raised")
+    [
+      String.make 500_000 '[';
+      nested 10_000;
+      String.concat "" (List.init 10_000 (fun _ -> "{\"k\":[")) ^ "0";
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Request decode                                                      *)
@@ -525,6 +610,48 @@ let test_daemon_end_to_end () =
               Alcotest.(check bool) "malformed payload refused" true
                 (Jsonx.member "ok" (parse_response r) = Some (Jsonx.Bool false))
           | Error msg -> Alcotest.fail msg);
+          (* pathologically nested JSON is answered with a parse error,
+             not a Stack_overflow that kills the daemon *)
+          (match Client.request ~socket (String.make 500_000 '[') with
+          | Ok r ->
+              Alcotest.(check bool) "deep nesting refused" true
+                (Jsonx.member "ok" (parse_response r) = Some (Jsonx.Bool false))
+          | Error msg -> Alcotest.fail msg);
+          (* a second daemon must refuse to steal a live socket; run the
+             contender in a child so a regression (it binds and serves
+             forever) fails the test instead of hanging it *)
+          (match Unix.fork () with
+          | 0 ->
+              (match
+                 Server.serve
+                   {
+                     (Server.default_config ~socket) with
+                     Server.fleet = 0;
+                     prewarm = false;
+                   }
+               with
+              | () -> Unix._exit 10
+              | exception Failure _ -> Unix._exit 11
+              | exception _ -> Unix._exit 12)
+          | contender ->
+              let deadline = Unix.gettimeofday () +. 10.0 in
+              let rec wait () =
+                match Unix.waitpid [ Unix.WNOHANG ] contender with
+                | 0, _ ->
+                    if Unix.gettimeofday () > deadline then begin
+                      Unix.kill contender Sys.sigkill;
+                      ignore (Unix.waitpid [] contender);
+                      Alcotest.fail "second daemon did not refuse promptly"
+                    end
+                    else begin
+                      Unix.sleepf 0.02;
+                      wait ()
+                    end
+                | _, Unix.WEXITED 11 -> ()
+                | _, _ ->
+                    Alcotest.fail "second daemon did not refuse the live socket"
+              in
+              wait ());
           (* an oversized frame announcement gets an error response and
              a closed connection, and the daemon survives *)
           (match Client.connect socket with
@@ -544,6 +671,56 @@ let test_daemon_end_to_end () =
               Unix.close fd);
           Alcotest.(check bool) "daemon still answers pings" true (Client.ping ~socket))
 
+(* A fleet daemon fed a legal frame whose payload is within a few bytes
+   of max_frame: packed with its tag it cannot cross the worker pipe,
+   so pre-fix the dispatcher crashed in Protocol.frame.  It must answer
+   with an error response and keep serving. *)
+let test_daemon_fleet_unframeable_item () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mirverif-serve-test-fleet-%d.sock" (Unix.getpid ()))
+  in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Server.serve
+           {
+             (Server.default_config ~socket) with
+             Server.fleet = 1;
+             prewarm = false;
+             batch_window_ms = 1.0;
+           }
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try ignore (Client.shutdown ~socket) with _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          Alcotest.(check bool) "daemon ready" true (Client.wait_ready ~socket ());
+          (* valid JSON (routes to the worker queue), 5 bytes under the
+             frame cap: legal on the client wire, unframeable packed *)
+          let n = Protocol.max_frame - 5 in
+          let payload =
+            "{\"a\":\"" ^ String.make (n - 8) 'x' ^ "\"}"
+          in
+          Alcotest.(check int) "payload fills the frame" n
+            (String.length payload);
+          (match Client.request ~socket payload with
+          | Ok r ->
+              let j = parse_response r in
+              Alcotest.(check bool) "unframeable item refused" true
+                (Jsonx.member "ok" j = Some (Jsonx.Bool false))
+          | Error msg -> Alcotest.fail msg);
+          (* the daemon and its worker survived *)
+          Alcotest.(check bool) "daemon still answers pings" true
+            (Client.ping ~socket);
+          match Client.request ~socket {|{"op":"verify","quick":true,"lints":"body"}|} with
+          | Ok r -> assert_ok (parse_response r)
+          | Error msg -> Alcotest.fail msg)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -556,6 +733,10 @@ let () =
           Alcotest.test_case "oversized" `Quick test_frame_oversized;
           Alcotest.test_case "blocking read" `Quick test_blocking_read_frame;
           Alcotest.test_case "pack items" `Quick test_pack_items_roundtrip;
+          Alcotest.test_case "item size accounting" `Quick
+            test_item_size_accounting;
+          Alcotest.test_case "take_batch byte bound" `Quick
+            test_take_batch_byte_bound;
         ] );
       ( "jsonx-parse",
         [
@@ -563,6 +744,7 @@ let () =
           Alcotest.test_case "escapes" `Quick test_jsonx_escapes;
           Alcotest.test_case "numbers" `Quick test_jsonx_numbers;
           Alcotest.test_case "errors" `Quick test_jsonx_errors;
+          Alcotest.test_case "nesting depth" `Quick test_jsonx_depth;
         ] );
       ( "request",
         [
@@ -588,5 +770,9 @@ let () =
             test_batch_shares_cache_entries;
         ] );
       ( "daemon",
-        [ Alcotest.test_case "end to end" `Slow test_daemon_end_to_end ] );
+        [
+          Alcotest.test_case "end to end" `Slow test_daemon_end_to_end;
+          Alcotest.test_case "fleet unframeable item" `Slow
+            test_daemon_fleet_unframeable_item;
+        ] );
     ]
